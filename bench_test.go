@@ -1,0 +1,316 @@
+package harmony
+
+// One testing.B benchmark per experiment in EXPERIMENTS.md (E1-E10), plus
+// micro-benchmarks of the engine's hot paths. The heavyweight fixtures
+// (the calibrated 1378x784 case study and its full match) are built once
+// and shared.
+//
+// Run with: go test -bench=. -benchmem
+// (BenchmarkE1FullMatch performs a full million-pair match per iteration
+// and takes several seconds per op by design — it regenerates the paper's
+// 10.2 s headline.)
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/export"
+	"harmony/internal/partition"
+	"harmony/internal/schema"
+	"harmony/internal/search"
+	"harmony/internal/summarize"
+	"harmony/internal/synth"
+	"harmony/internal/workflow"
+)
+
+// caseStudyThreshold mirrors cmd/experiments: the histogram-chosen
+// operating point for the evidence-rich case-study workload.
+const caseStudyThreshold = 0.74
+
+var benchCase struct {
+	once   sync.Once
+	sa, sb *schema.Schema
+	truth  *synth.Truth
+	res    *core.Result
+	sumA   *summarize.Summary
+	sumB   *summarize.Summary
+}
+
+func caseFixture(b *testing.B) *struct {
+	once   sync.Once
+	sa, sb *schema.Schema
+	truth  *synth.Truth
+	res    *core.Result
+	sumA   *summarize.Summary
+	sumB   *summarize.Summary
+} {
+	b.Helper()
+	benchCase.once.Do(func() {
+		benchCase.sa, benchCase.sb, benchCase.truth = synth.CaseStudy(42)
+		benchCase.res = core.PresetHarmony().Match(benchCase.sa, benchCase.sb)
+		benchCase.sumA = summarize.FromRoots(benchCase.sa)
+		benchCase.sumB = summarize.FromRoots(benchCase.sb)
+	})
+	return &benchCase
+}
+
+// BenchmarkE1FullMatch regenerates E1: the fully automated 1378x784 match
+// (paper: 10.2 s). One op = one complete match including preprocessing.
+func BenchmarkE1FullMatch(b *testing.B) {
+	sa, sb, _ := synth.CaseStudy(42)
+	eng := core.PresetHarmony()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Match(sa, sb)
+	}
+	b.ReportMetric(float64(sa.Len()*sb.Len()), "pairs/op")
+}
+
+// BenchmarkE2Partition regenerates E2: deriving the {SA-only, SB-only,
+// matched} decision partition from a scored matrix.
+func BenchmarkE2Partition(b *testing.B) {
+	f := caseFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := partition.FromResult(f.res, caseStudyThreshold, true)
+		if p.Stats().SizeB != 784 {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// BenchmarkE3ConceptLift regenerates E3: lifting element matches to
+// concept level over the 140x51 concept summaries.
+func BenchmarkE3ConceptLift(b *testing.B) {
+	f := caseFixture(b)
+	opts := summarize.LiftOptions{Threshold: caseStudyThreshold, MinSupport: 3, MinCoverage: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		summarize.LiftOneToOne(summarize.Lift(f.res, f.sumA, f.sumB, opts))
+	}
+}
+
+// BenchmarkE3Workbook measures building the two-sheet outer-join workbook
+// (the 167-row concept sheet plus the element sheet).
+func BenchmarkE3Workbook(b *testing.B) {
+	f := caseFixture(b)
+	opts := summarize.LiftOptions{Threshold: caseStudyThreshold, MinSupport: 3, MinCoverage: 0.3}
+	cms := summarize.LiftOneToOne(summarize.Lift(f.res, f.sumA, f.sumB, opts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb := export.Build(f.sa, f.sb, f.sumA, f.sumB, cms, nil)
+		if wb.ConceptRows() == 0 {
+			b.Fatal("empty workbook")
+		}
+	}
+}
+
+// BenchmarkE4Increment regenerates E4's unit of work: one concept-at-a-time
+// increment (the paper's 10^4-10^5-pair sub-tree match).
+func BenchmarkE4Increment(b *testing.B) {
+	f := caseFixture(b)
+	sv, dv := core.Preprocess(f.sa, f.sb)
+	eng := core.PresetHarmony()
+	concept := f.sumA.Concepts()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchElements(sv, dv, concept.Members)
+	}
+	b.ReportMetric(float64(concept.Size()*f.sb.Len()), "pairs/op")
+}
+
+// BenchmarkE5Vocabulary regenerates E5's aggregation step: building the
+// 2^5-1-cell comprehensive vocabulary from pairwise selections over the
+// five expanded-study schemata.
+func BenchmarkE5Vocabulary(b *testing.B) {
+	schemas, _ := synth.Expanded(42)
+	eng := core.PresetHarmony()
+	var pairs []partition.Correspondences
+	for i := 0; i < len(schemas); i++ {
+		for j := i + 1; j < len(schemas); j++ {
+			res := eng.Match(schemas[i], schemas[j])
+			pairs = append(pairs, partition.Correspondences{
+				I: i, J: j, Pairs: core.SelectGreedyOneToOne(res.Matrix, 0.4),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := partition.Build(schemas, pairs)
+		if err != nil || v.NumCells() == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Presets regenerates E6's cost dimension: one preset match
+// over a mid-size pair per configuration, so relative engine costs are
+// visible alongside the quality table printed by cmd/experiments.
+func BenchmarkE6Presets(b *testing.B) {
+	sa, _ := synth.Custom("L", schema.FormatRelational, synth.StyleRelational, 1, 40, 6, 0)
+	sb, _ := synth.Custom("R", schema.FormatXML, synth.StyleXML, 2, 30, 6, 20)
+	for name, mk := range core.Presets() {
+		eng := mk()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Match(sa, sb)
+			}
+			b.ReportMetric(float64(sa.Len()*sb.Len()), "pairs/op")
+		})
+	}
+}
+
+// BenchmarkE7Clustering regenerates E7: quick distances plus agglomerative
+// clustering over the 24-schema repository.
+func BenchmarkE7Clustering(b *testing.B) {
+	schemas, _, _ := synth.Collection(42, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cluster.QuickDistances(schemas)
+		dg := cluster.Agglomerative(d, cluster.Average)
+		if len(dg.Cut(4)) != len(schemas) {
+			b.Fatal("bad clustering")
+		}
+	}
+}
+
+// BenchmarkE8Search regenerates E8: schema-as-query search over the
+// repository index.
+func BenchmarkE8Search(b *testing.B) {
+	schemas, _, _ := synth.Collection(42, 4, 6)
+	ix := search.NewIndex()
+	for _, s := range schemas {
+		ix.Add(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ix.SearchSchema(schemas[i%len(schemas)], 5); len(got) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkE9Scaling regenerates the E9 scaling figure: match cost vs
+// candidate pairs.
+func BenchmarkE9Scaling(b *testing.B) {
+	sizes := []struct {
+		name string
+		a, b int
+	}{
+		{"2x2concepts", 2, 2},
+		{"10x10concepts", 10, 10},
+		{"40x30concepts", 40, 30},
+		{"140x80concepts", 140, 80},
+	}
+	eng := core.PresetHarmony()
+	for _, sz := range sizes {
+		sa, _ := synth.Custom("L", schema.FormatRelational, synth.StyleRelational, 1, sz.a, 6, 0)
+		sb, _ := synth.Custom("R", schema.FormatXML, synth.StyleXML, 2, sz.b, 6, sz.a/2)
+		b.Run(sz.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Match(sa, sb)
+			}
+			b.ReportMetric(float64(sa.Len()*sb.Len()), "pairs/op")
+		})
+	}
+}
+
+// BenchmarkE10WorkflowTask regenerates E10's unit: executing one workflow
+// task (match increment + review pass) with a scripted reviewer.
+func BenchmarkE10WorkflowTask(b *testing.B) {
+	f := caseFixture(b)
+	eng := core.PresetHarmony()
+	reviewer := acceptAllReviewer{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		session, err := workflow.NewSession(eng, f.sa, f.sb, f.sumA, caseStudyThreshold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := session.RunTask(0, reviewer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type acceptAllReviewer struct{}
+
+func (acceptAllReviewer) Name() string { return "bench" }
+func (acceptAllReviewer) Review(_, _ *schema.Element, _ float64) workflow.Decision {
+	return workflow.Decision{Accept: true}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks.
+
+// BenchmarkPairScore measures the full per-pair cost: all six voters plus
+// the merger, the inner loop of every match.
+func BenchmarkPairScore(b *testing.B) {
+	f := caseFixture(b)
+	sv, dv := core.Preprocess(f.sa, f.sb)
+	eng := core.PresetHarmony()
+	voters := eng.Voters()
+	weights := make([]float64, len(voters))
+	votes := make([]core.Vote, len(voters))
+	for i, wv := range voters {
+		weights[i] = wv.Weight
+	}
+	src, dst := sv.View(1), dv.View(1)
+	merger := eng.Merger()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, wv := range voters {
+			votes[k] = wv.Voter.Vote(src, dst)
+		}
+		merger.Merge(votes, weights)
+	}
+}
+
+// BenchmarkPreprocess measures linguistic preprocessing of the full case
+// study (tokenization, stemming, TF-IDF vectors for 2162 elements).
+func BenchmarkPreprocess(b *testing.B) {
+	f := caseFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Preprocess(f.sa, f.sb)
+	}
+}
+
+// BenchmarkSpreadsheetExport measures CSV serialization of the full
+// element sheet.
+func BenchmarkSpreadsheetExport(b *testing.B) {
+	f := caseFixture(b)
+	wb := export.Build(f.sa, f.sb, f.sumA, f.sumB, nil, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wb.WriteElementCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelection compares the selection policies on the scored
+// case-study matrix (DESIGN.md ablation #4).
+func BenchmarkSelection(b *testing.B) {
+	f := caseFixture(b)
+	b.Run("threshold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectThreshold(f.res.Matrix, caseStudyThreshold)
+		}
+	})
+	b.Run("greedy-one-to-one", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectGreedyOneToOne(f.res.Matrix, caseStudyThreshold)
+		}
+	})
+	b.Run("stable-marriage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectStableMarriage(f.res.Matrix, caseStudyThreshold)
+		}
+	})
+}

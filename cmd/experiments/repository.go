@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"harmony/internal/cluster"
+	"harmony/internal/eval"
+	"harmony/internal/registry"
+	"harmony/internal/synth"
+)
+
+// runE7 reproduces the clustering direction of §2/§5: "a schema repository
+// such as the MDR could automatically propose new COIs by clustering the
+// schemata into related groups". 24 schemata from 4 planted domains must
+// cluster back into their domains.
+func runE7(cfg config) {
+	schemas, labels, _ := synth.Collection(cfg.seed, 4, 6)
+
+	quick := cluster.QuickDistances(schemas)
+	dg := cluster.Agglomerative(quick, cluster.Average)
+	aggLabels := dg.Cut(4)
+	suggested := dg.SuggestCut()
+	autoLabels := dg.Cut(suggested)
+	kmLabels, _ := cluster.KMedoids(quick, 4, cfg.seed)
+
+	fmt.Printf("repository: %d schemata, 4 planted communities of interest\n", len(schemas))
+	fmt.Printf("%-44s %8s %8s\n", "method", "ARI", "purity")
+	fmt.Printf("%-44s %8.3f %8.3f\n", "quick distances + agglomerative (k=4)",
+		cluster.AdjustedRandIndex(aggLabels, labels), cluster.Purity(aggLabels, labels))
+	fmt.Printf("%-44s %8.3f %8.3f  (suggested k=%d)\n", "quick distances + agglomerative (auto k)",
+		cluster.AdjustedRandIndex(autoLabels, labels), cluster.Purity(autoLabels, labels), suggested)
+	fmt.Printf("%-44s %8.3f %8.3f\n", "quick distances + k-medoids (k=4)",
+		cluster.AdjustedRandIndex(kmLabels, labels), cluster.Purity(kmLabels, labels))
+	fmt.Println("\nexpected shape: ARI near 1 — planted COIs recovered without any pairwise matching")
+}
+
+// runE8 reproduces the schema-search direction: "A powerful way to search
+// the MDR would be to simply use one's target schema as the 'query term'."
+// Every repository schema queries the registry; a hit is relevant when it
+// comes from the same planted domain.
+func runE8(cfg config) {
+	schemas, labels, _ := synth.Collection(cfg.seed, 4, 6)
+	reg := registry.New()
+	for _, s := range schemas {
+		if err := reg.AddSchema(s, "steward"); err != nil {
+			fmt.Fprintln(os.Stderr, "E8:", err)
+			return
+		}
+	}
+	domainOf := map[string]int{}
+	for i, s := range schemas {
+		domainOf[s.Name] = labels[i]
+	}
+
+	var ranked [][]string
+	var relevant []map[string]bool
+	for qi, q := range schemas {
+		hits := reg.SearchSchema(q, 6)
+		var names []string
+		for _, h := range hits {
+			if h.Schema == q.Name {
+				continue // exclude self-hit
+			}
+			names = append(names, h.Schema)
+		}
+		rel := map[string]bool{}
+		for _, s := range schemas {
+			if s.Name != q.Name && domainOf[s.Name] == labels[qi] {
+				rel[s.Name] = true
+			}
+		}
+		ranked = append(ranked, names)
+		relevant = append(relevant, rel)
+	}
+	fmt.Printf("registry: %d schemata; query = whole schema; relevant = same planted domain\n", len(schemas))
+	fmt.Printf("MRR:  %.3f (1.0 = a same-domain schema always ranks first)\n", eval.MRR(ranked, relevant))
+	fmt.Printf("P@3:  %.3f\n", eval.PrecisionAtK(ranked, relevant, 3))
+	fmt.Printf("P@5:  %.3f (each domain has 5 other members)\n", eval.PrecisionAtK(ranked, relevant, 5))
+
+	// The CIO concept question from §2.
+	hits := reg.SearchFragments("blood test patient", 3)
+	fmt.Printf("\nCIO query \"blood test patient\" (fragment search): ")
+	if len(hits) == 0 {
+		fmt.Printf("no hits (domain mix has no medical concept this seed)\n")
+	} else {
+		for _, h := range hits {
+			fmt.Printf("%s:%s (%.2f)  ", h.Schema, h.Fragment, h.Score)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,121 @@
+// Command harmony matches two schema files and emits the analysis products
+// the paper's decision makers consume: the partition headline, the
+// big-picture report, and the two-sheet outer-join spreadsheet.
+//
+// Usage:
+//
+//	harmony -a schemaA.ddl -b schemaB.xsd [flags]
+//
+// Schema format is inferred from the extension: .ddl/.sql relational,
+// .xsd/.xml XML Schema, .json interchange.
+//
+// Flags:
+//
+//	-threshold F   confidence filter (default 0.45)
+//	-preset NAME   matcher preset: harmony, coma, cupid, name-only
+//	-out DIR       write concepts.csv, elements.csv, matches.csv to DIR
+//	-report        print the big-picture report (default true)
+//	-top N         also print the N best correspondences
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harmony"
+)
+
+func main() {
+	aPath := flag.String("a", "", "source schema file (.ddl/.sql/.xsd/.xml/.json)")
+	bPath := flag.String("b", "", "target schema file")
+	threshold := flag.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
+	preset := flag.String("preset", "harmony", "matcher preset")
+	outDir := flag.String("out", "", "directory for CSV outputs")
+	report := flag.Bool("report", true, "print big-picture report")
+	top := flag.Int("top", 0, "print the N best correspondences")
+	flag.Parse()
+
+	if *aPath == "" || *bPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := loadSchema(*aPath)
+	exitOn(err)
+	b, err := loadSchema(*bPath)
+	exitOn(err)
+
+	m, err := harmony.NewMatcherWith(*preset, *threshold)
+	exitOn(err)
+	res := m.Match(a, b)
+	sa, sb := harmony.SummarizeRoots(a), harmony.SummarizeRoots(b)
+
+	fmt.Printf("%s (%d elements) vs %s (%d elements): %s\n\n",
+		a.Name, a.Len(), b.Name, b.Len(), res.Partition().Stats())
+
+	if *top > 0 {
+		fmt.Printf("top correspondences:\n")
+		cands := res.Correspondences()
+		if len(cands) > *top {
+			cands = cands[:*top]
+		}
+		for _, c := range cands {
+			fmt.Printf("  %-40s %-40s %.3f\n",
+				res.Raw().Src.View(c.Src).El.Path(),
+				res.Raw().Dst.View(c.Dst).El.Path(), c.Score)
+		}
+		fmt.Println()
+	}
+
+	if *report {
+		exitOn(res.WriteReport(os.Stdout, sa, sb, nil))
+	}
+
+	if *outDir != "" {
+		exitOn(os.MkdirAll(*outDir, 0o755))
+		wb := res.Workbook(sa, sb, nil)
+		exitOn(writeFile(filepath.Join(*outDir, "concepts.csv"), wb.WriteConceptCSV))
+		exitOn(writeFile(filepath.Join(*outDir, "elements.csv"), wb.WriteElementCSV))
+		fmt.Fprintf(os.Stderr, "wrote %s/concepts.csv (%d rows) and %s/elements.csv (%d rows)\n",
+			*outDir, wb.ConceptRows(), *outDir, wb.ElementRows())
+	}
+}
+
+func loadSchema(path string) (*harmony.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ddl", ".sql":
+		return harmony.ParseDDL(name, string(data))
+	case ".xsd", ".xml":
+		return harmony.ParseXSD(name, data)
+	case ".json":
+		return harmony.ParseJSON(data)
+	}
+	return nil, fmt.Errorf("unknown schema extension %q (want .ddl/.sql/.xsd/.xml/.json)", filepath.Ext(path))
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmony:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command vocab builds the N-way comprehensive vocabulary of a set of
+// schema files: the 2^N-1 Venn-cell table telling decision makers, for
+// every subset of systems, which terms those systems (and no others) hold
+// in common.
+//
+// Usage:
+//
+//	vocab [-threshold F] [-examples N] schema1.ddl schema2.xsd ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harmony"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
+	examples := flag.Int("examples", 3, "example terms per cell")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "vocab: need at least two schema files")
+		os.Exit(2)
+	}
+	var schemas []*harmony.Schema
+	for _, path := range flag.Args() {
+		s, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vocab:", err)
+			os.Exit(1)
+		}
+		schemas = append(schemas, s)
+	}
+	m := harmony.NewMatcher()
+	m.Threshold = *threshold
+	v, err := m.ComprehensiveVocabulary(schemas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vocab:", err)
+		os.Exit(1)
+	}
+	if err := harmony.WriteVocabulary(os.Stdout, v, *examples); err != nil {
+		fmt.Fprintln(os.Stderr, "vocab:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*harmony.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ddl", ".sql":
+		return harmony.ParseDDL(name, string(data))
+	case ".xsd", ".xml":
+		return harmony.ParseXSD(name, data)
+	case ".json":
+		return harmony.ParseJSON(data)
+	}
+	return nil, fmt.Errorf("unknown schema extension %q", filepath.Ext(path))
+}

@@ -1,0 +1,32 @@
+// Package harmony is a schema-matching toolkit for large enterprises,
+// reproducing the system and research agenda of Smith, Mork, Seligman,
+// Rosenthal, Morse, Wolf, Allen & Li, "The Role of Schema Matching in Large
+// Enterprises" (CIDR Perspectives 2009).
+//
+// The package's thesis, following the paper, is that schema matching
+// produces knowledge for human decision makers — planners, CIOs,
+// enterprise architects — independently of mapping generation. It
+// therefore bundles, around a Harmony-style multi-voter match engine:
+//
+//   - schema summarization (concept labels + element mapping, Lesson #1)
+//   - match-centric tabular outputs and spreadsheet export (Lesson #2)
+//   - commonality/distinction partitions {S1-S2, S2-S1, S1∩S2} (Lesson #3)
+//   - N-way comprehensive vocabularies with 2^N-1 Venn cells (Lesson #4)
+//   - schema clustering and overlap analysis for COI discovery
+//   - schema search (query by text, by schema, by fragment)
+//   - an enterprise metadata registry with match provenance
+//   - a concept-at-a-time team workflow with effort accounting
+//
+// # Quick start
+//
+//	sa, _ := harmony.ParseDDL("SA", ddlText)
+//	sb, _ := harmony.ParseXSD("SB", xsdBytes)
+//	m := harmony.NewMatcher()
+//	result := m.Match(sa, sb)
+//	stats := result.Partition().Stats()
+//	fmt.Println(stats) // "... B: 248/784 matched (32%), 536 distinct"
+//
+// See the examples directory for complete scenarios: the paper's project
+// planning case study, a five-schema comprehensive vocabulary, and
+// registry clustering and search.
+package harmony

@@ -1,0 +1,107 @@
+package harmony_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"harmony"
+)
+
+// ExampleMatcher_Match demonstrates the core loop: load, match, read the
+// partition headline.
+func ExampleMatcher_Match() {
+	a, err := harmony.ParseDDL("HR", `CREATE TABLE Person (
+  PERSON_ID UUID PRIMARY KEY, -- unique identifier of the person
+  LAST_NAME VARCHAR(60), -- family name of the person
+  BIRTH_DATE DATE -- date of birth
+);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := harmony.ParseXSD("Exchange", []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="PersonType">
+    <xs:sequence>
+      <xs:element name="personId" type="xs:ID">
+        <xs:annotation><xs:documentation>unique identifier of the person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="familyName" type="xs:string">
+        <xs:annotation><xs:documentation>family name of the person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="dateOfBirth" type="xs:date">
+        <xs:annotation><xs:documentation>date of birth</xs:documentation></xs:annotation>
+      </xs:element>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := harmony.NewMatcher().Match(a, b)
+	var lines []string
+	for _, c := range res.Correspondences() {
+		lines = append(lines, fmt.Sprintf("%s <=> %s",
+			res.Raw().Src.View(c.Src).El.Path(),
+			res.Raw().Dst.View(c.Dst).El.Path()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// Person <=> PersonType
+	// Person/BIRTH_DATE <=> PersonType/dateOfBirth
+	// Person/LAST_NAME <=> PersonType/familyName
+	// Person/PERSON_ID <=> PersonType/personId
+}
+
+// ExampleSummarizeRoots shows the S -> S' summarization operator: concepts
+// plus the element-to-concept mapping.
+func ExampleSummarizeRoots() {
+	s, err := harmony.ParseDDL("S", `CREATE TABLE All_Event_Vitals (
+  EVENT_ID INTEGER,
+  DATE_BEGIN_156 DATE
+);
+CREATE TABLE Person_Master (
+  PERSON_ID INTEGER
+);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := harmony.SummarizeRoots(s)
+	fmt.Println("concepts:", sum.Len())
+	fmt.Println("coverage:", sum.Coverage())
+	fmt.Println("DATE_BEGIN_156 belongs to:", sum.ConceptOf(s.ByPath("All_Event_Vitals/DATE_BEGIN_156")).Label)
+	// Output:
+	// concepts: 2
+	// coverage: 1
+	// DATE_BEGIN_156 belongs to: All_Event_Vitals
+}
+
+// ExampleMatcher_ComprehensiveVocabulary computes the 2^N-1-cell Venn
+// partition for a community of three systems.
+func ExampleMatcher_ComprehensiveVocabulary() {
+	mk := func(name, extra string) *harmony.Schema {
+		s, err := harmony.ParseDDL(name, `CREATE TABLE Person (
+  PERSON_ID UUID,
+  LAST_NAME VARCHAR(60)
+);
+CREATE TABLE `+extra+` (
+  A_FIELD VARCHAR(10)
+);`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	schemas := []*harmony.Schema{mk("S1", "Vehicle"), mk("S2", "Weather"), mk("S3", "Contract")}
+	v, err := harmony.NewMatcher().ComprehensiveVocabulary(schemas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible cells:", 1<<len(schemas)-1)
+	fmt.Println("terms shared by all three:", len(v.SharedByAll()) > 0)
+	// Output:
+	// possible cells: 7
+	// terms shared by all three: true
+}

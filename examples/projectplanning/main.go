@@ -1,0 +1,110 @@
+// Projectplanning replays the paper's §3 case study end to end: a military
+// customer must decide whether to subsume legacy system Sys(SB) into the
+// redesign of Sys(SA), or retain it behind an ETL bridge. Two integration
+// engineers summarize both schemata, run the concept-at-a-time matching
+// workflow, and deliver the two-sheet outer-join spreadsheet plus the
+// decision headline ("only 34% of SB matched SA").
+//
+// Run with: go run ./examples/projectplanning
+// (the full 1378x784 match takes a few seconds)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"harmony"
+)
+
+func main() {
+	// The paper's workload: SA (relational, 1378 elements) vs SB (XML,
+	// 784 elements), independently developed, conceptually overlapping.
+	sa, sb, truth := harmony.GenerateCaseStudy(42)
+	fmt.Printf("Sys(SA): %s, %d elements, %d tables\n", sa.Format, sa.Len(), len(sa.Roots()))
+	fmt.Printf("Sys(SB): %s, %d elements, %d complex types\n\n", sb.Format, sb.Len(), len(sb.Roots()))
+
+	// Step 1 — SUMMARIZE(SA), SUMMARIZE(SB): concept labels over both
+	// schemata (the engineers identified 140 and 51 concepts).
+	sumA := harmony.SummarizeRoots(sa)
+	sumB := harmony.SummarizeRoots(sb)
+	fmt.Printf("Step 1 SUMMARIZE: %d concepts in SA, %d in SB\n\n", sumA.Len(), sumB.Len())
+
+	// Step 2 — concept-at-a-time matching by a two-engineer team. The
+	// oracle reviewers stand in for the humans (97% diligent, 1% false
+	// accepts); swap in your own Reviewer for interactive use.
+	m := harmony.NewMatcher()
+	m.Threshold = 0.74 // chosen from the score histogram for this evidence-rich workload
+	session, err := m.NewSession(sa, sb, sumA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	team := []string{"engineer-1", "engineer-2"}
+	if err := session.Distribute(team); err != nil {
+		log.Fatal(err)
+	}
+	reviewers := map[string]harmony.Reviewer{}
+	for i, name := range team {
+		reviewers[name] = harmony.NewOracleReviewer(name, truth, sa.Name, sb.Name, 0.97, 0.01, int64(i))
+	}
+	if err := session.RunAll(reviewers, nil); err != nil {
+		log.Fatal(err)
+	}
+	done, total := session.Progress()
+	fmt.Printf("Step 2 MATCH: %d/%d concept increments completed, %d matches validated\n",
+		done, total, len(session.Accepted()))
+	fmt.Printf("  accuracy vs ground truth: %s\n\n",
+		harmony.Score(truth, sa, sb, session.Correspondences()))
+
+	// Step 3 — ANALYZE: the partition that drives the customer decision,
+	// the concept-level matches, and the spreadsheet deliverable.
+	res := m.Match(sa, sb)
+	part := res.Partition()
+	st := part.Stats()
+	fmt.Printf("Step 3 ANALYZE: %s\n", st)
+	fmt.Printf("  paper reported: only 34%% of SB matched SA; 66%% (517 elements) did not\n\n")
+
+	if st.FractionBMatched < 0.5 {
+		fmt.Println("Decision signal: most of SB has no SA counterpart — subsuming Sys(SB)")
+		fmt.Println("means rebuilding its distinct elements; retaining it behind an ETL bridge")
+		fmt.Println("(the classic warehouse architecture) is the cheaper option.")
+	} else {
+		fmt.Println("Decision signal: SB is largely covered by SA — subsumption is feasible.")
+	}
+	fmt.Println()
+
+	// Deliverable: the two-sheet outer-join workbook, exactly the Excel
+	// format the customer requested.
+	outDir := "planning-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	wb := res.Workbook(sumA, sumB, session.Accepted())
+	concepts, err := os.Create(filepath.Join(outDir, "concepts.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer concepts.Close()
+	if err := wb.WriteConceptCSV(concepts); err != nil {
+		log.Fatal(err)
+	}
+	elements, err := os.Create(filepath.Join(outDir, "elements.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer elements.Close()
+	if err := wb.WriteElementCSV(elements); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Deliverable: %s/concepts.csv (%d rows: matched, SA-only, SB-only), %s/elements.csv (%d rows)\n",
+		outDir, wb.ConceptRows(), outDir, wb.ElementRows())
+
+	// Planning estimate for the follow-on contract.
+	reviews := 0
+	for _, t := range session.Tasks() {
+		reviews += t.Reviewed
+	}
+	fmt.Printf("Effort: %s\n", harmony.EstimateEffort(reviews, sumA.Len()+sumB.Len(), len(team)))
+	fmt.Println("(paper: three days of effort, by two human integration engineers)")
+}

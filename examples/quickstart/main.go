@@ -1,0 +1,91 @@
+// Quickstart: match a relational schema against an XML schema and print
+// the knowledge products a planner reads — the partition headline, the top
+// correspondences, and the big-picture report.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"harmony"
+)
+
+const personnelDDL = `
+CREATE TABLE Person_Master (
+  PERSON_ID UUID PRIMARY KEY, -- unique identifier of the person
+  FIRST_NM VARCHAR(60), -- given name of the person
+  LAST_NM VARCHAR(60), -- family name of the person
+  BIRTH_DT DATE, -- date of birth
+  RANK_CD VARCHAR(8) -- military rank code
+);
+CREATE TABLE Duty_Assignment (
+  ASSIGN_ID UUID PRIMARY KEY, -- unique identifier of the assignment
+  PERSON_ID UUID, -- person assigned
+  UNIT_NM VARCHAR(120), -- unit the person is assigned to
+  BEGIN_DT DATE, -- date the assignment begins
+  END_DT DATE -- date the assignment ends
+);
+COMMENT ON TABLE Person_Master IS 'authoritative record of personnel';
+`
+
+const exchangeXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="IndividualType">
+    <xs:annotation><xs:documentation>an individual person record</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="individualId" type="xs:ID">
+        <xs:annotation><xs:documentation>unique identifier of the individual</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="givenName" type="xs:string">
+        <xs:annotation><xs:documentation>given name of the person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="familyName" type="xs:string">
+        <xs:annotation><xs:documentation>family name of the person</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="dateOfBirth" type="xs:date">
+        <xs:annotation><xs:documentation>date of birth</xs:documentation></xs:annotation>
+      </xs:element>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="SupplyRequestType">
+    <xs:annotation><xs:documentation>a request for supplies</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="itemName" type="xs:string"/>
+      <xs:element name="quantityRequested" type="xs:int"/>
+      <xs:element name="needDate" type="xs:date"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`
+
+func main() {
+	sa, err := harmony.ParseDDL("PersonnelDB", personnelDDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := harmony.ParseXSD("ExchangeFormat", []byte(exchangeXSD))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := harmony.NewMatcher()
+	res := m.Match(sa, sb)
+
+	fmt.Printf("== partition headline ==\n%s\n\n", res.Partition().Stats())
+
+	fmt.Println("== top correspondences ==")
+	for _, c := range res.Correspondences() {
+		fmt.Printf("  %-32s ⇔ %-32s %.3f\n",
+			res.Raw().Src.View(c.Src).El.Path(),
+			res.Raw().Dst.View(c.Dst).El.Path(),
+			c.Score)
+	}
+	fmt.Println()
+
+	fmt.Println("== big-picture report ==")
+	saSum, sbSum := harmony.SummarizeRoots(sa), harmony.SummarizeRoots(sb)
+	if err := res.WriteReport(os.Stdout, saSum, sbSum, nil); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+// Vocabulary replays the paper's expanded study: given five large schemata
+// {SA, SC, SD, SE, SF}, compute the comprehensive vocabulary — "for any
+// non-empty subset ... the terms those schemata (and no others in that
+// group) held in common": all 2^5-1 = 31 Venn cells.
+//
+// Run with: go run ./examples/vocabulary
+// (10 pairwise matches of ~600-element schemata; takes a minute or two)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"harmony"
+)
+
+func main() {
+	schemas, _ := harmony.GenerateExpanded(42)
+	fmt.Print("Expanded study schemata: ")
+	for _, s := range schemas {
+		fmt.Printf("%s (%s, %d el) ", s.Name, s.Format, s.Len())
+	}
+	fmt.Println()
+	fmt.Println()
+
+	m := harmony.NewMatcher()
+	vocab, err := m.ComprehensiveVocabulary(schemas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := harmony.WriteVocabulary(os.Stdout, vocab, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	// The questions a CIO asks of the vocabulary.
+	fmt.Println()
+	core := vocab.SharedByAll()
+	fmt.Printf("Core vocabulary (terms in all five systems — the standardization candidates): %d\n", len(core))
+	for i, t := range core {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(core)-5)
+			break
+		}
+		fmt.Printf("  %s (in %d schemata, %d elements)\n", t.Label, t.Schemas(), t.Size())
+	}
+	fmt.Println()
+	for i, s := range schemas {
+		fmt.Printf("Terms exclusive to %s: %d\n", s.Name, len(vocab.ExclusiveTo(i)))
+	}
+}

@@ -1,0 +1,334 @@
+package harmony
+
+import (
+	"fmt"
+	"io"
+
+	"harmony/internal/cluster"
+	"harmony/internal/eval"
+	"harmony/internal/core"
+	"harmony/internal/export"
+	"harmony/internal/partition"
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+	"harmony/internal/search"
+	"harmony/internal/synth"
+	"harmony/internal/summarize"
+	"harmony/internal/workflow"
+)
+
+// Re-exported types. The facade exposes the full vocabulary of the library
+// so that downstream users never import internal packages.
+type (
+	// Schema is a named forest of schema elements.
+	Schema = schema.Schema
+	// Element is one node of a schema tree.
+	Element = schema.Element
+	// Engine is a configured match engine.
+	Engine = core.Engine
+	// Result is a raw match result (views + matrix).
+	Result = core.Result
+	// Correspondence is one scored element pair.
+	Correspondence = core.Correspondence
+	// Vote is a single voter's opinion on a pair.
+	Vote = core.Vote
+	// Summary is a schema summary (concepts + element mapping).
+	Summary = summarize.Summary
+	// Concept is one label of a summary.
+	Concept = summarize.Concept
+	// ConceptMatch is a concept-level correspondence.
+	ConceptMatch = summarize.ConceptMatch
+	// Binary is the {A-only, B-only, matched} partition of a match.
+	Binary = partition.Binary
+	// Vocabulary is an N-way comprehensive vocabulary.
+	Vocabulary = partition.Vocabulary
+	// Term is one vocabulary entry.
+	Term = partition.Term
+	// Registry is the enterprise metadata repository.
+	Registry = registry.Registry
+	// MatchArtifact is a stored match with provenance.
+	MatchArtifact = registry.MatchArtifact
+	// Index is the schema search index.
+	Index = search.Index
+	// SearchResult is one ranked search hit.
+	SearchResult = search.Result
+	// Session is a concept-at-a-time matching workflow.
+	Session = workflow.Session
+	// Reviewer judges candidate correspondences.
+	Reviewer = workflow.Reviewer
+	// ValidatedMatch is a human-accepted correspondence.
+	ValidatedMatch = workflow.ValidatedMatch
+	// Workbook is the two-sheet spreadsheet deliverable.
+	Workbook = export.Workbook
+	// MatchTable is the sortable match-centric view.
+	MatchTable = export.MatchTable
+	// Dendrogram is an agglomerative clustering result.
+	Dendrogram = cluster.Dendrogram
+	// DistanceMatrix holds pairwise schema distances.
+	DistanceMatrix = cluster.DistanceMatrix
+)
+
+// Schema loading.
+var (
+	// New creates an empty schema (see schema.New).
+	NewSchema = schema.New
+	// ParseDDL loads a relational schema from a SQL DDL subset.
+	ParseDDL = schema.ParseDDL
+	// ParseXSD loads an XML schema from an XSD subset.
+	ParseXSD = schema.ParseXSD
+	// ParseJSON loads a schema from the JSON interchange format.
+	ParseJSON = schema.ParseJSON
+)
+
+// DefaultThreshold is the default confidence-filter operating point:
+// correspondences at or above it are treated as matches. It suits typical
+// mid-size schemata; evidence-rich industrial workloads push the score
+// distribution upward and warrant a higher cut (the case-study experiments
+// use 0.74 — see EXPERIMENTS.md). Choose per task from the score histogram
+// (Matrix.Histogram), as the paper's engineers did with the interactive
+// confidence filter.
+const DefaultThreshold = 0.4
+
+// Matcher bundles an engine with a confidence threshold — the two choices
+// every matching task needs. The zero value is not usable; call NewMatcher
+// or NewMatcherWith.
+type Matcher struct {
+	Engine    *Engine
+	Threshold float64
+}
+
+// NewMatcher returns the full Harmony configuration (all voters,
+// evidence-weighted merging, structural propagation) at DefaultThreshold.
+func NewMatcher() *Matcher {
+	return &Matcher{Engine: core.PresetHarmony(), Threshold: DefaultThreshold}
+}
+
+// NewMatcherWith returns a matcher using a named preset: "harmony",
+// "harmony-no-evidence", "coma", "cupid" or "name-only".
+func NewMatcherWith(preset string, threshold float64) (*Matcher, error) {
+	mk, ok := core.Presets()[preset]
+	if !ok {
+		return nil, fmt.Errorf("harmony: unknown preset %q", preset)
+	}
+	return &Matcher{Engine: mk(), Threshold: threshold}, nil
+}
+
+// Match scores every element pair of the two schemata and wraps the result
+// with the matcher's threshold for downstream analysis.
+func (m *Matcher) Match(a, b *Schema) *MatchResult {
+	return &MatchResult{raw: m.Engine.Match(a, b), threshold: m.Threshold}
+}
+
+// MatchResult wraps a raw match with the analysis operations the paper's
+// decision makers consume.
+type MatchResult struct {
+	raw       *core.Result
+	threshold float64
+}
+
+// Raw exposes the underlying views and matrix.
+func (r *MatchResult) Raw() *Result { return r.raw }
+
+// Threshold returns the confidence threshold used by the analyses.
+func (r *MatchResult) Threshold() float64 { return r.threshold }
+
+// Correspondences returns the one-to-one match selection at the threshold.
+func (r *MatchResult) Correspondences() []Correspondence {
+	return core.SelectGreedyOneToOne(r.raw.Matrix, r.threshold)
+}
+
+// AllAbove returns every correspondence at or above the threshold (m:n).
+func (r *MatchResult) AllAbove() []Correspondence {
+	return r.raw.Matrix.Above(r.threshold)
+}
+
+// Partition computes the {A-only, B-only, matched} decision partition from
+// the one-to-one selection.
+func (r *MatchResult) Partition() *Binary {
+	return partition.FromResult(r.raw, r.threshold, true)
+}
+
+// LiftConcepts aggregates the match to concept level using two summaries.
+func (r *MatchResult) LiftConcepts(sa, sb *Summary) []ConceptMatch {
+	opts := summarize.DefaultLiftOptions
+	opts.Threshold = r.threshold
+	return summarize.LiftOneToOne(summarize.Lift(r.raw, sa, sb, opts))
+}
+
+// Workbook builds the two-sheet outer-join spreadsheet from summaries and
+// validated matches. Pass nil validated to derive element rows from the
+// automatic one-to-one selection.
+func (r *MatchResult) Workbook(sa, sb *Summary, validated []ValidatedMatch) *Workbook {
+	if validated == nil {
+		for _, c := range r.Correspondences() {
+			validated = append(validated, ValidatedMatch{
+				Src:   r.raw.Src.View(c.Src).El,
+				Dst:   r.raw.Dst.View(c.Dst).El,
+				Score: c.Score,
+			})
+		}
+	}
+	return export.Build(r.raw.Src.Schema, r.raw.Dst.Schema, sa, sb, r.LiftConcepts(sa, sb), validated)
+}
+
+// WriteReport renders the big-picture text report.
+func (r *MatchResult) WriteReport(w io.Writer, sa, sb *Summary, validated []ValidatedMatch) error {
+	if validated == nil {
+		for _, c := range r.Correspondences() {
+			validated = append(validated, ValidatedMatch{
+				Src:   r.raw.Src.View(c.Src).El,
+				Dst:   r.raw.Dst.View(c.Dst).El,
+				Score: c.Score,
+			})
+		}
+	}
+	rep := &export.Report{
+		A: r.raw.Src.Schema, B: r.raw.Dst.Schema,
+		Partition:      r.Partition().Stats(),
+		ConceptMatches: r.LiftConcepts(sa, sb),
+		SummaryA:       sa, SummaryB: sb,
+		Validated: validated,
+	}
+	return rep.Render(w)
+}
+
+// Summarization entry points.
+
+// SummarizeRoots builds the one-concept-per-top-level-element summary the
+// case study's engineers used (140 concepts for SA, 51 for SB).
+func SummarizeRoots(s *Schema) *Summary { return summarize.FromRoots(s) }
+
+// SummarizeAuto computes a k-concept structural summary (Yu & Jagadish
+// style importance).
+func SummarizeAuto(s *Schema, k int) *Summary { return summarize.Automatic(s, k) }
+
+// NewSummary returns an empty manual summary for concept labelling.
+func NewSummary(s *Schema) *Summary { return summarize.New(s) }
+
+// ComprehensiveVocabulary runs the matcher over every pair of schemata and
+// builds the N-way vocabulary with its 2^N-1 Venn cells.
+func (m *Matcher) ComprehensiveVocabulary(schemas []*Schema) (*Vocabulary, error) {
+	return partition.BuildFromEngine(m.Engine, schemas, m.Threshold)
+}
+
+// WriteVocabulary renders a vocabulary's cell table.
+func WriteVocabulary(w io.Writer, v *Vocabulary, examplesPerCell int) error {
+	return export.RenderVocabulary(w, v, examplesPerCell)
+}
+
+// Clustering entry points.
+
+// QuickDistances computes approximate inter-schema distances from token
+// profiles (no pairwise matching).
+func QuickDistances(schemas []*Schema) *DistanceMatrix {
+	return cluster.QuickDistances(schemas)
+}
+
+// MatchDistances computes exact overlap-based distances with the matcher
+// (N(N-1)/2 full matches).
+func (m *Matcher) MatchDistances(schemas []*Schema) *DistanceMatrix {
+	return cluster.Distances(m.Engine, schemas, m.Threshold)
+}
+
+// ClusterSchemas cuts an average-linkage dendrogram into k clusters and
+// returns per-schema labels; use ProposeCOIs for automatic k selection.
+func ClusterSchemas(d *DistanceMatrix, k int) []int {
+	return cluster.Agglomerative(d, cluster.Average).Cut(k)
+}
+
+// ProposeCOIs clusters schemata into candidate communities of interest,
+// choosing the cluster count with the largest-gap heuristic. It returns
+// labels and the dendrogram for inspection.
+func ProposeCOIs(d *DistanceMatrix) ([]int, *Dendrogram) {
+	dg := cluster.Agglomerative(d, cluster.Average)
+	return dg.Cut(dg.SuggestCut()), dg
+}
+
+// Search and registry entry points.
+
+// NewIndex returns an empty schema search index.
+func NewIndex() *Index { return search.NewIndex() }
+
+// NewRegistry returns an empty metadata repository.
+func NewRegistry() *Registry { return registry.New() }
+
+// LoadRegistry reads a repository saved with Registry.Save.
+func LoadRegistry(path string) (*Registry, error) { return registry.Load(path) }
+
+// Workflow entry points.
+
+// NewSession builds a concept-at-a-time matching session over the source
+// summary (one task per concept) at the matcher's threshold.
+func (m *Matcher) NewSession(src, dst *Schema, srcSummary *Summary) (*Session, error) {
+	return workflow.NewSession(m.Engine, src, dst, srcSummary, m.Threshold)
+}
+
+// EstimateEffort converts workload counts into a planning estimate using
+// the default effort model (calibrated to the case study's pace).
+func EstimateEffort(reviews, concepts, teamSize int) workflow.Effort {
+	return workflow.DefaultEffortModel.EstimateCounts(reviews, concepts, teamSize)
+}
+
+// Synthetic workloads and evaluation. The generator reproduces the paper's
+// proprietary workload shapes with known ground truth; it is public because
+// downstream users need benchmark workloads with oracles just as this
+// repository's experiments do.
+
+type (
+	// Truth is the generation oracle: element path -> hidden semantic key.
+	Truth = synth.Truth
+	// PRF is a precision/recall/F1 measurement against ground truth.
+	PRF = eval.PRF
+)
+
+// GenerateCaseStudy produces the paper's §3 workload: SA (relational, 1378
+// elements, 140 concepts) and SB (XML, 784 elements, 51 concepts) with
+// ground truth calibrated to the reported 34%/66% overlap split.
+func GenerateCaseStudy(seed int64) (sa, sb *Schema, truth *Truth) {
+	return synth.CaseStudy(seed)
+}
+
+// GenerateExpanded produces the five-schema expanded-study workload
+// {SA, SC, SD, SE, SF} with every one of the 31 Venn cells occupied in
+// ground truth.
+func GenerateExpanded(seed int64) ([]*Schema, *Truth) {
+	return synth.Expanded(seed)
+}
+
+// GenerateCollection produces a repository-scale collection with planted
+// domain clusters; labels give each schema's true domain.
+func GenerateCollection(seed int64, domains, perDomain int) ([]*Schema, []int, *Truth) {
+	return synth.Collection(seed, domains, perDomain)
+}
+
+// NewOracleReviewer returns a workflow reviewer scripted from ground truth
+// with a human error model: it accepts true correspondences with
+// probability diligence and false ones with probability falseAccept.
+func NewOracleReviewer(name string, truth *Truth, schemaA, schemaB string, diligence, falseAccept float64, seed int64) Reviewer {
+	return eval.NewOracleReviewer(name, truth, schemaA, schemaB, diligence, falseAccept, seed)
+}
+
+// Score measures selected correspondences against ground truth.
+func Score(truth *Truth, a, b *Schema, sel []Correspondence) PRF {
+	return eval.ScoreCorrespondences(truth, a, b, sel)
+}
+
+// GeneratePair produces a small two-schema workload with a controlled
+// concept overlap (shared concepts common to both sides, partially
+// overlapping attributes) — the test-scale analog of GenerateCaseStudy.
+func GeneratePair(seed int64, conceptsA, conceptsB, shared, attrs int) (a, b *Schema, truth *Truth) {
+	return synth.Pair(seed, conceptsA, conceptsB, shared, attrs)
+}
+
+// SuggestedThreshold proposes a confidence-filter operating point from
+// this result's score distribution, automating the interactive tuning the
+// paper's engineers performed (see EXPERIMENTS.md for its calibration).
+func (r *MatchResult) SuggestedThreshold() float64 {
+	return core.SuggestThreshold(r.raw.Matrix)
+}
+
+// WithThreshold returns a view of the same match result at a different
+// confidence threshold; the matrix is shared, not recomputed.
+func (r *MatchResult) WithThreshold(threshold float64) *MatchResult {
+	return &MatchResult{raw: r.raw, threshold: threshold}
+}

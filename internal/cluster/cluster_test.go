@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/synth"
+)
+
+// plantedDistances builds a distance matrix with two obvious groups:
+// items 0-2 and items 3-5, close within and far across.
+func plantedDistances() *DistanceMatrix {
+	m := NewDistanceMatrix(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if (i < 3) == (j < 3) {
+				m.Set(i, j, 0.1)
+			} else {
+				m.Set(i, j, 0.9)
+			}
+		}
+	}
+	return m
+}
+
+func TestDistanceMatrixValidate(t *testing.T) {
+	m := plantedDistances()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewDistanceMatrix(2)
+	bad.d[0*2+1] = 0.5 // asymmetric write bypassing Set
+	if err := bad.Validate(); err == nil {
+		t.Error("expected asymmetry error")
+	}
+}
+
+func TestAgglomerativeRecoversPlanted(t *testing.T) {
+	for _, linkage := range []Linkage{Single, Complete, Average} {
+		dg := Agglomerative(plantedDistances(), linkage)
+		if dg.Leaves() != 6 || len(dg.Merges) != 5 {
+			t.Fatalf("%v: leaves=%d merges=%d", linkage, dg.Leaves(), len(dg.Merges))
+		}
+		labels := dg.Cut(2)
+		want := []int{0, 0, 0, 1, 1, 1}
+		if RandIndex(labels, want) != 1 {
+			t.Errorf("%v: Cut(2) = %v", linkage, labels)
+		}
+	}
+}
+
+func TestDendrogramCutBounds(t *testing.T) {
+	dg := Agglomerative(plantedDistances(), Average)
+	if got := dg.Cut(0); len(got) != 6 {
+		t.Errorf("Cut(0) labels = %v", got)
+	}
+	all := dg.Cut(100)
+	distinct := map[int]bool{}
+	for _, l := range all {
+		distinct[l] = true
+	}
+	if len(distinct) != 6 {
+		t.Errorf("Cut(100) should give singleton clusters, got %v", all)
+	}
+	one := dg.Cut(1)
+	for _, l := range one {
+		if l != 0 {
+			t.Errorf("Cut(1) = %v", one)
+		}
+	}
+}
+
+func TestCutAt(t *testing.T) {
+	dg := Agglomerative(plantedDistances(), Average)
+	labels := dg.CutAt(0.5) // within-group merges (0.1) apply, cross (0.9) don't
+	want := []int{0, 0, 0, 1, 1, 1}
+	if RandIndex(labels, want) != 1 {
+		t.Errorf("CutAt(0.5) = %v", labels)
+	}
+	if got := dg.SuggestCut(); got != 2 {
+		t.Errorf("SuggestCut = %d, want 2", got)
+	}
+}
+
+func TestDendrogramMonotoneForCompleteAndAverage(t *testing.T) {
+	// Complete and average linkage produce monotone merge heights.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := NewDistanceMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+		for _, l := range []Linkage{Complete, Average} {
+			dg := Agglomerative(m, l)
+			prev := -1.0
+			for _, mg := range dg.Merges {
+				if mg.Distance < prev-1e-9 {
+					return false
+				}
+				prev = mg.Distance
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderDendrogram(t *testing.T) {
+	dg := Agglomerative(plantedDistances(), Average)
+	out := dg.Render([]string{"a", "b", "c", "d", "e", "f"})
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	for _, name := range []string{"a", "f", "merged at"} {
+		if !containsStr(out, name) {
+			t.Errorf("render missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && index(haystack, needle) >= 0
+}
+
+func index(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestKMedoidsRecoversPlanted(t *testing.T) {
+	labels, medoids := KMedoids(plantedDistances(), 2, 1)
+	want := []int{0, 0, 0, 1, 1, 1}
+	if RandIndex(labels, want) != 1 {
+		t.Errorf("KMedoids labels = %v", labels)
+	}
+	if len(medoids) != 2 {
+		t.Errorf("medoids = %v", medoids)
+	}
+	if Cost(plantedDistances(), labels, medoids) > 0.1*4+1e-9 {
+		t.Errorf("cost too high: %f", Cost(plantedDistances(), labels, medoids))
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	a, _ := KMedoids(plantedDistances(), 2, 7)
+	b, _ := KMedoids(plantedDistances(), 2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("KMedoids not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	if got := RandIndex([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); got != 1 {
+		t.Errorf("label-permuted Rand = %f, want 1", got)
+	}
+	if got := RandIndex([]int{0, 0, 1, 1}, []int{0, 1, 0, 1}); got >= 1 {
+		t.Errorf("disagreeing Rand = %f, want < 1", got)
+	}
+	if got := RandIndex([]int{0}, []int{0}); got != 1 {
+		t.Errorf("trivial Rand = %f", got)
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	if got := AdjustedRandIndex([]int{0, 0, 1, 1}, []int{1, 1, 0, 0}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ARI identical = %f, want 1", got)
+	}
+	// independent labelings should be near zero
+	got := AdjustedRandIndex([]int{0, 0, 1, 1, 2, 2}, []int{0, 1, 2, 0, 1, 2})
+	if got > 0.5 {
+		t.Errorf("ARI independent = %f, want near 0", got)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if got := Purity([]int{0, 0, 1, 1}, []int{5, 5, 7, 7}); got != 1 {
+		t.Errorf("pure clustering purity = %f", got)
+	}
+	if got := Purity([]int{0, 0, 0, 0}, []int{0, 0, 1, 1}); got != 0.5 {
+		t.Errorf("merged clustering purity = %f, want 0.5", got)
+	}
+}
+
+func TestQuickDistancesOnPlantedCollection(t *testing.T) {
+	schemas, truth, _ := synth.Collection(11, 4, 5)
+	d := QuickDistances(schemas)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dg := Agglomerative(d, Average)
+	labels := dg.Cut(4)
+	if ri := AdjustedRandIndex(labels, truth); ri < 0.6 {
+		t.Errorf("quick-distance clustering ARI = %f, want >= 0.6", ri)
+	}
+	kmLabels, _ := KMedoids(d, 4, 3)
+	if ri := AdjustedRandIndex(kmLabels, truth); ri < 0.6 {
+		t.Errorf("k-medoids clustering ARI = %f, want >= 0.6", ri)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+// Clustering quality measures against a reference labeling, used by the
+// experiments to score recovered communities of interest against the
+// planted domains.
+
+// RandIndex returns the Rand index of two labelings in [0,1]: the fraction
+// of item pairs on which the labelings agree (together in both, or apart
+// in both). The slices must have equal length.
+func RandIndex(a, b []int) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 1
+	}
+	agree := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs)
+}
+
+// AdjustedRandIndex returns the Rand index corrected for chance: 1 for
+// identical clusterings, near 0 for independent ones (can be negative).
+func AdjustedRandIndex(a, b []int) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 1
+	}
+	maxLabel := func(xs []int) int {
+		m := 0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m + 1
+	}
+	ka, kb := maxLabel(a), maxLabel(b)
+	cont := make([][]int, ka)
+	for i := range cont {
+		cont[i] = make([]int, kb)
+	}
+	rows := make([]int, ka)
+	cols := make([]int, kb)
+	for i := 0; i < n; i++ {
+		cont[a[i]][b[i]]++
+		rows[a[i]]++
+		cols[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for i := range cont {
+		for j := range cont[i] {
+			sumCells += choose2(cont[i][j])
+		}
+	}
+	for _, r := range rows {
+		sumRows += choose2(r)
+	}
+	for _, c := range cols {
+		sumCols += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumRows * sumCols / total
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (sumCells - expected) / (maxIdx - expected)
+}
+
+// Purity returns the fraction of items whose cluster's majority reference
+// label matches their own reference label.
+func Purity(pred, truth []int) float64 {
+	n := len(pred)
+	if n == 0 || n != len(truth) {
+		return 0
+	}
+	counts := make(map[int]map[int]int)
+	for i := 0; i < n; i++ {
+		m, ok := counts[pred[i]]
+		if !ok {
+			m = make(map[int]int)
+			counts[pred[i]] = m
+		}
+		m[truth[i]]++
+	}
+	correct := 0
+	for _, m := range counts {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(n)
+}

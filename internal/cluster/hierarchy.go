@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Linkage selects how agglomerative clustering scores the distance between
+// clusters.
+type Linkage uint8
+
+// Linkage criteria.
+const (
+	Single   Linkage = iota // minimum pairwise distance
+	Complete                // maximum pairwise distance
+	Average                 // unweighted average (UPGMA)
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	}
+	return fmt.Sprintf("linkage(%d)", uint8(l))
+}
+
+// Merge is one agglomeration step: clusters A and B (IDs) merged at the
+// given distance into cluster ID.
+type Merge struct {
+	A, B     int
+	Distance float64
+	ID       int
+}
+
+// Dendrogram is the full agglomeration history over n leaves. Leaf
+// clusters have IDs 0..n-1; merge k creates cluster n+k.
+type Dendrogram struct {
+	n      int
+	Merges []Merge
+}
+
+// Agglomerative builds a dendrogram by repeatedly merging the two closest
+// clusters under the linkage criterion (Lance-Williams updates). Runs in
+// O(n^3) worst case, fine for repository-scale schema counts.
+func Agglomerative(d *DistanceMatrix, linkage Linkage) *Dendrogram {
+	n := d.Len()
+	dg := &Dendrogram{n: n}
+	if n == 0 {
+		return dg
+	}
+	// working distance table over active clusters
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = d.At(i, j)
+		}
+	}
+	active := make([]int, n)  // slot -> cluster ID
+	size := make([]float64, n) // slot -> cluster size
+	for i := range active {
+		active[i] = i
+		size[i] = 1
+	}
+	slots := n
+	nextID := n
+	for slots > 1 {
+		// find closest pair of slots
+		bi, bj, best := 0, 1, math.Inf(1)
+		for i := 0; i < slots; i++ {
+			for j := i + 1; j < slots; j++ {
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		dg.Merges = append(dg.Merges, Merge{A: active[bi], B: active[bj], Distance: best, ID: nextID})
+		// Lance-Williams update into slot bi
+		for k := 0; k < slots; k++ {
+			if k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case Single:
+				nd = math.Min(dist[bi][k], dist[bj][k])
+			case Complete:
+				nd = math.Max(dist[bi][k], dist[bj][k])
+			default: // Average
+				nd = (size[bi]*dist[bi][k] + size[bj]*dist[bj][k]) / (size[bi] + size[bj])
+			}
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		active[bi] = nextID
+		size[bi] += size[bj]
+		nextID++
+		// remove slot bj by swapping in the last slot
+		last := slots - 1
+		if bj != last {
+			active[bj] = active[last]
+			size[bj] = size[last]
+			for k := 0; k < slots; k++ {
+				dist[bj][k] = dist[last][k]
+				dist[k][bj] = dist[k][last]
+			}
+			dist[bj][bj] = 0
+		}
+		slots--
+	}
+	return dg
+}
+
+// Leaves returns the number of leaves.
+func (dg *Dendrogram) Leaves() int { return dg.n }
+
+// Cut returns cluster labels for each leaf after cutting the dendrogram
+// into k clusters (applying merges in order until k remain). Labels are
+// normalized to 0..k-1 in order of first appearance. k is clamped to
+// [1, n].
+func (dg *Dendrogram) Cut(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > dg.n {
+		k = dg.n
+	}
+	return dg.labelsAfter(dg.n - k)
+}
+
+// CutAt returns cluster labels after applying every merge whose distance
+// is at most maxDist — the paper's COI-proposal operation: tightly
+// clustered schemata (distance below the threshold) form candidate
+// communities of interest.
+func (dg *Dendrogram) CutAt(maxDist float64) []int {
+	applied := 0
+	for _, m := range dg.Merges {
+		if m.Distance <= maxDist {
+			applied++
+		} else {
+			break
+		}
+	}
+	return dg.labelsAfter(applied)
+}
+
+// labelsAfter computes leaf labels after applying the first `applied`
+// merges.
+func (dg *Dendrogram) labelsAfter(applied int) []int {
+	parent := make(map[int]int) // cluster ID -> merged-into ID
+	for i := 0; i < applied && i < len(dg.Merges); i++ {
+		m := dg.Merges[i]
+		parent[m.A] = m.ID
+		parent[m.B] = m.ID
+	}
+	find := func(x int) int {
+		for {
+			p, ok := parent[x]
+			if !ok {
+				return x
+			}
+			x = p
+		}
+	}
+	labels := make([]int, dg.n)
+	canon := make(map[int]int)
+	for i := 0; i < dg.n; i++ {
+		root := find(i)
+		id, ok := canon[root]
+		if !ok {
+			id = len(canon)
+			canon[root] = id
+		}
+		labels[i] = id
+	}
+	return labels
+}
+
+// Render draws the dendrogram as indented text with leaf names, for CLI
+// output.
+func (dg *Dendrogram) Render(names []string) string {
+	if dg.n == 0 {
+		return "(empty)\n"
+	}
+	children := make(map[int][2]int)
+	dists := make(map[int]float64)
+	for _, m := range dg.Merges {
+		children[m.ID] = [2]int{m.A, m.B}
+		dists[m.ID] = m.Distance
+	}
+	rootID := dg.n
+	if len(dg.Merges) > 0 {
+		rootID = dg.Merges[len(dg.Merges)-1].ID
+	} else {
+		rootID = 0
+	}
+	var sb strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if ch, ok := children[id]; ok {
+			fmt.Fprintf(&sb, "%s+ merged at %.3f\n", indent, dists[id])
+			walk(ch[0], depth+1)
+			walk(ch[1], depth+1)
+			return
+		}
+		name := fmt.Sprintf("leaf %d", id)
+		if id < len(names) {
+			name = names[id]
+		}
+		fmt.Fprintf(&sb, "%s- %s\n", indent, name)
+	}
+	walk(rootID, 0)
+	return sb.String()
+}
+
+// Heights returns the merge distances in order; useful for choosing a cut
+// threshold (look for the largest jump).
+func (dg *Dendrogram) Heights() []float64 {
+	out := make([]float64, len(dg.Merges))
+	for i, m := range dg.Merges {
+		out[i] = m.Distance
+	}
+	return out
+}
+
+// SuggestCut proposes a cluster count by the largest-gap heuristic over
+// merge heights: cut just before the biggest jump in merge distance.
+func (dg *Dendrogram) SuggestCut() int {
+	if len(dg.Merges) < 2 {
+		return dg.n
+	}
+	h := dg.Heights()
+	sort.Float64s(h)
+	bestGap, bestIdx := -1.0, len(h)-1
+	for i := 1; i < len(h); i++ {
+		if gap := h[i] - h[i-1]; gap > bestGap {
+			bestGap, bestIdx = gap, i
+		}
+	}
+	// merges at index >= bestIdx are "too far": they would bridge clusters
+	return dg.n - bestIdx
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import "math/rand"
+
+// KMedoids clusters items into k groups around medoid exemplars using a
+// PAM-style alternating algorithm: assign every item to its nearest
+// medoid, then recompute each cluster's medoid, until stable. Unlike
+// k-means it needs only the distance matrix, which is all schema overlap
+// gives us. Initialization is greedy farthest-point seeded by seed, making
+// runs deterministic.
+//
+// It returns labels in 0..k-1 (normalized by first appearance) and the
+// medoid item indices.
+func KMedoids(d *DistanceMatrix, k int, seed int64) (labels []int, medoids []int) {
+	n := d.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// farthest-point initialization
+	medoids = []int{rng.Intn(n)}
+	for len(medoids) < k {
+		bestItem, bestDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			nearest := 2.0
+			for _, m := range medoids {
+				if dv := d.At(i, m); dv < nearest {
+					nearest = dv
+				}
+			}
+			if nearest > bestDist {
+				bestDist, bestItem = nearest, i
+			}
+		}
+		medoids = append(medoids, bestItem)
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < 50; iter++ {
+		// assignment step
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, 2.0
+			for mi, m := range medoids {
+				if dv := d.At(i, m); dv < bestD {
+					best, bestD = mi, dv
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// medoid update step
+		for mi := range medoids {
+			bestItem, bestCost := medoids[mi], -1.0
+			for i := 0; i < n; i++ {
+				if assign[i] != mi {
+					continue
+				}
+				cost := 0.0
+				for j := 0; j < n; j++ {
+					if assign[j] == mi {
+						cost += d.At(i, j)
+					}
+				}
+				if bestCost < 0 || cost < bestCost {
+					bestItem, bestCost = i, cost
+				}
+			}
+			if medoids[mi] != bestItem {
+				medoids[mi] = bestItem
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// normalize labels by first appearance
+	canon := make(map[int]int)
+	labels = make([]int, n)
+	for i, a := range assign {
+		id, ok := canon[a]
+		if !ok {
+			id = len(canon)
+			canon[a] = id
+		}
+		labels[i] = id
+	}
+	return labels, medoids
+}
+
+// Cost returns the total within-cluster distance of an assignment to the
+// given medoids; lower is tighter.
+func Cost(d *DistanceMatrix, labels []int, medoids []int) float64 {
+	total := 0.0
+	for i := 0; i < d.Len(); i++ {
+		best := 2.0
+		for _, m := range medoids {
+			if dv := d.At(i, m); dv < best {
+				best = dv
+			}
+		}
+		total += best
+	}
+	return total
+}

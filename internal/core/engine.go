@@ -1,0 +1,274 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"harmony/internal/schema"
+)
+
+// Engine is a configured Harmony match engine: an ordered set of weighted
+// voters, a merger, and execution options. The zero value is not usable;
+// construct engines with NewEngine or a preset (PresetHarmony and friends).
+//
+// Engines are stateless across matches and safe for concurrent use by
+// multiple goroutines.
+type Engine struct {
+	voters  []WeightedVoter
+	merger  Merger
+	workers int
+
+	// propagationRounds > 0 enables structural score propagation after
+	// merging: leaf pair scores are blended with their parents' pair score
+	// and container pair scores with their children's alignment, spreading
+	// structural agreement through the matrix (in the spirit of similarity
+	// flooding).
+	propagationRounds int
+	propagationAlpha  float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the number of goroutines used for the pair loop.
+// Defaults to GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithPropagation enables rounds of structural score propagation with the
+// given blend factor alpha in [0,1] (0 disables; typical 0.15).
+func WithPropagation(rounds int, alpha float64) Option {
+	return func(e *Engine) {
+		e.propagationRounds = rounds
+		e.propagationAlpha = alpha
+	}
+}
+
+// NewEngine builds an engine from weighted voters and a merger.
+func NewEngine(voters []WeightedVoter, merger Merger, opts ...Option) *Engine {
+	e := &Engine{
+		voters:  voters,
+		merger:  merger,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Voters returns the engine's weighted voters in order.
+func (e *Engine) Voters() []WeightedVoter { return e.voters }
+
+// Merger returns the engine's merger.
+func (e *Engine) Merger() Merger { return e.merger }
+
+// Result is the outcome of one match run: the preprocessed views of both
+// schemata and the dense match matrix over their element IDs.
+type Result struct {
+	Src    *SchemaView
+	Dst    *SchemaView
+	Matrix *Matrix
+}
+
+// Match preprocesses both schemata and scores every element pair. This is
+// the MATCH(S1, S2) operator of the literature; on the paper's workload
+// (1378×784 elements ≈ 10^6 pairs) it runs in seconds.
+func (e *Engine) Match(src, dst *schema.Schema) *Result {
+	sv, dv := Preprocess(src, dst)
+	return e.MatchViews(sv, dv)
+}
+
+// MatchViews scores every element pair of two preprocessed schemata.
+// Use this form to amortize preprocessing across repeated matches (for
+// example the concept-at-a-time workflow, which re-matches sub-trees).
+func (e *Engine) MatchViews(sv, dv *SchemaView) *Result {
+	m := NewMatrix(sv.Len(), dv.Len())
+	e.score(sv, dv, m, nil)
+	for r := 0; r < e.propagationRounds; r++ {
+		e.propagate(sv, dv, m)
+	}
+	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// MatchSubtree scores only the pairs whose source element lies in the
+// sub-tree rooted at root (an element of sv's schema) against every target
+// element — the paper's sub-tree filter used as an *operation*: "match
+// operations were rapid: typically between 10^4 and 10^5 matches were
+// considered in each increment". Rows outside the sub-tree are left zero.
+func (e *Engine) MatchSubtree(sv, dv *SchemaView, root *schema.Element) *Result {
+	return e.MatchElements(sv, dv, root.Subtree())
+}
+
+// MatchElements scores only the pairs whose source element is in the given
+// set against every target element; other rows are left zero. This is the
+// incremental-matching primitive behind the concept-at-a-time workflow,
+// where a concept's members need not form a single sub-tree. Structural
+// propagation is not applied: it needs the full matrix, and partial rows
+// would blend against unscored zeros. Incremental scores therefore differ
+// slightly from a full Match over the same pair.
+func (e *Engine) MatchElements(sv, dv *SchemaView, elements []*schema.Element) *Result {
+	m := NewMatrix(sv.Len(), dv.Len())
+	rows := make([]int, 0, len(elements))
+	for _, el := range elements {
+		rows = append(rows, el.ID)
+	}
+	e.score(sv, dv, m, rows)
+	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// score fills the matrix for the given source rows (all rows when rows is
+// nil), fanning the row loop out over the engine's workers.
+func (e *Engine) score(sv, dv *SchemaView, m *Matrix, rows []int) {
+	if rows == nil {
+		rows = make([]int, sv.Len())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	workers := e.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(rows []int) {
+			defer wg.Done()
+			votes := make([]Vote, len(e.voters))
+			weights := make([]float64, len(e.voters))
+			for i, wv := range e.voters {
+				weights[i] = wv.Weight
+			}
+			for _, i := range rows {
+				srcView := sv.View(i)
+				row := m.Row(i)
+				for j := 0; j < dv.Len(); j++ {
+					dstView := dv.View(j)
+					for k, wv := range e.voters {
+						votes[k] = wv.Voter.Vote(srcView, dstView)
+					}
+					row[j] = e.merger.Merge(votes, weights)
+				}
+			}
+		}(rows[lo:hi])
+	}
+	wg.Wait()
+}
+
+// propagate runs one round of structural propagation: container pair scores
+// are blended with the average of their children's best mutual scores, then
+// leaf pair scores are blended with their parents' pair score.
+func (e *Engine) propagate(sv, dv *SchemaView, m *Matrix) {
+	alpha := e.propagationAlpha
+	if alpha <= 0 {
+		return
+	}
+	// Pass 1: containers inherit children agreement.
+	next := m.Clone()
+	for i := 0; i < sv.Len(); i++ {
+		a := sv.View(i).El
+		if a.IsLeaf() {
+			continue
+		}
+		for j := 0; j < dv.Len(); j++ {
+			b := dv.View(j).El
+			if b.IsLeaf() {
+				continue
+			}
+			agg := childrenAgreement(a, b, m)
+			next.Set(i, j, clampScore((1-alpha)*m.At(i, j)+alpha*agg))
+		}
+	}
+	// Pass 2: leaves inherit parent agreement.
+	for i := 0; i < sv.Len(); i++ {
+		a := sv.View(i).El
+		if !a.IsLeaf() || a.Parent == nil {
+			continue
+		}
+		pi := a.Parent.ID
+		for j := 0; j < dv.Len(); j++ {
+			b := dv.View(j).El
+			if !b.IsLeaf() || b.Parent == nil {
+				continue
+			}
+			parentScore := m.At(pi, b.Parent.ID)
+			next.Set(i, j, clampScore((1-alpha)*m.At(i, j)+alpha*parentScore))
+		}
+	}
+	copy(m.data, next.data)
+}
+
+// childrenAgreement computes the greedy one-to-one alignment quality of two
+// containers' children under the current matrix scores, normalized over the
+// smaller child set.
+func childrenAgreement(a, b *schema.Element, m *Matrix) float64 {
+	ca, cb := a.Children, b.Children
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	used := make([]bool, len(cb))
+	var total float64
+	for _, x := range ca {
+		best, bestJ := 0.0, -1
+		for j, y := range cb {
+			if used[j] {
+				continue
+			}
+			if s := m.At(x.ID, y.ID); s > best {
+				best, bestJ = s, j
+			}
+		}
+		if bestJ >= 0 {
+			used[bestJ] = true
+			total += best
+		}
+	}
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	return total / float64(n)
+}
+
+// VoteRecord explains one voter's contribution to a pair's score.
+type VoteRecord struct {
+	Voter  string
+	Weight float64
+	Vote   Vote
+}
+
+// Explain recomputes the individual votes for one pair, for provenance
+// displays and debugging. The merged score equals Matrix.At(src, dst) up to
+// any structural propagation applied afterwards.
+func (e *Engine) Explain(sv, dv *SchemaView, src, dst int) []VoteRecord {
+	out := make([]VoteRecord, 0, len(e.voters))
+	for _, wv := range e.voters {
+		out = append(out, VoteRecord{
+			Voter:  wv.Voter.Name(),
+			Weight: wv.Weight,
+			Vote:   wv.Voter.Vote(sv.View(src), dv.View(dst)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import "harmony/internal/schema"
+
+// The paper's Harmony GUI exposes two families of filters (§3.2): link
+// filters, "which depend on the characteristics of a given candidate
+// correspondence", and node filters, "which depend on the characteristics
+// of a given schema element". This file provides both as composable
+// predicates applied to a match Result. The sub-tree and depth node filters
+// and the confidence link filter were the ones "the engineers responsible
+// for matching SA to SB relied heavily on".
+
+// NodeFilter is a predicate over schema elements. A candidate
+// correspondence survives only if both its endpoints' node filters accept.
+type NodeFilter func(*schema.Element) bool
+
+// LinkFilter is a predicate over scored candidate correspondences.
+type LinkFilter func(src, dst *schema.Element, score float64) bool
+
+// ConfidenceRange returns the paper's confidence link filter: only
+// correspondences whose score lies in [lo, hi] pass. "The integration
+// engineer can focus their attention first on the most likely
+// correspondences."
+func ConfidenceRange(lo, hi float64) LinkFilter {
+	return func(_, _ *schema.Element, score float64) bool {
+		return score >= lo && score <= hi
+	}
+}
+
+// DepthExactly returns the node filter enabling only elements at the given
+// depth: "in a relational model, relations appear at a depth of one and
+// attributes at a depth of two".
+func DepthExactly(d int) NodeFilter {
+	return func(e *schema.Element) bool { return e.Depth() == d }
+}
+
+// DepthAtMost returns the node filter excluding elements deeper than d,
+// used in the case study "to only match table names in SA, and ignore
+// their attributes".
+func DepthAtMost(d int) NodeFilter {
+	return func(e *schema.Element) bool { return e.Depth() <= d }
+}
+
+// SubtreeOf returns the paper's sub-tree node filter: only elements in the
+// sub-tree rooted at root (root included) pass. Roots from a different
+// schema reject everything.
+func SubtreeOf(root *schema.Element) NodeFilter {
+	in := make(map[*schema.Element]bool, root.SubtreeSize())
+	for _, e := range root.Subtree() {
+		in[e] = true
+	}
+	return func(e *schema.Element) bool { return in[e] }
+}
+
+// KindIs returns a node filter accepting only the listed kinds.
+func KindIs(kinds ...schema.Kind) NodeFilter {
+	set := make(map[schema.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(e *schema.Element) bool { return set[e.Kind] }
+}
+
+// AnyNode is the node filter that accepts every element.
+func AnyNode(*schema.Element) bool { return true }
+
+// AllNodes combines node filters conjunctively.
+func AllNodes(filters ...NodeFilter) NodeFilter {
+	return func(e *schema.Element) bool {
+		for _, f := range filters {
+			if !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// AllLinks combines link filters conjunctively.
+func AllLinks(filters ...LinkFilter) LinkFilter {
+	return func(src, dst *schema.Element, score float64) bool {
+		for _, f := range filters {
+			if !f(src, dst, score) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// FilterSpec bundles the filters applied to a match result when extracting
+// candidate correspondences. Zero-value fields mean "no restriction".
+type FilterSpec struct {
+	// SrcNode and DstNode restrict which elements may participate.
+	SrcNode NodeFilter
+	DstNode NodeFilter
+	// Link restricts which scored pairs survive.
+	Link LinkFilter
+}
+
+// Candidates extracts the correspondences of r that pass the filters,
+// ordered by descending score. With a zero FilterSpec it returns every
+// pair, which for industrial-size schemata is rarely what a human wants —
+// combine with ConfidenceRange as the paper's engineers did.
+func (r *Result) Candidates(spec FilterSpec) []Correspondence {
+	srcOK := spec.SrcNode
+	if srcOK == nil {
+		srcOK = AnyNode
+	}
+	dstOK := spec.DstNode
+	if dstOK == nil {
+		dstOK = AnyNode
+	}
+	var out []Correspondence
+	for i := 0; i < r.Matrix.Rows(); i++ {
+		srcEl := r.Src.View(i).El
+		if !srcOK(srcEl) {
+			continue
+		}
+		row := r.Matrix.Row(i)
+		for j, s := range row {
+			dstEl := r.Dst.View(j).El
+			if !dstOK(dstEl) {
+				continue
+			}
+			if spec.Link != nil && !spec.Link(srcEl, dstEl, s) {
+				continue
+			}
+			out = append(out, Correspondence{Src: i, Dst: j, Score: s})
+		}
+	}
+	sortCorrespondences(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is the dense match matrix produced by a match run: one score in
+// (-1,+1) per [source element, target element] pair, indexed by element ID.
+// For the paper's case study this is the 1378×784 matrix of roughly 10^6
+// potential matches.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the number of source elements.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of target elements.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Pairs returns the total number of cells (candidate correspondences).
+func (m *Matrix) Pairs() int { return m.rows * m.cols }
+
+// At returns the score of pair (src, dst).
+func (m *Matrix) At(src, dst int) float64 { return m.data[src*m.cols+dst] }
+
+// Set stores the score of pair (src, dst).
+func (m *Matrix) Set(src, dst int, score float64) { m.data[src*m.cols+dst] = score }
+
+// Row returns a read-only view of one source element's scores against every
+// target element. The returned slice aliases the matrix.
+func (m *Matrix) Row(src int) []float64 { return m.data[src*m.cols : (src+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Correspondence is one scored candidate match between a source and a
+// target element, identified by their element IDs.
+type Correspondence struct {
+	Src   int
+	Dst   int
+	Score float64
+}
+
+// String formats the correspondence for logs and debugging.
+func (c Correspondence) String() string {
+	return fmt.Sprintf("(%d,%d)=%.3f", c.Src, c.Dst, c.Score)
+}
+
+// Above returns every correspondence with score >= threshold, ordered by
+// descending score (ties broken by source then target ID for determinism).
+func (m *Matrix) Above(threshold float64) []Correspondence {
+	var out []Correspondence
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, s := range row {
+			if s >= threshold {
+				out = append(out, Correspondence{Src: i, Dst: j, Score: s})
+			}
+		}
+	}
+	sortCorrespondences(out)
+	return out
+}
+
+// TopKPerSource returns, for each source element, its best k targets with
+// score >= threshold, ordered by descending score overall.
+func (m *Matrix) TopKPerSource(k int, threshold float64) []Correspondence {
+	if k <= 0 {
+		return nil
+	}
+	var out []Correspondence
+	buf := make([]Correspondence, 0, m.cols)
+	for i := 0; i < m.rows; i++ {
+		buf = buf[:0]
+		for j, s := range m.Row(i) {
+			if s >= threshold {
+				buf = append(buf, Correspondence{Src: i, Dst: j, Score: s})
+			}
+		}
+		sortCorrespondences(buf)
+		if len(buf) > k {
+			buf = buf[:k]
+		}
+		out = append(out, buf...)
+	}
+	sortCorrespondences(out)
+	return out
+}
+
+// BestPerSource returns each source element's single best target regardless
+// of threshold; sources whose best score is below minScore are omitted.
+func (m *Matrix) BestPerSource(minScore float64) []Correspondence {
+	var out []Correspondence
+	for i := 0; i < m.rows; i++ {
+		bestJ, bestS := -1, minScore
+		for j, s := range m.Row(i) {
+			if s > bestS || (bestJ == -1 && s >= minScore) {
+				bestJ, bestS = j, s
+			}
+		}
+		if bestJ >= 0 {
+			out = append(out, Correspondence{Src: i, Dst: bestJ, Score: bestS})
+		}
+	}
+	return out
+}
+
+// MatchedTargets returns a set of target IDs that appear in any
+// correspondence with score >= threshold.
+func (m *Matrix) MatchedTargets(threshold float64) map[int]bool {
+	out := make(map[int]bool)
+	for i := 0; i < m.rows; i++ {
+		for j, s := range m.Row(i) {
+			if s >= threshold {
+				out[j] = true
+			}
+		}
+	}
+	return out
+}
+
+// MatchedSources returns a set of source IDs that appear in any
+// correspondence with score >= threshold.
+func (m *Matrix) MatchedSources(threshold float64) map[int]bool {
+	out := make(map[int]bool)
+	for i := 0; i < m.rows; i++ {
+		for _, s := range m.Row(i) {
+			if s >= threshold {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Histogram buckets all scores into n equal-width bins over [-1, 1] and
+// returns the counts; useful for choosing confidence-filter thresholds.
+func (m *Matrix) Histogram(n int) []int {
+	if n <= 0 {
+		n = 20
+	}
+	counts := make([]int, n)
+	for _, s := range m.data {
+		bin := int((s + 1) / 2 * float64(n))
+		if bin >= n {
+			bin = n - 1
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		counts[bin]++
+	}
+	return counts
+}
+
+// sortCorrespondences orders by descending score, then ascending Src, Dst.
+func sortCorrespondences(cs []Correspondence) {
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].Score != cs[b].Score {
+			return cs[a].Score > cs[b].Score
+		}
+		if cs[a].Src != cs[b].Src {
+			return cs[a].Src < cs[b].Src
+		}
+		return cs[a].Dst < cs[b].Dst
+	})
+}

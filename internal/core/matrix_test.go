@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Float64()*2-1)
+		}
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Pairs() != 12 {
+		t.Fatalf("dims: %d %d %d", m.Rows(), m.Cols(), m.Pairs())
+	}
+	m.Set(1, 2, 0.5)
+	if m.At(1, 2) != 0.5 {
+		t.Error("Set/At mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 4 || row[2] != 0.5 {
+		t.Errorf("Row = %v", row)
+	}
+	c := m.Clone()
+	c.Set(1, 2, -0.5)
+	if m.At(1, 2) != 0.5 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestAboveSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(rng, 20, 30)
+	got := m.Above(0.3)
+	// completeness vs naive scan
+	want := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 30; j++ {
+			if m.At(i, j) >= 0.3 {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Above returned %d, want %d", len(got), want)
+	}
+	for k := 1; k < len(got); k++ {
+		if got[k].Score > got[k-1].Score {
+			t.Fatal("Above not sorted by descending score")
+		}
+	}
+	for _, c := range got {
+		if c.Score < 0.3 {
+			t.Fatalf("Above leaked %v", c)
+		}
+		if m.At(c.Src, c.Dst) != c.Score {
+			t.Fatalf("Above score mismatch %v", c)
+		}
+	}
+}
+
+func TestTopKPerSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomMatrix(rng, 10, 50)
+	got := m.TopKPerSource(3, -1)
+	perSrc := map[int]int{}
+	for _, c := range got {
+		perSrc[c.Src]++
+	}
+	for src, n := range perSrc {
+		if n > 3 {
+			t.Errorf("source %d has %d matches, want <= 3", src, n)
+		}
+	}
+	// each source's kept scores must dominate its dropped scores
+	for src := 0; src < 10; src++ {
+		var kept []float64
+		for _, c := range got {
+			if c.Src == src {
+				kept = append(kept, c.Score)
+			}
+		}
+		sort.Float64s(kept)
+		minKept := kept[0]
+		dropped := 0
+		for j := 0; j < 50; j++ {
+			s := m.At(src, j)
+			inKept := false
+			for _, k := range kept {
+				if s == k {
+					inKept = true
+					break
+				}
+			}
+			if !inKept && s > minKept {
+				dropped++
+			}
+		}
+		if dropped > 0 {
+			t.Errorf("source %d dropped %d better scores", src, dropped)
+		}
+	}
+	if m.TopKPerSource(0, -1) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestBestPerSource(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 0.1)
+	m.Set(0, 1, 0.9)
+	m.Set(0, 2, 0.5)
+	m.Set(1, 0, -0.2)
+	m.Set(1, 1, -0.5)
+	m.Set(1, 2, -0.9)
+	got := m.BestPerSource(0)
+	if len(got) != 1 || got[0].Dst != 1 || got[0].Src != 0 {
+		t.Errorf("BestPerSource = %v", got)
+	}
+	all := m.BestPerSource(-1)
+	if len(all) != 2 || all[1].Dst != 0 {
+		t.Errorf("BestPerSource(-1) = %v", all)
+	}
+}
+
+func TestMatchedSets(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 0.8)
+	srcs := m.MatchedSources(0.5)
+	dsts := m.MatchedTargets(0.5)
+	if len(srcs) != 1 || !srcs[0] {
+		t.Errorf("MatchedSources = %v", srcs)
+	}
+	if len(dsts) != 1 || !dsts[1] {
+		t.Errorf("MatchedTargets = %v", dsts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	m := NewMatrix(1, 4)
+	m.Set(0, 0, -1) // clamps into first bin
+	m.Set(0, 1, -0.5)
+	m.Set(0, 2, 0.5)
+	m.Set(0, 3, 0.999)
+	h := m.Histogram(4)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("histogram total = %d, want 4", total)
+	}
+	if h[0] != 1 || h[1] != 1 || h[3] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if got := m.Histogram(0); len(got) != 20 {
+		t.Errorf("default bins = %d, want 20", len(got))
+	}
+}
+
+func TestAboveThresholdProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 8, 8)
+		thr := rng.Float64()*2 - 1
+		got := m.Above(thr)
+		seen := map[[2]int]bool{}
+		for _, c := range got {
+			if c.Score < thr {
+				return false
+			}
+			key := [2]int{c.Src, c.Dst}
+			if seen[key] {
+				return false // duplicates
+			}
+			seen[key] = true
+		}
+		n := 0
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if m.At(i, j) >= thr {
+					n++
+				}
+			}
+		}
+		return n == len(got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuggestThreshold(t *testing.T) {
+	// Bimodal matrix: each source has one strong true match (~0.8) and
+	// noise below 0.2. The suggestion must land between the modes.
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(20, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			m.Set(i, j, rng.Float64()*0.2)
+		}
+		m.Set(i, (i+3)%20, 0.75+rng.Float64()*0.1)
+	}
+	thr := SuggestThreshold(m)
+	if thr < 0.3 || thr > 0.75 {
+		t.Errorf("suggestion = %f, want between noise (0.2) and signal (0.75)", thr)
+	}
+	sel := SelectGreedyOneToOne(m, thr)
+	if len(sel) != 20 {
+		t.Errorf("selection at suggestion = %d, want all 20 true pairs", len(sel))
+	}
+}
+
+func TestSuggestThresholdDegenerate(t *testing.T) {
+	if got := SuggestThreshold(NewMatrix(0, 0)); got != 0 {
+		t.Errorf("empty matrix suggestion = %f", got)
+	}
+	m := NewMatrix(3, 3) // all zeros
+	if got := SuggestThreshold(m); got != 0 {
+		t.Errorf("all-zero suggestion = %f", got)
+	}
+	neg := NewMatrix(2, 2)
+	neg.Set(0, 0, -0.5)
+	neg.Set(1, 1, -0.2)
+	if got := SuggestThreshold(neg); got != 0 {
+		t.Errorf("all-negative suggestion = %f", got)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import "math"
+
+// Merger combines the per-voter votes for one element pair into a single
+// match score in (-1,+1). The engine calls Merge once per pair with one
+// entry per configured voter, in voter order.
+type Merger interface {
+	// Name identifies the merger in reports and ablations.
+	Name() string
+	// Merge combines votes into one score. votes[i] was produced by the
+	// engine's i-th voter with weight weights[i].
+	Merge(votes []Vote, weights []float64) float64
+}
+
+// EvidenceWeighted is Harmony's merger and the paper's stated novelty: the
+// merged score reflects "how confident each match voter is regarding a
+// given correspondence". Each vote is weighted by its configured weight,
+// by the evidence mass the voter observed (saturated), and by the
+// decisiveness of what it observed (|2*ratio-1|, floored so that genuinely
+// uncertain voters still temper the consensus slightly). The weighted
+// consensus is then sharpened in tanh space — tanh(2*atanh(consensus)) —
+// so that a strengthening consensus is "pushed towards -1 or +1" exactly
+// as the paper describes for accumulating evidence. Sharpening is a
+// monotone transform: it widens the usable score scale across workloads of
+// very different evidence richness without altering the ranking.
+type EvidenceWeighted struct{}
+
+// decisivenessFloor controls how much a perfectly balanced (ratio 0.5)
+// voter still dilutes decisive peers; calibrated on the case-study
+// workload (EXPERIMENTS.md, E6).
+const decisivenessFloor = 0.8
+
+// sharpenGain is the tanh-space gain of the final sharpening step.
+const sharpenGain = 2.0
+
+// Name implements Merger.
+func (EvidenceWeighted) Name() string { return "evidence-weighted" }
+
+// Merge implements Merger.
+func (EvidenceWeighted) Merge(votes []Vote, weights []float64) float64 {
+	var num, den float64
+	for i, v := range votes {
+		if v.IsAbstention() {
+			continue
+		}
+		dec := 2*v.Ratio - 1
+		if dec < 0 {
+			dec = -dec
+		}
+		w := weights[i] * v.Confidence() * (decisivenessFloor + (1-decisivenessFloor)*dec)
+		num += w * v.Score()
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	consensus := clampScore(num / den)
+	return clampScore(math.Tanh(sharpenGain * math.Atanh(consensus)))
+}
+
+// RatioOnly is the ablation of EvidenceWeighted: it uses each voter's raw
+// evidence ratio (rescaled to (-1,1)) and ignores how much evidence backed
+// it. Comparing the two isolates the value of evidence awareness (DESIGN.md
+// ablation #1).
+type RatioOnly struct{}
+
+// Name implements Merger.
+func (RatioOnly) Name() string { return "ratio-only" }
+
+// Merge implements Merger.
+func (RatioOnly) Merge(votes []Vote, weights []float64) float64 {
+	var num, den float64
+	for i, v := range votes {
+		if v.IsAbstention() {
+			continue
+		}
+		num += weights[i] * (2*v.Ratio - 1)
+		den += weights[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return clampScore(num / den)
+}
+
+// Average is the COMA-style aggregation baseline: the unweighted mean of
+// the non-abstaining voters' scores.
+type Average struct{}
+
+// Name implements Merger.
+func (Average) Name() string { return "average" }
+
+// Merge implements Merger.
+func (Average) Merge(votes []Vote, weights []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range votes {
+		if v.IsAbstention() {
+			continue
+		}
+		sum += v.Score()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return clampScore(sum / float64(n))
+}
+
+// Max is the optimistic COMA-style aggregation baseline: the strongest
+// single voter wins. It finds matches aggressively at the cost of
+// precision.
+type Max struct{}
+
+// Name implements Merger.
+func (Max) Name() string { return "max" }
+
+// Merge implements Merger.
+func (Max) Merge(votes []Vote, weights []float64) float64 {
+	best := 0.0
+	seen := false
+	for _, v := range votes {
+		if v.IsAbstention() {
+			continue
+		}
+		s := v.Score()
+		if !seen || s > best {
+			best, seen = s, true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return clampScore(best)
+}
+
+// WeightedLinear weighs voters by configured weight only, using their
+// evidence-scaled scores. It sits between EvidenceWeighted and RatioOnly:
+// evidence shapes individual scores but not the voters' relative influence.
+type WeightedLinear struct{}
+
+// Name implements Merger.
+func (WeightedLinear) Name() string { return "weighted-linear" }
+
+// Merge implements Merger.
+func (WeightedLinear) Merge(votes []Vote, weights []float64) float64 {
+	var num, den float64
+	for i, v := range votes {
+		if v.IsAbstention() {
+			continue
+		}
+		num += weights[i] * v.Score()
+		den += weights[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return clampScore(num / den)
+}

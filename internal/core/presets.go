@@ -1,0 +1,96 @@
+package core
+
+// Presets bundle voter sets and mergers into named matcher configurations.
+// PresetHarmony is the paper's system; the others are the conventional
+// architectures the paper positions itself against (COMA's composite
+// matcher and Cupid's name+structure hybrid) plus a naive baseline, all
+// built from the same voter library so that comparisons isolate the
+// combination strategy rather than implementation quality.
+
+// PresetHarmony returns the full Harmony configuration: all six voters,
+// evidence-weighted merging, and two rounds of structural propagation.
+// Weights favor the two evidence-rich voters (name, documentation), as the
+// paper reports Harmony "relies heavily on textual documentation".
+func PresetHarmony() *Engine {
+	return NewEngine(
+		[]WeightedVoter{
+			{Voter: NameVoter{}, Weight: 1.0},
+			{Voter: DocVoter{}, Weight: 1.0},
+			{Voter: PathVoter{}, Weight: 0.6},
+			{Voter: TypeVoter{}, Weight: 0.3},
+			{Voter: StructureVoter{}, Weight: 0.5},
+			{Voter: AcronymVoter{}, Weight: 0.8},
+		},
+		EvidenceWeighted{},
+		WithPropagation(2, 0.15),
+	)
+}
+
+// PresetHarmonyNoEvidence is the ablation of PresetHarmony with the
+// evidence-aware merger replaced by the ratio-only merger; everything else
+// is identical (DESIGN.md ablation #1).
+func PresetHarmonyNoEvidence() *Engine {
+	return NewEngine(
+		[]WeightedVoter{
+			{Voter: NameVoter{}, Weight: 1.0},
+			{Voter: DocVoter{}, Weight: 1.0},
+			{Voter: PathVoter{}, Weight: 0.6},
+			{Voter: TypeVoter{}, Weight: 0.3},
+			{Voter: StructureVoter{}, Weight: 0.5},
+			{Voter: AcronymVoter{}, Weight: 0.8},
+		},
+		RatioOnly{},
+		WithPropagation(2, 0.15),
+	)
+}
+
+// PresetCOMA approximates the COMA composite matcher (Do & Rahm, VLDB
+// 2002): a library of independent matchers whose similarities are
+// aggregated by unweighted averaging, without evidence weighting or
+// structural propagation.
+func PresetCOMA() *Engine {
+	return NewEngine(
+		[]WeightedVoter{
+			{Voter: NameVoter{}, Weight: 1.0},
+			{Voter: DocVoter{}, Weight: 1.0},
+			{Voter: PathVoter{}, Weight: 1.0},
+			{Voter: TypeVoter{}, Weight: 1.0},
+		},
+		Average{},
+	)
+}
+
+// PresetCupid approximates Cupid (Madhavan, Bernstein & Rahm, VLDB 2001):
+// linguistic matching on names plus structural matching, linearly combined.
+func PresetCupid() *Engine {
+	return NewEngine(
+		[]WeightedVoter{
+			{Voter: NameVoter{}, Weight: 0.5},
+			{Voter: StructureVoter{}, Weight: 0.5},
+			{Voter: TypeVoter{}, Weight: 0.2},
+		},
+		WeightedLinear{},
+		WithPropagation(1, 0.2),
+	)
+}
+
+// PresetNameOnly is the naive baseline: a single name voter. It represents
+// the spreadsheet-and-eyeball practice the paper says tool-less
+// integration teams fall back to.
+func PresetNameOnly() *Engine {
+	return NewEngine(
+		[]WeightedVoter{{Voter: NameVoter{}, Weight: 1.0}},
+		EvidenceWeighted{},
+	)
+}
+
+// Presets returns the named engine constructors, for benchmark sweeps.
+func Presets() map[string]func() *Engine {
+	return map[string]func() *Engine{
+		"harmony":             PresetHarmony,
+		"harmony-no-evidence": PresetHarmonyNoEvidence,
+		"coma":                PresetCOMA,
+		"cupid":               PresetCupid,
+		"name-only":           PresetNameOnly,
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectThreshold(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.4)
+	m.Set(1, 1, 0.7)
+	got := SelectThreshold(m, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("threshold selection = %v", got)
+	}
+	if got[0].Score != 0.9 || got[1].Score != 0.7 {
+		t.Errorf("wrong ordering: %v", got)
+	}
+}
+
+func TestGreedyOneToOneUnique(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 12, 9)
+		sel := SelectGreedyOneToOne(m, 0.1)
+		srcSeen := map[int]bool{}
+		dstSeen := map[int]bool{}
+		for _, c := range sel {
+			if c.Score < 0.1 || srcSeen[c.Src] || dstSeen[c.Dst] {
+				return false
+			}
+			srcSeen[c.Src] = true
+			dstSeen[c.Dst] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyTakesBestFirst(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0.9)
+	m.Set(0, 1, 0.8)
+	m.Set(1, 0, 0.85)
+	m.Set(1, 1, 0.1)
+	sel := SelectGreedyOneToOne(m, 0.05)
+	// greedy: (0,0)=0.9 first, then (1,0) blocked, (0,1) blocked, so (1,1).
+	if len(sel) != 2 {
+		t.Fatalf("selection = %v", sel)
+	}
+	if sel[0].Src != 0 || sel[0].Dst != 0 {
+		t.Errorf("first pick = %v", sel[0])
+	}
+	if sel[1].Src != 1 || sel[1].Dst != 1 {
+		t.Errorf("second pick = %v", sel[1])
+	}
+}
+
+func TestStableMarriageIsStable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 10, 10)
+		sel := SelectStableMarriage(m, 0.0)
+		// one-to-one
+		srcSeen := map[int]bool{}
+		dstSeen := map[int]bool{}
+		for _, c := range sel {
+			if srcSeen[c.Src] || dstSeen[c.Dst] {
+				return false
+			}
+			srcSeen[c.Src] = true
+			dstSeen[c.Dst] = true
+		}
+		return IsStableMatching(m, sel, 0.0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStableMarriageThreshold(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0.3)
+	m.Set(1, 1, 0.9)
+	sel := SelectStableMarriage(m, 0.5)
+	if len(sel) != 1 || sel[0].Src != 1 || sel[0].Dst != 1 {
+		t.Errorf("selection = %v", sel)
+	}
+}
+
+func TestStableVsGreedyBothMaximalOnDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, 0.9)
+	}
+	if got := SelectGreedyOneToOne(m, 0.5); len(got) != 3 {
+		t.Errorf("greedy = %v", got)
+	}
+	if got := SelectStableMarriage(m, 0.5); len(got) != 3 {
+		t.Errorf("stable = %v", got)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "sort"
+
+// SuggestThreshold proposes a confidence-filter operating point for a
+// scored matrix. The paper's engineers chose thresholds interactively from
+// the score distribution; this automates their heuristic: true
+// correspondences concentrate near the top of the per-source best-score
+// distribution, so the suggested cut is a fixed fraction of a high
+// percentile of positive row maxima. Because vote scores saturate with
+// evidence, absolute scales differ across workloads — documentation-rich
+// schemata score higher — and this adapts the cut accordingly.
+//
+// The fraction (0.85) and percentile (90th) were calibrated so that the
+// suggestion lands near the hand-tuned operating points of both the
+// evidence-rich case study (≈0.74) and small undocumented schemata
+// (≈0.4); see EXPERIMENTS.md. It returns 0 when the matrix has no
+// positive scores (nothing worth filtering).
+func SuggestThreshold(m *Matrix) float64 {
+	var maxima []float64
+	for i := 0; i < m.Rows(); i++ {
+		best := 0.0
+		for _, s := range m.Row(i) {
+			if s > best {
+				best = s
+			}
+		}
+		if best > 0 {
+			maxima = append(maxima, best)
+		}
+	}
+	if len(maxima) == 0 {
+		return 0
+	}
+	sort.Float64s(maxima)
+	p90 := maxima[len(maxima)*9/10]
+	return 0.85 * p90
+}

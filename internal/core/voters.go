@@ -1,0 +1,262 @@
+package core
+
+import (
+	"harmony/internal/schema"
+	"harmony/internal/text"
+)
+
+// Voter scores one [source, target] element pair using a single strategy.
+// Implementations must be safe for concurrent use: Vote is called from
+// multiple goroutines during a match.
+type Voter interface {
+	// Name identifies the voter in explanations and reports.
+	Name() string
+	// Vote returns the voter's opinion about the pair. A voter that has no
+	// applicable evidence returns Abstain.
+	Vote(src, dst *ElementView) Vote
+}
+
+// WeightedVoter pairs a voter with its merge weight.
+type WeightedVoter struct {
+	Voter  Voter
+	Weight float64
+}
+
+// ---------------------------------------------------------------------------
+// Name voter
+
+// NameVoter compares normalized element names with a hybrid token- and
+// character-level metric. It is the workhorse voter: schema element names
+// carry most of the matchable signal in documentation-poor schemata.
+type NameVoter struct{}
+
+// Name implements Voter.
+func (NameVoter) Name() string { return "name" }
+
+// Vote implements Voter. Evidence grows with the number of distinct tokens
+// compared, so a 4-token name agreeing with a 4-token name yields a score
+// much closer to +1 than two single-token names agreeing.
+func (NameVoter) Vote(src, dst *ElementView) Vote {
+	a, b := src.NameTokens, dst.NameTokens
+	if len(a) == 0 || len(b) == 0 {
+		return Abstain
+	}
+	sim := text.HybridNameSimilarity(a, b)
+	ev := float64(min(distinctCount(a), distinctCount(b)))
+	// Character-level length adds a little evidence: longer names that
+	// agree are less likely to agree by chance.
+	ev += float64(min(len(src.JoinedName), len(dst.JoinedName))) / 12.0
+	// Exact (normalized) name equality is qualitatively stronger evidence
+	// than fuzzy similarity — identical names rarely collide by accident.
+	if src.JoinedName == dst.JoinedName && src.JoinedName != "" {
+		ev += 2
+	}
+	return Vote{Ratio: sim, Evidence: ev}
+}
+
+// ---------------------------------------------------------------------------
+// Documentation voter
+
+// DocVoter compares the TF-IDF vectors of element documentation. Following
+// the paper, Harmony "relies heavily on textual documentation to identify
+// candidate correspondences instead of data instances": in the government
+// sector documentation is easier to obtain than data.
+type DocVoter struct{}
+
+// Name implements Voter.
+func (DocVoter) Name() string { return "documentation" }
+
+// Vote implements Voter. The evidence is the size of the smaller document:
+// two rich documentation strings that disagree push the score firmly
+// negative, while two near-empty ones barely move it.
+func (DocVoter) Vote(src, dst *ElementView) Vote {
+	if !src.HasDoc || !dst.HasDoc || src.DocVector.IsZero() || dst.DocVector.IsZero() {
+		return Abstain
+	}
+	cos := text.Cosine(src.DocVector, dst.DocVector)
+	ev := float64(min(len(src.DocTokens), len(dst.DocTokens))) / 2.0
+	if ev > 12 {
+		ev = 12
+	}
+	return Vote{Ratio: cos, Evidence: ev}
+}
+
+// ---------------------------------------------------------------------------
+// Path voter
+
+// PathVoter compares full element paths (ancestor names included), giving
+// contextual evidence: Person/Name and Vehicle/Name share a name token but
+// differ in path.
+type PathVoter struct{}
+
+// Name implements Voter.
+func (PathVoter) Name() string { return "path" }
+
+// Vote implements Voter.
+func (PathVoter) Vote(src, dst *ElementView) Vote {
+	a, b := src.PathTokens, dst.PathTokens
+	if len(a) == 0 || len(b) == 0 {
+		return Abstain
+	}
+	sim := 0.6*text.SynonymAwareOverlap(a, b) + 0.4*text.TokenJaccard(a, b)
+	ev := float64(min(distinctCount(a), distinctCount(b))) * 0.8
+	return Vote{Ratio: sim, Evidence: ev}
+}
+
+// ---------------------------------------------------------------------------
+// Type voter
+
+// TypeVoter scores normalized data-type compatibility. Types are weak
+// evidence — many unrelated columns share a type — so the vote carries
+// deliberately small evidence mass, but a hard type conflict (date vs
+// binary) is real counter-evidence.
+type TypeVoter struct{}
+
+// Name implements Voter.
+func (TypeVoter) Name() string { return "type" }
+
+// Vote implements Voter.
+func (TypeVoter) Vote(src, dst *ElementView) Vote {
+	ta, tb := src.El.Type, dst.El.Type
+	if ta == schema.TypeNone || tb == schema.TypeNone {
+		return Abstain
+	}
+	switch {
+	case ta == tb:
+		return Vote{Ratio: 0.70, Evidence: 1}
+	case typeClass(ta) == typeClass(tb):
+		return Vote{Ratio: 0.60, Evidence: 0.8}
+	default:
+		return Vote{Ratio: 0.25, Evidence: 0.8}
+	}
+}
+
+// typeClass buckets data types into coarse families for near-compatibility.
+func typeClass(t schema.DataType) int {
+	switch t {
+	case schema.TypeString, schema.TypeText, schema.TypeIdentifier:
+		return 1 // textual
+	case schema.TypeInteger, schema.TypeDecimal, schema.TypeBoolean:
+		return 2 // numeric
+	case schema.TypeDate, schema.TypeTime, schema.TypeDateTime:
+		return 3 // temporal
+	case schema.TypeBinary:
+		return 4
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Structure voter
+
+// StructureVoter scores container pairs by aligning their children's names:
+// two tables whose columns mostly correspond are probably the same concept
+// even if the table names differ. For leaf pairs it compares the parents'
+// names, giving each leaf contextual structural evidence.
+type StructureVoter struct{}
+
+// Name implements Voter.
+func (StructureVoter) Name() string { return "structure" }
+
+// Vote implements Voter.
+func (StructureVoter) Vote(src, dst *ElementView) Vote {
+	a, b := src.El, dst.El
+	switch {
+	case !a.IsLeaf() && !b.IsLeaf():
+		return containerVote(src, dst)
+	case a.IsLeaf() && b.IsLeaf():
+		if src.ParentTokens == nil || dst.ParentTokens == nil {
+			return Abstain
+		}
+		sim := text.HybridNameSimilarity(src.ParentTokens, dst.ParentTokens)
+		return Vote{Ratio: sim, Evidence: 1.2}
+	default:
+		// container vs leaf: weak structural counter-evidence
+		return Vote{Ratio: 0.35, Evidence: 0.6}
+	}
+}
+
+// containerVote greedily aligns children by hybrid name similarity and
+// scores the alignment quality over the smaller child set.
+func containerVote(src, dst *ElementView) Vote {
+	tokA, tokB := src.ChildTokens, dst.ChildTokens
+	if len(tokA) == 0 || len(tokB) == 0 {
+		return Abstain
+	}
+	// cap the alignment work per pair to bound worst-case cost
+	const maxChildren = 64
+	if len(tokA) > maxChildren {
+		tokA = tokA[:maxChildren]
+	}
+	if len(tokB) > maxChildren {
+		tokB = tokB[:maxChildren]
+	}
+	used := make([]bool, len(tokB))
+	var total float64
+	n := min(len(tokA), len(tokB))
+	for i := range tokA {
+		best, bestJ := 0.0, -1
+		for j := range tokB {
+			if used[j] {
+				continue
+			}
+			if s := text.SynonymAwareOverlap(tokA[i], tokB[j]); s > best {
+				best, bestJ = s, j
+			}
+		}
+		if bestJ >= 0 && best > 0 {
+			used[bestJ] = true
+			total += best
+		}
+	}
+	return Vote{Ratio: total / float64(n), Evidence: float64(n) * 0.9}
+}
+
+// ---------------------------------------------------------------------------
+// Acronym voter
+
+// AcronymVoter detects acronym relationships between names: DTG matches
+// Date_Time_Group because "dtg" is the acronym of the expanded tokens. It
+// abstains unless an acronym relation actually holds, so it only ever adds
+// positive evidence.
+type AcronymVoter struct{}
+
+// Name implements Voter.
+func (AcronymVoter) Name() string { return "acronym" }
+
+// Vote implements Voter.
+func (AcronymVoter) Vote(src, dst *ElementView) Vote {
+	if acronymOf(src, dst) || acronymOf(dst, src) {
+		return Vote{Ratio: 0.95, Evidence: 2}
+	}
+	return Abstain
+}
+
+// acronymOf reports whether a's raw name is the acronym of b's tokens.
+func acronymOf(a, b *ElementView) bool {
+	if len(b.NameTokens) < 2 {
+		return false
+	}
+	raw := a.RawAcronym
+	if len(raw) < 2 || len(raw) > 8 {
+		return false
+	}
+	return raw == text.Acronym(b.NameTokens)
+}
+
+// ---------------------------------------------------------------------------
+
+func distinctCount(tokens []string) int {
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		seen[t] = true
+	}
+	return len(seen)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

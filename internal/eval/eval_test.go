@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+	"harmony/internal/workflow"
+)
+
+func twoTruthSchemas() (*schema.Schema, *schema.Schema, *synth.Truth) {
+	a := schema.New("A", schema.FormatRelational)
+	t := a.AddRoot("T", schema.KindTable)
+	a.AddElement(t, "X", schema.KindColumn, schema.TypeString)
+	a.AddElement(t, "Y", schema.KindColumn, schema.TypeString)
+	b := schema.New("B", schema.FormatXML)
+	u := b.AddRoot("U", schema.KindComplexType)
+	b.AddElement(u, "P", schema.KindXMLElement, schema.TypeString)
+	b.AddElement(u, "Q", schema.KindXMLElement, schema.TypeString)
+	truth := synth.NewTruth()
+	truth.Record("A", "T", "t")
+	truth.Record("A", "T/X", "x")
+	truth.Record("A", "T/Y", "y")
+	truth.Record("B", "U", "t")
+	truth.Record("B", "U/P", "x")
+	truth.Record("B", "U/Q", "q-unique")
+	return a, b, truth
+}
+
+func TestScoreCorrespondences(t *testing.T) {
+	a, b, truth := twoTruthSchemas()
+	// Truth pairs: (T,U) and (T/X, U/P) => 2 positives.
+	sel := []core.Correspondence{
+		{Src: a.ByPath("T/X").ID, Dst: b.ByPath("U/P").ID, Score: 0.9}, // TP
+		{Src: a.ByPath("T/Y").ID, Dst: b.ByPath("U/Q").ID, Score: 0.8}, // FP
+	}
+	got := ScoreCorrespondences(truth, a, b, sel)
+	if got.TP != 1 || got.FP != 1 || got.FN != 1 {
+		t.Fatalf("counts = %+v", got)
+	}
+	if math.Abs(got.Precision-0.5) > 1e-9 || math.Abs(got.Recall-0.5) > 1e-9 {
+		t.Errorf("P/R = %f/%f", got.Precision, got.Recall)
+	}
+	if math.Abs(got.F1-0.5) > 1e-9 {
+		t.Errorf("F1 = %f", got.F1)
+	}
+	// duplicates counted once
+	dup := append(sel, sel[0])
+	if got2 := ScoreCorrespondences(truth, a, b, dup); got2 != got {
+		t.Errorf("duplicate handling: %+v vs %+v", got2, got)
+	}
+}
+
+func TestScoreEmptySelection(t *testing.T) {
+	a, b, truth := twoTruthSchemas()
+	got := ScoreCorrespondences(truth, a, b, nil)
+	if got.TP != 0 || got.FN != 2 || got.Precision != 0 || got.Recall != 0 {
+		t.Errorf("empty selection = %+v", got)
+	}
+}
+
+func TestOracleReviewerPerfect(t *testing.T) {
+	a, b, truth := twoTruthSchemas()
+	perfect := NewOracleReviewer("oracle", truth, "A", "B", 1, 0, 1)
+	d := perfect.Review(a.ByPath("T/X"), b.ByPath("U/P"), 0.9)
+	if !d.Accept {
+		t.Error("perfect oracle rejected a true match")
+	}
+	d = perfect.Review(a.ByPath("T/Y"), b.ByPath("U/Q"), 0.9)
+	if d.Accept {
+		t.Error("perfect oracle accepted a false match")
+	}
+}
+
+func TestOracleReviewerErrorModel(t *testing.T) {
+	a, b, truth := twoTruthSchemas()
+	sloppy := NewOracleReviewer("sloppy", truth, "A", "B", 0.5, 0.5, 42)
+	accepts, falses := 0, 0
+	for i := 0; i < 2000; i++ {
+		if sloppy.Review(a.ByPath("T/X"), b.ByPath("U/P"), 0.9).Accept {
+			accepts++
+		}
+		if sloppy.Review(a.ByPath("T/Y"), b.ByPath("U/Q"), 0.9).Accept {
+			falses++
+		}
+	}
+	if accepts < 800 || accepts > 1200 {
+		t.Errorf("diligence 0.5 accepted %d/2000 true matches", accepts)
+	}
+	if falses < 800 || falses > 1200 {
+		t.Errorf("falseAccept 0.5 accepted %d/2000 false matches", falses)
+	}
+}
+
+func TestScoreValidated(t *testing.T) {
+	a, b, truth := twoTruthSchemas()
+	matches := []workflow.ValidatedMatch{
+		{Src: a.ByPath("T/X"), Dst: b.ByPath("U/P"), Score: 0.9},
+	}
+	got := ScoreValidated(truth, a, b, matches)
+	if got.TP != 1 || got.FP != 0 || got.FN != 1 {
+		t.Errorf("validated score = %+v", got)
+	}
+}
+
+func TestMRRAndPrecisionAtK(t *testing.T) {
+	ranked := [][]string{
+		{"x", "good", "y"},
+		{"good", "z"},
+		{"a", "b"},
+	}
+	relevant := []map[string]bool{
+		{"good": true},
+		{"good": true},
+		{"good": true},
+	}
+	mrr := MRR(ranked, relevant)
+	want := (0.5 + 1.0 + 0) / 3
+	if math.Abs(mrr-want) > 1e-9 {
+		t.Errorf("MRR = %f, want %f", mrr, want)
+	}
+	p2 := PrecisionAtK(ranked, relevant, 2)
+	wantP := (0.5 + 0.5 + 0) / 3
+	if math.Abs(p2-wantP) > 1e-9 {
+		t.Errorf("P@2 = %f, want %f", p2, wantP)
+	}
+	if MRR(nil, nil) != 0 || PrecisionAtK(nil, nil, 3) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+}

@@ -1,0 +1,226 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/partition"
+	"harmony/internal/schema"
+	"harmony/internal/summarize"
+	"harmony/internal/workflow"
+)
+
+// fixture builds two small schemas with summaries, one concept match, and
+// two validated element matches.
+func fixture(t *testing.T) (a, b *schema.Schema, sa, sb *summarize.Summary, cms []summarize.ConceptMatch, vms []workflow.ValidatedMatch) {
+	t.Helper()
+	a = schema.New("SA", schema.FormatRelational)
+	p := a.AddRoot("Person", schema.KindTable)
+	a.AddElement(p, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	a.AddElement(p, "LAST_NAME", schema.KindColumn, schema.TypeString)
+	v := a.AddRoot("Vehicle", schema.KindTable)
+	a.AddElement(v, "VIN", schema.KindColumn, schema.TypeString)
+
+	b = schema.New("SB", schema.FormatXML)
+	q := b.AddRoot("IndividualType", schema.KindComplexType)
+	b.AddElement(q, "individualId", schema.KindXMLElement, schema.TypeIdentifier)
+	b.AddElement(q, "familyName", schema.KindXMLElement, schema.TypeString)
+	w := b.AddRoot("WeatherType", schema.KindComplexType)
+	b.AddElement(w, "temperature", schema.KindXMLElement, schema.TypeDecimal)
+
+	sa = summarize.FromRoots(a)
+	sb = summarize.FromRoots(b)
+	cms = []summarize.ConceptMatch{{
+		A: sa.ByLabel("Person"), B: sb.ByLabel("IndividualType"), Score: 0.8, Support: 2, Coverage: 0.6,
+	}}
+	vms = []workflow.ValidatedMatch{
+		{Src: a.ByPath("Person/PERSON_ID"), Dst: b.ByPath("IndividualType/individualId"), Score: 0.7, Annotation: "equivalent", ReviewedBy: "alice", TaskID: 0},
+		{Src: a.ByPath("Person/LAST_NAME"), Dst: b.ByPath("IndividualType/familyName"), Score: 0.65, Annotation: "equivalent", ReviewedBy: "bob", TaskID: 0},
+	}
+	return
+}
+
+func TestWorkbookRowCounts(t *testing.T) {
+	a, b, sa, sb, cms, vms := fixture(t)
+	wb := Build(a, b, sa, sb, cms, vms)
+	// Concept sheet: |CA| + |CB| - matches = 2 + 2 - 1 = 3 rows.
+	if wb.ConceptRows() != 3 {
+		t.Errorf("concept rows = %d, want 3", wb.ConceptRows())
+	}
+	// Element sheet: matched 2 + A-only (5-2) + B-only (5-2) = 8.
+	if wb.ElementRows() != 8 {
+		t.Errorf("element rows = %d, want 8", wb.ElementRows())
+	}
+	// matched rows first
+	if wb.ConceptSheet[0].Kind != RowMatched || wb.ConceptSheet[0].A != "Person" {
+		t.Errorf("first concept row = %+v", wb.ConceptSheet[0])
+	}
+	// row type counts
+	kinds := map[RowKind]int{}
+	for _, r := range wb.ElementSheet {
+		kinds[r.Kind]++
+	}
+	if kinds[RowMatched] != 2 || kinds[RowOnlyA] != 3 || kinds[RowOnlyB] != 3 {
+		t.Errorf("element row kinds = %v", kinds)
+	}
+}
+
+func TestWorkbookOuterJoinDiscipline(t *testing.T) {
+	a, b, sa, sb, cms, vms := fixture(t)
+	wb := Build(a, b, sa, sb, cms, vms)
+	for _, r := range wb.ElementSheet {
+		switch r.Kind {
+		case RowOnlyA:
+			if r.A == "" || r.B != "" {
+				t.Errorf("bad A-only row: %+v", r)
+			}
+		case RowOnlyB:
+			if r.B == "" || r.A != "" {
+				t.Errorf("bad B-only row: %+v", r)
+			}
+		case RowMatched:
+			if r.A == "" || r.B == "" || r.Score <= 0 {
+				t.Errorf("bad matched row: %+v", r)
+			}
+		}
+	}
+}
+
+func TestWorkbookCSV(t *testing.T) {
+	a, b, sa, sb, cms, vms := fixture(t)
+	wb := Build(a, b, sa, sb, cms, vms)
+	var buf bytes.Buffer
+	if err := wb.WriteConceptCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+3 {
+		t.Errorf("concept csv rows = %d", len(recs))
+	}
+	if recs[0][1] != "SA_concept" {
+		t.Errorf("header = %v", recs[0])
+	}
+
+	buf.Reset()
+	if err := wb.WriteElementCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+8 {
+		t.Errorf("element csv rows = %d", len(recs))
+	}
+	// matched row carries a score, A-only rows don't
+	foundMatched, foundOnly := false, false
+	for _, rec := range recs[1:] {
+		switch rec[0] {
+		case "matched":
+			foundMatched = true
+			if rec[5] == "" {
+				t.Error("matched row missing score")
+			}
+		case "A-only":
+			foundOnly = true
+			if rec[5] != "" {
+				t.Error("A-only row has score")
+			}
+		}
+	}
+	if !foundMatched || !foundOnly {
+		t.Error("row types missing from CSV")
+	}
+}
+
+func TestMatchTableSortAndGroup(t *testing.T) {
+	_, _, sa, sb, _, vms := fixture(t)
+	tab := BuildMatchTable(vms, sa, sb)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].SrcConcept != "Person" || tab.Rows[0].DstConcept != "IndividualType" {
+		t.Errorf("concept annotation missing: %+v", tab.Rows[0])
+	}
+	if err := tab.Sort(ByScore); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].Score < tab.Rows[1].Score {
+		t.Error("not sorted by score desc")
+	}
+	if err := tab.Sort(ByReviewer); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].ReviewedBy != "alice" {
+		t.Errorf("reviewer sort: %+v", tab.Rows[0])
+	}
+	if err := tab.Sort("bogus"); err == nil {
+		t.Error("expected error for unknown field")
+	}
+	groups := tab.GroupByReviewer()
+	if len(groups) != 2 || len(groups["alice"]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+	byConcept := tab.GroupByConcept()
+	if len(byConcept["Person"]) != 2 {
+		t.Errorf("concept groups = %v", byConcept)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Person/LAST_NAME") {
+		t.Error("CSV missing data")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	a, b, sa, sb, cms, vms := fixture(t)
+	res := core.PresetHarmony().Match(a, b)
+	stats := partition.FromResult(res, 0.25, true).Stats()
+	rep := &Report{
+		A: a, B: b, Partition: stats,
+		ConceptMatches: cms, SummaryA: sa, SummaryB: sb, Validated: vms,
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SA vs SB", "Person", "IndividualType", "coverage", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Person concept: 2 of 3 elements matched => 67%
+	if !strings.Contains(out, "67%") {
+		t.Errorf("expected 67%% coverage for Person:\n%s", out)
+	}
+}
+
+func TestRenderVocabulary(t *testing.T) {
+	a, _, _, _, _, _ := fixture(t)
+	b2 := schema.New("S2", schema.FormatRelational)
+	tb := b2.AddRoot("Person", schema.KindTable)
+	b2.AddElement(tb, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	v, err := partition.Build([]*schema.Schema{a, b2}, []partition.Correspondences{
+		{I: 0, J: 1, Pairs: []core.Correspondence{{Src: 0, Dst: 0, Score: 0.9}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderVocabulary(&buf, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SA∩S2") || !strings.Contains(out, "terms") {
+		t.Errorf("vocabulary render:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"harmony/internal/summarize"
+	"harmony/internal/workflow"
+)
+
+// MatchRow is one row of the match-centric view: the match itself is the
+// record, not the schemata. The paper's Lesson #2: "users care more about
+// matches and sets of matches than about the original schema. Spreadsheets
+// allow users to flexibly sort matches (e.g., by status, team member
+// assigned to investigate it, etc.)".
+type MatchRow struct {
+	SrcPath    string
+	DstPath    string
+	SrcConcept string
+	DstConcept string
+	Score      float64
+	Annotation string
+	ReviewedBy string
+	TaskID     int
+}
+
+// MatchTable is a sortable, groupable collection of match rows.
+type MatchTable struct {
+	Rows []MatchRow
+}
+
+// SortField names a sortable column.
+type SortField string
+
+// Sortable columns.
+const (
+	BySrc      SortField = "src"
+	ByDst      SortField = "dst"
+	ByScore    SortField = "score"
+	ByConcept  SortField = "concept"
+	ByReviewer SortField = "reviewer"
+)
+
+// BuildMatchTable converts validated workflow matches into the
+// match-centric view, annotated with both sides' concept labels.
+func BuildMatchTable(validated []workflow.ValidatedMatch, sa, sb *summarize.Summary) *MatchTable {
+	t := &MatchTable{Rows: make([]MatchRow, 0, len(validated))}
+	for _, vm := range validated {
+		row := MatchRow{
+			SrcPath:    vm.Src.Path(),
+			DstPath:    vm.Dst.Path(),
+			Score:      vm.Score,
+			Annotation: vm.Annotation,
+			ReviewedBy: vm.ReviewedBy,
+			TaskID:     vm.TaskID,
+		}
+		if sa != nil {
+			if c := sa.ConceptOf(vm.Src); c != nil {
+				row.SrcConcept = c.Label
+			}
+		}
+		if sb != nil {
+			if c := sb.ConceptOf(vm.Dst); c != nil {
+				row.DstConcept = c.Label
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Sort orders the rows by the given field (score descending, everything
+// else ascending with score as tiebreak).
+func (t *MatchTable) Sort(field SortField) error {
+	less, err := t.lessFunc(field)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(t.Rows, less)
+	return nil
+}
+
+func (t *MatchTable) lessFunc(field SortField) (func(i, j int) bool, error) {
+	switch field {
+	case ByScore:
+		return func(i, j int) bool { return t.Rows[i].Score > t.Rows[j].Score }, nil
+	case BySrc:
+		return func(i, j int) bool { return t.Rows[i].SrcPath < t.Rows[j].SrcPath }, nil
+	case ByDst:
+		return func(i, j int) bool { return t.Rows[i].DstPath < t.Rows[j].DstPath }, nil
+	case ByConcept:
+		return func(i, j int) bool {
+			if t.Rows[i].SrcConcept != t.Rows[j].SrcConcept {
+				return t.Rows[i].SrcConcept < t.Rows[j].SrcConcept
+			}
+			return t.Rows[i].Score > t.Rows[j].Score
+		}, nil
+	case ByReviewer:
+		return func(i, j int) bool {
+			if t.Rows[i].ReviewedBy != t.Rows[j].ReviewedBy {
+				return t.Rows[i].ReviewedBy < t.Rows[j].ReviewedBy
+			}
+			return t.Rows[i].Score > t.Rows[j].Score
+		}, nil
+	}
+	return nil, fmt.Errorf("export: unknown sort field %q", field)
+}
+
+// GroupByConcept groups rows by source concept label, preserving row
+// order within each group.
+func (t *MatchTable) GroupByConcept() map[string][]MatchRow {
+	out := make(map[string][]MatchRow)
+	for _, r := range t.Rows {
+		out[r.SrcConcept] = append(out[r.SrcConcept], r)
+	}
+	return out
+}
+
+// GroupByReviewer groups rows by reviewing team member.
+func (t *MatchTable) GroupByReviewer() map[string][]MatchRow {
+	out := make(map[string][]MatchRow)
+	for _, r := range t.Rows {
+		out[r.ReviewedBy] = append(out[r.ReviewedBy], r)
+	}
+	return out
+}
+
+// WriteCSV writes the table.
+func (t *MatchTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"src", "src_concept", "dst", "dst_concept", "score", "annotation", "reviewed_by", "task"}); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, r := range t.Rows {
+		rec := []string{
+			r.SrcPath, r.SrcConcept, r.DstPath, r.DstConcept,
+			strconv.FormatFloat(r.Score, 'f', 3, 64),
+			r.Annotation, r.ReviewedBy, strconv.Itoa(r.TaskID),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,177 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"harmony/internal/partition"
+	"harmony/internal/schema"
+	"harmony/internal/summarize"
+	"harmony/internal/workflow"
+)
+
+// Report renders the "big picture" the paper says raw match lists fail to
+// provide: headline partition numbers, per-concept coverage ("75% of
+// concept A matched, but only 25% of concept B"), and the concept-level
+// match list. It is the textual analog of the summary the customer
+// received.
+type Report struct {
+	A, B           *schema.Schema
+	Partition      partition.Stats
+	ConceptMatches []summarize.ConceptMatch
+	SummaryA       *summarize.Summary
+	SummaryB       *summarize.Summary
+	Validated      []workflow.ValidatedMatch
+}
+
+// conceptCoverage returns the fraction of a concept's members that appear
+// in the validated match set on the given side.
+func conceptCoverage(c *summarize.Concept, matched map[*schema.Element]bool) float64 {
+	if c.Size() == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range c.Members {
+		if matched[m] {
+			n++
+		}
+	}
+	return float64(n) / float64(c.Size())
+}
+
+// Render writes the report as plain text.
+func (r *Report) Render(w io.Writer) error {
+	matchedA := make(map[*schema.Element]bool)
+	matchedB := make(map[*schema.Element]bool)
+	for _, vm := range r.Validated {
+		matchedA[vm.Src] = true
+		matchedB[vm.Dst] = true
+	}
+
+	p := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Schema match report: %s vs %s\n", r.A.Name, r.B.Name); err != nil {
+		return err
+	}
+	if err := p("=====================================\n\n"); err != nil {
+		return err
+	}
+	if err := p("Headline: %s\n\n", r.Partition.String()); err != nil {
+		return err
+	}
+	if err := p("Concepts: %d in %s, %d in %s, %d concept-level matches\n\n",
+		r.SummaryA.Len(), r.A.Name, r.SummaryB.Len(), r.B.Name, len(r.ConceptMatches)); err != nil {
+		return err
+	}
+	if len(r.ConceptMatches) > 0 {
+		if err := p("Concept-level matches:\n"); err != nil {
+			return err
+		}
+		for _, cm := range r.ConceptMatches {
+			if err := p("  %s\n", cm.String()); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
+	if err := p("Per-concept coverage (%s):\n", r.A.Name); err != nil {
+		return err
+	}
+	if err := r.renderCoverage(w, r.SummaryA, matchedA); err != nil {
+		return err
+	}
+	if err := p("\nPer-concept coverage (%s):\n", r.B.Name); err != nil {
+		return err
+	}
+	return r.renderCoverage(w, r.SummaryB, matchedB)
+}
+
+func (r *Report) renderCoverage(w io.Writer, sm *summarize.Summary, matched map[*schema.Element]bool) error {
+	type cov struct {
+		label string
+		frac  float64
+		size  int
+	}
+	var rows []cov
+	for _, c := range sm.Concepts() {
+		rows = append(rows, cov{c.Label, conceptCoverage(c, matched), c.Size()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].frac != rows[j].frac {
+			return rows[i].frac > rows[j].frac
+		}
+		return rows[i].label < rows[j].label
+	})
+	for _, c := range rows {
+		bar := renderBar(c.frac, 20)
+		if _, err := fmt.Fprintf(w, "  %-40s %s %3.0f%% of %d elements\n", c.label, bar, c.frac*100, c.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderBar(frac float64, width int) string {
+	full := int(frac*float64(width) + 0.5)
+	if full > width {
+		full = width
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		if i < full {
+			bar[i] = '#'
+		} else {
+			bar[i] = '.'
+		}
+	}
+	return string(bar)
+}
+
+// RenderVocabulary writes an N-way comprehensive vocabulary as the
+// cell-count table decision makers read: one row per non-empty Venn cell,
+// largest first, with example terms.
+func RenderVocabulary(w io.Writer, v *partition.Vocabulary, examplesPerCell int) error {
+	type cell struct {
+		mask  uint32
+		count int
+	}
+	var cells []cell
+	for mask, n := range v.CellCounts() {
+		if n > 0 {
+			cells = append(cells, cell{mask, n})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].count != cells[j].count {
+			return cells[i].count > cells[j].count
+		}
+		return cells[i].mask < cells[j].mask
+	})
+	if _, err := fmt.Fprintf(w, "Comprehensive vocabulary: %d terms across %d schemata, %d of %d possible cells occupied\n\n",
+		len(v.Terms), len(v.Schemas), v.NumCells(), (1<<uint(len(v.Schemas)))-1); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(w, "%-40s %5d terms", v.MaskName(c.mask), c.count); err != nil {
+			return err
+		}
+		terms := v.Cell(c.mask)
+		sep := "   e.g. "
+		for i := 0; i < examplesPerCell && i < len(terms); i++ {
+			if _, err := fmt.Fprintf(w, "%s%s", sep, terms[i].Label); err != nil {
+				return err
+			}
+			sep = ", "
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package export produces the deliverables the paper's customer actually
+// consumed: a two-sheet, outer-join-style spreadsheet ("The first sheet
+// enumerated the 191 concepts with their 24 concept-level matches (167
+// rows), the second sheet contained the individual schema elements (indexed
+// to a concept) and their element-level matches. Both sheets were organized
+// in 'outer-join' style with three types of rows: those specific to SA,
+// those specific to SB, and those having matched elements of SA and SB."),
+// the match-centric sortable table of Lesson #2, and a plain-text
+// big-picture report.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"harmony/internal/schema"
+	"harmony/internal/summarize"
+	"harmony/internal/workflow"
+)
+
+// RowKind classifies an outer-join row.
+type RowKind string
+
+// The paper's three row types.
+const (
+	RowOnlyA   RowKind = "A-only"
+	RowOnlyB   RowKind = "B-only"
+	RowMatched RowKind = "matched"
+)
+
+// Row is one outer-join row of either sheet.
+type Row struct {
+	Kind RowKind
+	// A and B are the concept labels (concept sheet) or element paths
+	// (element sheet); empty on the side the row does not cover.
+	A, B string
+	// ConceptA and ConceptB index element rows to their concepts.
+	ConceptA, ConceptB string
+	// Score is the match score for matched rows.
+	Score float64
+	// Annotation and ReviewedBy carry validation provenance on matched
+	// element rows.
+	Annotation string
+	ReviewedBy string
+}
+
+// Workbook is the full two-sheet deliverable.
+type Workbook struct {
+	SchemaA, SchemaB string
+	ConceptSheet     []Row
+	ElementSheet     []Row
+}
+
+// Build assembles the workbook from the two summaries, the lifted
+// concept-level matches, and the validated element matches. Row ordering
+// is deterministic: matched rows first (by A label/path), then A-only,
+// then B-only.
+func Build(a, b *schema.Schema, sa, sb *summarize.Summary, conceptMatches []summarize.ConceptMatch, validated []workflow.ValidatedMatch) *Workbook {
+	wb := &Workbook{SchemaA: a.Name, SchemaB: b.Name}
+
+	// ----- concept sheet -----
+	matchedA := make(map[*summarize.Concept]bool)
+	matchedB := make(map[*summarize.Concept]bool)
+	for _, cm := range conceptMatches {
+		wb.ConceptSheet = append(wb.ConceptSheet, Row{
+			Kind: RowMatched, A: cm.A.Label, B: cm.B.Label, Score: cm.Score,
+		})
+		matchedA[cm.A] = true
+		matchedB[cm.B] = true
+	}
+	for _, c := range sa.Concepts() {
+		if !matchedA[c] {
+			wb.ConceptSheet = append(wb.ConceptSheet, Row{Kind: RowOnlyA, A: c.Label})
+		}
+	}
+	for _, c := range sb.Concepts() {
+		if !matchedB[c] {
+			wb.ConceptSheet = append(wb.ConceptSheet, Row{Kind: RowOnlyB, B: c.Label})
+		}
+	}
+	sortRows(wb.ConceptSheet)
+
+	// ----- element sheet -----
+	conceptLabel := func(sm *summarize.Summary, e *schema.Element) string {
+		if c := sm.ConceptOf(e); c != nil {
+			return c.Label
+		}
+		return ""
+	}
+	elemMatchedA := make(map[*schema.Element]bool)
+	elemMatchedB := make(map[*schema.Element]bool)
+	for _, vm := range validated {
+		wb.ElementSheet = append(wb.ElementSheet, Row{
+			Kind:       RowMatched,
+			A:          vm.Src.Path(),
+			B:          vm.Dst.Path(),
+			ConceptA:   conceptLabel(sa, vm.Src),
+			ConceptB:   conceptLabel(sb, vm.Dst),
+			Score:      vm.Score,
+			Annotation: vm.Annotation,
+			ReviewedBy: vm.ReviewedBy,
+		})
+		elemMatchedA[vm.Src] = true
+		elemMatchedB[vm.Dst] = true
+	}
+	for _, e := range a.Elements() {
+		if !elemMatchedA[e] {
+			wb.ElementSheet = append(wb.ElementSheet, Row{
+				Kind: RowOnlyA, A: e.Path(), ConceptA: conceptLabel(sa, e),
+			})
+		}
+	}
+	for _, e := range b.Elements() {
+		if !elemMatchedB[e] {
+			wb.ElementSheet = append(wb.ElementSheet, Row{
+				Kind: RowOnlyB, B: e.Path(), ConceptB: conceptLabel(sb, e),
+			})
+		}
+	}
+	sortRows(wb.ElementSheet)
+	return wb
+}
+
+func sortRows(rows []Row) {
+	rank := map[RowKind]int{RowMatched: 0, RowOnlyA: 1, RowOnlyB: 2}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rank[rows[i].Kind] != rank[rows[j].Kind] {
+			return rank[rows[i].Kind] < rank[rows[j].Kind]
+		}
+		if rows[i].A != rows[j].A {
+			return rows[i].A < rows[j].A
+		}
+		return rows[i].B < rows[j].B
+	})
+}
+
+// ConceptRows returns the number of concept-sheet rows; for the paper's
+// case study this is 167 (191 concepts minus 24 merged by concept-level
+// matches).
+func (wb *Workbook) ConceptRows() int { return len(wb.ConceptSheet) }
+
+// ElementRows returns the number of element-sheet rows.
+func (wb *Workbook) ElementRows() int { return len(wb.ElementSheet) }
+
+// WriteConceptCSV writes the concept sheet as CSV.
+func (wb *Workbook) WriteConceptCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"row_type", wb.SchemaA + "_concept", wb.SchemaB + "_concept", "score"}); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, r := range wb.ConceptSheet {
+		rec := []string{string(r.Kind), r.A, r.B, scoreField(r)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteElementCSV writes the element sheet as CSV.
+func (wb *Workbook) WriteElementCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"row_type",
+		wb.SchemaA + "_element", wb.SchemaA + "_concept",
+		wb.SchemaB + "_element", wb.SchemaB + "_concept",
+		"score", "annotation", "reviewed_by",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, r := range wb.ElementSheet {
+		rec := []string{string(r.Kind), r.A, r.ConceptA, r.B, r.ConceptB, scoreField(r), r.Annotation, r.ReviewedBy}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func scoreField(r Row) string {
+	if r.Kind != RowMatched {
+		return ""
+	}
+	return strconv.FormatFloat(r.Score, 'f', 3, 64)
+}

@@ -1,0 +1,45 @@
+package registry
+
+import (
+	"time"
+
+	"harmony/internal/workflow"
+)
+
+// FromWorkflow converts a completed matching session's validated matches
+// into a storable match artifact, closing the loop the paper asks for:
+// "A schema (metadata) repository is an appropriate context in which ...
+// to store resulting match information", so that "other developers should
+// be able to benefit from previous matches".
+//
+// Every validated match becomes an accepted pair carrying its reviewer as
+// validation provenance. The artifact is returned, not stored; pass it to
+// AddMatch.
+func FromWorkflow(schemaA, schemaB string, accepted []workflow.ValidatedMatch, ctx Context, createdBy string, at time.Time) MatchArtifact {
+	ma := MatchArtifact{
+		SchemaA: schemaA,
+		SchemaB: schemaB,
+		Context: ctx,
+		Provenance: Provenance{
+			CreatedBy: createdBy,
+			Tool:      "harmony-workflow",
+			CreatedAt: at,
+			Notes:     "validated via concept-at-a-time workflow",
+		},
+	}
+	for _, vm := range accepted {
+		ann := Annotation(vm.Annotation)
+		if ann == "" {
+			ann = AnnEquivalent
+		}
+		ma.Pairs = append(ma.Pairs, AssertedMatch{
+			PathA:       vm.Src.Path(),
+			PathB:       vm.Dst.Path(),
+			Score:       vm.Score,
+			Status:      StatusAccepted,
+			Annotation:  ann,
+			ValidatedBy: vm.ReviewedBy,
+		})
+	}
+	return ma
+}

@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"harmony/internal/schema"
+	"harmony/internal/workflow"
+)
+
+func TestFromWorkflow(t *testing.T) {
+	a := personSchema()
+	b := individualSchema()
+	accepted := []workflow.ValidatedMatch{
+		{
+			Src: a.ByPath("Person/LAST_NAME"), Dst: b.ByPath("IndividualType/familyName"),
+			Score: 0.8, Annotation: "equivalent", ReviewedBy: "alice", TaskID: 0,
+		},
+		{
+			Src: a.ByPath("Person/PERSON_ID"), Dst: b.ByPath("IndividualType/individualId"),
+			Score: 0.7, ReviewedBy: "bob", TaskID: 1, // no annotation -> defaults
+		},
+	}
+	at := time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+	ma := FromWorkflow("PersonSys", "IndivSys", accepted, ContextIntegration, "team-lead", at)
+
+	if ma.Context != ContextIntegration || ma.Provenance.CreatedBy != "team-lead" {
+		t.Errorf("artifact metadata: %+v", ma)
+	}
+	if !ma.Provenance.CreatedAt.Equal(at) {
+		t.Errorf("CreatedAt = %v", ma.Provenance.CreatedAt)
+	}
+	if len(ma.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(ma.Pairs))
+	}
+	for _, p := range ma.Pairs {
+		if p.Status != StatusAccepted {
+			t.Errorf("pair not accepted: %+v", p)
+		}
+	}
+	if ma.Pairs[0].ValidatedBy != "alice" || ma.Pairs[1].ValidatedBy != "bob" {
+		t.Error("validation provenance lost")
+	}
+	if ma.Pairs[1].Annotation != AnnEquivalent {
+		t.Errorf("default annotation = %q", ma.Pairs[1].Annotation)
+	}
+
+	// The artifact round-trips through the registry.
+	r := New()
+	if err := r.AddSchema(a, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(b, "y"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.AddMatch(ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := r.Match(id)
+	if !ok || len(stored.AcceptedPairs()) != 2 {
+		t.Errorf("stored artifact: %+v", stored)
+	}
+	// Integration-grade artifact is trusted for every context.
+	if got := len(r.TrustedPairs("PersonSys", "IndivSys", ContextBusinessIntel)); got != 0 {
+		// business-intelligence outranks integration, so nothing qualifies
+		t.Errorf("BI-trusted pairs = %d, want 0", got)
+	}
+	if got := len(r.TrustedPairs("PersonSys", "IndivSys", ContextSearch)); got != 2 {
+		t.Errorf("search-trusted pairs = %d, want 2", got)
+	}
+}
+
+func TestFindSchemas(t *testing.T) {
+	r := New()
+	p := personSchema() // relational, 3 elements
+	p.ByPath("Person").Doc = "docs"
+	if err := r.AddSchema(p, "G-6", "personnel", "authoritative"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(individualSchema(), "G-2", "exchange"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		f    Filter
+		want []string
+	}{
+		{"no filter", Filter{}, []string{"IndivSys", "PersonSys"}},
+		{"by format", Filter{Format: schema.FormatXML}, []string{"IndivSys"}},
+		{"by steward", Filter{Steward: "G-6"}, []string{"PersonSys"}},
+		{"by tag", Filter{Tag: "authoritative"}, []string{"PersonSys"}},
+		{"by missing tag", Filter{Tag: "nope"}, nil},
+		{"by name substring", Filter{NameContains: "indiv"}, []string{"IndivSys"}},
+		{"by min elements", Filter{MinElements: 10}, nil},
+		{"by max elements", Filter{MaxElements: 5}, []string{"IndivSys", "PersonSys"}},
+		{"by depth", Filter{MinDepth: 2}, []string{"IndivSys", "PersonSys"}},
+		{"by depth too deep", Filter{MinDepth: 5}, nil},
+		{"by documentation", Filter{MinDocumented: 0.3}, []string{"PersonSys"}},
+		{"conjunction", Filter{Format: schema.FormatRelational, Steward: "G-6"}, []string{"PersonSys"}},
+		{"conjunction miss", Filter{Format: schema.FormatXML, Steward: "G-6"}, nil},
+	}
+	for _, tc := range cases {
+		got := r.FindSchemas(tc.f)
+		var names []string
+		for _, e := range got {
+			names = append(names, e.Schema.Name)
+		}
+		if len(names) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, names, tc.want)
+			continue
+		}
+		for i := range names {
+			if names[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, names, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package registry
+
+import (
+	"sort"
+	"strings"
+
+	"harmony/internal/schema"
+)
+
+// Filter is a structured query over the catalog — the paper's "predicates
+// over schema characteristics" form of schema search. Zero-valued fields
+// impose no restriction.
+type Filter struct {
+	// Format restricts the source format.
+	Format schema.Format
+	// MinElements and MaxElements bound schema size (0 = unbounded).
+	MinElements int
+	MaxElements int
+	// MinDepth requires at least this much nesting.
+	MinDepth int
+	// Steward matches the owning organization exactly.
+	Steward string
+	// Tag requires the tag to be present.
+	Tag string
+	// NameContains matches case-insensitively against the schema name.
+	NameContains string
+	// MinDocumented requires at least this fraction of elements to carry
+	// documentation, in [0,1].
+	MinDocumented float64
+}
+
+// FindSchemas returns the registered entries matching every set predicate,
+// sorted by name.
+func (r *Registry) FindSchemas(f Filter) []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Entry
+	for _, e := range r.entries {
+		if !matches(e, f) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Schema.Name < out[j].Schema.Name })
+	return out
+}
+
+func matches(e *Entry, f Filter) bool {
+	st := e.Stats
+	if f.Format != schema.FormatUnknown && e.Schema.Format != f.Format {
+		return false
+	}
+	if f.MinElements > 0 && st.Elements < f.MinElements {
+		return false
+	}
+	if f.MaxElements > 0 && st.Elements > f.MaxElements {
+		return false
+	}
+	if f.MinDepth > 0 && st.MaxDepth < f.MinDepth {
+		return false
+	}
+	if f.Steward != "" && e.Steward != f.Steward {
+		return false
+	}
+	if f.Tag != "" && !hasTag(e.Tags, f.Tag) {
+		return false
+	}
+	if f.NameContains != "" &&
+		!strings.Contains(strings.ToLower(e.Schema.Name), strings.ToLower(f.NameContains)) {
+		return false
+	}
+	if f.MinDocumented > 0 {
+		if st.Elements == 0 {
+			return false
+		}
+		if float64(st.Documented)/float64(st.Elements) < f.MinDocumented {
+			return false
+		}
+	}
+	return true
+}
+
+func hasTag(tags []string, want string) bool {
+	for _, t := range tags {
+		if t == want {
+			return true
+		}
+	}
+	return false
+}

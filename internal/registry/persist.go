@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"harmony/internal/schema"
+)
+
+// persisted is the on-disk JSON form of a registry.
+type persisted struct {
+	Schemas []persistedEntry    `json:"schemas"`
+	Matches []persistedArtifact `json:"matches"`
+	NextID  int                 `json:"nextId"`
+}
+
+type persistedEntry struct {
+	Schema     json.RawMessage `json:"schema"`
+	Steward    string          `json:"steward,omitempty"`
+	Tags       []string        `json:"tags,omitempty"`
+	Registered time.Time       `json:"registered"`
+}
+
+type persistedArtifact struct {
+	ID         string          `json:"id"`
+	SchemaA    string          `json:"schemaA"`
+	SchemaB    string          `json:"schemaB"`
+	Context    Context         `json:"context"`
+	Provenance Provenance      `json:"provenance"`
+	Pairs      []AssertedMatch `json:"pairs"`
+}
+
+// Save writes the registry to path as JSON (atomically: temp file +
+// rename).
+func (r *Registry) Save(path string) error {
+	r.mu.RLock()
+	p := persisted{NextID: r.nextID}
+	for _, e := range r.Schemas() {
+		raw, err := json.Marshal(e.Schema)
+		if err != nil {
+			r.mu.RUnlock()
+			return fmt.Errorf("registry save: %w", err)
+		}
+		p.Schemas = append(p.Schemas, persistedEntry{
+			Schema: raw, Steward: e.Steward, Tags: e.Tags, Registered: e.Registered,
+		})
+	}
+	for _, ma := range r.Matches() {
+		p.Matches = append(p.Matches, persistedArtifact{
+			ID: ma.ID, SchemaA: ma.SchemaA, SchemaB: ma.SchemaB,
+			Context: ma.Context, Provenance: ma.Provenance, Pairs: ma.Pairs,
+		})
+	}
+	r.mu.RUnlock()
+
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry save: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("registry save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("registry save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a registry previously written by Save. Artifacts are restored
+// verbatim (IDs preserved); the search index is rebuilt.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry load: %w", err)
+	}
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("registry load: %w", err)
+	}
+	r := New()
+	for _, pe := range p.Schemas {
+		s, err := schema.ParseJSON(pe.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("registry load: %w", err)
+		}
+		if err := r.AddSchema(s, pe.Steward, pe.Tags...); err != nil {
+			return nil, fmt.Errorf("registry load: %w", err)
+		}
+		// preserve original registration time
+		r.mu.Lock()
+		r.entries[s.Name].Registered = pe.Registered
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	for i := range p.Matches {
+		pa := p.Matches[i]
+		r.matches[pa.ID] = &MatchArtifact{
+			ID: pa.ID, SchemaA: pa.SchemaA, SchemaB: pa.SchemaB,
+			Context: pa.Context, Provenance: pa.Provenance, Pairs: pa.Pairs,
+		}
+	}
+	r.nextID = p.NextID
+	r.mu.Unlock()
+	return r, nil
+}

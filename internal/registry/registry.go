@@ -1,0 +1,356 @@
+// Package registry implements an enterprise metadata repository, the
+// paper's final research direction: "Large enterprises can have hundreds to
+// thousands of schemata, illustrating the need to manage schemata as data
+// themselves. A schema (metadata) repository is an appropriate context in
+// which to cluster schemata, to summarize them, to search for match
+// candidates and to store resulting match information."
+//
+// Unlike the commercial repository tools the paper criticizes, this one
+// treats schema matches as first-class knowledge artifacts with provenance
+// ("who said that X is the same as Y, and should I trust that assertion in
+// my application?") and context-dependence ("a match that supports search
+// may not have sufficient precision to support a business intelligence
+// application").
+//
+// The registry is an embedded, concurrency-safe store with JSON
+// persistence and an integrated search index.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harmony/internal/schema"
+	"harmony/internal/search"
+)
+
+// Context declares the intended use of a match artifact; trust is
+// context-dependent.
+type Context string
+
+// Standard match contexts, ordered roughly by required precision.
+const (
+	ContextSearch       Context = "search"        // discovery and ranking
+	ContextPlanning     Context = "planning"      // effort estimation, feasibility
+	ContextIntegration  Context = "integration"   // mapping development
+	ContextBusinessIntel Context = "business-intelligence" // query answering
+)
+
+// ValidationStatus tracks the human review state of one asserted match.
+type ValidationStatus string
+
+// Validation states.
+const (
+	StatusProposed ValidationStatus = "proposed"
+	StatusAccepted ValidationStatus = "accepted"
+	StatusRejected ValidationStatus = "rejected"
+)
+
+// Annotation is the optional semantic refinement of a correspondence the
+// case study's engineers recorded ("with additional semantics such as
+// is-a or part-of").
+type Annotation string
+
+// Standard annotations.
+const (
+	AnnEquivalent Annotation = "equivalent"
+	AnnIsA        Annotation = "is-a"
+	AnnPartOf     Annotation = "part-of"
+	AnnRelated    Annotation = "related"
+)
+
+// AssertedMatch is one element-level correspondence inside a match
+// artifact.
+type AssertedMatch struct {
+	PathA, PathB string
+	Score        float64
+	Status       ValidationStatus
+	Annotation   Annotation
+	ValidatedBy  string
+}
+
+// Provenance records who created a match artifact, with what, and when.
+type Provenance struct {
+	CreatedBy string
+	Tool      string
+	CreatedAt time.Time
+	Notes     string
+}
+
+// MatchArtifact is a stored schema match: the knowledge artifact the paper
+// says "other developers should be able to benefit from".
+type MatchArtifact struct {
+	ID               string
+	SchemaA, SchemaB string
+	Context          Context
+	Provenance       Provenance
+	Pairs            []AssertedMatch
+}
+
+// AcceptedPairs returns the subset of pairs a human accepted.
+func (ma *MatchArtifact) AcceptedPairs() []AssertedMatch {
+	var out []AssertedMatch
+	for _, p := range ma.Pairs {
+		if p.Status == StatusAccepted {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Entry is one registered schema with catalog metadata.
+type Entry struct {
+	Schema     *schema.Schema
+	Steward    string
+	Tags       []string
+	Registered time.Time
+	Stats      schema.Stats
+}
+
+// Registry is the repository. Construct with New; safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	matches map[string]*MatchArtifact
+	index   *search.Index
+	nextID  int
+	now     func() time.Time
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		entries: make(map[string]*Entry),
+		matches: make(map[string]*MatchArtifact),
+		index:   search.NewIndex(),
+		now:     time.Now,
+	}
+}
+
+// AddSchema registers a schema under its name with catalog metadata. It
+// fails if the name is already registered (use ReplaceSchema to update).
+func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) error {
+	if s == nil || s.Name == "" {
+		return fmt.Errorf("registry: schema must be non-nil and named")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[s.Name]; dup {
+		return fmt.Errorf("registry: schema %q already registered", s.Name)
+	}
+	r.entries[s.Name] = &Entry{
+		Schema:     s,
+		Steward:    steward,
+		Tags:       append([]string(nil), tags...),
+		Registered: r.now(),
+		Stats:      s.ComputeStats(),
+	}
+	r.index.Add(s)
+	return nil
+}
+
+// ReplaceSchema updates a registered schema in place, keeping its match
+// artifacts (they may now dangle; ValidateArtifacts reports those).
+func (r *Registry) ReplaceSchema(s *schema.Schema, steward string, tags ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[s.Name] = &Entry{
+		Schema:     s,
+		Steward:    steward,
+		Tags:       append([]string(nil), tags...),
+		Registered: r.now(),
+		Stats:      s.ComputeStats(),
+	}
+	r.index.Add(s)
+}
+
+// RemoveSchema unregisters a schema and deletes the match artifacts that
+// reference it. It returns the number of artifacts removed.
+func (r *Registry) RemoveSchema(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, name)
+	r.index.Remove(name)
+	removed := 0
+	for id, ma := range r.matches {
+		if ma.SchemaA == name || ma.SchemaB == name {
+			delete(r.matches, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Schema returns a registered entry.
+func (r *Registry) Schema(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Schemas returns all registered schemata sorted by name.
+func (r *Registry) Schemas() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Schema.Name < out[j].Schema.Name })
+	return out
+}
+
+// Len returns the number of registered schemata.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// AddMatch stores a match artifact after validating that both schemata are
+// registered, every referenced path exists, and scores are in (-1,1). It
+// assigns and returns the artifact ID.
+func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ea, ok := r.entries[ma.SchemaA]
+	if !ok {
+		return "", fmt.Errorf("registry: schema %q not registered", ma.SchemaA)
+	}
+	eb, ok := r.entries[ma.SchemaB]
+	if !ok {
+		return "", fmt.Errorf("registry: schema %q not registered", ma.SchemaB)
+	}
+	for _, p := range ma.Pairs {
+		if ea.Schema.ByPath(p.PathA) == nil {
+			return "", fmt.Errorf("registry: path %q not in schema %q", p.PathA, ma.SchemaA)
+		}
+		if eb.Schema.ByPath(p.PathB) == nil {
+			return "", fmt.Errorf("registry: path %q not in schema %q", p.PathB, ma.SchemaB)
+		}
+		if p.Score <= -1 || p.Score >= 1 {
+			return "", fmt.Errorf("registry: score %f out of range for %q~%q", p.Score, p.PathA, p.PathB)
+		}
+	}
+	if ma.Provenance.CreatedAt.IsZero() {
+		ma.Provenance.CreatedAt = r.now()
+	}
+	if ma.Context == "" {
+		ma.Context = ContextSearch
+	}
+	r.nextID++
+	ma.ID = fmt.Sprintf("match-%06d", r.nextID)
+	stored := ma
+	r.matches[stored.ID] = &stored
+	return stored.ID, nil
+}
+
+// Match returns a stored artifact by ID.
+func (r *Registry) Match(id string) (*MatchArtifact, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ma, ok := r.matches[id]
+	return ma, ok
+}
+
+// Matches returns all artifacts sorted by ID.
+func (r *Registry) Matches() []*MatchArtifact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*MatchArtifact, 0, len(r.matches))
+	for _, ma := range r.matches {
+		out = append(out, ma)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MatchesBetween returns the artifacts linking two schemata (either
+// orientation), sorted by ID.
+func (r *Registry) MatchesBetween(a, b string) []*MatchArtifact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*MatchArtifact
+	for _, ma := range r.matches {
+		if (ma.SchemaA == a && ma.SchemaB == b) || (ma.SchemaA == b && ma.SchemaB == a) {
+			out = append(out, ma)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// contextRank orders contexts by the precision they demand.
+var contextRank = map[Context]int{
+	ContextSearch:        0,
+	ContextPlanning:      1,
+	ContextIntegration:   2,
+	ContextBusinessIntel: 3,
+}
+
+// TrustedPairs implements the paper's context-dependent reuse question:
+// return the accepted correspondences between two schemata whose artifact
+// context is at least as demanding as the requested one. A match asserted
+// for integration is trustworthy for search; the converse is not.
+func (r *Registry) TrustedPairs(a, b string, atLeast Context) []AssertedMatch {
+	need := contextRank[atLeast]
+	var out []AssertedMatch
+	for _, ma := range r.MatchesBetween(a, b) {
+		if contextRank[ma.Context] < need {
+			continue
+		}
+		flip := ma.SchemaA != a
+		for _, p := range ma.AcceptedPairs() {
+			if flip {
+				p.PathA, p.PathB = p.PathB, p.PathA
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SearchText ranks registered schemata against a free-text query.
+func (r *Registry) SearchText(query string, k int) []search.Result {
+	return r.index.SearchText(query, k)
+}
+
+// SearchSchema uses a schema as the query term over the registry.
+func (r *Registry) SearchSchema(q *schema.Schema, k int) []search.Result {
+	return r.index.SearchSchema(q, k)
+}
+
+// SearchFragments ranks top-level sub-trees of registered schemata.
+func (r *Registry) SearchFragments(query string, k int) []search.Result {
+	return r.index.SearchFragments(query, k)
+}
+
+// ValidateArtifacts re-checks every stored artifact against the current
+// schema versions, returning descriptions of dangling references (e.g.
+// after ReplaceSchema).
+func (r *Registry) ValidateArtifacts() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var problems []string
+	for _, ma := range r.matches {
+		ea, okA := r.entries[ma.SchemaA]
+		eb, okB := r.entries[ma.SchemaB]
+		if !okA || !okB {
+			problems = append(problems, fmt.Sprintf("%s: schema missing", ma.ID))
+			continue
+		}
+		for _, p := range ma.Pairs {
+			if ea.Schema.ByPath(p.PathA) == nil {
+				problems = append(problems, fmt.Sprintf("%s: dangling path %s in %s", ma.ID, p.PathA, ma.SchemaA))
+			}
+			if eb.Schema.ByPath(p.PathB) == nil {
+				problems = append(problems, fmt.Sprintf("%s: dangling path %s in %s", ma.ID, p.PathB, ma.SchemaB))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

@@ -1,0 +1,262 @@
+package registry
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+func personSchema() *schema.Schema {
+	s := schema.New("PersonSys", schema.FormatRelational)
+	t := s.AddRoot("Person", schema.KindTable)
+	s.AddElement(t, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	s.AddElement(t, "LAST_NAME", schema.KindColumn, schema.TypeString)
+	return s
+}
+
+func individualSchema() *schema.Schema {
+	s := schema.New("IndivSys", schema.FormatXML)
+	t := s.AddRoot("IndividualType", schema.KindComplexType)
+	s.AddElement(t, "individualId", schema.KindXMLElement, schema.TypeIdentifier)
+	s.AddElement(t, "familyName", schema.KindXMLElement, schema.TypeString)
+	return s
+}
+
+func TestAddAndGetSchema(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(personSchema(), "G-6", "personnel", "authoritative"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	e, ok := r.Schema("PersonSys")
+	if !ok || e.Steward != "G-6" || len(e.Tags) != 2 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Stats.Elements != 3 {
+		t.Errorf("stats not computed: %+v", e.Stats)
+	}
+	// duplicate registration fails
+	if err := r.AddSchema(personSchema(), "other"); err == nil {
+		t.Error("duplicate AddSchema should fail")
+	}
+	// invalid schemas fail
+	if err := r.AddSchema(nil, "x"); err == nil {
+		t.Error("nil schema should fail")
+	}
+}
+
+func TestAddMatchValidation(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(personSchema(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(individualSchema(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	good := MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys",
+		Context:    ContextPlanning,
+		Provenance: Provenance{CreatedBy: "engineer-1", Tool: "harmony"},
+		Pairs: []AssertedMatch{
+			{PathA: "Person/LAST_NAME", PathB: "IndividualType/familyName", Score: 0.8, Status: StatusAccepted, Annotation: AnnEquivalent},
+			{PathA: "Person/PERSON_ID", PathB: "IndividualType/individualId", Score: 0.7, Status: StatusProposed},
+		},
+	}
+	id, err := r.AddMatch(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, ok := r.Match(id)
+	if !ok {
+		t.Fatal("stored match not found")
+	}
+	if ma.Provenance.CreatedAt.IsZero() {
+		t.Error("CreatedAt not defaulted")
+	}
+	if got := len(ma.AcceptedPairs()); got != 1 {
+		t.Errorf("accepted pairs = %d, want 1", got)
+	}
+
+	bad := good
+	bad.Pairs = []AssertedMatch{{PathA: "Person/NOPE", PathB: "IndividualType/familyName", Score: 0.5}}
+	if _, err := r.AddMatch(bad); err == nil {
+		t.Error("dangling path should fail")
+	}
+	bad.Pairs = []AssertedMatch{{PathA: "Person/LAST_NAME", PathB: "IndividualType/familyName", Score: 1.5}}
+	if _, err := r.AddMatch(bad); err == nil {
+		t.Error("out-of-range score should fail")
+	}
+	bad.Pairs = nil
+	bad.SchemaA = "Unknown"
+	if _, err := r.AddMatch(bad); err == nil {
+		t.Error("unregistered schema should fail")
+	}
+}
+
+func TestTrustedPairsContext(t *testing.T) {
+	r := New()
+	_ = r.AddSchema(personSchema(), "a")
+	_ = r.AddSchema(individualSchema(), "b")
+	searchGrade := MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys", Context: ContextSearch,
+		Pairs: []AssertedMatch{{PathA: "Person/PERSON_ID", PathB: "IndividualType/individualId", Score: 0.5, Status: StatusAccepted}},
+	}
+	integrationGrade := MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys", Context: ContextIntegration,
+		Pairs: []AssertedMatch{{PathA: "Person/LAST_NAME", PathB: "IndividualType/familyName", Score: 0.9, Status: StatusAccepted}},
+	}
+	if _, err := r.AddMatch(searchGrade); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddMatch(integrationGrade); err != nil {
+		t.Fatal(err)
+	}
+	// For search purposes both artifacts are trustworthy.
+	if got := len(r.TrustedPairs("PersonSys", "IndivSys", ContextSearch)); got != 2 {
+		t.Errorf("search-grade pairs = %d, want 2", got)
+	}
+	// For integration only the integration-grade artifact qualifies.
+	pairs := r.TrustedPairs("PersonSys", "IndivSys", ContextIntegration)
+	if len(pairs) != 1 || pairs[0].PathA != "Person/LAST_NAME" {
+		t.Errorf("integration-grade pairs = %v", pairs)
+	}
+	// Orientation flip: querying from the other side swaps paths.
+	flipped := r.TrustedPairs("IndivSys", "PersonSys", ContextIntegration)
+	if len(flipped) != 1 || flipped[0].PathA != "IndividualType/familyName" {
+		t.Errorf("flipped pairs = %v", flipped)
+	}
+}
+
+func TestRemoveSchemaCascades(t *testing.T) {
+	r := New()
+	_ = r.AddSchema(personSchema(), "a")
+	_ = r.AddSchema(individualSchema(), "b")
+	_, err := r.AddMatch(MatchArtifact{SchemaA: "PersonSys", SchemaB: "IndivSys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed := r.RemoveSchema("PersonSys"); removed != 1 {
+		t.Errorf("removed artifacts = %d, want 1", removed)
+	}
+	if r.Len() != 1 || len(r.Matches()) != 0 {
+		t.Errorf("after remove: %d schemas, %d matches", r.Len(), len(r.Matches()))
+	}
+	for _, hit := range r.SearchText("last name person", 5) {
+		if hit.Schema == "PersonSys" {
+			t.Errorf("removed schema still searchable: %v", hit)
+		}
+	}
+}
+
+func TestValidateArtifactsDetectsDanglers(t *testing.T) {
+	r := New()
+	_ = r.AddSchema(personSchema(), "a")
+	_ = r.AddSchema(individualSchema(), "b")
+	_, _ = r.AddMatch(MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys",
+		Pairs: []AssertedMatch{{PathA: "Person/LAST_NAME", PathB: "IndividualType/familyName", Score: 0.8}},
+	})
+	if problems := r.ValidateArtifacts(); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	// Replace PersonSys with a version lacking LAST_NAME.
+	s2 := schema.New("PersonSys", schema.FormatRelational)
+	tbl := s2.AddRoot("Person", schema.KindTable)
+	s2.AddElement(tbl, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	r.ReplaceSchema(s2, "a")
+	problems := r.ValidateArtifacts()
+	if len(problems) != 1 {
+		t.Fatalf("problems = %v, want 1 dangling path", problems)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+
+	r := New()
+	_ = r.AddSchema(personSchema(), "G-6", "personnel")
+	_ = r.AddSchema(individualSchema(), "G-2")
+	id, err := r.AddMatch(MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys", Context: ContextPlanning,
+		Provenance: Provenance{CreatedBy: "eng", Tool: "harmony", CreatedAt: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)},
+		Pairs:      []AssertedMatch{{PathA: "Person/LAST_NAME", PathB: "IndividualType/familyName", Score: 0.8, Status: StatusAccepted}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d schemas", back.Len())
+	}
+	e, ok := back.Schema("PersonSys")
+	if !ok || e.Steward != "G-6" || len(e.Tags) != 1 {
+		t.Errorf("loaded entry = %+v", e)
+	}
+	ma, ok := back.Match(id)
+	if !ok {
+		t.Fatal("artifact lost in round trip")
+	}
+	if ma.Context != ContextPlanning || len(ma.Pairs) != 1 || ma.Provenance.CreatedBy != "eng" {
+		t.Errorf("artifact corrupted: %+v", ma)
+	}
+	// search index rebuilt
+	if got := back.SearchText("family name individual", 5); len(got) == 0 || got[0].Schema != "IndivSys" {
+		t.Errorf("search after load = %v", got)
+	}
+	// new IDs don't collide with restored ones
+	id2, err := back.AddMatch(MatchArtifact{SchemaA: "PersonSys", SchemaB: "IndivSys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Error("ID collision after load")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	schemas, _, _ := synth.Collection(17, 3, 4)
+	var wg sync.WaitGroup
+	for _, s := range schemas {
+		wg.Add(1)
+		go func(s *schema.Schema) {
+			defer wg.Done()
+			if err := r.AddSchema(s, "steward"); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				r.Schemas()
+				r.SearchText("unit identifier", 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != len(schemas) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(schemas))
+	}
+}

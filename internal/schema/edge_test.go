@@ -1,0 +1,205 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDDLQuotedAndMixedCase(t *testing.T) {
+	ddl := `create table "Order_Item" (
+  "ITEM_ID" integer primary key,
+  QTY decimal(10,2) not null
+);`
+	s, err := ParseDDL("S", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := s.ByPath("Order_Item")
+	if tab == nil {
+		t.Fatalf("quoted table name not parsed: %v", s.SortedPaths())
+	}
+	if got := s.ByPath("Order_Item/ITEM_ID"); got == nil || got.Type != TypeIdentifier {
+		t.Errorf("quoted primary-key column: %v", got)
+	}
+	if got := s.ByPath("Order_Item/QTY"); got == nil || got.Type != TypeDecimal {
+		t.Errorf("decimal column: %v", got)
+	}
+}
+
+func TestParseDDLTableNameWithParen(t *testing.T) {
+	// CREATE TABLE Foo( on one line: name must not swallow the paren
+	s, err := ParseDDL("S", "CREATE TABLE Foo(\n  A INTEGER\n);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ByPath("Foo") == nil {
+		t.Errorf("paths: %v", s.SortedPaths())
+	}
+}
+
+func TestParseDDLUnknownStatementsSkipped(t *testing.T) {
+	ddl := `GRANT SELECT ON X TO Y;
+CREATE INDEX idx ON T(A);
+CREATE TABLE T (
+  A INTEGER
+);`
+	s, err := ParseDDL("S", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (table + column)", s.Len())
+	}
+}
+
+func TestParseDDLCommentOnUnknownTargetIgnored(t *testing.T) {
+	ddl := `CREATE TABLE T (
+  A INTEGER
+);
+COMMENT ON TABLE Nope IS 'ghost';
+COMMENT ON COLUMN T.Nope IS 'ghost';`
+	s, err := ParseDDL("S", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ByPath("T").Doc != "" {
+		t.Error("ghost comment applied")
+	}
+}
+
+func TestParseDDLMalformedComment(t *testing.T) {
+	ddl := `CREATE TABLE T (
+  A INTEGER
+);
+COMMENT ON TABLE T 'missing is';`
+	if _, err := ParseDDL("S", ddl); err == nil {
+		t.Error("expected error for malformed COMMENT")
+	}
+}
+
+func TestNormalizeSQLTypeCoverage(t *testing.T) {
+	cases := map[string]DataType{
+		"VARCHAR2(30)": TypeString,
+		"CLOB":         TypeText,
+		"SERIAL":       TypeInteger,
+		"NUMBER(10)":   TypeDecimal,
+		"BIT":          TypeBoolean,
+		"TIMESTAMP":    TypeDateTime,
+		"BYTEA":        TypeBinary,
+		"ROWID":        TypeIdentifier,
+		"WEIRDTYPE":    TypeString, // unknown types default to string
+	}
+	for in, want := range cases {
+		if got := normalizeSQLType(in); got != want {
+			t.Errorf("normalizeSQLType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseXSDAttributesOnlyType(t *testing.T) {
+	xsd := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Marker">
+    <xs:attribute name="id" type="xs:ID"/>
+    <xs:attribute name="label" type="xs:string"/>
+  </xs:complexType>
+</xs:schema>`
+	s, err := ParseXSD("S", []byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.ByPath("Marker")
+	if m == nil || len(m.Children) != 2 {
+		t.Fatalf("Marker: %v", m)
+	}
+	if s.ByPath("Marker/id").Kind != KindAttribute {
+		t.Error("attribute kind lost")
+	}
+}
+
+func TestParseXSDAllGroup(t *testing.T) {
+	xsd := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Pair">
+    <xs:all>
+      <xs:element name="left" type="xs:string"/>
+      <xs:element name="right" type="xs:string"/>
+    </xs:all>
+  </xs:complexType>
+</xs:schema>`
+	s, err := ParseXSD("S", []byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ByPath("Pair").Children); got != 2 {
+		t.Errorf("xs:all children = %d, want 2", got)
+	}
+}
+
+func TestNormalizeXSDTypeCoverage(t *testing.T) {
+	cases := map[string]DataType{
+		"xs:string":          TypeString,
+		"xs:nonNegativeInteger": TypeInteger,
+		"xs:double":          TypeDecimal,
+		"xs:gYear":           TypeDate,
+		"xs:dateTime":        TypeDateTime,
+		"xs:hexBinary":       TypeBinary,
+		"xs:anyURI":          TypeIdentifier,
+		"":                   TypeNone,
+		"custom:Thing":       TypeString,
+	}
+	for in, want := range cases {
+		if got := normalizeXSDType(in); got != want {
+			t.Errorf("normalizeXSDType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRenderXSDEscapesDocumentation(t *testing.T) {
+	s := New("S", FormatXML)
+	ct := s.AddRoot("T", KindComplexType)
+	ct.Doc = `docs with <angle> & "quotes"`
+	s.AddElement(ct, "field", KindXMLElement, TypeString)
+	out := string(RenderXSD(s))
+	if strings.Contains(out, "<angle>") {
+		t.Error("documentation not escaped")
+	}
+	back, err := ParseXSD("S", []byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(back.ByPath("T").Doc, "<angle>") {
+		t.Errorf("escaped doc did not round trip: %q", back.ByPath("T").Doc)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := buildSample()
+	// corrupt: break the path index
+	s.byPath["Person"] = s.ByPath("Vehicle")
+	if err := s.Validate(); err == nil {
+		t.Error("expected path-index violation")
+	}
+
+	s2 := buildSample()
+	// corrupt: non-container with children
+	col := s2.ByPath("Person/PERSON_ID")
+	col.Children = append(col.Children, s2.ByPath("Person/LAST_NAME"))
+	if err := s2.Validate(); err == nil {
+		t.Error("expected non-container violation")
+	}
+
+	s3 := buildSample()
+	// corrupt: wrong depth
+	s3.ByPath("Person/LAST_NAME").depth = 7
+	if err := s3.Validate(); err == nil {
+		t.Error("expected depth violation")
+	}
+}
+
+func TestElementStringForms(t *testing.T) {
+	s := buildSample()
+	tbl := s.ByPath("Person")
+	col := s.ByPath("Person/PERSON_ID")
+	if !strings.Contains(tbl.String(), "table") || !strings.Contains(col.String(), "identifier") {
+		t.Errorf("String(): %q / %q", tbl.String(), col.String())
+	}
+}

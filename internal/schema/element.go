@@ -1,0 +1,207 @@
+// Package schema defines the data model the Harmony matcher operates on: a
+// schema is a forest of named, typed, documented elements. Both relational
+// schemata (tables and columns) and XML schemata (complex types, elements,
+// attributes) are represented uniformly, as in the paper's case study which
+// matched a 1378-element relational schema (SA) against a 784-element XML
+// schema (SB).
+//
+// Loaders are provided for a relational DDL subset (ParseDDL), an XML
+// Schema subset (ParseXSD), and a JSON interchange format (ParseJSON /
+// Schema.MarshalJSON) suitable for registry persistence.
+package schema
+
+import "fmt"
+
+// Kind classifies a schema element. The matcher mostly treats kinds
+// uniformly but filters (e.g. the depth filter of the paper's §3.2) and the
+// summarizer distinguish containers from leaves.
+type Kind uint8
+
+// Element kinds. Relational schemata use Table, View and Column; XML
+// schemata use ComplexType, XMLElement and Attribute. Group is a generic
+// container used by summaries and synthetic schemata.
+const (
+	KindUnknown Kind = iota
+	KindTable
+	KindView
+	KindColumn
+	KindComplexType
+	KindXMLElement
+	KindAttribute
+	KindGroup
+)
+
+var kindNames = [...]string{
+	KindUnknown:     "unknown",
+	KindTable:       "table",
+	KindView:        "view",
+	KindColumn:      "column",
+	KindComplexType: "complexType",
+	KindXMLElement:  "element",
+	KindAttribute:   "attribute",
+	KindGroup:       "group",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString parses the string form produced by Kind.String. Unknown
+// strings map to KindUnknown.
+func KindFromString(s string) Kind {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k)
+		}
+	}
+	return KindUnknown
+}
+
+// IsContainer reports whether elements of this kind may have children.
+func (k Kind) IsContainer() bool {
+	switch k {
+	case KindTable, KindView, KindComplexType, KindXMLElement, KindGroup:
+		return true
+	}
+	return false
+}
+
+// DataType is the normalized value type of a leaf element. Loaders map
+// concrete SQL / XSD types onto this small lattice; the type voter scores
+// compatibility between the classes.
+type DataType uint8
+
+// Normalized data types.
+const (
+	TypeNone DataType = iota // containers and untyped elements
+	TypeString
+	TypeText // long-form strings (documentation, remarks)
+	TypeInteger
+	TypeDecimal
+	TypeBoolean
+	TypeDate
+	TypeTime
+	TypeDateTime
+	TypeBinary
+	TypeIdentifier // surrogate keys, UUIDs, codes used as keys
+)
+
+var typeNames = [...]string{
+	TypeNone:       "none",
+	TypeString:     "string",
+	TypeText:       "text",
+	TypeInteger:    "integer",
+	TypeDecimal:    "decimal",
+	TypeBoolean:    "boolean",
+	TypeDate:       "date",
+	TypeTime:       "time",
+	TypeDateTime:   "datetime",
+	TypeBinary:     "binary",
+	TypeIdentifier: "identifier",
+}
+
+// String returns the lower-case name of the data type.
+func (t DataType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// TypeFromString parses the string form produced by DataType.String.
+func TypeFromString(s string) DataType {
+	for t, name := range typeNames {
+		if name == s {
+			return DataType(t)
+		}
+	}
+	return TypeNone
+}
+
+// Element is a single node of a schema tree: a table, column, XML element,
+// attribute, or similar. Elements are created through Schema.AddElement and
+// are immutable in structure afterwards (documentation and annotations may
+// be updated).
+type Element struct {
+	// ID is the element's index in its Schema's element list; it is dense,
+	// stable, and unique within the schema. Match matrices are indexed by it.
+	ID int
+	// Name is the element's declared name, verbatim (e.g. DATE_BEGIN_156).
+	Name string
+	// Kind classifies the element.
+	Kind Kind
+	// Type is the normalized data type; TypeNone for containers.
+	Type DataType
+	// Doc is the element's free-text documentation, possibly empty.
+	Doc string
+	// Parent is nil for top-level elements.
+	Parent *Element
+	// Children lists child elements in declaration order.
+	Children []*Element
+	// depth is 1 for top-level elements (matching the paper: "relations
+	// appear at a depth of one and attributes at a depth of two").
+	depth int
+	// path is the /-joined name chain from the root.
+	path string
+}
+
+// Depth returns the element's depth: 1 for top-level elements, 2 for their
+// children, and so on. This matches the paper's depth-filter convention.
+func (e *Element) Depth() int { return e.depth }
+
+// Path returns the element's full path from its top-level ancestor, with
+// components joined by '/': "All_Event_Vitals/DATE_BEGIN_156".
+func (e *Element) Path() string { return e.path }
+
+// IsLeaf reports whether the element has no children.
+func (e *Element) IsLeaf() bool { return len(e.Children) == 0 }
+
+// Root returns the element's top-level ancestor (itself if top-level).
+func (e *Element) Root() *Element {
+	r := e
+	for r.Parent != nil {
+		r = r.Parent
+	}
+	return r
+}
+
+// Ancestors returns the chain of ancestors from the element's parent up to
+// its top-level ancestor. The result is nil for top-level elements.
+func (e *Element) Ancestors() []*Element {
+	var out []*Element
+	for p := e.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Subtree returns the element and all of its descendants in pre-order.
+func (e *Element) Subtree() []*Element {
+	out := []*Element{e}
+	for _, c := range e.Children {
+		out = append(out, c.Subtree()...)
+	}
+	return out
+}
+
+// SubtreeSize returns the number of elements in the subtree rooted at e,
+// including e itself.
+func (e *Element) SubtreeSize() int {
+	n := 1
+	for _, c := range e.Children {
+		n += c.SubtreeSize()
+	}
+	return n
+}
+
+// String returns a short human-readable description of the element.
+func (e *Element) String() string {
+	if e.Type == TypeNone {
+		return fmt.Sprintf("%s %s", e.Kind, e.path)
+	}
+	return fmt.Sprintf("%s %s: %s", e.Kind, e.path, e.Type)
+}

@@ -1,0 +1,94 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonSchema is the JSON interchange representation of a Schema: a nested
+// element tree. It is the registry's persistence format and a convenient
+// neutral format for tooling.
+type jsonSchema struct {
+	Name     string        `json:"name"`
+	Format   string        `json:"format"`
+	Doc      string        `json:"doc,omitempty"`
+	Elements []jsonElement `json:"elements"`
+}
+
+type jsonElement struct {
+	Name     string        `json:"name"`
+	Kind     string        `json:"kind"`
+	Type     string        `json:"type,omitempty"`
+	Doc      string        `json:"doc,omitempty"`
+	Children []jsonElement `json:"children,omitempty"`
+}
+
+// MarshalJSON serializes the schema as a nested element tree.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	js := jsonSchema{Name: s.Name, Format: s.Format.String(), Doc: s.Doc}
+	js.Elements = make([]jsonElement, 0, len(s.roots))
+	for _, r := range s.roots {
+		js.Elements = append(js.Elements, toJSONElement(r))
+	}
+	return json.Marshal(js)
+}
+
+func toJSONElement(e *Element) jsonElement {
+	je := jsonElement{Name: e.Name, Kind: e.Kind.String(), Doc: e.Doc}
+	if e.Type != TypeNone {
+		je.Type = e.Type.String()
+	}
+	if len(e.Children) > 0 {
+		je.Children = make([]jsonElement, 0, len(e.Children))
+		for _, c := range e.Children {
+			je.Children = append(je.Children, toJSONElement(c))
+		}
+	}
+	return je
+}
+
+// ParseJSON deserializes a schema from the JSON interchange format produced
+// by MarshalJSON. The element order of the original schema is preserved in
+// pre-order, so IDs are stable across a round trip.
+func ParseJSON(data []byte) (*Schema, error) {
+	var js jsonSchema
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("schema json: %w", err)
+	}
+	if js.Name == "" {
+		return nil, fmt.Errorf("schema json: missing name")
+	}
+	s := New(js.Name, FormatFromString(js.Format))
+	s.Doc = js.Doc
+	for i := range js.Elements {
+		if err := addJSONElement(s, nil, &js.Elements[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func addJSONElement(s *Schema, parent *Element, je *jsonElement) error {
+	if je.Name == "" {
+		return fmt.Errorf("schema json: element with empty name under %v", parentPath(parent))
+	}
+	kind := KindFromString(je.Kind)
+	if len(je.Children) > 0 && !kind.IsContainer() {
+		return fmt.Errorf("schema json: element %q of kind %q cannot have children", je.Name, je.Kind)
+	}
+	e := s.AddElement(parent, je.Name, kind, TypeFromString(je.Type))
+	e.Doc = je.Doc
+	for i := range je.Children {
+		if err := addJSONElement(s, e, &je.Children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parentPath(p *Element) string {
+	if p == nil {
+		return "<root>"
+	}
+	return p.Path()
+}

@@ -1,0 +1,274 @@
+package schema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleDDL = `
+-- Sample enterprise schema
+CREATE TABLE All_Event_Vitals (
+  EVENT_ID INTEGER PRIMARY KEY,
+  DATE_BEGIN_156 DATE, -- the date the event began
+  DATE_END_157 DATE,
+  SEVERITY_CD VARCHAR(8) NOT NULL,
+  REMARKS TEXT
+);
+COMMENT ON TABLE All_Event_Vitals IS 'Vital data about events';
+COMMENT ON COLUMN All_Event_Vitals.SEVERITY_CD IS 'Coded severity';
+
+CREATE VIEW Person_Summary (
+  PERSON_ID UUID,
+  FULL_NM VARCHAR(120)
+);
+`
+
+func TestParseDDL(t *testing.T) {
+	s, err := ParseDDL("SA", sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Format != FormatRelational {
+		t.Errorf("Format = %v", s.Format)
+	}
+	if got := len(s.Roots()); got != 2 {
+		t.Fatalf("roots = %d, want 2", got)
+	}
+	ev := s.ByPath("All_Event_Vitals")
+	if ev == nil || ev.Kind != KindTable {
+		t.Fatalf("All_Event_Vitals: %v", ev)
+	}
+	if ev.Doc != "Vital data about events" {
+		t.Errorf("table doc = %q", ev.Doc)
+	}
+	if got := len(ev.Children); got != 5 {
+		t.Fatalf("columns = %d, want 5", got)
+	}
+	id := s.ByPath("All_Event_Vitals/EVENT_ID")
+	if id.Type != TypeIdentifier {
+		t.Errorf("EVENT_ID type = %v, want identifier (primary key)", id.Type)
+	}
+	begin := s.ByPath("All_Event_Vitals/DATE_BEGIN_156")
+	if begin.Type != TypeDate {
+		t.Errorf("DATE_BEGIN_156 type = %v", begin.Type)
+	}
+	if begin.Doc != "the date the event began" {
+		t.Errorf("inline doc = %q", begin.Doc)
+	}
+	sev := s.ByPath("All_Event_Vitals/SEVERITY_CD")
+	if sev.Doc != "Coded severity" {
+		t.Errorf("comment-on-column doc = %q", sev.Doc)
+	}
+	view := s.ByPath("Person_Summary")
+	if view.Kind != KindView {
+		t.Errorf("Person_Summary kind = %v", view.Kind)
+	}
+	if s.ByPath("Person_Summary/PERSON_ID").Type != TypeIdentifier {
+		t.Error("UUID column should normalize to identifier")
+	}
+}
+
+func TestParseDDLSkipsConstraints(t *testing.T) {
+	ddl := `CREATE TABLE T (
+  A INTEGER,
+  PRIMARY KEY (A),
+  CONSTRAINT fk FOREIGN KEY (A) REFERENCES U(B)
+);`
+	s, err := ParseDDL("S", ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ByPath("T").Children); got != 1 {
+		t.Errorf("columns = %d, want 1 (constraints skipped)", got)
+	}
+}
+
+func TestParseDDLEmpty(t *testing.T) {
+	if _, err := ParseDDL("S", "-- nothing here"); err == nil {
+		t.Error("expected error for DDL without tables")
+	}
+}
+
+func TestDDLRoundTrip(t *testing.T) {
+	orig, err := ParseDDL("SA", sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseDDL("SA", RenderDDL(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameStructure(t, orig, again)
+}
+
+const sampleXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="PersonType">
+    <xs:annotation><xs:documentation>A person</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="FirstName" type="xs:string"/>
+      <xs:element name="BirthDate" type="xs:date">
+        <xs:annotation><xs:documentation>Date of birth</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="HomeAddress">
+        <xs:complexType><xs:sequence>
+          <xs:element name="City" type="xs:string"/>
+          <xs:element name="Zip" type="xs:string"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence>
+    <xs:attribute name="personID" type="xs:ID"/>
+  </xs:complexType>
+  <xs:element name="Person" type="PersonType"/>
+  <xs:element name="Count" type="xs:int"/>
+</xs:schema>`
+
+func TestParseXSD(t *testing.T) {
+	s, err := ParseXSD("SB", []byte(sampleXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Format != FormatXML {
+		t.Errorf("Format = %v", s.Format)
+	}
+	pt := s.ByPath("PersonType")
+	if pt == nil || pt.Kind != KindComplexType {
+		t.Fatalf("PersonType: %v", pt)
+	}
+	if pt.Doc != "A person" {
+		t.Errorf("PersonType doc = %q", pt.Doc)
+	}
+	bd := s.ByPath("PersonType/BirthDate")
+	if bd == nil || bd.Type != TypeDate || bd.Doc != "Date of birth" {
+		t.Errorf("BirthDate: %v doc=%q", bd, bd.Doc)
+	}
+	city := s.ByPath("PersonType/HomeAddress/City")
+	if city == nil || city.Depth() != 3 {
+		t.Errorf("City: %v", city)
+	}
+	attr := s.ByPath("PersonType/personID")
+	if attr == nil || attr.Kind != KindAttribute || attr.Type != TypeIdentifier {
+		t.Errorf("personID: %v", attr)
+	}
+	// The global element Person references PersonType and must not duplicate it.
+	if got := s.ByPath("Person"); got != nil {
+		t.Errorf("global element Person should be folded into PersonType, got %v", got)
+	}
+	// Simple-typed global element survives as a leaf root.
+	cnt := s.ByPath("Count")
+	if cnt == nil || cnt.Type != TypeInteger {
+		t.Errorf("Count: %v", cnt)
+	}
+}
+
+func TestParseXSDRecursiveType(t *testing.T) {
+	xsd := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Org">
+    <xs:sequence>
+      <xs:element name="Name" type="xs:string"/>
+      <xs:element name="SubOrg" type="Org"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>`
+	s, err := ParseXSD("R", []byte(xsd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recursion must terminate; the nested SubOrg expands once then stops.
+	if s.Len() < 3 || s.Len() > 10 {
+		t.Errorf("unexpected recursive expansion size %d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseXSDMalformed(t *testing.T) {
+	if _, err := ParseXSD("B", []byte("<not-xml")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseXSD("B", []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`)); err == nil {
+		t.Error("expected error for empty schema")
+	}
+}
+
+func TestXSDRoundTrip(t *testing.T) {
+	orig, err := ParseXSD("SB", []byte(sampleXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseXSD("SB", RenderXSD(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != again.Len() {
+		t.Fatalf("round trip size %d -> %d", orig.Len(), again.Len())
+	}
+	for i, e := range orig.Elements() {
+		g := again.Element(i)
+		if e.Name != g.Name || e.Depth() != g.Depth() {
+			t.Errorf("element %d: %q/%d -> %q/%d", i, e.Name, e.Depth(), g.Name, g.Depth())
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := ParseDDL("SA", sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Doc = "sample schema"
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Doc != "sample schema" || back.Name != "SA" {
+		t.Errorf("metadata lost: %q %q", back.Name, back.Doc)
+	}
+	assertSameStructure(t, s, back)
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"format":"relational","elements":[]}`,                                          // missing name
+		`{"name":"X","elements":[{"name":"","kind":"table"}]}`,                           // empty element name
+		`{"name":"X","elements":[{"name":"c","kind":"column","children":[{"name":"d"}]}]}`, // leaf with children
+	}
+	for _, in := range cases {
+		if _, err := ParseJSON([]byte(in)); err == nil {
+			t.Errorf("ParseJSON(%q): expected error", in)
+		}
+	}
+}
+
+// assertSameStructure checks that two schemata have identical element
+// sequences (name, kind, type, doc, depth).
+func assertSameStructure(t *testing.T, a, b *Schema) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Elements() {
+		ea, eb := a.Element(i), b.Element(i)
+		if ea.Name != eb.Name || ea.Kind != eb.Kind || ea.Type != eb.Type ||
+			ea.Depth() != eb.Depth() || strings.TrimSpace(ea.Doc) != strings.TrimSpace(eb.Doc) {
+			t.Errorf("element %d differs: %v/%v/%v/%q vs %v/%v/%v/%q",
+				i, ea.Name, ea.Kind, ea.Type, ea.Doc, eb.Name, eb.Kind, eb.Type, eb.Doc)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package schema
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ParseDDL parses a practical subset of SQL DDL into a Schema. It supports
+// the constructs that appear in enterprise schema dumps:
+//
+//	CREATE TABLE name ( col TYPE [constraints...], ... );
+//	CREATE VIEW name ( col TYPE, ... );
+//	COMMENT ON TABLE name IS 'text';
+//	COMMENT ON COLUMN table.col IS 'text';
+//	-- trailing line comments after a column become that column's doc
+//
+// Constraint clauses (PRIMARY KEY, NOT NULL, REFERENCES ...) are tolerated
+// and ignored, except that PRIMARY KEY and REFERENCES promote the column's
+// normalized type to TypeIdentifier. Statements it does not understand are
+// skipped. The parser is line oriented and expects one column per line,
+// which is how schema dumps are conventionally formatted.
+func ParseDDL(name, ddl string) (*Schema, error) {
+	s := New(name, FormatRelational)
+	sc := bufio.NewScanner(strings.NewReader(ddl))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	var current *Element // table being filled, nil outside CREATE
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "CREATE TABLE"), strings.HasPrefix(upper, "CREATE VIEW"):
+			kind := KindTable
+			rest := strings.TrimSpace(line[len("CREATE TABLE"):])
+			if strings.HasPrefix(upper, "CREATE VIEW") {
+				kind = KindView
+				rest = strings.TrimSpace(line[len("CREATE VIEW"):])
+			}
+			tableName := rest
+			if i := strings.IndexAny(tableName, " (\t"); i >= 0 {
+				tableName = tableName[:i]
+			}
+			tableName = strings.Trim(tableName, `"`)
+			if tableName == "" {
+				return nil, fmt.Errorf("ddl line %d: CREATE without a name", lineNo)
+			}
+			current = s.AddRoot(tableName, kind)
+		case strings.HasPrefix(upper, "COMMENT ON TABLE"):
+			target, text, err := parseComment(line, "COMMENT ON TABLE")
+			if err != nil {
+				return nil, fmt.Errorf("ddl line %d: %v", lineNo, err)
+			}
+			if e := s.ByPath(target); e != nil {
+				e.Doc = text
+			}
+		case strings.HasPrefix(upper, "COMMENT ON COLUMN"):
+			target, text, err := parseComment(line, "COMMENT ON COLUMN")
+			if err != nil {
+				return nil, fmt.Errorf("ddl line %d: %v", lineNo, err)
+			}
+			path := strings.Replace(target, ".", "/", 1)
+			if e := s.ByPath(path); e != nil {
+				e.Doc = text
+			}
+		case line == ");" || line == ")":
+			current = nil
+		case current != nil:
+			col, ok := parseColumnLine(line)
+			if !ok {
+				continue // constraint line (PRIMARY KEY (...), FOREIGN KEY ...)
+			}
+			e := s.AddElement(current, col.name, KindColumn, col.typ)
+			e.Doc = col.doc
+		default:
+			// unsupported statement; skip until its terminating semicolon
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ddl scan: %w", err)
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("ddl: no tables found in input for schema %s", name)
+	}
+	return s, nil
+}
+
+type columnDef struct {
+	name string
+	typ  DataType
+	doc  string
+}
+
+// parseColumnLine parses one "col TYPE [constraints] [,] [-- doc]" line.
+// It returns ok=false for table-level constraint lines.
+func parseColumnLine(line string) (columnDef, bool) {
+	var def columnDef
+	if i := strings.Index(line, "--"); i >= 0 {
+		def.doc = strings.TrimSpace(line[i+2:])
+		line = strings.TrimSpace(line[:i])
+	}
+	line = strings.TrimSuffix(strings.TrimSpace(line), ",")
+	if line == "" {
+		return def, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return def, false
+	}
+	head := strings.ToUpper(fields[0])
+	switch head {
+	case "PRIMARY", "FOREIGN", "UNIQUE", "CONSTRAINT", "CHECK", "KEY", "INDEX":
+		return def, false
+	}
+	def.name = strings.Trim(fields[0], `"`)
+	def.typ = normalizeSQLType(fields[1])
+	rest := strings.ToUpper(strings.Join(fields[2:], " "))
+	if strings.Contains(rest, "PRIMARY KEY") || strings.Contains(rest, "REFERENCES") {
+		def.typ = TypeIdentifier
+	}
+	return def, true
+}
+
+// parseComment extracts (target, text) from "COMMENT ON X target IS 'text';".
+func parseComment(line, prefix string) (target, text string, err error) {
+	rest := strings.TrimSpace(line[len(prefix):])
+	isIdx := strings.Index(strings.ToUpper(rest), " IS ")
+	if isIdx < 0 {
+		return "", "", fmt.Errorf("malformed comment statement %q", line)
+	}
+	target = strings.Trim(strings.TrimSpace(rest[:isIdx]), `"`)
+	text = strings.TrimSpace(rest[isIdx+4:])
+	text = strings.TrimSuffix(text, ";")
+	text = strings.Trim(text, "'")
+	return target, text, nil
+}
+
+// normalizeSQLType maps a SQL type token (possibly with a precision suffix
+// like VARCHAR(64)) onto the normalized DataType lattice.
+func normalizeSQLType(tok string) DataType {
+	t := strings.ToUpper(tok)
+	if i := strings.Index(t, "("); i >= 0 {
+		t = t[:i]
+	}
+	switch t {
+	case "VARCHAR", "VARCHAR2", "CHAR", "CHARACTER", "NVARCHAR", "STRING":
+		return TypeString
+	case "TEXT", "CLOB", "LONGTEXT":
+		return TypeText
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "SERIAL":
+		return TypeInteger
+	case "DECIMAL", "NUMERIC", "NUMBER", "FLOAT", "REAL", "DOUBLE":
+		return TypeDecimal
+	case "BOOLEAN", "BOOL", "BIT":
+		return TypeBoolean
+	case "DATE":
+		return TypeDate
+	case "TIME":
+		return TypeTime
+	case "TIMESTAMP", "DATETIME":
+		return TypeDateTime
+	case "BLOB", "BINARY", "VARBINARY", "BYTEA":
+		return TypeBinary
+	case "UUID", "GUID", "ROWID":
+		return TypeIdentifier
+	}
+	return TypeString
+}
+
+// RenderDDL serializes a relational schema back to the DDL subset accepted
+// by ParseDDL. Round-tripping is tested: ParseDDL(RenderDDL(s)) is
+// structurally identical to s for relational schemata.
+func RenderDDL(s *Schema) string {
+	var sb strings.Builder
+	for _, root := range s.Roots() {
+		verb := "CREATE TABLE"
+		if root.Kind == KindView {
+			verb = "CREATE VIEW"
+		}
+		fmt.Fprintf(&sb, "%s %s (\n", verb, root.Name)
+		for i, col := range root.Children {
+			comma := ","
+			if i == len(root.Children)-1 {
+				comma = ""
+			}
+			fmt.Fprintf(&sb, "  %s %s%s", quoteIfReserved(col.Name), sqlTypeName(col.Type), comma)
+			if col.Doc != "" {
+				fmt.Fprintf(&sb, " -- %s", col.Doc)
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(");\n")
+		if root.Doc != "" {
+			fmt.Fprintf(&sb, "COMMENT ON TABLE %s IS '%s';\n", root.Name, root.Doc)
+		}
+	}
+	return sb.String()
+}
+
+// quoteIfReserved quotes a column name that would otherwise be read as a
+// table-constraint keyword (a column literally named KEY, CHECK, ...).
+func quoteIfReserved(name string) string {
+	switch strings.ToUpper(name) {
+	case "PRIMARY", "FOREIGN", "UNIQUE", "CONSTRAINT", "CHECK", "KEY", "INDEX":
+		return `"` + name + `"`
+	}
+	return name
+}
+
+func sqlTypeName(t DataType) string {
+	switch t {
+	case TypeString:
+		return "VARCHAR(255)"
+	case TypeText:
+		return "TEXT"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeDecimal:
+		return "DECIMAL(18,6)"
+	case TypeBoolean:
+		return "BOOLEAN"
+	case TypeDate:
+		return "DATE"
+	case TypeTime:
+		return "TIME"
+	case TypeDateTime:
+		return "TIMESTAMP"
+	case TypeBinary:
+		return "BLOB"
+	case TypeIdentifier:
+		return "UUID"
+	}
+	return "VARCHAR(255)"
+}

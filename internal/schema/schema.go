@@ -1,0 +1,261 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Format records the source format a schema was loaded from.
+type Format uint8
+
+// Source formats.
+const (
+	FormatUnknown Format = iota
+	FormatRelational
+	FormatXML
+	FormatJSON
+	FormatSynthetic
+)
+
+var formatNames = [...]string{
+	FormatUnknown:    "unknown",
+	FormatRelational: "relational",
+	FormatXML:        "xml",
+	FormatJSON:       "json",
+	FormatSynthetic:  "synthetic",
+}
+
+// String returns the lower-case name of the format.
+func (f Format) String() string {
+	if int(f) < len(formatNames) {
+		return formatNames[f]
+	}
+	return fmt.Sprintf("format(%d)", uint8(f))
+}
+
+// FormatFromString parses the string form produced by Format.String.
+func FormatFromString(s string) Format {
+	for f, name := range formatNames {
+		if name == s {
+			return Format(f)
+		}
+	}
+	return FormatUnknown
+}
+
+// Schema is a named forest of elements. Elements are stored in insertion
+// (pre-order) order and indexed densely by Element.ID, which the match
+// matrix relies on.
+//
+// Construct schemata with New and AddElement / AddRoot, or through one of
+// the loaders (ParseDDL, ParseXSD, ParseJSON).
+type Schema struct {
+	// Name identifies the schema ("SA", "AirOps_v3", ...).
+	Name string
+	// Format records where the schema came from.
+	Format Format
+	// Doc is optional schema-level documentation.
+	Doc string
+
+	elements []*Element
+	roots    []*Element
+	byPath   map[string]*Element
+}
+
+// New returns an empty schema with the given name and format.
+func New(name string, format Format) *Schema {
+	return &Schema{Name: name, Format: format, byPath: make(map[string]*Element)}
+}
+
+// Len returns the total number of elements (containers and leaves).
+// In the paper's terms SA has Len()==1378 and SB has Len()==784.
+func (s *Schema) Len() int { return len(s.elements) }
+
+// Elements returns all elements in pre-order. The returned slice is the
+// schema's own; callers must not modify it.
+func (s *Schema) Elements() []*Element { return s.elements }
+
+// Roots returns the top-level elements in declaration order.
+func (s *Schema) Roots() []*Element { return s.roots }
+
+// Element returns the element with the given dense ID, or nil if out of
+// range.
+func (s *Schema) Element(id int) *Element {
+	if id < 0 || id >= len(s.elements) {
+		return nil
+	}
+	return s.elements[id]
+}
+
+// ByPath returns the element with the given '/'-joined path, or nil.
+func (s *Schema) ByPath(path string) *Element { return s.byPath[path] }
+
+// AddRoot appends a new top-level element and returns it.
+func (s *Schema) AddRoot(name string, kind Kind) *Element {
+	return s.AddElement(nil, name, kind, TypeNone)
+}
+
+// AddElement appends a new element under parent (nil for top-level) and
+// returns it. Element IDs are assigned densely in insertion order. If the
+// computed path collides with an existing element, the path is
+// disambiguated with the element ID; the element is still added.
+func (s *Schema) AddElement(parent *Element, name string, kind Kind, typ DataType) *Element {
+	e := &Element{
+		ID:     len(s.elements),
+		Name:   name,
+		Kind:   kind,
+		Type:   typ,
+		Parent: parent,
+	}
+	if parent == nil {
+		e.depth = 1
+		e.path = name
+		s.roots = append(s.roots, e)
+	} else {
+		e.depth = parent.depth + 1
+		e.path = parent.path + "/" + name
+		parent.Children = append(parent.Children, e)
+	}
+	if _, exists := s.byPath[e.path]; exists {
+		e.path = fmt.Sprintf("%s#%d", e.path, e.ID)
+	}
+	s.byPath[e.path] = e
+	s.elements = append(s.elements, e)
+	return e
+}
+
+// MaxDepth returns the maximum element depth, or 0 for an empty schema.
+func (s *Schema) MaxDepth() int {
+	max := 0
+	for _, e := range s.elements {
+		if e.depth > max {
+			max = e.depth
+		}
+	}
+	return max
+}
+
+// AtDepth returns all elements at exactly the given depth, in pre-order.
+func (s *Schema) AtDepth(d int) []*Element {
+	var out []*Element
+	for _, e := range s.elements {
+		if e.depth == d {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Leaves returns all leaf elements in pre-order.
+func (s *Schema) Leaves() []*Element {
+	var out []*Element
+	for _, e := range s.elements {
+		if e.IsLeaf() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Containers returns all non-leaf elements in pre-order.
+func (s *Schema) Containers() []*Element {
+	var out []*Element
+	for _, e := range s.elements {
+		if !e.IsLeaf() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the size and shape of a schema; used by reports and the
+// registry catalog.
+type Stats struct {
+	Name       string
+	Format     Format
+	Elements   int
+	Roots      int
+	Leaves     int
+	Containers int
+	MaxDepth   int
+	// DepthHistogram[d] is the number of elements at depth d+1.
+	DepthHistogram []int
+	// Documented is the number of elements with non-empty documentation.
+	Documented int
+}
+
+// ComputeStats returns size and shape statistics for the schema.
+func (s *Schema) ComputeStats() Stats {
+	st := Stats{
+		Name:     s.Name,
+		Format:   s.Format,
+		Elements: len(s.elements),
+		Roots:    len(s.roots),
+		MaxDepth: s.MaxDepth(),
+	}
+	st.DepthHistogram = make([]int, st.MaxDepth)
+	for _, e := range s.elements {
+		if e.IsLeaf() {
+			st.Leaves++
+		} else {
+			st.Containers++
+		}
+		if e.Doc != "" {
+			st.Documented++
+		}
+		st.DepthHistogram[e.depth-1]++
+	}
+	return st
+}
+
+// Validate checks internal invariants: dense IDs, parent/child consistency,
+// depth and path correctness, and path-index completeness. It returns the
+// first violation found, or nil. Loaders and the synthetic generator are
+// tested against it.
+func (s *Schema) Validate() error {
+	if s.byPath == nil {
+		return fmt.Errorf("schema %s: path index is nil", s.Name)
+	}
+	for i, e := range s.elements {
+		if e.ID != i {
+			return fmt.Errorf("schema %s: element %q has ID %d at index %d", s.Name, e.Name, e.ID, i)
+		}
+		if e.Parent == nil {
+			if e.depth != 1 {
+				return fmt.Errorf("schema %s: root %q has depth %d", s.Name, e.Name, e.depth)
+			}
+		} else {
+			if e.depth != e.Parent.depth+1 {
+				return fmt.Errorf("schema %s: element %q depth %d but parent depth %d", s.Name, e.Path(), e.depth, e.Parent.depth)
+			}
+			found := false
+			for _, c := range e.Parent.Children {
+				if c == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("schema %s: element %q missing from parent's children", s.Name, e.Path())
+			}
+		}
+		if got := s.byPath[e.path]; got != e {
+			return fmt.Errorf("schema %s: path index missing or wrong for %q", s.Name, e.path)
+		}
+		if e.Kind.IsContainer() == false && len(e.Children) > 0 {
+			return fmt.Errorf("schema %s: non-container %q (%s) has children", s.Name, e.Path(), e.Kind)
+		}
+	}
+	return nil
+}
+
+// SortedPaths returns every element path in lexical order; useful for
+// deterministic output in reports and tests.
+func (s *Schema) SortedPaths() []string {
+	out := make([]string, 0, len(s.elements))
+	for _, e := range s.elements {
+		out = append(out, e.path)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,162 @@
+package schema
+
+import (
+	"sort"
+	"testing"
+)
+
+// buildSample constructs a small mixed schema used across tests.
+func buildSample() *Schema {
+	s := New("Sample", FormatRelational)
+	person := s.AddRoot("Person", KindTable)
+	s.AddElement(person, "PERSON_ID", KindColumn, TypeIdentifier)
+	s.AddElement(person, "LAST_NAME", KindColumn, TypeString)
+	s.AddElement(person, "BIRTH_DATE", KindColumn, TypeDate)
+	vehicle := s.AddRoot("Vehicle", KindTable)
+	s.AddElement(vehicle, "VEHICLE_ID", KindColumn, TypeIdentifier)
+	s.AddElement(vehicle, "MAKE", KindColumn, TypeString)
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := buildSample()
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+	if len(s.Roots()) != 2 {
+		t.Fatalf("Roots = %d, want 2", len(s.Roots()))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestElementIDsDense(t *testing.T) {
+	s := buildSample()
+	for i, e := range s.Elements() {
+		if e.ID != i {
+			t.Errorf("element %q ID=%d at index %d", e.Name, e.ID, i)
+		}
+		if got := s.Element(e.ID); got != e {
+			t.Errorf("Element(%d) returned wrong element", e.ID)
+		}
+	}
+	if s.Element(-1) != nil || s.Element(s.Len()) != nil {
+		t.Error("out-of-range Element should return nil")
+	}
+}
+
+func TestDepthAndPath(t *testing.T) {
+	s := buildSample()
+	p := s.ByPath("Person")
+	if p == nil || p.Depth() != 1 {
+		t.Fatalf("Person depth: %v", p)
+	}
+	c := s.ByPath("Person/PERSON_ID")
+	if c == nil {
+		t.Fatal("Person/PERSON_ID not found")
+	}
+	if c.Depth() != 2 {
+		t.Errorf("column depth = %d, want 2", c.Depth())
+	}
+	if c.Parent != p {
+		t.Error("column parent mismatch")
+	}
+	if c.Root() != p {
+		t.Error("column root mismatch")
+	}
+	if got := c.Ancestors(); len(got) != 1 || got[0] != p {
+		t.Errorf("Ancestors = %v", got)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	s := buildSample()
+	p := s.ByPath("Person")
+	sub := p.Subtree()
+	if len(sub) != 4 {
+		t.Fatalf("Subtree size = %d, want 4", len(sub))
+	}
+	if sub[0] != p {
+		t.Error("Subtree should start with the root (pre-order)")
+	}
+	if p.SubtreeSize() != 4 {
+		t.Errorf("SubtreeSize = %d, want 4", p.SubtreeSize())
+	}
+}
+
+func TestAtDepthAndLeaves(t *testing.T) {
+	s := buildSample()
+	if got := len(s.AtDepth(1)); got != 2 {
+		t.Errorf("AtDepth(1) = %d, want 2", got)
+	}
+	if got := len(s.AtDepth(2)); got != 5 {
+		t.Errorf("AtDepth(2) = %d, want 5", got)
+	}
+	if got := len(s.Leaves()); got != 5 {
+		t.Errorf("Leaves = %d, want 5", got)
+	}
+	if got := len(s.Containers()); got != 2 {
+		t.Errorf("Containers = %d, want 2", got)
+	}
+	if s.MaxDepth() != 2 {
+		t.Errorf("MaxDepth = %d, want 2", s.MaxDepth())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := buildSample()
+	s.ByPath("Person").Doc = "A person tracked by the system"
+	st := s.ComputeStats()
+	if st.Elements != 7 || st.Roots != 2 || st.Leaves != 5 || st.Containers != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.Documented != 1 {
+		t.Errorf("Documented = %d, want 1", st.Documented)
+	}
+	if len(st.DepthHistogram) != 2 || st.DepthHistogram[0] != 2 || st.DepthHistogram[1] != 5 {
+		t.Errorf("DepthHistogram = %v", st.DepthHistogram)
+	}
+}
+
+func TestPathCollisionDisambiguation(t *testing.T) {
+	s := New("Dup", FormatRelational)
+	tab := s.AddRoot("T", KindTable)
+	a := s.AddElement(tab, "X", KindColumn, TypeString)
+	b := s.AddElement(tab, "X", KindColumn, TypeString)
+	if a.Path() == b.Path() {
+		t.Errorf("duplicate paths were not disambiguated: %q", a.Path())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after collision: %v", err)
+	}
+}
+
+func TestSortedPaths(t *testing.T) {
+	s := buildSample()
+	paths := s.SortedPaths()
+	if !sort.StringsAreSorted(paths) {
+		t.Error("SortedPaths not sorted")
+	}
+	if len(paths) != s.Len() {
+		t.Errorf("SortedPaths length = %d, want %d", len(paths), s.Len())
+	}
+}
+
+func TestKindAndTypeStrings(t *testing.T) {
+	for k := KindUnknown; k <= KindGroup; k++ {
+		if KindFromString(k.String()) != k {
+			t.Errorf("Kind round trip failed for %v", k)
+		}
+	}
+	for dt := TypeNone; dt <= TypeIdentifier; dt++ {
+		if TypeFromString(dt.String()) != dt {
+			t.Errorf("DataType round trip failed for %v", dt)
+		}
+	}
+	for f := FormatUnknown; f <= FormatSynthetic; f++ {
+		if FormatFromString(f.String()) != f {
+			t.Errorf("Format round trip failed for %v", f)
+		}
+	}
+}

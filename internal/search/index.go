@@ -1,0 +1,262 @@
+// Package search implements schema search, one of the paper's research
+// directions: "Complementary search tools are needed to locate potential
+// match candidates from a larger pool of schemata. ... A powerful way to
+// search the MDR would be to simply use one's target schema as the 'query
+// term'." The index ranks whole schemata (SearchText / SearchSchema) and
+// schema fragments — top-level sub-trees — (SearchFragments), covering the
+// paper's "a more sophisticated one could return relevant schema
+// fragments".
+//
+// Ranking is BM25 over the same normalized token profiles the matcher and
+// the clustering layer use. The index is safe for concurrent use.
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"harmony/internal/schema"
+	"harmony/internal/text"
+)
+
+// BM25 parameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Result is one ranked hit.
+type Result struct {
+	// Schema is the schema name.
+	Schema string
+	// Fragment is the top-level element path for fragment hits, "" for
+	// whole-schema hits.
+	Fragment string
+	// Score is the BM25 relevance score (higher is better).
+	Score float64
+}
+
+// document is one indexed unit: a whole schema or one top-level sub-tree.
+type document struct {
+	schemaName string
+	fragment   string
+	length     int
+	alive      bool
+}
+
+type posting struct {
+	doc int
+	tf  int
+}
+
+// Index is an inverted index over schema token profiles. The zero value is
+// not usable; call NewIndex.
+type Index struct {
+	mu         sync.RWMutex
+	docs       []document
+	postings   map[string][]posting
+	fragDocs   []document
+	fragPost   map[string][]posting
+	byName     map[string][]int // schema name -> doc IDs (schema + fragments share the name)
+	totalLen   int
+	totalFrag  int
+	aliveDocs  int
+	aliveFrags int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		fragPost: make(map[string][]posting),
+		byName:   make(map[string][]int),
+	}
+}
+
+// Add indexes a schema: one whole-schema document plus one fragment
+// document per top-level element. Re-adding a name replaces the previous
+// version.
+func (ix *Index) Add(s *schema.Schema) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(s.Name)
+
+	profile := schemaProfile(s)
+	doc := len(ix.docs)
+	ix.docs = append(ix.docs, document{schemaName: s.Name, length: len(profile), alive: true})
+	ix.aliveDocs++
+	ix.totalLen += len(profile)
+	for tok, tf := range termFreq(profile) {
+		ix.postings[tok] = append(ix.postings[tok], posting{doc: doc, tf: tf})
+	}
+	ix.byName[s.Name] = append(ix.byName[s.Name], doc)
+
+	for _, root := range s.Roots() {
+		ftoks := subtreeProfile(root)
+		fdoc := len(ix.fragDocs)
+		ix.fragDocs = append(ix.fragDocs, document{
+			schemaName: s.Name, fragment: root.Path(), length: len(ftoks), alive: true,
+		})
+		ix.aliveFrags++
+		ix.totalFrag += len(ftoks)
+		for tok, tf := range termFreq(ftoks) {
+			ix.fragPost[tok] = append(ix.fragPost[tok], posting{doc: fdoc, tf: tf})
+		}
+	}
+}
+
+// Remove drops a schema (and its fragments) from the index. Removing an
+// unknown name is a no-op.
+func (ix *Index) Remove(name string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(name)
+}
+
+func (ix *Index) removeLocked(name string) {
+	for _, doc := range ix.byName[name] {
+		if ix.docs[doc].alive {
+			ix.docs[doc].alive = false
+			ix.aliveDocs--
+			ix.totalLen -= ix.docs[doc].length
+		}
+	}
+	delete(ix.byName, name)
+	for i := range ix.fragDocs {
+		if ix.fragDocs[i].schemaName == name && ix.fragDocs[i].alive {
+			ix.fragDocs[i].alive = false
+			ix.aliveFrags--
+			ix.totalFrag -= ix.fragDocs[i].length
+		}
+	}
+}
+
+// Len returns the number of indexed schemata.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.aliveDocs
+}
+
+// SearchText ranks schemata against a free-text query ("blood test" — the
+// paper's CIO asking which data sources contain the concept).
+func (ix *Index) SearchText(query string, k int) []Result {
+	return ix.SearchTokens(text.NormalizeDoc(query), k)
+}
+
+// SearchSchema uses a whole schema as the query term, the paper's
+// query-by-schema idiom for the DoD Metadata Registry.
+func (ix *Index) SearchSchema(q *schema.Schema, k int) []Result {
+	return ix.SearchTokens(schemaProfile(q), k)
+}
+
+// SearchTokens ranks schemata against pre-normalized query tokens.
+func (ix *Index) SearchTokens(tokens []string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return bm25(tokens, ix.docs, ix.postings, ix.aliveDocs, ix.totalLen, k, false)
+}
+
+// SearchFragments ranks top-level sub-trees (tables, complex types)
+// against a free-text query, returning schema + fragment path.
+func (ix *Index) SearchFragments(query string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return bm25(text.NormalizeDoc(query), ix.fragDocs, ix.fragPost, ix.aliveFrags, ix.totalFrag, k, true)
+}
+
+// bm25 scores the query against one posting space.
+func bm25(tokens []string, docs []document, postings map[string][]posting, alive, totalLen, k int, frag bool) []Result {
+	if alive == 0 || len(tokens) == 0 {
+		return nil
+	}
+	avgLen := float64(totalLen) / float64(alive)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[int]float64)
+	for tok, qtf := range termFreq(tokens) {
+		plist := postings[tok]
+		df := 0
+		for _, p := range plist {
+			if docs[p.doc].alive {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := bm25IDF(alive, df)
+		for _, p := range plist {
+			d := docs[p.doc]
+			if !d.alive {
+				continue
+			}
+			tf := float64(p.tf)
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(d.length)/avgLen))
+			// query term frequency saturates quickly: repeated query
+			// tokens shouldn't dominate schema-as-query searches.
+			qw := 1 + 0.2*float64(qtf-1)
+			scores[p.doc] += idf * norm * qw
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		r := Result{Schema: docs[doc].schemaName, Score: s}
+		if frag {
+			r.Fragment = docs[doc].fragment
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Schema != out[j].Schema {
+			return out[i].Schema < out[j].Schema
+		}
+		return out[i].Fragment < out[j].Fragment
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func bm25IDF(n, df int) float64 {
+	// ln(1 + (N - df + 0.5)/(df + 0.5))
+	return math.Log1p((float64(n) - float64(df) + 0.5) / (float64(df) + 0.5))
+}
+
+func termFreq(tokens []string) map[string]int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// schemaProfile returns the schema's full normalized token profile.
+func schemaProfile(s *schema.Schema) []string {
+	var toks []string
+	for _, e := range s.Elements() {
+		toks = append(toks, text.NormalizeName(e.Name)...)
+		if e.Doc != "" {
+			toks = append(toks, text.NormalizeDoc(e.Doc)...)
+		}
+	}
+	return toks
+}
+
+// subtreeProfile returns the token profile of one top-level sub-tree.
+func subtreeProfile(root *schema.Element) []string {
+	var toks []string
+	for _, e := range root.Subtree() {
+		toks = append(toks, text.NormalizeName(e.Name)...)
+		if e.Doc != "" {
+			toks = append(toks, text.NormalizeDoc(e.Doc)...)
+		}
+	}
+	return toks
+}

@@ -1,0 +1,139 @@
+package summarize
+
+import (
+	"fmt"
+	"sort"
+
+	"harmony/internal/core"
+)
+
+// ConceptMatch is a concept-level correspondence lifted from element-level
+// match evidence, the paper's "concept-level match (i.e., a match between a
+// label used in SA and one used in SB)". The case study recorded 24 of
+// them.
+type ConceptMatch struct {
+	A, B *Concept
+	// Score is the lifted match score: the average of the supporting
+	// element scores normalized over the smaller concept.
+	Score float64
+	// Support is the number of element-level correspondences above the
+	// lift threshold between members of A and members of B.
+	Support int
+	// Coverage is Support divided by the smaller concept's member count.
+	Coverage float64
+}
+
+// String formats the concept match for reports.
+func (cm ConceptMatch) String() string {
+	return fmt.Sprintf("%s <=> %s (score %.2f, support %d, coverage %.0f%%)",
+		cm.A.Label, cm.B.Label, cm.Score, cm.Support, cm.Coverage*100)
+}
+
+// LiftOptions tunes match lifting.
+type LiftOptions struct {
+	// Threshold is the minimum element-level score that counts as
+	// supporting evidence.
+	Threshold float64
+	// MinSupport is the minimum number of supporting element matches for
+	// a concept-level match (default 2: "a strong match from the fields of
+	// one concept to the fields of a corresponding concept").
+	MinSupport int
+	// MinCoverage is the minimum fraction of the smaller concept's members
+	// that must participate (default 0.25).
+	MinCoverage float64
+}
+
+// DefaultLiftOptions mirror the behaviour of the case study's engineers:
+// an element match is credible evidence above 0.4, and a concept-level
+// match needs several supporting fields covering a reasonable share of the
+// smaller concept.
+var DefaultLiftOptions = LiftOptions{Threshold: 0.4, MinSupport: 3, MinCoverage: 0.3}
+
+// Lift aggregates an element-level match result to concept level using the
+// two schemata's summaries. For each pair of concepts it gathers the
+// element correspondences between their members via a greedy one-to-one
+// alignment, then keeps pairs with sufficient support and coverage. The
+// result is sorted by descending score.
+func Lift(res *core.Result, sa, sb *Summary, opt LiftOptions) []ConceptMatch {
+	if opt.Threshold == 0 && opt.MinSupport == 0 && opt.MinCoverage == 0 {
+		opt = DefaultLiftOptions
+	}
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	// Greedy one-to-one element alignment above threshold, then group by
+	// concept pair. One-to-one prevents a single promiscuous element from
+	// inflating many concept pairs.
+	sel := core.SelectGreedyOneToOne(res.Matrix, opt.Threshold)
+	type pairKey struct{ a, b *Concept }
+	type agg struct {
+		sum     float64
+		support int
+	}
+	groups := make(map[pairKey]*agg)
+	for _, c := range sel {
+		ca := sa.ConceptOf(res.Src.View(c.Src).El)
+		cb := sb.ConceptOf(res.Dst.View(c.Dst).El)
+		if ca == nil || cb == nil {
+			continue
+		}
+		k := pairKey{ca, cb}
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{}
+			groups[k] = g
+		}
+		g.sum += c.Score
+		g.support++
+	}
+	var out []ConceptMatch
+	for k, g := range groups {
+		smaller := k.a.Size()
+		if k.b.Size() < smaller {
+			smaller = k.b.Size()
+		}
+		if smaller == 0 {
+			continue
+		}
+		coverage := float64(g.support) / float64(smaller)
+		if g.support < opt.MinSupport || coverage < opt.MinCoverage {
+			continue
+		}
+		out = append(out, ConceptMatch{
+			A:        k.a,
+			B:        k.b,
+			Score:    g.sum / float64(g.support),
+			Support:  g.support,
+			Coverage: coverage,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A.Label != out[j].A.Label {
+			return out[i].A.Label < out[j].A.Label
+		}
+		return out[i].B.Label < out[j].B.Label
+	})
+	return out
+}
+
+// LiftOneToOne reduces lifted concept matches to a one-to-one concept
+// mapping greedily by score; each concept appears at most once. This is
+// the form the case study reported (24 concept-level matches among 191
+// concepts).
+func LiftOneToOne(matches []ConceptMatch) []ConceptMatch {
+	usedA := make(map[*Concept]bool)
+	usedB := make(map[*Concept]bool)
+	var out []ConceptMatch
+	for _, m := range matches {
+		if usedA[m.A] || usedB[m.B] {
+			continue
+		}
+		usedA[m.A] = true
+		usedB[m.B] = true
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package summarize
+
+import (
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/schema"
+)
+
+func sampleSchema() *schema.Schema {
+	s := schema.New("S", schema.FormatRelational)
+	ev := s.AddRoot("All_Event_Vitals", schema.KindTable)
+	ev.Doc = "vital data about events"
+	s.AddElement(ev, "EVENT_ID", schema.KindColumn, schema.TypeIdentifier)
+	s.AddElement(ev, "DATE_BEGIN", schema.KindColumn, schema.TypeDate)
+	s.AddElement(ev, "DATE_END", schema.KindColumn, schema.TypeDate)
+	p := s.AddRoot("Person_Master", schema.KindTable)
+	s.AddElement(p, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	s.AddElement(p, "LAST_NAME", schema.KindColumn, schema.TypeString)
+	s.AddRoot("Orphan_Code", schema.KindTable)
+	return s
+}
+
+func TestManualSummary(t *testing.T) {
+	s := sampleSchema()
+	sm := New(s)
+	event := sm.AddConcept("Event", s.ByPath("All_Event_Vitals"))
+	person := sm.AddConcept("Person", s.ByPath("Person_Master"))
+	if sm.Len() != 2 {
+		t.Fatalf("concepts = %d, want 2", sm.Len())
+	}
+	if event.Size() != 4 || person.Size() != 3 {
+		t.Errorf("sizes = %d/%d, want 4/3", event.Size(), person.Size())
+	}
+	if got := sm.ConceptOf(s.ByPath("All_Event_Vitals/DATE_BEGIN")); got != event {
+		t.Errorf("DATE_BEGIN assigned to %v", got)
+	}
+	if got := len(sm.Unassigned()); got != 1 {
+		t.Errorf("unassigned = %d, want 1 (Orphan_Code)", got)
+	}
+	if sm.Coverage() < 0.8 || sm.Coverage() > 0.9 {
+		t.Errorf("coverage = %f", sm.Coverage())
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddConceptIdempotent(t *testing.T) {
+	s := sampleSchema()
+	sm := New(s)
+	c1 := sm.AddConcept("Event", nil)
+	c2 := sm.AddConcept("Event", nil)
+	if c1 != c2 {
+		t.Error("AddConcept created duplicate for same label")
+	}
+	if sm.Len() != 1 {
+		t.Errorf("Len = %d, want 1", sm.Len())
+	}
+}
+
+func TestReassignment(t *testing.T) {
+	s := sampleSchema()
+	sm := New(s)
+	a := sm.AddConcept("A", nil)
+	b := sm.AddConcept("B", nil)
+	e := s.ByPath("All_Event_Vitals/EVENT_ID")
+	sm.Assign(e, a)
+	sm.Assign(e, b)
+	if a.Size() != 0 || b.Size() != 1 {
+		t.Errorf("sizes after reassignment = %d/%d, want 0/1", a.Size(), b.Size())
+	}
+	if sm.ConceptOf(e) != b {
+		t.Error("ConceptOf after reassignment wrong")
+	}
+	sm.Assign(e, b) // self-reassignment is a no-op
+	if b.Size() != 1 {
+		t.Errorf("self-reassignment duplicated member: %d", b.Size())
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRoots(t *testing.T) {
+	s := sampleSchema()
+	sm := FromRoots(s)
+	if sm.Len() != 3 {
+		t.Fatalf("FromRoots concepts = %d, want 3", sm.Len())
+	}
+	if sm.Coverage() != 1 {
+		t.Errorf("FromRoots coverage = %f, want 1", sm.Coverage())
+	}
+	if sm.ByLabel("All_Event_Vitals") == nil {
+		t.Error("missing root concept")
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutomaticSummary(t *testing.T) {
+	s := sampleSchema()
+	sm := Automatic(s, 2)
+	if sm.Len() != 2 {
+		t.Fatalf("Automatic concepts = %d, want 2", sm.Len())
+	}
+	// The two wide documented tables must win over the empty orphan.
+	if sm.ByLabel("All_Event_Vitals") == nil || sm.ByLabel("Person_Master") == nil {
+		t.Errorf("Automatic chose wrong concepts: %v", sm.Concepts())
+	}
+	// Their members must be assigned.
+	if got := sm.ByLabel("All_Event_Vitals").Size(); got != 4 {
+		t.Errorf("event members = %d, want 4", got)
+	}
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutomaticFewerContainersThanK(t *testing.T) {
+	s := sampleSchema()
+	sm := Automatic(s, 10)
+	if sm.Len() != 2 {
+		t.Errorf("Automatic with k=10 found %d concepts, want 2 (only 2 containers)", sm.Len())
+	}
+}
+
+// twoMatchedSchemas builds a pair of schemata with two clearly
+// corresponding concepts and one unique concept each.
+func twoMatchedSchemas() (*schema.Schema, *schema.Schema) {
+	a := schema.New("A", schema.FormatRelational)
+	ev := a.AddRoot("Event_Vitals", schema.KindTable)
+	a.AddElement(ev, "EVENT_ID", schema.KindColumn, schema.TypeIdentifier)
+	a.AddElement(ev, "BEGIN_DATE", schema.KindColumn, schema.TypeDate)
+	a.AddElement(ev, "END_DATE", schema.KindColumn, schema.TypeDate)
+	a.AddElement(ev, "SEVERITY_CODE", schema.KindColumn, schema.TypeString)
+	pr := a.AddRoot("Person_Record", schema.KindTable)
+	a.AddElement(pr, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	a.AddElement(pr, "LAST_NAME", schema.KindColumn, schema.TypeString)
+	a.AddElement(pr, "FIRST_NAME", schema.KindColumn, schema.TypeString)
+	wx := a.AddRoot("Weather_Obs", schema.KindTable)
+	a.AddElement(wx, "TEMPERATURE", schema.KindColumn, schema.TypeDecimal)
+	a.AddElement(wx, "WIND_SPEED", schema.KindColumn, schema.TypeDecimal)
+
+	b := schema.New("B", schema.FormatXML)
+	iv := b.AddRoot("IncidentType", schema.KindComplexType)
+	b.AddElement(iv, "incidentId", schema.KindXMLElement, schema.TypeIdentifier)
+	b.AddElement(iv, "startDate", schema.KindXMLElement, schema.TypeDate)
+	b.AddElement(iv, "endDate", schema.KindXMLElement, schema.TypeDate)
+	b.AddElement(iv, "severity", schema.KindXMLElement, schema.TypeString)
+	ind := b.AddRoot("IndividualType", schema.KindComplexType)
+	b.AddElement(ind, "individualId", schema.KindXMLElement, schema.TypeIdentifier)
+	b.AddElement(ind, "familyName", schema.KindXMLElement, schema.TypeString)
+	b.AddElement(ind, "givenName", schema.KindXMLElement, schema.TypeString)
+	ct := b.AddRoot("ContractType", schema.KindComplexType)
+	b.AddElement(ct, "vendorName", schema.KindXMLElement, schema.TypeString)
+	b.AddElement(ct, "awardDate", schema.KindXMLElement, schema.TypeDate)
+	return a, b
+}
+
+func TestLiftConceptMatches(t *testing.T) {
+	a, b := twoMatchedSchemas()
+	res := core.PresetHarmony().Match(a, b)
+	sa, sb := FromRoots(a), FromRoots(b)
+	// These schemata carry no documentation, so scores sit lower than on
+	// documented workloads; 0.25 is the appropriate operating point (the
+	// matrix histogram shows the gap between signal and noise).
+	matches := Lift(res, sa, sb, LiftOptions{Threshold: 0.25, MinSupport: 2, MinCoverage: 0.3})
+	if len(matches) == 0 {
+		t.Fatal("no concept matches lifted")
+	}
+	// Person/Individual and Event/Incident must be found.
+	found := map[string]string{}
+	for _, m := range matches {
+		found[m.A.Label] = m.B.Label
+	}
+	if found["Person_Record"] != "IndividualType" {
+		t.Errorf("Person_Record lifted to %q, want IndividualType (all: %v)", found["Person_Record"], matches)
+	}
+	if found["Event_Vitals"] != "IncidentType" {
+		t.Errorf("Event_Vitals lifted to %q, want IncidentType (all: %v)", found["Event_Vitals"], matches)
+	}
+	// Weather and Contract are unique; they must not form a confident pair.
+	if found["Weather_Obs"] == "ContractType" {
+		t.Error("unique concepts spuriously matched")
+	}
+	for _, m := range matches {
+		if m.Support < 2 || m.Coverage < 0.3 {
+			t.Errorf("lift options violated: %+v", m)
+		}
+	}
+}
+
+func TestLiftOneToOne(t *testing.T) {
+	a, b := twoMatchedSchemas()
+	res := core.PresetHarmony().Match(a, b)
+	sa, sb := FromRoots(a), FromRoots(b)
+	matches := Lift(res, sa, sb, LiftOptions{Threshold: 0.2, MinSupport: 1, MinCoverage: 0})
+	one := LiftOneToOne(matches)
+	seenA := map[*Concept]bool{}
+	seenB := map[*Concept]bool{}
+	for _, m := range one {
+		if seenA[m.A] || seenB[m.B] {
+			t.Fatalf("LiftOneToOne repeated a concept: %v", m)
+		}
+		seenA[m.A] = true
+		seenB[m.B] = true
+	}
+}
+
+func TestLiftDefaultsApplied(t *testing.T) {
+	a, b := twoMatchedSchemas()
+	res := core.PresetHarmony().Match(a, b)
+	sa, sb := FromRoots(a), FromRoots(b)
+	// Zero options should become DefaultLiftOptions rather than lifting
+	// every scored pair.
+	matches := Lift(res, sa, sb, LiftOptions{})
+	for _, m := range matches {
+		if m.Support < DefaultLiftOptions.MinSupport {
+			t.Errorf("default MinSupport not applied: %+v", m)
+		}
+	}
+}

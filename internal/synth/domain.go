@@ -1,0 +1,425 @@
+// Package synth generates realistic synthetic enterprise schemata with
+// known ground truth. It stands in for the paper's proprietary workload:
+// two large, independently developed military schemata (SA: relational,
+// 1378 elements; SB: XML, 784 elements) plus the four additional schemata
+// (SC–SF) of the expanded study, and repository-scale schema collections
+// for the clustering and search experiments.
+//
+// Generation is deterministic in the seed. Every generated element carries
+// a hidden semantic key; two elements in different schemata correspond in
+// ground truth exactly when their keys are equal, which gives the
+// evaluation harness the oracle the paper's engineers lacked.
+package synth
+
+import "harmony/internal/schema"
+
+// AttrSpec is the canonical (uncorrupted) definition of an attribute within
+// a concept: its stable key suffix, canonical name tokens, normalized type
+// and documentation sentence.
+type AttrSpec struct {
+	Key   string
+	Words []string
+	Type  schema.DataType
+	Doc   string
+}
+
+// BaseConcept is a domain concept of the military/enterprise ontology the
+// case-study schemata draw from: persons, vehicles, military units, events
+// and so on, each with a pool of concept-specific attributes.
+type BaseConcept struct {
+	Key   string
+	Words []string
+	Doc   string
+	Attrs []AttrSpec
+}
+
+// Facet is a compositional modifier yielding concept variants: Person +
+// History, Vehicle + Maintenance, etc. Facets add their own attributes to
+// the variant's pool.
+type Facet struct {
+	Key   string
+	Words []string
+	Doc   string
+	Attrs []AttrSpec
+}
+
+func a(key string, words []string, t schema.DataType, doc string) AttrSpec {
+	return AttrSpec{Key: key, Words: words, Type: t, Doc: doc}
+}
+
+var (
+	str  = schema.TypeString
+	txt  = schema.TypeText
+	num  = schema.TypeInteger
+	dec  = schema.TypeDecimal
+	flag  = schema.TypeBoolean
+	date = schema.TypeDate
+	dt   = schema.TypeDateTime
+	ident = schema.TypeIdentifier
+)
+
+// commonAttrs appear in every concept's attribute pool, keyed per concept
+// (person.status differs semantically from vehicle.status).
+var commonAttrs = []AttrSpec{
+	a("identifier", []string{"identifier"}, ident, "unique identifier of the record"),
+	a("name", []string{"name"}, str, "primary name or designation"),
+	a("code", []string{"code"}, str, "standard code value"),
+	a("category", []string{"category"}, str, "classification category"),
+	a("status", []string{"status", "code"}, str, "current status code"),
+	a("begin_date", []string{"begin", "date"}, date, "date the record became effective"),
+	a("end_date", []string{"end", "date"}, date, "date the record ceased to be effective"),
+	a("created", []string{"created", "datetime"}, dt, "timestamp the record was created"),
+	a("updated_by", []string{"updated", "by", "user"}, str, "user who last updated the record"),
+	a("remarks", []string{"remarks", "text"}, txt, "free text remarks"),
+	a("source", []string{"source", "system"}, str, "system of record that supplied the data"),
+	a("priority", []string{"priority", "level"}, num, "numeric priority level"),
+	a("security", []string{"security", "marking"}, str, "security classification marking"),
+	a("version", []string{"version", "number"}, num, "version number of the record"),
+}
+
+// baseConcepts is the hand-built ontology core. Attribute pools are kept
+// realistic for the military planning domain of the paper's customer.
+var baseConcepts = []BaseConcept{
+	{Key: "person", Words: []string{"person"}, Doc: "an individual person known to the enterprise", Attrs: []AttrSpec{
+		a("first_name", []string{"first", "name"}, str, "given name of the person"),
+		a("last_name", []string{"last", "name"}, str, "family name of the person"),
+		a("middle_name", []string{"middle", "name"}, str, "middle name or initial"),
+		a("birth_date", []string{"birth", "date"}, date, "date of birth"),
+		a("gender", []string{"gender", "code"}, str, "administrative gender code"),
+		a("rank", []string{"rank", "code"}, str, "military rank or civilian grade"),
+		a("service_number", []string{"service", "number"}, str, "service identification number"),
+		a("nationality", []string{"nationality", "code"}, str, "country of citizenship"),
+		a("blood_type", []string{"blood", "type"}, str, "blood group and rh factor"),
+		a("height", []string{"height", "centimeters"}, dec, "height in centimeters"),
+		a("weight", []string{"weight", "kilograms"}, dec, "body weight in kilograms"),
+	}},
+	{Key: "vehicle", Words: []string{"vehicle"}, Doc: "a ground vehicle asset", Attrs: []AttrSpec{
+		a("registration", []string{"registration", "number"}, str, "vehicle registration number"),
+		a("make", []string{"make", "name"}, str, "manufacturer of the vehicle"),
+		a("model", []string{"model", "name"}, str, "model designation"),
+		a("model_year", []string{"model", "year"}, num, "model year"),
+		a("vin", []string{"vehicle", "identification", "number"}, str, "vehicle identification number"),
+		a("fuel_type", []string{"fuel", "type"}, str, "type of fuel consumed"),
+		a("capacity", []string{"cargo", "capacity"}, dec, "cargo capacity in kilograms"),
+		a("odometer", []string{"odometer", "kilometers"}, dec, "odometer reading in kilometers"),
+		a("armored", []string{"armored", "indicator"}, flag, "whether the vehicle is armored"),
+	}},
+	{Key: "event", Words: []string{"event"}, Doc: "an operationally significant event", Attrs: []AttrSpec{
+		a("event_type", []string{"event", "type"}, str, "type of event"),
+		a("start", []string{"begin", "datetime"}, dt, "date and time the event began"),
+		a("end", []string{"end", "datetime"}, dt, "date and time the event ended"),
+		a("severity", []string{"severity", "code"}, str, "severity of the event"),
+		a("casualty_count", []string{"casualty", "count"}, num, "number of casualties"),
+		a("reported_by", []string{"reported", "by"}, str, "unit or person reporting the event"),
+		a("location_ref", []string{"location", "identifier"}, ident, "reference to the event location"),
+		a("description", []string{"event", "description"}, txt, "narrative description of the event"),
+	}},
+	{Key: "unit", Words: []string{"military", "unit"}, Doc: "a military organizational unit", Attrs: []AttrSpec{
+		a("unit_identification", []string{"unit", "identification", "code"}, str, "unit identification code"),
+		a("echelon", []string{"echelon", "code"}, str, "echelon of the unit"),
+		a("service_branch", []string{"service", "branch"}, str, "military service branch"),
+		a("strength", []string{"personnel", "strength"}, num, "authorized personnel strength"),
+		a("readiness", []string{"readiness", "level"}, str, "current readiness level"),
+		a("home_station", []string{"home", "station"}, str, "home station of the unit"),
+		a("parent_unit", []string{"parent", "unit", "identifier"}, ident, "identifier of the parent unit"),
+		a("activation_date", []string{"activation", "date"}, date, "date the unit was activated"),
+	}},
+	{Key: "location", Words: []string{"location"}, Doc: "a geographic location", Attrs: []AttrSpec{
+		a("latitude", []string{"latitude", "degrees"}, dec, "latitude in decimal degrees"),
+		a("longitude", []string{"longitude", "degrees"}, dec, "longitude in decimal degrees"),
+		a("elevation", []string{"elevation", "meters"}, dec, "elevation above sea level in meters"),
+		a("country", []string{"country", "code"}, str, "country code"),
+		a("region", []string{"region", "name"}, str, "administrative region"),
+		a("mgrs", []string{"grid", "reference"}, str, "military grid reference"),
+		a("verified", []string{"verified", "indicator"}, flag, "whether the coordinates are verified"),
+	}},
+	{Key: "weapon", Words: []string{"weapon"}, Doc: "a weapon system", Attrs: []AttrSpec{
+		a("weapon_type", []string{"weapon", "type"}, str, "type of weapon system"),
+		a("caliber", []string{"caliber", "millimeters"}, dec, "caliber in millimeters"),
+		a("serial", []string{"serial", "number"}, str, "manufacturer serial number"),
+		a("range", []string{"effective", "range"}, dec, "effective range in meters"),
+		a("ammunition_type", []string{"ammunition", "type"}, str, "compatible ammunition type"),
+		a("condition", []string{"condition", "code"}, str, "maintenance condition code"),
+		a("assigned_unit", []string{"assigned", "unit", "identifier"}, ident, "unit the weapon is assigned to"),
+	}},
+	{Key: "facility", Words: []string{"facility"}, Doc: "a fixed facility or installation", Attrs: []AttrSpec{
+		a("facility_type", []string{"facility", "type"}, str, "type of facility"),
+		a("capacity", []string{"occupant", "capacity"}, num, "maximum occupant capacity"),
+		a("floor_area", []string{"floor", "area"}, dec, "floor area in square meters"),
+		a("operational", []string{"operational", "indicator"}, flag, "whether the facility is operational"),
+		a("commander", []string{"commander", "name"}, str, "name of the facility commander"),
+		a("power_source", []string{"power", "source"}, str, "primary power source"),
+		a("construction_date", []string{"construction", "date"}, date, "date construction completed"),
+	}},
+	{Key: "equipment", Words: []string{"equipment"}, Doc: "a piece of equipment or materiel", Attrs: []AttrSpec{
+		a("equipment_type", []string{"equipment", "type"}, str, "type of equipment"),
+		a("nsn", []string{"stock", "number"}, str, "national stock number"),
+		a("serial", []string{"serial", "number"}, str, "serial number"),
+		a("acquisition_cost", []string{"acquisition", "cost"}, dec, "acquisition cost in dollars"),
+		a("weight", []string{"weight", "kilograms"}, dec, "weight in kilograms"),
+		a("operational_status", []string{"operational", "status"}, str, "operational status code"),
+		a("custodian", []string{"custodian", "identifier"}, ident, "custodian responsible for the item"),
+	}},
+	{Key: "mission", Words: []string{"mission"}, Doc: "a planned or executed mission", Attrs: []AttrSpec{
+		a("mission_type", []string{"mission", "type"}, str, "type of mission"),
+		a("objective", []string{"objective", "text"}, txt, "mission objective"),
+		a("commander", []string{"mission", "commander"}, str, "commander responsible for the mission"),
+		a("launch", []string{"launch", "datetime"}, dt, "planned launch date and time"),
+		a("recovery", []string{"recovery", "datetime"}, dt, "planned recovery date and time"),
+		a("result", []string{"result", "code"}, str, "mission result code"),
+		a("abort_reason", []string{"abort", "reason"}, str, "reason the mission was aborted"),
+	}},
+	{Key: "message", Words: []string{"message"}, Doc: "a transmitted message", Attrs: []AttrSpec{
+		a("subject", []string{"subject", "text"}, str, "message subject"),
+		a("body", []string{"body", "text"}, txt, "message body"),
+		a("sender", []string{"sender", "identifier"}, ident, "originator of the message"),
+		a("recipient", []string{"recipient", "identifier"}, ident, "addressee of the message"),
+		a("transmitted", []string{"transmitted", "datetime"}, dt, "date and time transmitted"),
+		a("precedence", []string{"precedence", "code"}, str, "message precedence"),
+		a("channel", []string{"channel", "name"}, str, "communication channel used"),
+	}},
+	{Key: "supply", Words: []string{"supply"}, Doc: "a supply or provision line item", Attrs: []AttrSpec{
+		a("item_name", []string{"item", "name"}, str, "name of the supplied item"),
+		a("quantity", []string{"quantity", "authorized"}, num, "authorized quantity"),
+		a("quantity_on_hand", []string{"quantity", "on", "hand"}, num, "quantity currently on hand"),
+		a("unit_of_measure", []string{"unit", "measure"}, str, "unit of measure"),
+		a("resupply_date", []string{"resupply", "date"}, date, "next scheduled resupply date"),
+		a("storage_location", []string{"storage", "location"}, str, "storage location"),
+		a("shelf_life", []string{"shelf", "life", "days"}, num, "shelf life in days"),
+	}},
+	{Key: "route", Words: []string{"route"}, Doc: "a movement route", Attrs: []AttrSpec{
+		a("origin", []string{"origin", "location"}, str, "origin of the route"),
+		a("destination", []string{"destination", "location"}, str, "destination of the route"),
+		a("distance", []string{"distance", "kilometers"}, dec, "length of the route in kilometers"),
+		a("trafficability", []string{"trafficability", "code"}, str, "trafficability classification"),
+		a("checkpoint_count", []string{"checkpoint", "count"}, num, "number of checkpoints"),
+		a("hazard", []string{"hazard", "description"}, txt, "known hazards along the route"),
+	}},
+	{Key: "sensor", Words: []string{"sensor"}, Doc: "a sensor asset", Attrs: []AttrSpec{
+		a("sensor_type", []string{"sensor", "type"}, str, "type of sensor"),
+		a("detection_range", []string{"detection", "range"}, dec, "detection range in kilometers"),
+		a("frequency", []string{"operating", "frequency"}, dec, "operating frequency in megahertz"),
+		a("platform", []string{"platform", "identifier"}, ident, "platform carrying the sensor"),
+		a("calibration_date", []string{"calibration", "date"}, date, "last calibration date"),
+		a("active", []string{"active", "indicator"}, flag, "whether the sensor is active"),
+	}},
+	{Key: "track", Words: []string{"track"}, Doc: "a tracked object of interest", Attrs: []AttrSpec{
+		a("track_number", []string{"track", "number"}, str, "assigned track number"),
+		a("course", []string{"course", "degrees"}, dec, "course in degrees true"),
+		a("speed", []string{"speed", "knots"}, dec, "speed in knots"),
+		a("identity", []string{"identity", "code"}, str, "hostile friendly or unknown identity"),
+		a("first_observed", []string{"first", "observed", "datetime"}, dt, "when the track was first observed"),
+		a("last_observed", []string{"last", "observed", "datetime"}, dt, "when the track was last observed"),
+		a("confidence", []string{"confidence", "percent"}, dec, "tracking confidence percentage"),
+	}},
+	{Key: "report", Words: []string{"report"}, Doc: "a formatted report", Attrs: []AttrSpec{
+		a("report_type", []string{"report", "type"}, str, "type of report"),
+		a("reporting_period", []string{"reporting", "period"}, str, "period the report covers"),
+		a("submitted", []string{"submitted", "datetime"}, dt, "when the report was submitted"),
+		a("author", []string{"author", "name"}, str, "author of the report"),
+		a("approved_by", []string{"approved", "by"}, str, "approving authority"),
+		a("summary", []string{"summary", "text"}, txt, "executive summary"),
+	}},
+	{Key: "organization", Words: []string{"organization"}, Doc: "a civil or governmental organization", Attrs: []AttrSpec{
+		a("organization_type", []string{"organization", "type"}, str, "type of organization"),
+		a("parent", []string{"parent", "organization"}, ident, "parent organization"),
+		a("point_of_contact", []string{"point", "contact"}, str, "primary point of contact"),
+		a("office_phone", []string{"telephone", "number"}, str, "contact telephone number"),
+		a("address", []string{"street", "address"}, str, "street address"),
+		a("accredited", []string{"accredited", "indicator"}, flag, "whether the organization is accredited"),
+	}},
+	{Key: "aircraft", Words: []string{"aircraft"}, Doc: "an air asset", Attrs: []AttrSpec{
+		a("tail_number", []string{"tail", "number"}, str, "aircraft tail number"),
+		a("airframe", []string{"airframe", "type"}, str, "airframe type designation"),
+		a("flight_hours", []string{"flight", "hours"}, dec, "accumulated flight hours"),
+		a("fuel_capacity", []string{"fuel", "capacity"}, dec, "fuel capacity in liters"),
+		a("squadron", []string{"squadron", "identifier"}, ident, "squadron the aircraft belongs to"),
+		a("mission_ready", []string{"mission", "ready", "indicator"}, flag, "whether the aircraft is mission ready"),
+	}},
+	{Key: "vessel", Words: []string{"vessel"}, Doc: "a maritime vessel", Attrs: []AttrSpec{
+		a("hull_number", []string{"hull", "number"}, str, "hull number"),
+		a("vessel_class", []string{"vessel", "class"}, str, "vessel class"),
+		a("displacement", []string{"displacement", "tons"}, dec, "displacement in tons"),
+		a("draft", []string{"draft", "meters"}, dec, "draft in meters"),
+		a("home_port", []string{"home", "port"}, str, "home port"),
+		a("crew_size", []string{"crew", "size"}, num, "number of crew"),
+	}},
+	{Key: "weather", Words: []string{"weather", "observation"}, Doc: "a weather observation", Attrs: []AttrSpec{
+		a("temperature", []string{"temperature", "celsius"}, dec, "air temperature in celsius"),
+		a("wind_speed", []string{"wind", "speed"}, dec, "wind speed in knots"),
+		a("wind_direction", []string{"wind", "direction"}, dec, "wind direction in degrees"),
+		a("visibility", []string{"visibility", "meters"}, dec, "visibility in meters"),
+		a("precipitation", []string{"precipitation", "millimeters"}, dec, "precipitation in millimeters"),
+		a("cloud_cover", []string{"cloud", "cover", "percent"}, dec, "cloud cover percentage"),
+		a("observed", []string{"observation", "datetime"}, dt, "when the observation was taken"),
+	}},
+	{Key: "medical", Words: []string{"medical", "record"}, Doc: "a medical treatment record", Attrs: []AttrSpec{
+		a("patient", []string{"patient", "identifier"}, ident, "patient the record concerns"),
+		a("diagnosis", []string{"diagnosis", "code"}, str, "diagnosis code"),
+		a("treatment", []string{"treatment", "description"}, txt, "treatment provided"),
+		a("blood_test", []string{"blood", "test", "result"}, str, "blood test result"),
+		a("admission", []string{"admission", "datetime"}, dt, "admission date and time"),
+		a("discharge", []string{"discharge", "datetime"}, dt, "discharge date and time"),
+		a("provider", []string{"provider", "name"}, str, "treating provider"),
+	}},
+	{Key: "contract", Words: []string{"contract"}, Doc: "a procurement contract", Attrs: []AttrSpec{
+		a("contract_number", []string{"contract", "number"}, str, "contract number"),
+		a("vendor", []string{"vendor", "name"}, str, "contracted vendor"),
+		a("award_date", []string{"award", "date"}, date, "date the contract was awarded"),
+		a("ceiling", []string{"ceiling", "amount"}, dec, "contract ceiling amount"),
+		a("obligated", []string{"obligated", "amount"}, dec, "amount obligated to date"),
+		a("contracting_officer", []string{"contracting", "officer"}, str, "responsible contracting officer"),
+	}},
+	{Key: "maintenance", Words: []string{"maintenance", "action"}, Doc: "a maintenance action", Attrs: []AttrSpec{
+		a("work_order", []string{"work", "order", "number"}, str, "work order number"),
+		a("asset", []string{"asset", "identifier"}, ident, "asset maintained"),
+		a("malfunction", []string{"malfunction", "description"}, txt, "description of the malfunction"),
+		a("labor_hours", []string{"labor", "hours"}, dec, "labor hours expended"),
+		a("parts_cost", []string{"parts", "cost"}, dec, "cost of parts"),
+		a("completed", []string{"completion", "date"}, date, "date the action completed"),
+	}},
+	{Key: "target", Words: []string{"target"}, Doc: "a designated target", Attrs: []AttrSpec{
+		a("target_number", []string{"target", "number"}, str, "assigned target number"),
+		a("target_type", []string{"target", "type"}, str, "type of target"),
+		a("collateral_risk", []string{"collateral", "risk"}, str, "collateral damage risk estimate"),
+		a("priority_rank", []string{"priority", "rank"}, num, "targeting priority rank"),
+		a("approved", []string{"approval", "indicator"}, flag, "whether engagement is approved"),
+		a("battle_damage", []string{"battle", "damage", "assessment"}, txt, "battle damage assessment"),
+	}},
+	{Key: "incident", Words: []string{"incident"}, Doc: "a security or safety incident", Attrs: []AttrSpec{
+		a("incident_type", []string{"incident", "type"}, str, "type of incident"),
+		a("occurred", []string{"occurrence", "datetime"}, dt, "when the incident occurred"),
+		a("injuries", []string{"injury", "count"}, num, "number of injuries"),
+		a("property_damage", []string{"property", "damage", "amount"}, dec, "estimated property damage"),
+		a("investigator", []string{"investigator", "name"}, str, "assigned investigator"),
+		a("closed", []string{"closed", "indicator"}, flag, "whether the investigation is closed"),
+	}},
+	{Key: "order", Words: []string{"operations", "order"}, Doc: "an operations order", Attrs: []AttrSpec{
+		a("order_number", []string{"order", "number"}, str, "order number"),
+		a("issuing_hq", []string{"issuing", "headquarters"}, str, "issuing headquarters"),
+		a("effective", []string{"effective", "datetime"}, dt, "when the order takes effect"),
+		a("mission_statement", []string{"mission", "statement"}, txt, "mission statement"),
+		a("supersedes", []string{"superseded", "order"}, ident, "order this one supersedes"),
+	}},
+	{Key: "exercise", Words: []string{"training", "exercise"}, Doc: "a training exercise", Attrs: []AttrSpec{
+		a("exercise_name", []string{"exercise", "name"}, str, "name of the exercise"),
+		a("scenario", []string{"scenario", "description"}, txt, "exercise scenario"),
+		a("participant_count", []string{"participant", "count"}, num, "number of participants"),
+		a("start_date", []string{"start", "date"}, date, "exercise start date"),
+		a("completion_date", []string{"completion", "date"}, date, "exercise end date"),
+		a("lessons", []string{"lessons", "learned"}, txt, "lessons learned"),
+	}},
+}
+
+// facets multiply the base ontology into variants. The empty facet (the
+// base concept itself) is implicit in the universe construction.
+var facets = []Facet{
+	{Key: "history", Words: []string{"history"}, Doc: "historical record of changes", Attrs: []AttrSpec{
+		a("effective_date", []string{"effective", "date"}, date, "date the change became effective"),
+		a("expiration_date", []string{"expiration", "date"}, date, "date the change expired"),
+		a("change_reason", []string{"change", "reason"}, str, "reason for the change"),
+		a("previous_value", []string{"previous", "value"}, str, "value before the change"),
+	}},
+	{Key: "assignment", Words: []string{"assignment"}, Doc: "assignment relationship", Attrs: []AttrSpec{
+		a("assigned_from", []string{"assigned", "from", "date"}, date, "start of the assignment"),
+		a("assigned_to", []string{"assigned", "to", "date"}, date, "end of the assignment"),
+		a("assignment_role", []string{"assignment", "role"}, str, "role within the assignment"),
+		a("approving_authority", []string{"approving", "authority"}, str, "authority approving the assignment"),
+	}},
+	{Key: "schedule", Words: []string{"schedule"}, Doc: "scheduling information", Attrs: []AttrSpec{
+		a("scheduled_start", []string{"scheduled", "start"}, dt, "scheduled start"),
+		a("scheduled_end", []string{"scheduled", "end"}, dt, "scheduled end"),
+		a("recurrence", []string{"recurrence", "pattern"}, str, "recurrence pattern"),
+		a("timezone", []string{"time", "zone"}, str, "time zone of the schedule"),
+	}},
+	{Key: "inventory", Words: []string{"inventory"}, Doc: "inventory accounting", Attrs: []AttrSpec{
+		a("count_date", []string{"count", "date"}, date, "date of the inventory count"),
+		a("counted_quantity", []string{"counted", "quantity"}, num, "quantity counted"),
+		a("variance", []string{"variance", "quantity"}, num, "variance from expected"),
+		a("counted_by", []string{"counted", "by"}, str, "person performing the count"),
+	}},
+	{Key: "authorization", Words: []string{"authorization"}, Doc: "authorization grant", Attrs: []AttrSpec{
+		a("authorized_by", []string{"authorized", "by"}, str, "granting authority"),
+		a("authorization_level", []string{"authorization", "level"}, str, "level of authorization"),
+		a("granted_date", []string{"granted", "date"}, date, "date authorization was granted"),
+		a("revoked_date", []string{"revoked", "date"}, date, "date authorization was revoked"),
+	}},
+	{Key: "contact", Words: []string{"contact"}, Doc: "contact details", Attrs: []AttrSpec{
+		a("email", []string{"electronic", "mail", "address"}, str, "email address"),
+		a("phone", []string{"telephone", "number"}, str, "telephone number"),
+		a("secure_phone", []string{"secure", "telephone"}, str, "secure telephone number"),
+		a("mailing_address", []string{"mailing", "address"}, str, "mailing address"),
+	}},
+	{Key: "requirement", Words: []string{"requirement"}, Doc: "stated requirement", Attrs: []AttrSpec{
+		a("required_quantity", []string{"required", "quantity"}, num, "quantity required"),
+		a("need_date", []string{"need", "date"}, date, "date the requirement must be met"),
+		a("justification", []string{"justification", "text"}, txt, "justification for the requirement"),
+		a("validated", []string{"validated", "indicator"}, flag, "whether the requirement is validated"),
+	}},
+	{Key: "capability", Words: []string{"capability"}, Doc: "capability description", Attrs: []AttrSpec{
+		a("capability_type", []string{"capability", "type"}, str, "type of capability"),
+		a("proficiency", []string{"proficiency", "level"}, str, "proficiency level"),
+		a("certified_date", []string{"certification", "date"}, date, "date of certification"),
+		a("certifying_official", []string{"certifying", "official"}, str, "certifying official"),
+	}},
+	{Key: "transfer", Words: []string{"transfer"}, Doc: "custody transfer", Attrs: []AttrSpec{
+		a("transfer_date", []string{"transfer", "date"}, date, "date of the transfer"),
+		a("from_custodian", []string{"from", "custodian"}, ident, "releasing custodian"),
+		a("to_custodian", []string{"to", "custodian"}, ident, "receiving custodian"),
+		a("transfer_reason", []string{"transfer", "reason"}, str, "reason for the transfer"),
+	}},
+	{Key: "summary", Words: []string{"summary"}, Doc: "rollup summary", Attrs: []AttrSpec{
+		a("total_count", []string{"total", "count"}, num, "total record count"),
+		a("period_start", []string{"period", "start", "date"}, date, "start of the summary period"),
+		a("period_end", []string{"period", "end", "date"}, date, "end of the summary period"),
+		a("computed", []string{"computation", "datetime"}, dt, "when the summary was computed"),
+	}},
+}
+
+// Concept is one entry of the generated concept universe: a base concept
+// with an optional facet. Key is globally unique ("person", "person.history").
+type Concept struct {
+	Key   string
+	Words []string
+	Doc   string
+	Attrs []AttrSpec // full pool: base-specific, facet, then common
+}
+
+// Universe returns the deterministic concept universe: every base concept
+// followed by every base×facet variant. Its size (len(baseConcepts) *
+// (1+len(facets))) comfortably exceeds the 167 distinct concepts of the
+// paper's comprehensive vocabulary.
+func Universe() []Concept {
+	out := make([]Concept, 0, len(baseConcepts)*(1+len(facets)))
+	for _, b := range baseConcepts {
+		out = append(out, makeConcept(b, nil))
+	}
+	for _, f := range facets {
+		for _, b := range baseConcepts {
+			f := f
+			out = append(out, makeConcept(b, &f))
+		}
+	}
+	return out
+}
+
+func makeConcept(b BaseConcept, f *Facet) Concept {
+	c := Concept{Key: b.Key, Words: append([]string(nil), b.Words...), Doc: b.Doc}
+	pool := make([]AttrSpec, 0, len(b.Attrs)+len(commonAttrs)+6)
+	pool = append(pool, b.Attrs...)
+	if f != nil {
+		c.Key = b.Key + "." + f.Key
+		c.Words = append(c.Words, f.Words...)
+		c.Doc = b.Doc + "; " + f.Doc
+		pool = append(pool, f.Attrs...)
+	}
+	pool = append(pool, commonAttrs...)
+	// Re-key attributes under the concept so that person.status and
+	// vehicle.status are distinct semantic keys.
+	c.Attrs = make([]AttrSpec, len(pool))
+	for i, at := range pool {
+		at.Key = c.Key + "." + at.Key
+		c.Attrs[i] = at
+	}
+	return c
+}

@@ -1,0 +1,416 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"harmony/internal/schema"
+)
+
+// Truth is the generation oracle: it records the hidden semantic key of
+// every generated element. Two elements of different schemata correspond in
+// ground truth exactly when their keys are equal. The paper's engineers had
+// no such oracle — building one is what the three person-days of §3.3 were
+// spent approximating — but the evaluation harness needs it to score
+// matcher output.
+type Truth struct {
+	keys map[string]map[string]string // schema name -> element path -> key
+}
+
+// NewTruth returns an empty oracle.
+func NewTruth() *Truth {
+	return &Truth{keys: make(map[string]map[string]string)}
+}
+
+// Record stores the semantic key of one element.
+func (t *Truth) Record(schemaName, path, key string) {
+	m, ok := t.keys[schemaName]
+	if !ok {
+		m = make(map[string]string)
+		t.keys[schemaName] = m
+	}
+	m[path] = key
+}
+
+// Key returns the semantic key of an element, or "" if unrecorded.
+func (t *Truth) Key(schemaName, path string) string { return t.keys[schemaName][path] }
+
+// IsMatch reports whether two elements share a semantic key.
+func (t *Truth) IsMatch(schemaA, pathA, schemaB, pathB string) bool {
+	ka := t.Key(schemaA, pathA)
+	return ka != "" && ka == t.Key(schemaB, pathB)
+}
+
+// Pairs returns every ground-truth correspondence between two schemata as
+// [pathA, pathB] pairs. Keys are unique within a generated schema, so the
+// result is a partial one-to-one mapping.
+func (t *Truth) Pairs(a, b *schema.Schema) [][2]string {
+	byKey := make(map[string]string, len(t.keys[a.Name]))
+	for path, key := range t.keys[a.Name] {
+		byKey[key] = path
+	}
+	var out [][2]string
+	for _, e := range b.Elements() {
+		key := t.Key(b.Name, e.Path())
+		if key == "" {
+			continue
+		}
+		if pa, ok := byKey[key]; ok {
+			out = append(out, [2]string{pa, e.Path()})
+		}
+	}
+	return out
+}
+
+// MatchedCounts returns how many elements of a and of b participate in any
+// ground-truth correspondence between the two schemata.
+func (t *Truth) MatchedCounts(a, b *schema.Schema) (aMatched, bMatched int) {
+	pairs := t.Pairs(a, b)
+	seenA := make(map[string]bool, len(pairs))
+	seenB := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		seenA[p[0]] = true
+		seenB[p[1]] = true
+	}
+	return len(seenA), len(seenB)
+}
+
+// instance is one concept's realization in a schema under generation.
+type instance struct {
+	concept Concept
+	attrs   []AttrSpec
+}
+
+// build renders instances into a schema with the given style, recording
+// every element's semantic key in truth.
+func build(name string, format schema.Format, style NamingStyle, seed int64, insts []instance, truth *Truth) *schema.Schema {
+	s := schema.New(name, format)
+	st := newStyler(style, rand.New(rand.NewSource(seed)))
+	rootKind := schema.KindTable
+	childKind := schema.KindColumn
+	if format == schema.FormatXML {
+		rootKind = schema.KindComplexType
+		childKind = schema.KindXMLElement
+	}
+	rootNames := make(map[string]int)
+	for _, inst := range insts {
+		root := s.AddElement(nil, uniqueName(rootNames, st.render(inst.concept.Words, true)), rootKind, schema.TypeNone)
+		if st.keepDoc() {
+			root.Doc = inst.concept.Doc
+		}
+		truth.Record(name, root.Path(), inst.concept.Key)
+		childNames := make(map[string]int)
+		for _, at := range inst.attrs {
+			e := s.AddElement(root, uniqueName(childNames, st.render(at.Words, false)), childKind, at.Type)
+			if st.keepDoc() {
+				e.Doc = at.Doc
+			}
+			truth.Record(name, e.Path(), at.Key)
+		}
+	}
+	return s
+}
+
+// uniqueName disambiguates rendered names within one scope, as real
+// schemata require: a second "UNIT_CD" in the same table becomes
+// "UNIT_CD_2".
+func uniqueName(used map[string]int, name string) string {
+	used[name]++
+	if used[name] == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s_%d", name, used[name])
+}
+
+// shuffledUniverse returns the concept universe in a seed-determined order,
+// with each concept's attribute pool independently shuffled.
+func shuffledUniverse(rng *rand.Rand) []Concept {
+	u := Universe()
+	rng.Shuffle(len(u), func(i, j int) { u[i], u[j] = u[j], u[i] })
+	for i := range u {
+		attrs := append([]AttrSpec(nil), u[i].Attrs...)
+		rng.Shuffle(len(attrs), func(x, y int) { attrs[x], attrs[y] = attrs[y], attrs[x] })
+		u[i].Attrs = attrs
+	}
+	return u
+}
+
+// CaseStudy generates the paper's §3 workload with its exact shape:
+//
+//	SA: relational, 1378 elements (140 concept tables + 1238 columns)
+//	SB: XML, 784 elements (51 concept types + 733 elements)
+//
+// Ground truth is calibrated to the paper's outcome: 24 of SB's concepts
+// correspond to SA concepts, and 267 SB elements in total (24 concept roots
+// + 243 attributes, 34% of SB) have SA correspondents, leaving 517 SB
+// elements (66%) distinct. SA and SB use different naming conventions and
+// documentation coverage, as the two systems were independently developed.
+func CaseStudy(seed int64) (sa, sb *schema.Schema, truth *Truth) {
+	rng := rand.New(rand.NewSource(seed))
+	u := shuffledUniverse(rng)
+
+	const (
+		saConcepts   = 140
+		sbShared     = 24
+		sbOnly       = 27
+		saSharedAttr = 12 // attrs per shared concept in SA
+		totalShared  = 243
+	)
+	saSet := u[:saConcepts]
+	shared := saSet[:sbShared]
+	sbOnlySet := u[saConcepts : saConcepts+sbOnly]
+
+	truth = NewTruth()
+
+	// Shared-attribute quota per shared concept: 243 = 3*11 + 21*10.
+	sharedQuota := make([]int, sbShared)
+	for i := range sharedQuota {
+		if i < totalShared%sbShared*0+3 { // 3 concepts take 11
+			sharedQuota[i] = 11
+		} else {
+			sharedQuota[i] = 10
+		}
+	}
+
+	// SA instances: shared concepts first (12 attrs each, beginning with
+	// the shared quota), then the rest (8 attrs, 22 of them taking 9 to
+	// land exactly on 1238 columns).
+	var saInsts []instance
+	for i, c := range shared {
+		saInsts = append(saInsts, instance{concept: c, attrs: c.Attrs[:saSharedAttr]})
+		_ = i
+	}
+	rest := saSet[sbShared:]
+	for i, c := range rest {
+		n := 8
+		if i < 22 {
+			n = 9
+		}
+		saInsts = append(saInsts, instance{concept: c, attrs: c.Attrs[:n]})
+	}
+
+	// SB instances: the 24 shared concepts carry their shared quota plus 2
+	// SB-unique attrs drawn beyond SA's slice; the 27 SB-only concepts
+	// carry 16 attrs (10 of them taking 17) to land exactly on 733.
+	var sbInsts []instance
+	for i, c := range shared {
+		attrs := append([]AttrSpec(nil), c.Attrs[:sharedQuota[i]]...)
+		attrs = append(attrs, c.Attrs[saSharedAttr:saSharedAttr+2]...)
+		sbInsts = append(sbInsts, instance{concept: c, attrs: attrs})
+	}
+	for i, c := range sbOnlySet {
+		n := 16
+		if i < 10 {
+			n = 17
+		}
+		sbInsts = append(sbInsts, instance{concept: c, attrs: c.Attrs[:n]})
+	}
+
+	sa = build("SA", schema.FormatRelational, StyleRelational, rng.Int63(), saInsts, truth)
+	sb = build("SB", schema.FormatXML, StyleXML, rng.Int63(), sbInsts, truth)
+	return sa, sb, truth
+}
+
+// Expanded generates the five-schema workload of the paper's expanded
+// study: {SA, SC, SD, SE, SF}. Concept membership is constructed so that
+// every one of the 2^5-1 = 31 cells of the N-way Venn partition is occupied
+// in ground truth — each cell (a subset of schemata) is assigned its own
+// block of concepts. Schema formats and naming styles vary across the five.
+func Expanded(seed int64) (schemas []*schema.Schema, truth *Truth) {
+	rng := rand.New(rand.NewSource(seed))
+	u := shuffledUniverse(rng)
+	names := []string{"SA", "SC", "SD", "SE", "SF"}
+	const n = 5
+
+	// Concepts per cell by cardinality of the subset: singles get 10,
+	// pairs 5, triples 4, quadruples 3, the full intersection 4.
+	perCell := []int{0, 10, 5, 4, 3, 4}
+
+	memberships := make([][]int, n) // schema index -> concept indices in u
+	next := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		k := popcount(mask)
+		take := perCell[k]
+		for c := 0; c < take; c++ {
+			for s := 0; s < n; s++ {
+				if mask&(1<<s) != 0 {
+					memberships[s] = append(memberships[s], next)
+				}
+			}
+			next++
+		}
+	}
+	if next > len(u) {
+		panic(fmt.Sprintf("synth: universe too small: need %d concepts, have %d", next, len(u)))
+	}
+
+	styles := []NamingStyle{
+		StyleRelational,
+		{Case: UpperSnake, AbbrevProb: 0.55, SynonymProb: 0.10, SuffixProb: 0.30, DropProb: 0.08, DocProb: 0.6},
+		StyleXML,
+		{Case: UpperCamel, AbbrevProb: 0.10, SynonymProb: 0.35, SuffixProb: 0.0, DropProb: 0.12, TypeSuffix: "Element", DocProb: 0.5},
+		{Case: LowerSnake, AbbrevProb: 0.35, SynonymProb: 0.20, SuffixProb: 0.15, DropProb: 0.10, DocProb: 0.7},
+	}
+	formats := []schema.Format{
+		schema.FormatRelational, schema.FormatRelational, schema.FormatXML,
+		schema.FormatXML, schema.FormatRelational,
+	}
+
+	truth = NewTruth()
+	schemas = make([]*schema.Schema, n)
+	for s := 0; s < n; s++ {
+		var insts []instance
+		for _, ci := range memberships[s] {
+			c := u[ci]
+			// Each schema sees a per-schema slice of the concept's pool:
+			// a common prefix (shared attrs) plus a small schema-specific
+			// tail, so attribute-level overlap is partial, as in reality.
+			nShared := 5 + ci%3
+			tailStart := nShared + s
+			attrs := append([]AttrSpec(nil), c.Attrs[:nShared]...)
+			if tailStart+2 <= len(c.Attrs) {
+				attrs = append(attrs, c.Attrs[tailStart:tailStart+2]...)
+			}
+			insts = append(insts, instance{concept: c, attrs: attrs})
+		}
+		schemas[s] = build(names[s], formats[s], styles[s], rng.Int63(), insts, truth)
+	}
+	return schemas, truth
+}
+
+// Collection generates a repository-scale set of schemata with planted
+// domain clusters, for the clustering (E7) and search (E8) experiments:
+// `domains` communities of `perDomain` schemata each. Schemata within a
+// domain draw most concepts from the domain's core and so overlap heavily;
+// schemata from different domains share only incidental concepts. The
+// returned labels give each schema's true domain.
+func Collection(seed int64, domains, perDomain int) (schemas []*schema.Schema, labels []int, truth *Truth) {
+	rng := rand.New(rand.NewSource(seed))
+	u := shuffledUniverse(rng)
+	const coreSize = 14
+	if domains*coreSize > len(u) {
+		panic("synth: too many domains for the concept universe")
+	}
+	truth = NewTruth()
+	styles := []NamingStyle{
+		StyleRelational, StyleXML,
+		{Case: LowerSnake, AbbrevProb: 0.3, SynonymProb: 0.25, SuffixProb: 0.1, DropProb: 0.1, DocProb: 0.65},
+		{Case: UpperCamel, AbbrevProb: 0.2, SynonymProb: 0.2, SuffixProb: 0.05, DropProb: 0.1, DocProb: 0.55},
+	}
+	for d := 0; d < domains; d++ {
+		core := u[d*coreSize : (d+1)*coreSize]
+		for i := 0; i < perDomain; i++ {
+			// each schema takes 8-11 core concepts plus up to 2 strays
+			// from the shared tail of the universe
+			k := 8 + rng.Intn(4)
+			picks := append([]Concept(nil), core...)
+			rng.Shuffle(len(picks), func(x, y int) { picks[x], picks[y] = picks[y], picks[x] })
+			picks = picks[:k]
+			strayBase := domains * coreSize
+			for s := 0; s < rng.Intn(3); s++ {
+				picks = append(picks, u[strayBase+rng.Intn(len(u)-strayBase)])
+			}
+			var insts []instance
+			for _, c := range picks {
+				n := 5 + rng.Intn(4)
+				insts = append(insts, instance{concept: c, attrs: c.Attrs[:n]})
+			}
+			name := fmt.Sprintf("D%d_S%d", d+1, i+1)
+			style := styles[(d*perDomain+i)%len(styles)]
+			format := schema.FormatRelational
+			if style.TypeSuffix != "" {
+				format = schema.FormatXML
+			}
+			sc := build(name, format, style, rng.Int63(), insts, truth)
+			schemas = append(schemas, sc)
+			labels = append(labels, d)
+		}
+	}
+	return schemas, labels, truth
+}
+
+// Pair generates two schemata with a controlled concept overlap: a has
+// conceptsA concepts, b has conceptsB, and exactly shared of them are
+// common to both (with partially overlapping attribute sets). It is the
+// small-scale analog of CaseStudy for tests and benchmarks that cannot
+// afford the full 1378x784 workload.
+func Pair(seed int64, conceptsA, conceptsB, shared, attrs int) (a, b *schema.Schema, truth *Truth) {
+	if shared > conceptsA {
+		shared = conceptsA
+	}
+	if shared > conceptsB {
+		shared = conceptsB
+	}
+	rng := rand.New(rand.NewSource(seed))
+	u := shuffledUniverse(rng)
+	need := conceptsA + conceptsB - shared
+	if need > len(u) {
+		panic(fmt.Sprintf("synth: universe too small for %d concepts", need))
+	}
+	truth = NewTruth()
+	common := u[:shared]
+	onlyA := u[shared : conceptsA]
+	onlyB := u[conceptsA : conceptsA+conceptsB-shared]
+
+	mk := func(concepts []Concept, extra []Concept, attrOffset int) []instance {
+		var insts []instance
+		for _, c := range concepts {
+			n := attrs
+			if n > len(c.Attrs) {
+				n = len(c.Attrs)
+			}
+			insts = append(insts, instance{concept: c, attrs: c.Attrs[:n]})
+		}
+		for _, c := range extra {
+			// shared concepts: mostly common attrs plus a small
+			// schema-specific tail so element overlap is partial
+			n := attrs
+			if n > len(c.Attrs) {
+				n = len(c.Attrs)
+			}
+			hi := n + attrOffset
+			if hi > len(c.Attrs) {
+				hi = len(c.Attrs)
+			}
+			sel := append([]AttrSpec(nil), c.Attrs[:n-1]...)
+			sel = append(sel, c.Attrs[hi-1])
+			insts = append(insts, instance{concept: c, attrs: sel})
+		}
+		return insts
+	}
+	a = build("PairA", schema.FormatRelational, StyleRelational, rng.Int63(), mk(onlyA, common, 0), truth)
+	b = build("PairB", schema.FormatXML, StyleXML, rng.Int63(), mk(onlyB, common, 1), truth)
+	return a, b, truth
+}
+
+// Custom generates a single schema with numConcepts concepts of
+// attrsPerConcept attributes each, starting at the given offset into the
+// seed-shuffled universe. It is the generic entry point used by
+// cmd/schemagen and the scaling benchmarks.
+func Custom(name string, format schema.Format, style NamingStyle, seed int64, numConcepts, attrsPerConcept, offset int) (*schema.Schema, *Truth) {
+	rng := rand.New(rand.NewSource(seed))
+	u := shuffledUniverse(rng)
+	if numConcepts <= 0 {
+		numConcepts = 1
+	}
+	truth := NewTruth()
+	var insts []instance
+	for i := 0; i < numConcepts; i++ {
+		c := u[(offset+i)%len(u)]
+		n := attrsPerConcept
+		if n <= 0 || n > len(c.Attrs) {
+			n = len(c.Attrs)
+		}
+		insts = append(insts, instance{concept: c, attrs: c.Attrs[:n]})
+	}
+	return build(name, format, style, rng.Int63(), insts, truth), truth
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

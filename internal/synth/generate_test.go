@@ -1,0 +1,302 @@
+package synth
+
+import (
+	"testing"
+
+	"harmony/internal/schema"
+)
+
+func TestCaseStudyShape(t *testing.T) {
+	sa, sb, truth := CaseStudy(42)
+	if err := sa.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §3.1 sizes, exactly.
+	if sa.Len() != 1378 {
+		t.Errorf("SA size = %d, want 1378", sa.Len())
+	}
+	if sb.Len() != 784 {
+		t.Errorf("SB size = %d, want 784", sb.Len())
+	}
+	if got := len(sa.Roots()); got != 140 {
+		t.Errorf("SA concepts = %d, want 140", got)
+	}
+	if got := len(sb.Roots()); got != 51 {
+		t.Errorf("SB concepts = %d, want 51", got)
+	}
+	if sa.Format != schema.FormatRelational {
+		t.Errorf("SA format = %v", sa.Format)
+	}
+	if sb.Format != schema.FormatXML {
+		t.Errorf("SB format = %v", sb.Format)
+	}
+	// The paper's §3.4 outcome, exactly, in ground truth: 267 of SB's 784
+	// elements (34%) match SA; 517 (66%) do not.
+	_, bMatched := truth.MatchedCounts(sa, sb)
+	if bMatched != 267 {
+		t.Errorf("SB matched elements = %d, want 267", bMatched)
+	}
+	if unmatched := sb.Len() - bMatched; unmatched != 517 {
+		t.Errorf("SB distinct elements = %d, want 517", unmatched)
+	}
+	// 24 concept-level (root) matches.
+	rootMatches := 0
+	for _, r := range sb.Roots() {
+		key := truth.Key("SB", r.Path())
+		if key == "" {
+			continue
+		}
+		for _, ra := range sa.Roots() {
+			if truth.Key("SA", ra.Path()) == key {
+				rootMatches++
+				break
+			}
+		}
+	}
+	if rootMatches != 24 {
+		t.Errorf("concept-level matches = %d, want 24", rootMatches)
+	}
+}
+
+func TestCaseStudyDeterministic(t *testing.T) {
+	sa1, sb1, _ := CaseStudy(7)
+	sa2, sb2, _ := CaseStudy(7)
+	for i := range sa1.Elements() {
+		if sa1.Element(i).Name != sa2.Element(i).Name {
+			t.Fatalf("SA not deterministic at element %d", i)
+		}
+	}
+	for i := range sb1.Elements() {
+		if sb1.Element(i).Name != sb2.Element(i).Name {
+			t.Fatalf("SB not deterministic at element %d", i)
+		}
+	}
+	// different seeds should differ somewhere
+	sa3, _, _ := CaseStudy(8)
+	same := true
+	for i := range sa1.Elements() {
+		if sa1.Element(i).Name != sa3.Element(i).Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical SA")
+	}
+}
+
+func TestCaseStudyNamingStylesDiffer(t *testing.T) {
+	sa, sb, truth := CaseStudy(42)
+	pairs := truth.Pairs(sa, sb)
+	if len(pairs) != 267 {
+		t.Fatalf("truth pairs = %d, want 267", len(pairs))
+	}
+	identical := 0
+	for _, p := range pairs {
+		if sa.ByPath(p[0]).Name == sb.ByPath(p[1]).Name {
+			identical++
+		}
+	}
+	// Corruption must make the match non-trivial: most corresponding
+	// elements are named differently.
+	if identical > len(pairs)/3 {
+		t.Errorf("%d/%d corresponding elements share a verbatim name; corruption too weak", identical, len(pairs))
+	}
+}
+
+func TestTruthOracle(t *testing.T) {
+	truth := NewTruth()
+	truth.Record("A", "X/y", "k1")
+	truth.Record("B", "Q/r", "k1")
+	truth.Record("B", "Q/s", "k2")
+	if !truth.IsMatch("A", "X/y", "B", "Q/r") {
+		t.Error("matching keys not detected")
+	}
+	if truth.IsMatch("A", "X/y", "B", "Q/s") {
+		t.Error("non-matching keys reported as match")
+	}
+	if truth.IsMatch("A", "nope", "B", "Q/r") {
+		t.Error("unrecorded element reported as match")
+	}
+	if truth.Key("A", "X/y") != "k1" {
+		t.Error("Key lookup failed")
+	}
+}
+
+func TestExpandedOccupiesAllCells(t *testing.T) {
+	schemas, truth := Expanded(42)
+	if len(schemas) != 5 {
+		t.Fatalf("schemas = %d, want 5", len(schemas))
+	}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compute concept-level cell occupancy from ground truth: for each
+	// concept key found on any root, which schemata contain it.
+	membership := map[string]int{}
+	for si, s := range schemas {
+		for _, r := range s.Roots() {
+			key := truth.Key(s.Name, r.Path())
+			if key != "" {
+				membership[key] |= 1 << si
+			}
+		}
+	}
+	cells := map[int]int{}
+	for _, mask := range membership {
+		cells[mask]++
+	}
+	for mask := 1; mask < 1<<5; mask++ {
+		if cells[mask] == 0 {
+			t.Errorf("Venn cell %05b unoccupied in ground truth", mask)
+		}
+	}
+}
+
+func TestCollectionClusters(t *testing.T) {
+	schemas, labels, truth := Collection(42, 4, 6)
+	if len(schemas) != 24 || len(labels) != 24 {
+		t.Fatalf("collection size = %d/%d, want 24", len(schemas), len(labels))
+	}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() < 20 {
+			t.Errorf("schema %s suspiciously small: %d", s.Name, s.Len())
+		}
+	}
+	// Within-domain concept overlap must exceed cross-domain overlap.
+	conceptSet := func(s *schema.Schema) map[string]bool {
+		out := map[string]bool{}
+		for _, r := range s.Roots() {
+			if k := truth.Key(s.Name, r.Path()); k != "" {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	overlap := func(a, b map[string]bool) float64 {
+		inter := 0
+		for k := range a {
+			if b[k] {
+				inter++
+			}
+		}
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	var within, cross float64
+	var nw, nc int
+	for i := range schemas {
+		for j := i + 1; j < len(schemas); j++ {
+			o := overlap(conceptSet(schemas[i]), conceptSet(schemas[j]))
+			if labels[i] == labels[j] {
+				within += o
+				nw++
+			} else {
+				cross += o
+				nc++
+			}
+		}
+	}
+	if within/float64(nw) <= cross/float64(nc)*2 {
+		t.Errorf("planted clusters too weak: within=%.3f cross=%.3f", within/float64(nw), cross/float64(nc))
+	}
+}
+
+func TestCustom(t *testing.T) {
+	s, truth := Custom("X", schema.FormatRelational, StyleRelational, 1, 10, 6, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Roots()) != 10 {
+		t.Errorf("roots = %d, want 10", len(s.Roots()))
+	}
+	if s.Len() != 10*7 {
+		t.Errorf("size = %d, want 70", s.Len())
+	}
+	// every element has a truth key
+	for _, e := range s.Elements() {
+		if truth.Key("X", e.Path()) == "" {
+			t.Errorf("element %s missing truth key", e.Path())
+		}
+	}
+}
+
+func TestUniverseShape(t *testing.T) {
+	u := Universe()
+	if len(u) < 167 {
+		t.Fatalf("universe = %d concepts, need >= 167 for the case study", len(u))
+	}
+	seen := map[string]bool{}
+	for _, c := range u {
+		if seen[c.Key] {
+			t.Errorf("duplicate concept key %q", c.Key)
+		}
+		seen[c.Key] = true
+		if len(c.Attrs) < 14+5 {
+			t.Errorf("concept %s pool too small: %d", c.Key, len(c.Attrs))
+		}
+		attrSeen := map[string]bool{}
+		for _, at := range c.Attrs {
+			if attrSeen[at.Key] {
+				t.Errorf("concept %s has duplicate attr key %q", c.Key, at.Key)
+			}
+			attrSeen[at.Key] = true
+			if len(at.Words) == 0 || at.Doc == "" {
+				t.Errorf("concept %s attr %s underspecified", c.Key, at.Key)
+			}
+		}
+	}
+}
+
+func TestPair(t *testing.T) {
+	a, b, truth := Pair(5, 10, 8, 4, 6)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Roots()) != 10 || len(b.Roots()) != 8 {
+		t.Fatalf("concepts = %d/%d", len(a.Roots()), len(b.Roots()))
+	}
+	// exactly 4 shared concept roots in ground truth
+	sharedRoots := 0
+	for _, ra := range a.Roots() {
+		ka := truth.Key(a.Name, ra.Path())
+		for _, rb := range b.Roots() {
+			if truth.Key(b.Name, rb.Path()) == ka {
+				sharedRoots++
+			}
+		}
+	}
+	if sharedRoots != 4 {
+		t.Errorf("shared concepts = %d, want 4", sharedRoots)
+	}
+	// attribute overlap is partial: shared concepts share most but not
+	// all attributes
+	pairs := truth.Pairs(a, b)
+	if len(pairs) <= sharedRoots {
+		t.Errorf("no attribute-level overlap: %d pairs", len(pairs))
+	}
+	if len(pairs) >= 4*7 {
+		t.Errorf("attribute overlap not partial: %d pairs", len(pairs))
+	}
+}
+
+func TestPairSharedClamped(t *testing.T) {
+	a, b, _ := Pair(5, 3, 2, 10, 4)
+	if len(a.Roots()) != 3 || len(b.Roots()) != 2 {
+		t.Errorf("clamped pair = %d/%d roots", len(a.Roots()), len(b.Roots()))
+	}
+}

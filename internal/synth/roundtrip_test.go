@@ -1,0 +1,75 @@
+package synth
+
+import (
+	"testing"
+
+	"harmony/internal/schema"
+)
+
+// TestCaseStudyRoundTripsThroughFormats verifies the cmd/schemagen ->
+// cmd/harmony path: the full 1378-element relational schema survives DDL
+// serialization and the 784-element XML schema survives XSD serialization
+// with structure, types and documentation intact.
+func TestCaseStudyRoundTripsThroughFormats(t *testing.T) {
+	sa, sb, _ := CaseStudy(42)
+
+	backA, err := schema.ParseDDL(sa.Name, schema.RenderDDL(sa))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backA.Len() != sa.Len() {
+		t.Fatalf("DDL round trip: %d -> %d elements", sa.Len(), backA.Len())
+	}
+	for i, e := range sa.Elements() {
+		g := backA.Element(i)
+		if e.Name != g.Name || e.Kind != g.Kind || e.Type != g.Type || e.Depth() != g.Depth() {
+			t.Fatalf("DDL element %d: %v/%v/%v vs %v/%v/%v", i, e.Name, e.Kind, e.Type, g.Name, g.Kind, g.Type)
+		}
+		if e.Doc != g.Doc {
+			t.Fatalf("DDL element %d doc: %q vs %q", i, e.Doc, g.Doc)
+		}
+	}
+
+	backB, err := schema.ParseXSD(sb.Name, schema.RenderXSD(sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backB.Len() != sb.Len() {
+		t.Fatalf("XSD round trip: %d -> %d elements", sb.Len(), backB.Len())
+	}
+	for i, e := range sb.Elements() {
+		g := backB.Element(i)
+		if e.Name != g.Name || e.Depth() != g.Depth() {
+			t.Fatalf("XSD element %d: %v vs %v", i, e.Name, g.Name)
+		}
+		// XSD has no long-text type: TypeText folds to TypeString.
+		wantType := e.Type
+		if wantType == schema.TypeText {
+			wantType = schema.TypeString
+		}
+		if g.Type != wantType {
+			t.Fatalf("XSD element %d type: %v vs %v", i, e.Type, g.Type)
+		}
+		if e.Doc != g.Doc {
+			t.Fatalf("XSD element %d doc: %q vs %q", i, e.Doc, g.Doc)
+		}
+	}
+
+	// JSON interchange round trip for both.
+	for _, s := range []*schema.Schema{sa, sb} {
+		data, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := schema.ParseJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("JSON round trip of %s: %d -> %d", s.Name, s.Len(), back.Len())
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// CaseStyle selects how a generated schema renders multi-word names.
+type CaseStyle uint8
+
+// Case styles observed in real enterprise schemata.
+const (
+	UpperSnake CaseStyle = iota // DATE_BEGIN
+	LowerSnake                  // date_begin
+	LowerCamel                  // dateBegin
+	UpperCamel                  // DateBegin
+)
+
+// NamingStyle is a schema's naming convention plus its corruption model:
+// the probabilistic rewrites that make two independently developed schemata
+// name the same concept differently, exactly the noise the matcher must see
+// through (the paper's running example pairs DATE_BEGIN_156 with
+// DATETIME_FIRST_INFO).
+type NamingStyle struct {
+	Case CaseStyle
+	// AbbrevProb is the probability of replacing a word by its terse
+	// enterprise abbreviation (quantity -> QTY).
+	AbbrevProb float64
+	// SynonymProb is the probability of replacing a word by a domain
+	// synonym (begin -> start).
+	SynonymProb float64
+	// SuffixProb is the probability of appending a meaningless numeric
+	// suffix (DATE_BEGIN -> DATE_BEGIN_156).
+	SuffixProb float64
+	// DropProb is the probability of dropping a trailing word from names
+	// of three or more words.
+	DropProb float64
+	// TypeSuffix, when set, is appended to container names ("Type" for XML
+	// complex types).
+	TypeSuffix string
+	// DocProb is the probability that an element keeps its documentation;
+	// legacy schemata are notoriously under-documented.
+	DocProb float64
+}
+
+// Styles used by the generated case study. SA is an actively maintained
+// relational schema: heavily abbreviated upper-snake names with numeric
+// suffixes and reasonable documentation. SB is a legacy XML schema: camel
+// case, fewer abbreviations but more synonym drift and sparse docs.
+var (
+	StyleRelational = NamingStyle{
+		Case: UpperSnake, AbbrevProb: 0.45, SynonymProb: 0.15,
+		SuffixProb: 0.25, DropProb: 0.10, DocProb: 0.75,
+	}
+	StyleXML = NamingStyle{
+		Case: LowerCamel, AbbrevProb: 0.15, SynonymProb: 0.30,
+		SuffixProb: 0.02, DropProb: 0.10, TypeSuffix: "Type", DocProb: 0.45,
+	}
+)
+
+// surfaceAbbrev maps full canonical words to the terse forms enterprise
+// schemata substitute. It is intentionally the inverse of the matcher's
+// expansion dictionary for most entries — but not all, so the matcher must
+// also cope with abbreviations it has no entry for (e.g. "msn").
+var surfaceAbbrev = map[string]string{
+	"number": "nbr", "quantity": "qty", "organization": "org",
+	"identifier": "id", "date": "dt", "time": "tm", "code": "cd",
+	"name": "nm", "group": "grp", "location": "loc", "vehicle": "veh",
+	"person": "pers", "weapon": "wpn", "equipment": "eqpt",
+	"status": "stat", "category": "cat", "description": "desc",
+	"amount": "amt", "address": "addr", "telephone": "tel",
+	"document": "doc", "message": "msg", "sequence": "seq",
+	"reference": "ref", "maximum": "max", "minimum": "min",
+	"average": "avg", "count": "cnt", "text": "txt", "type": "typ",
+	"source": "src", "system": "sys", "record": "rec", "report": "rep",
+	"unit": "un", "mission": "msn", "authorized": "auth",
+	"command": "cmd", "operation": "opn", "facility": "fac",
+	"military": "mil", "headquarters": "hq", "squadron": "sqdn",
+	"station": "sta", "level": "lvl", "priority": "pri",
+	"security": "sec", "version": "ver", "user": "usr",
+	"frequency": "freq", "direction": "dir", "distance": "dist",
+	"latitude": "lat", "longitude": "lon", "elevation": "elev",
+	"temperature": "temp", "velocity": "vel", "weight": "wt",
+	"indicator": "ind", "percent": "pct", "kilometers": "km",
+	"meters": "m", "celsius": "c",
+}
+
+// surfaceSynonyms maps canonical words to substitutable domain synonyms.
+// These are surface forms (pre-stemming); they intersect but do not
+// coincide with the matcher's synonym groups, so synonym drift is only
+// partially recoverable — as in real schemata.
+var surfaceSynonyms = map[string][]string{
+	"begin":      {"start", "first", "initial"},
+	"end":        {"stop", "final", "termination"},
+	"person":     {"individual"},
+	"vehicle":    {"conveyance"},
+	"event":      {"incident", "occurrence"},
+	"location":   {"position", "site", "place"},
+	"identifier": {"key"},
+	"name":       {"designation", "title"},
+	"amount":     {"total"},
+	"quantity":   {"count"},
+	"type":       {"kind", "class"},
+	"status":     {"state", "condition"},
+	"weapon":     {"armament"},
+	"facility":   {"installation"},
+	"equipment":  {"materiel", "asset"},
+	"message":    {"communication"},
+	"route":      {"path", "course"},
+	"mission":    {"task", "sortie"},
+	"report":     {"summary"},
+	"country":    {"nation"},
+	"speed":      {"velocity"},
+	"remarks":    {"comments", "notes"},
+	"created":    {"entered", "recorded"},
+	"organization": {"agency"},
+	"datetime":   {"timestamp"},
+}
+
+// styler applies a NamingStyle deterministically using its own random
+// stream, so the same seed always produces the same schema.
+type styler struct {
+	style NamingStyle
+	rng   *rand.Rand
+}
+
+func newStyler(style NamingStyle, rng *rand.Rand) *styler {
+	return &styler{style: style, rng: rng}
+}
+
+// render produces the surface name for canonical word tokens, applying
+// synonym drift, abbreviation, word dropping, numeric suffixes and the
+// schema's case convention. container controls the TypeSuffix.
+func (st *styler) render(words []string, container bool) string {
+	out := make([]string, 0, len(words)+1)
+	for _, w := range words {
+		if alts, ok := surfaceSynonyms[w]; ok && st.rng.Float64() < st.style.SynonymProb {
+			w = alts[st.rng.Intn(len(alts))]
+		}
+		if ab, ok := surfaceAbbrev[w]; ok && st.rng.Float64() < st.style.AbbrevProb {
+			w = ab
+		}
+		out = append(out, w)
+	}
+	if len(out) >= 3 && st.rng.Float64() < st.style.DropProb {
+		out = out[:len(out)-1]
+	}
+	name := st.applyCase(out)
+	if container && st.style.TypeSuffix != "" {
+		name += st.style.TypeSuffix
+	}
+	if !container && st.rng.Float64() < st.style.SuffixProb {
+		name += st.numericSuffix()
+	}
+	return name
+}
+
+// keepDoc decides whether an element retains its documentation.
+func (st *styler) keepDoc() bool { return st.rng.Float64() < st.style.DocProb }
+
+func (st *styler) numericSuffix() string {
+	n := 100 + st.rng.Intn(900)
+	switch st.style.Case {
+	case UpperSnake, LowerSnake:
+		return "_" + itoa(n)
+	default:
+		return itoa(n)
+	}
+}
+
+func (st *styler) applyCase(words []string) string {
+	switch st.style.Case {
+	case UpperSnake:
+		return strings.ToUpper(strings.Join(words, "_"))
+	case LowerSnake:
+		return strings.ToLower(strings.Join(words, "_"))
+	case LowerCamel:
+		var sb strings.Builder
+		for i, w := range words {
+			if i == 0 {
+				sb.WriteString(strings.ToLower(w))
+			} else {
+				sb.WriteString(titleWord(w))
+			}
+		}
+		return sb.String()
+	default: // UpperCamel
+		var sb strings.Builder
+		for _, w := range words {
+			sb.WriteString(titleWord(w))
+		}
+		return sb.String()
+	}
+}
+
+func titleWord(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + strings.ToLower(w[1:])
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,124 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditSimilarityBounds(t *testing.T) {
+	prop := func(a, b string) bool {
+		a, b = trunc(a, 16), trunc(b, 16)
+		s := EditSimilarity(a, b)
+		return s >= 0 && s <= 1 && math.Abs(s-EditSimilarity(b, a)) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if EditSimilarity("", "") != 1 {
+		t.Error("two empty strings should be identical")
+	}
+	if EditSimilarity("abc", "abc") != 1 {
+		t.Error("identical strings should score 1")
+	}
+}
+
+func TestNGramDiceEdgeCases(t *testing.T) {
+	if got := NGramDice("ab", "ab", 3); got != 1 {
+		t.Errorf("short identical = %f, want 1 (exact fallback)", got)
+	}
+	if got := NGramDice("ab", "cd", 3); got != 0 {
+		t.Errorf("short different = %f, want 0", got)
+	}
+	if got := NGramDice("abc", "abc", 0); got != 1 {
+		t.Errorf("n=0 should default to trigram: %f", got)
+	}
+	// repeated grams are multiset-counted
+	if got := NGramDice("aaaa", "aaaa", 2); got != 1 {
+		t.Errorf("repeated grams = %f, want 1", got)
+	}
+}
+
+func TestLongestCommonSubstringSymmetric(t *testing.T) {
+	prop := func(a, b string) bool {
+		a, b = trunc(a, 12), trunc(b, 12)
+		return LongestCommonSubstring(a, b) == LongestCommonSubstring(b, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridNameSimilarityBounds(t *testing.T) {
+	prop := func(a, b string) bool {
+		ta := NormalizeName(trunc(a, 20))
+		tb := NormalizeName(trunc(b, 20))
+		s := HybridNameSimilarity(ta, tb)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbbreviationExpansionsAreWords(t *testing.T) {
+	// Every expansion must be non-empty lower-case words without digits.
+	for abbr := range abbreviations {
+		for _, w := range ExpandAbbreviation(abbr) {
+			if w == "" || IsNumeric(w) {
+				t.Errorf("abbreviation %q expands to bad word %q", abbr, w)
+			}
+			for _, r := range w {
+				if r < 'a' || r > 'z' {
+					t.Errorf("abbreviation %q expansion %q has non-letter", abbr, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCorpusEmptyAndSingleton(t *testing.T) {
+	empty := NewCorpus(nil)
+	if empty.NumDocs() != 0 || empty.VocabularySize() != 0 {
+		t.Errorf("empty corpus: %d docs, %d vocab", empty.NumDocs(), empty.VocabularySize())
+	}
+	v := empty.Vector([]string{"a"})
+	if v.IsZero() {
+		t.Error("vector over empty corpus should still be buildable")
+	}
+	single := NewCorpus([][]string{{"x", "x", "y"}})
+	vx := single.Vector([]string{"x"})
+	vy := single.Vector([]string{"y"})
+	if Cosine(vx, vy) != 0 {
+		t.Error("disjoint singleton vectors should have zero cosine")
+	}
+}
+
+func TestVectorLen(t *testing.T) {
+	c := NewCorpus([][]string{{"a", "b"}})
+	v := c.Vector([]string{"a", "b", "b"})
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	if (Vector{}).Len() != 0 || !(Vector{}).IsZero() {
+		t.Error("zero vector misbehaves")
+	}
+}
+
+func TestStemPreservesNonLetters(t *testing.T) {
+	// tokens with digits pass through untouched (stemmer only sees
+	// letters in practice, but must not corrupt others)
+	if got := Stem("x1y"); got != "x1y" {
+		t.Errorf("Stem(x1y) = %q", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Größe_Straße")
+	if len(got) != 2 {
+		t.Fatalf("unicode tokens = %v", got)
+	}
+	if got[0] != "größe" || got[1] != "straße" {
+		t.Errorf("unicode lowering failed: %v", got)
+	}
+}

@@ -1,0 +1,355 @@
+package text
+
+import "strings"
+
+// This file implements the string-similarity metrics used by the match
+// voters. All metrics return a similarity in [0,1] where 1 means identical.
+// They are symmetric in their arguments unless noted otherwise.
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-character insertions, deletions and substitutions transforming
+// one into the other. It runs in O(len(a)*len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(ra) > len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(ra)+1)
+	cur := make([]int, len(ra)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(rb); j++ {
+		cur[0] = j
+		for i := 1; i <= len(ra); i++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[i] = min3(prev[i]+1, cur[i-1]+1, prev[i-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(ra)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity converts Levenshtein distance to a similarity in [0,1]:
+// 1 - dist/max(len). Two empty strings are fully similar.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, la)
+	bMatch := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// count transpositions among matched characters
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity: Jaro boosted by shared
+// prefix length (up to 4 runes) with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NGramDice returns the Dice coefficient over the character n-gram multisets
+// of a and b: 2*|common| / (|grams(a)|+|grams(b)|). Strings shorter than n
+// are padded conceptually by comparing them directly.
+func NGramDice(a, b string, n int) float64 {
+	if n <= 0 {
+		n = 3
+	}
+	if a == b {
+		return 1
+	}
+	ga, gb := ngrams(a, n), ngrams(b, n)
+	if len(ga) == 0 || len(gb) == 0 {
+		// too short for n-grams: fall back to exact comparison
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	counts := make(map[string]int, len(ga))
+	for _, g := range ga {
+		counts[g]++
+	}
+	common := 0
+	for _, g := range gb {
+		if counts[g] > 0 {
+			counts[g]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+func ngrams(s string, n int) []string {
+	r := []rune(s)
+	if len(r) < n {
+		return nil
+	}
+	out := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		out = append(out, string(r[i:i+n]))
+	}
+	return out
+}
+
+// TokenJaccard returns the Jaccard similarity of two token sets:
+// |A∩B| / |A∪B|. Duplicate tokens within a slice count once.
+func TokenJaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(b))
+	union := len(set)
+	for _, t := range b {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if set[t] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// TokenOverlap returns |A∩B| / min(|A|,|B|), the overlap coefficient of two
+// token sets. It rewards containment: if every token of the shorter name
+// appears in the longer one, the score is 1.
+func TokenOverlap(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	inter := 0
+	bSet := make(map[string]bool, len(b))
+	for _, t := range b {
+		if bSet[t] {
+			continue
+		}
+		bSet[t] = true
+		if set[t] {
+			inter++
+		}
+	}
+	m := len(set)
+	if len(bSet) < m {
+		m = len(bSet)
+	}
+	return float64(inter) / float64(m)
+}
+
+// SynonymAwareOverlap is TokenOverlap extended with the synonym dictionary:
+// tokens count as shared if any synonym pairing links them. It performs a
+// greedy one-to-one alignment of tokens.
+func SynonymAwareOverlap(a, b []string) float64 {
+	da := distinct(a)
+	db := distinct(b)
+	if len(da) == 0 && len(db) == 0 {
+		return 1
+	}
+	if len(da) == 0 || len(db) == 0 {
+		return 0
+	}
+	used := make([]bool, len(db))
+	matched := 0
+	for _, ta := range da {
+		for j, tb := range db {
+			if used[j] {
+				continue
+			}
+			if Synonymous(ta, tb) {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	m := len(da)
+	if len(db) < m {
+		m = len(db)
+	}
+	return float64(matched) / float64(m)
+}
+
+func distinct(toks []string) []string {
+	seen := make(map[string]bool, len(toks))
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LongestCommonSubstring returns the length of the longest common substring
+// of a and b.
+func LongestCommonSubstring(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Acronym builds the acronym of a token slice: the concatenated first runes
+// of each token ("date time group" -> "dtg").
+func Acronym(tokens []string) string {
+	var sb strings.Builder
+	for _, t := range tokens {
+		r := []rune(t)
+		if len(r) > 0 {
+			sb.WriteRune(r[0])
+		}
+	}
+	return sb.String()
+}
+
+// HybridNameSimilarity is the composite name metric used by the name voter:
+// the maximum of synonym-aware token overlap, token Jaccard, and a scaled
+// character-level similarity (average of Jaro-Winkler and trigram Dice over
+// the joined normalized names). Operating on both token and character
+// levels makes the metric robust to abbreviation noise that tokenization
+// cannot repair.
+func HybridNameSimilarity(tokensA, tokensB []string) float64 {
+	overlap := SynonymAwareOverlap(tokensA, tokensB)
+	jac := TokenJaccard(tokensA, tokensB)
+	joinedA := strings.Join(tokensA, "")
+	joinedB := strings.Join(tokensB, "")
+	char := (JaroWinkler(joinedA, joinedB) + NGramDice(joinedA, joinedB, 3)) / 2
+	best := overlap
+	if jac > best {
+		best = jac
+	}
+	// Character evidence is weaker than token evidence; damp it so that a
+	// coincidental character-level resemblance cannot dominate.
+	if c := char * 0.9; c > best {
+		best = c
+	}
+	return best
+}

@@ -1,0 +1,189 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"person", "person", 0},
+		{"date", "data", 1},
+	}
+	for _, tc := range cases {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("identity:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		// truncate to keep the test fast
+		a, b, c = trunc(a, 12), trunc(b, 12), trunc(c, 12)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func trunc(s string, n int) string {
+	r := []rune(s)
+	if len(r) > n {
+		r = r[:n]
+	}
+	return string(r)
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.9611) > 0.001 {
+		t.Errorf("JaroWinkler(martha,marhta) = %f, want 0.9611", got)
+	}
+	if got := JaroWinkler("dwayne", "duane"); math.Abs(got-0.84) > 0.001 {
+		t.Errorf("JaroWinkler(dwayne,duane) = %f, want 0.8400", got)
+	}
+	if got := JaroWinkler("", ""); got != 1 {
+		t.Errorf("JaroWinkler empty = %f, want 1", got)
+	}
+	if got := JaroWinkler("abc", ""); got != 0 {
+		t.Errorf("JaroWinkler(abc,\"\") = %f, want 0", got)
+	}
+}
+
+func TestSimilarityBoundsAndSymmetry(t *testing.T) {
+	type simFn struct {
+		name string
+		fn   func(a, b string) float64
+	}
+	fns := []simFn{
+		{"EditSimilarity", EditSimilarity},
+		{"Jaro", Jaro},
+		{"JaroWinkler", JaroWinkler},
+		{"NGramDice3", func(a, b string) float64 { return NGramDice(a, b, 3) }},
+	}
+	for _, f := range fns {
+		f := f
+		prop := func(a, b string) bool {
+			a, b = trunc(a, 16), trunc(b, 16)
+			s := f.fn(a, b)
+			if s < 0 || s > 1+1e-9 {
+				return false
+			}
+			if math.Abs(s-f.fn(b, a)) > 1e-9 {
+				return false
+			}
+			return f.fn(a, a) > 1-1e-9 || a == ""
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", f.name, err)
+		}
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"x"}, []string{"y"}, 0},
+	}
+	for _, tc := range cases {
+		if got := TokenJaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("TokenJaccard(%v,%v) = %f, want %f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTokenOverlap(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"person", "id"}, []string{"person", "id", "code"}, 1},
+		{[]string{"a", "b"}, []string{"c", "d"}, 0},
+		{[]string{"a", "b", "c", "d"}, []string{"a"}, 1},
+		{[]string{"a", "b"}, []string{"a", "c"}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := TokenOverlap(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("TokenOverlap(%v,%v) = %f, want %f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSynonymAwareOverlap(t *testing.T) {
+	a := []string{Stem("begin"), Stem("date")}
+	b := []string{Stem("start"), Stem("date")}
+	if got := SynonymAwareOverlap(a, b); got != 1 {
+		t.Errorf("SynonymAwareOverlap(begin date, start date) = %f, want 1", got)
+	}
+	c := []string{Stem("weapon")}
+	d := []string{Stem("armament")}
+	if got := SynonymAwareOverlap(c, d); got != 1 {
+		t.Errorf("SynonymAwareOverlap(weapon, armament) = %f, want 1", got)
+	}
+	if got := SynonymAwareOverlap([]string{"zzz"}, []string{"qqq"}); got != 0 {
+		t.Errorf("unrelated tokens overlap = %f, want 0", got)
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 3},
+		{"abcdef", "zcdexy", 3},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range cases {
+		if got := LongestCommonSubstring(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCS(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAcronym(t *testing.T) {
+	if got := Acronym([]string{"date", "time", "group"}); got != "dtg" {
+		t.Errorf("Acronym = %q, want dtg", got)
+	}
+	if got := Acronym(nil); got != "" {
+		t.Errorf("Acronym(nil) = %q, want empty", got)
+	}
+}
+
+func TestHybridNameSimilarity(t *testing.T) {
+	a := NormalizeName("PERSON_ID")
+	b := NormalizeName("PersonIdentifier")
+	if got := HybridNameSimilarity(a, b); got < 0.9 {
+		t.Errorf("HybridNameSimilarity(PERSON_ID, PersonIdentifier) = %f, want >= 0.9", got)
+	}
+	c := NormalizeName("WEATHER_TEMP")
+	d := NormalizeName("PersonLastName")
+	if got := HybridNameSimilarity(c, d); got > 0.5 {
+		t.Errorf("HybridNameSimilarity(unrelated) = %f, want <= 0.5", got)
+	}
+}

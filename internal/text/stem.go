@@ -1,0 +1,245 @@
+package text
+
+// Stem reduces an English word to its stem using the classic Porter (1980)
+// algorithm. The input must already be lower case (Tokenize guarantees
+// this). Words of length <= 2 are returned unchanged, as in the original
+// algorithm.
+//
+// The implementation follows the five-step structure of the original paper
+// ("An algorithm for suffix stripping", Program 14(3)) so that its behaviour
+// is predictable for anyone who knows the algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	b := []byte(word)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isCons reports whether b[i] is a consonant in Porter's sense: a letter
+// other than a, e, i, o, u, and 'y' when preceded by a vowel is a vowel.
+func isCons(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(b, i-1)
+	}
+	return true
+}
+
+// measure computes m, the number of vowel-consonant sequences in b[:end].
+// Porter writes a word as [C](VC)^m[V]; m gates most suffix removals.
+func measure(b []byte, end int) int {
+	m := 0
+	i := 0
+	// skip initial consonant run
+	for i < end && isCons(b, i) {
+		i++
+	}
+	for i < end {
+		// vowel run
+		for i < end && !isCons(b, i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		// consonant run
+		for i < end && isCons(b, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func hasVowel(b []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether b ends in a double consonant (e.g. -tt).
+func endsDoubleCons(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isCons(b, n-1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y. This is Porter's *o condition.
+func endsCVC(b []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	i := end - 1
+	if !isCons(b, i) || isCons(b, i-1) || !isCons(b, i-2) {
+		return false
+	}
+	switch b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether b ends with suf.
+func hasSuffix(b []byte, suf string) bool {
+	if len(b) < len(suf) {
+		return false
+	}
+	return string(b[len(b)-len(suf):]) == suf
+}
+
+// replaceSuffix replaces the trailing suf (assumed present) with rep when
+// the measure of the stem is at least minM; otherwise b is returned intact.
+func replaceSuffix(b []byte, suf, rep string, minM int) []byte {
+	stemEnd := len(b) - len(suf)
+	if measure(b, stemEnd) >= minM {
+		return append(b[:stemEnd], rep...)
+	}
+	return b
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2] // sses -> ss
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2] // ies -> i
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b, len(b)-3) > 0 {
+			return b[:len(b)-1] // eed -> ee
+		}
+		return b
+	}
+	stripped := false
+	if hasSuffix(b, "ed") && hasVowel(b, len(b)-2) {
+		b = b[:len(b)-2]
+		stripped = true
+	} else if hasSuffix(b, "ing") && hasVowel(b, len(b)-3) {
+		b = b[:len(b)-3]
+		stripped = true
+	}
+	if !stripped {
+		return b
+	}
+	switch {
+	case hasSuffix(b, "at"), hasSuffix(b, "bl"), hasSuffix(b, "iz"):
+		return append(b, 'e')
+	case endsDoubleCons(b) && !hasSuffix(b, "l") && !hasSuffix(b, "s") && !hasSuffix(b, "z"):
+		return b[:len(b)-1]
+	case measure(b, len(b)) == 1 && endsCVC(b, len(b)):
+		return append(b, 'e')
+	}
+	return b
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b, len(b)-1) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+// step2Rules maps long suffixes to shorter equivalents when m > 0.
+// Order within a final-letter group follows Porter's table.
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if hasSuffix(b, r.suf) {
+			return replaceSuffix(b, r.suf, r.rep, 1)
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if hasSuffix(b, r.suf) {
+			return replaceSuffix(b, r.suf, r.rep, 1)
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, suf := range step4Suffixes {
+		if !hasSuffix(b, suf) {
+			continue
+		}
+		stemEnd := len(b) - len(suf)
+		if measure(b, stemEnd) > 1 {
+			return b[:stemEnd]
+		}
+		return b
+	}
+	// -ion requires the stem to end in s or t.
+	if hasSuffix(b, "ion") {
+		stemEnd := len(b) - 3
+		if stemEnd > 0 && (b[stemEnd-1] == 's' || b[stemEnd-1] == 't') && measure(b, stemEnd) > 1 {
+			return b[:stemEnd]
+		}
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stemEnd := len(b) - 1
+	m := measure(b, stemEnd)
+	if m > 1 || (m == 1 && !endsCVC(b, stemEnd)) {
+		return b[:stemEnd]
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if endsDoubleCons(b) && b[len(b)-1] == 'l' && measure(b, len(b)) > 1 {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownWords(t *testing.T) {
+	// Expected outputs follow the published Porter vocabulary.
+	cases := []struct{ in, want string }{
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		{"happy", "happi"},
+		{"sky", "sky"},
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"digitizer", "digit"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// short words pass through
+		{"be", "be"},
+		{"is", "is"},
+		{"a", "a"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := Stem(tc.in); got != tc.want {
+			t.Errorf("Stem(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStemSchemaVocabulary(t *testing.T) {
+	// Words that should stem to the same form (the property the matcher
+	// relies on), without asserting the exact stem string.
+	pairs := [][2]string{
+		{"location", "locations"},
+		{"organization", "organizations"},
+		{"vehicle", "vehicles"},
+		{"identify", "identified"},
+		{"operation", "operations"},
+		{"report", "reports"},
+		{"begins", "begin"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q != Stem(%q)=%q", p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually be a no-op for our schema vocabulary.
+	words := []string{
+		"person", "vehicle", "event", "unit", "location", "weapon",
+		"facility", "equipment", "mission", "status", "identifier",
+		"organization", "communication", "observation", "maintenance",
+	}
+	for _, w := range words {
+		s1 := Stem(w)
+		s2 := Stem(s1)
+		if s1 != s2 {
+			t.Errorf("Stem not idempotent for %q: %q -> %q", w, s1, s2)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndNeverGrows(t *testing.T) {
+	prop := func(s string) bool {
+		// restrict to plausible lower-case tokens
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if got := Stem(tok); len(got) > len(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

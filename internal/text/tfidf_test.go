@@ -1,0 +1,102 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func docs() [][]string {
+	return [][]string{
+		{"person", "name", "identifier"},
+		{"person", "birth", "date"},
+		{"vehicle", "registration", "identifier"},
+		{"event", "start", "date"},
+		{},
+	}
+}
+
+func TestCorpusCounts(t *testing.T) {
+	c := NewCorpus(docs())
+	if c.NumDocs() != 5 {
+		t.Errorf("NumDocs = %d, want 5", c.NumDocs())
+	}
+	if c.VocabularySize() != 9 {
+		t.Errorf("VocabularySize = %d, want 9", c.VocabularySize())
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	c := NewCorpus(docs())
+	// "person" appears in 2 docs, "vehicle" in 1: rarer terms weigh more.
+	if c.IDF("vehicle") <= c.IDF("person") {
+		t.Errorf("IDF(vehicle)=%f should exceed IDF(person)=%f", c.IDF("vehicle"), c.IDF("person"))
+	}
+	// unknown terms weigh the most
+	if c.IDF("zzz") <= c.IDF("vehicle") {
+		t.Errorf("IDF(unknown)=%f should exceed IDF(vehicle)=%f", c.IDF("zzz"), c.IDF("vehicle"))
+	}
+}
+
+func TestVectorUnitNorm(t *testing.T) {
+	c := NewCorpus(docs())
+	v := c.Vector([]string{"person", "name", "name"})
+	var norm float64
+	for _, w := range v.weights {
+		norm += w * w
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("vector norm^2 = %f, want 1", norm)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	c := NewCorpus(docs())
+	a := c.Vector([]string{"person", "name"})
+	b := c.Vector([]string{"person", "name"})
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Cosine(identical) = %f, want 1", got)
+	}
+	d := c.Vector([]string{"vehicle", "registration"})
+	if got := Cosine(a, d); got != 0 {
+		t.Errorf("Cosine(disjoint) = %f, want 0", got)
+	}
+	if got := Cosine(a, Vector{}); got != 0 {
+		t.Errorf("Cosine(with empty) = %f, want 0", got)
+	}
+}
+
+func TestCosinePartialOverlapBetween0And1(t *testing.T) {
+	c := NewCorpus(docs())
+	a := c.Vector([]string{"person", "name"})
+	b := c.Vector([]string{"person", "date"})
+	got := Cosine(a, b)
+	if got <= 0 || got >= 1 {
+		t.Errorf("Cosine(partial) = %f, want in (0,1)", got)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	c := NewCorpus(docs())
+	prop := func(a, b []string) bool {
+		// map arbitrary strings onto a small vocabulary so overlap occurs
+		vocab := []string{"person", "vehicle", "event", "date", "name"}
+		ta := make([]string, 0, len(a))
+		for i := range a {
+			ta = append(ta, vocab[i%len(vocab)])
+		}
+		tb := make([]string, 0, len(b))
+		for i := range b {
+			tb = append(tb, vocab[(i*2+1)%len(vocab)])
+		}
+		va, vb := c.Vector(ta), c.Vector(tb)
+		s := Cosine(va, vb)
+		if s < 0 || s > 1 {
+			return false
+		}
+		return math.Abs(s-Cosine(vb, va)) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package workflow
+
+import (
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/summarize"
+)
+
+func TestRunAllUsesFallbackForUnassigned(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	// no Distribute: all tasks unassigned, fallback handles everything
+	if err := s.RunAll(nil, acceptAll{"solo"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range s.Accepted() {
+		if vm.ReviewedBy != "solo" {
+			t.Errorf("reviewer = %q", vm.ReviewedBy)
+		}
+	}
+	// without any reviewer at all, RunAll must error on a fresh session
+	s2, _, _ := newFixtureSession(t)
+	if err := s2.RunAll(nil, nil); err == nil {
+		t.Error("expected error with no reviewer")
+	}
+}
+
+func TestRunAllSkipsDoneTasks(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if _, err := s.RunTask(0, acceptAll{"early"}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(s.Accepted())
+	if err := s.RunAll(nil, rejectAll{"late"}); err != nil {
+		t.Fatal(err)
+	}
+	// task 0's matches were not re-reviewed or removed
+	count := 0
+	for _, vm := range s.Accepted() {
+		if vm.TaskID == 0 {
+			count++
+		}
+	}
+	if count != before {
+		t.Errorf("done task re-run: %d vs %d", count, before)
+	}
+}
+
+func TestDistributeRespectsExistingAssignments(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.Assign(0, "carol"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Distribute([]string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := s.Task(0)
+	if task.AssignedTo != "carol" {
+		t.Errorf("pre-assignment overwritten: %q", task.AssignedTo)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.Assign(99, "x"); err == nil {
+		t.Error("expected error for unknown task")
+	}
+	if _, err := s.RunTask(0, acceptAll{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(0, "x"); err == nil {
+		t.Error("expected error assigning a done task")
+	}
+}
+
+func TestSessionWithAutomaticSummary(t *testing.T) {
+	a, b := fixtureSchemas()
+	sm := summarize.Automatic(a, 2)
+	s, err := NewSession(core.PresetHarmony(), a, b, sm, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tasks()) != 2 {
+		t.Fatalf("tasks = %d", len(s.Tasks()))
+	}
+	if err := s.RunAll(nil, acceptAll{"auto"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskReviewCountsConsistent(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.RunAll(nil, acceptAll{"solo"}); err != nil {
+		t.Fatal(err)
+	}
+	totalAccepted := 0
+	for _, task := range s.Tasks() {
+		if task.Accepted > task.Reviewed {
+			t.Errorf("task %d accepted > reviewed", task.ID)
+		}
+		totalAccepted += task.Accepted
+	}
+	if totalAccepted != len(s.Accepted()) {
+		t.Errorf("task accepted sum %d != session accepted %d", totalAccepted, len(s.Accepted()))
+	}
+}

@@ -1,0 +1,225 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/schema"
+	"harmony/internal/summarize"
+)
+
+// fixtureSchemas returns a 3-concept source and 2-concept target with one
+// clear overlap.
+func fixtureSchemas() (*schema.Schema, *schema.Schema) {
+	a := schema.New("A", schema.FormatRelational)
+	p := a.AddRoot("Person_Master", schema.KindTable)
+	a.AddElement(p, "PERSON_ID", schema.KindColumn, schema.TypeIdentifier)
+	a.AddElement(p, "LAST_NAME", schema.KindColumn, schema.TypeString)
+	a.AddElement(p, "BIRTH_DATE", schema.KindColumn, schema.TypeDate)
+	v := a.AddRoot("Vehicle_Master", schema.KindTable)
+	a.AddElement(v, "VEHICLE_ID", schema.KindColumn, schema.TypeIdentifier)
+	a.AddElement(v, "FUEL_TYPE", schema.KindColumn, schema.TypeString)
+	w := a.AddRoot("Weather_Log", schema.KindTable)
+	a.AddElement(w, "TEMPERATURE", schema.KindColumn, schema.TypeDecimal)
+
+	b := schema.New("B", schema.FormatXML)
+	q := b.AddRoot("IndividualType", schema.KindComplexType)
+	b.AddElement(q, "individualId", schema.KindXMLElement, schema.TypeIdentifier)
+	b.AddElement(q, "familyName", schema.KindXMLElement, schema.TypeString)
+	b.AddElement(q, "dateOfBirth", schema.KindXMLElement, schema.TypeDate)
+	c := b.AddRoot("ContractType", schema.KindComplexType)
+	b.AddElement(c, "vendorName", schema.KindXMLElement, schema.TypeString)
+	return a, b
+}
+
+// acceptAll accepts everything; used to exercise plumbing.
+type acceptAll struct{ name string }
+
+func (r acceptAll) Name() string { return r.name }
+func (r acceptAll) Review(_, _ *schema.Element, _ float64) Decision {
+	return Decision{Accept: true, Annotation: "equivalent"}
+}
+
+// rejectAll rejects everything.
+type rejectAll struct{ name string }
+
+func (r rejectAll) Name() string                                    { return r.name }
+func (r rejectAll) Review(_, _ *schema.Element, _ float64) Decision { return Decision{} }
+
+func newFixtureSession(t *testing.T) (*Session, *schema.Schema, *schema.Schema) {
+	t.Helper()
+	a, b := fixtureSchemas()
+	sm := summarize.FromRoots(a)
+	s, err := NewSession(core.PresetHarmony(), a, b, sm, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b
+}
+
+func TestSessionTaskQueue(t *testing.T) {
+	s, a, b := newFixtureSession(t)
+	tasks := s.Tasks()
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3 (one per concept)", len(tasks))
+	}
+	// sorted by concept size descending: Person (4) first
+	if tasks[0].Concept.Label != "Person_Master" {
+		t.Errorf("first task = %s, want Person_Master", tasks[0].Concept.Label)
+	}
+	// increment sizes = members × |B|
+	if tasks[0].CandidatesConsidered != 4*b.Len() {
+		t.Errorf("candidates = %d, want %d", tasks[0].CandidatesConsidered, 4*b.Len())
+	}
+	_ = a
+	if _, err := s.Task(99); err == nil {
+		t.Error("expected error for unknown task")
+	}
+}
+
+func TestSessionSummaryMismatch(t *testing.T) {
+	a, b := fixtureSchemas()
+	smB := summarize.FromRoots(b)
+	if _, err := NewSession(core.PresetHarmony(), a, b, smB, 0.3); err == nil {
+		t.Error("expected error for summary of wrong schema")
+	}
+}
+
+func TestRunTaskRecordsMatches(t *testing.T) {
+	s, a, b := newFixtureSession(t)
+	task, err := s.RunTask(0, acceptAll{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Status != TaskDone {
+		t.Errorf("status = %s", task.Status)
+	}
+	if task.Reviewed == 0 || task.Accepted == 0 {
+		t.Errorf("reviewed=%d accepted=%d, want > 0", task.Reviewed, task.Accepted)
+	}
+	// Person concept must find its counterparts in IndividualType.
+	found := false
+	for _, vm := range s.Accepted() {
+		if vm.Src.Path() == "Person_Master/LAST_NAME" && vm.Dst.Path() == "IndividualType/familyName" {
+			found = true
+			if vm.ReviewedBy != "alice" || vm.TaskID != 0 {
+				t.Errorf("provenance wrong: %+v", vm)
+			}
+		}
+		if vm.Src.Root() != a.ByPath("Person_Master") {
+			t.Errorf("match leaked from outside the concept: %v", vm.Src.Path())
+		}
+	}
+	if !found {
+		t.Error("LAST_NAME ~ familyName not recorded")
+	}
+	_ = b
+	// re-running a done task errors
+	if _, err := s.RunTask(0, acceptAll{"alice"}); err == nil {
+		t.Error("expected error re-running done task")
+	}
+}
+
+func TestAssignmentEnforced(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.Assign(1, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunTask(1, acceptAll{"mallory"}); err == nil {
+		t.Error("expected error for wrong reviewer")
+	}
+	if _, err := s.RunTask(1, acceptAll{"bob"}); err != nil {
+		t.Errorf("assigned reviewer rejected: %v", err)
+	}
+}
+
+func TestDistributeBalancesLoad(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.Distribute([]string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	for _, task := range s.Tasks() {
+		if task.AssignedTo == "" {
+			t.Fatalf("task %d unassigned", task.ID)
+		}
+		load[task.AssignedTo] += task.CandidatesConsidered
+	}
+	if len(load) != 2 {
+		t.Fatalf("load spread = %v", load)
+	}
+	// LPT on 4/2/1-member concepts: alice gets 4, bob gets 2+1.
+	if load["alice"] == 0 || load["bob"] == 0 {
+		t.Errorf("unbalanced: %v", load)
+	}
+	if err := s.Distribute(nil); err == nil {
+		t.Error("expected error for empty team")
+	}
+}
+
+func TestRunAllWithTeam(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	if err := s.Distribute([]string{"alice", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	reviewers := map[string]Reviewer{
+		"alice": acceptAll{"alice"},
+		"bob":   rejectAll{"bob"},
+	}
+	if err := s.RunAll(reviewers, nil); err != nil {
+		t.Fatal(err)
+	}
+	done, total := s.Progress()
+	if done != total || total != 3 {
+		t.Errorf("progress = %d/%d", done, total)
+	}
+	// every accepted match reviewed by alice (bob rejects everything)
+	for _, vm := range s.Accepted() {
+		if vm.ReviewedBy != "alice" {
+			t.Errorf("unexpected reviewer %q", vm.ReviewedBy)
+		}
+	}
+	// missing reviewer error
+	s2, _, _ := newFixtureSession(t)
+	_ = s2.Distribute([]string{"carol"})
+	if err := s2.RunAll(map[string]Reviewer{}, nil); err == nil {
+		t.Error("expected error for missing reviewer")
+	}
+}
+
+func TestCorrespondencesRoundTrip(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	_, _ = s.RunTask(0, acceptAll{"alice"})
+	cs := s.Correspondences()
+	if len(cs) != len(s.Accepted()) {
+		t.Fatalf("correspondences = %d, accepted = %d", len(cs), len(s.Accepted()))
+	}
+	sv, dv := s.Views()
+	for i, c := range cs {
+		if sv.View(c.Src).El != s.Accepted()[i].Src || dv.View(c.Dst).El != s.Accepted()[i].Dst {
+			t.Fatal("correspondence/element mismatch")
+		}
+	}
+}
+
+func TestEffortModel(t *testing.T) {
+	s, _, _ := newFixtureSession(t)
+	_ = s.RunAll(nil, acceptAll{"solo"})
+	e := DefaultEffortModel.Estimate(s, 2)
+	if e.Reviews == 0 || e.Concepts != 3 || e.PersonHours <= 0 {
+		t.Errorf("effort = %+v", e)
+	}
+	if e.DaysWithTeam >= e.PersonDays && e.PersonDays > 0 {
+		t.Errorf("team of 2 should finish faster: %+v", e)
+	}
+	if !strings.Contains(e.String(), "person-hours") {
+		t.Errorf("String() = %q", e.String())
+	}
+	// zero-value model falls back to defaults
+	var zero EffortModel
+	e2 := zero.EstimateCounts(100, 10, 1)
+	if e2.PersonHours <= 0 {
+		t.Errorf("zero-model estimate = %+v", e2)
+	}
+}
