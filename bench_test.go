@@ -11,6 +11,7 @@ package harmony
 // 10.2 s headline.)
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"harmony/internal/partition"
 	"harmony/internal/schema"
 	"harmony/internal/search"
+	"harmony/internal/service"
 	"harmony/internal/summarize"
 	"harmony/internal/synth"
 	"harmony/internal/workflow"
@@ -236,6 +238,67 @@ func BenchmarkE10WorkflowTask(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceCacheHit measures the serving hot path of the
+// match-as-a-service layer: a fingerprint-keyed cache hit, which is what a
+// repeated enterprise match costs once its first computation is resident.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	sa, sb, _ := synth.Pair(7, 8, 8, 4, 5)
+	eng := core.PresetHarmony()
+	cache := service.NewCache(16)
+	key := service.CacheKey{
+		FingerprintA: sa.Fingerprint(),
+		FingerprintB: sb.Fingerprint(),
+		Preset:       "harmony",
+		Threshold:    0.4,
+	}
+	compute := func() (*service.MatchOutcome, error) {
+		res := eng.Match(sa, sb)
+		out := &service.MatchOutcome{}
+		for _, c := range core.SelectGreedyOneToOne(res.Matrix, 0.4) {
+			out.Pairs = append(out.Pairs, service.MatchPair{
+				PathA: res.Src.View(c.Src).El.Path(),
+				PathB: res.Dst.View(c.Dst).El.Path(),
+				Score: c.Score,
+			})
+		}
+		return out, nil
+	}
+	if _, _, err := cache.GetOrCompute(key, compute); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, cached, err := cache.GetOrCompute(key, compute)
+		if err != nil || !cached || out == nil {
+			b.Fatalf("cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// BenchmarkQueueThroughput measures the job engine's dispatch overhead:
+// how fast trivial jobs flow through submit → worker → terminal state.
+func BenchmarkQueueThroughput(b *testing.B) {
+	q := service.NewQueue(4, 1024)
+	defer q.Close()
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	b.ResetTimer()
+	var last string
+	for i := 0; i < b.N; i++ {
+		id, err := q.Submit("noop", noop)
+		for err != nil { // backlog full: let the workers drain
+			if _, ok := q.Wait(last); !ok {
+				b.Fatal("lost job")
+			}
+			id, err = q.Submit("noop", noop)
+		}
+		last = id
+	}
+	if job, ok := q.Wait(last); !ok || job.State != service.JobDone {
+		b.Fatalf("final job %+v ok=%v", job, ok)
+	}
+	b.StopTimer()
 }
 
 type acceptAllReviewer struct{}

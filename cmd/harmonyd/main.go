@@ -1,0 +1,112 @@
+// Command harmonyd is the Harmony match-as-a-service daemon: an HTTP
+// front-end over the schema registry, the fingerprint-keyed match cache
+// and the async job engine, turning the library into the shared enterprise
+// facility the paper's §5 envisions.
+//
+// Usage:
+//
+//	harmonyd [flags]
+//
+// Flags:
+//
+//	-addr ADDR       listen address (default :8071)
+//	-db PATH         registry persistence file (loaded if present, saved
+//	                 periodically and on shutdown; empty = in-memory only)
+//	-preset NAME     default matcher preset (default harmony)
+//	-threshold F     default confidence filter (default 0.4)
+//	-workers N       job worker-pool size (default 2)
+//	-backlog N       job submission backlog bound (default 64)
+//	-cache N         match cache capacity in entries (default 256)
+//	-save-interval D periodic persistence cadence (default 30s)
+//
+// Endpoints:
+//
+//	POST   /v1/schemas         register a schema (JSON interchange format)
+//	GET    /v1/schemas         catalog listing with fingerprints
+//	GET    /v1/schemas/{name}  one schema, full JSON
+//	DELETE /v1/schemas/{name}  unregister (drops its match artifacts)
+//	POST   /v1/match           synchronous pairwise match (cached)
+//	POST   /v1/jobs            submit async match / vocabulary / cluster job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job state, timing and result
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/search          free-text schema/fragment search
+//	GET    /v1/stats           cache, queue and repository counters
+//	GET    /healthz            liveness probe
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests drain, jobs are cancelled, and the registry is saved.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harmony/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8071", "listen address")
+	db := flag.String("db", "", "registry persistence file (empty = in-memory)")
+	preset := flag.String("preset", "harmony", "default matcher preset")
+	threshold := flag.Float64("threshold", 0.4, "default confidence filter")
+	workers := flag.Int("workers", 2, "job worker-pool size")
+	backlog := flag.Int("backlog", 64, "job submission backlog bound")
+	cacheSize := flag.Int("cache", 256, "match cache capacity (entries)")
+	saveInterval := flag.Duration("save-interval", 30*time.Second, "periodic persistence cadence")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Preset:       *preset,
+		Threshold:    *threshold,
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheSize:    *cacheSize,
+		DBPath:       *db,
+		SaveInterval: *saveInterval,
+	}, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("harmonyd: serving on %s (preset=%s threshold=%.2f workers=%d cache=%d)",
+			*addr, *preset, *threshold, *workers, *cacheSize)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("harmonyd: %v, shutting down", s)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("harmonyd: serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("harmonyd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("harmonyd: close: %v", err)
+	}
+	log.Printf("harmonyd: stopped")
+}

@@ -16,6 +16,8 @@
 //   - schema search (query by text, by schema, by fragment)
 //   - an enterprise metadata registry with match provenance
 //   - a concept-at-a-time team workflow with effort accounting
+//   - a match-as-a-service layer (cmd/harmonyd): a fingerprint-keyed
+//     match cache, an async job engine, and a JSON-over-HTTP API
 //
 // # Quick start
 //

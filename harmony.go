@@ -5,15 +5,16 @@ import (
 	"io"
 
 	"harmony/internal/cluster"
-	"harmony/internal/eval"
 	"harmony/internal/core"
+	"harmony/internal/eval"
 	"harmony/internal/export"
 	"harmony/internal/partition"
 	"harmony/internal/registry"
 	"harmony/internal/schema"
 	"harmony/internal/search"
-	"harmony/internal/synth"
+	"harmony/internal/service"
 	"harmony/internal/summarize"
+	"harmony/internal/synth"
 	"harmony/internal/workflow"
 )
 
@@ -268,6 +269,48 @@ func (m *Matcher) NewSession(src, dst *Schema, srcSummary *Summary) (*Session, e
 func EstimateEffort(reviews, concepts, teamSize int) workflow.Effort {
 	return workflow.DefaultEffortModel.EstimateCounts(reviews, concepts, teamSize)
 }
+
+// Service layer: the building blocks of the harmonyd match-as-a-service
+// daemon, re-exported so library users can embed the same infrastructure —
+// a fingerprint-keyed match cache with single-flight computation, an async
+// job engine, and the HTTP server itself.
+
+type (
+	// MatchCache is a bounded LRU of match outcomes keyed by schema
+	// content fingerprints plus the engine configuration, with
+	// single-flight computation (one compute per stampede).
+	MatchCache = service.Cache
+	// MatchCacheKey identifies one cached match result.
+	MatchCacheKey = service.CacheKey
+	// MatchOutcome is the cacheable product of one pairwise match.
+	MatchOutcome = service.MatchOutcome
+	// MatchPair is one path-level correspondence of a MatchOutcome.
+	MatchPair = service.MatchPair
+	// JobQueue is an async job engine with a fixed worker pool, job
+	// states, cancellation and per-job timing.
+	JobQueue = service.Queue
+	// Job is the externally visible snapshot of one queued job.
+	Job = service.Job
+	// ServiceConfig configures an embedded match service.
+	ServiceConfig = service.Config
+	// ServiceServer is the JSON-over-HTTP match-as-a-service front-end.
+	ServiceServer = service.Server
+)
+
+var (
+	// NewMatchCache returns an empty match cache bounded to capacity
+	// entries.
+	NewMatchCache = service.NewCache
+	// NewJobQueue starts a job queue with the given worker-pool size and
+	// backlog bound; callers must Close it.
+	NewJobQueue = service.NewQueue
+	// NewServiceServer builds the match-as-a-service HTTP front-end
+	// (registry + cache + jobs); mount its Handler on any mux.
+	NewServiceServer = service.New
+	// WarmStartCache seeds a match cache from the artifacts a registry
+	// holds (reuse of persisted match results across processes).
+	WarmStartCache = service.WarmStart
+)
 
 // Synthetic workloads and evaluation. The generator reproduces the paper's
 // proprietary workload shapes with known ground truth; it is public because

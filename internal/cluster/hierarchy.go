@@ -63,7 +63,7 @@ func Agglomerative(d *DistanceMatrix, linkage Linkage) *Dendrogram {
 			dist[i][j] = d.At(i, j)
 		}
 	}
-	active := make([]int, n)  // slot -> cluster ID
+	active := make([]int, n)   // slot -> cluster ID
 	size := make([]float64, n) // slot -> cluster size
 	for i := range active {
 		active[i] = i

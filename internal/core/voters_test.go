@@ -66,7 +66,7 @@ func TestPathVoter(t *testing.T) {
 func TestTypeVoter(t *testing.T) {
 	sv, dv := viewsFor(t)
 	v := TypeVoter{}
-	sameType := v.Vote(viewOf(sv, "Person/BIRTH_DT"), viewOf(dv, "IndividualType/dateOfBirth")) // date vs date
+	sameType := v.Vote(viewOf(sv, "Person/BIRTH_DT"), viewOf(dv, "IndividualType/dateOfBirth"))   // date vs date
 	classMatch := v.Vote(viewOf(sv, "Person/PERSON_ID"), viewOf(dv, "IndividualType/familyName")) // identifier vs string: textual class
 	conflict := v.Vote(viewOf(sv, "Person/BIRTH_DT"), viewOf(dv, "WeatherReport/temperature"))    // date vs decimal
 	if !(sameType.Score() > classMatch.Score()) {

@@ -70,12 +70,12 @@ func FromResult(res *core.Result, threshold float64, oneToOne bool) *Binary {
 
 // Stats are the headline numbers of a binary partition.
 type Stats struct {
-	SizeA, SizeB         int
-	MatchedA, MatchedB   int
-	OnlyA, OnlyB         int
-	Pairs                int
-	FractionAMatched     float64
-	FractionBMatched     float64
+	SizeA, SizeB       int
+	MatchedA, MatchedB int
+	OnlyA, OnlyB       int
+	Pairs              int
+	FractionAMatched   float64
+	FractionBMatched   float64
 }
 
 // Stats computes the partition's cardinalities and fractions.

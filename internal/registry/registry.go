@@ -32,9 +32,9 @@ type Context string
 
 // Standard match contexts, ordered roughly by required precision.
 const (
-	ContextSearch       Context = "search"        // discovery and ranking
-	ContextPlanning     Context = "planning"      // effort estimation, feasibility
-	ContextIntegration  Context = "integration"   // mapping development
+	ContextSearch        Context = "search"                // discovery and ranking
+	ContextPlanning      Context = "planning"              // effort estimation, feasibility
+	ContextIntegration   Context = "integration"           // mapping development
 	ContextBusinessIntel Context = "business-intelligence" // query answering
 )
 
@@ -107,6 +107,11 @@ type Entry struct {
 	Tags       []string
 	Registered time.Time
 	Stats      schema.Stats
+	// Fingerprint is the content-addressed hash of the schema's element
+	// forest (schema.Schema.Fingerprint), computed at registration. The
+	// service layer keys its match cache on it, so stored match artifacts
+	// can be reused as long as the schema content is unchanged.
+	Fingerprint string
 }
 
 // Registry is the repository. Construct with New; safe for concurrent use.
@@ -141,11 +146,12 @@ func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) e
 		return fmt.Errorf("registry: schema %q already registered", s.Name)
 	}
 	r.entries[s.Name] = &Entry{
-		Schema:     s,
-		Steward:    steward,
-		Tags:       append([]string(nil), tags...),
-		Registered: r.now(),
-		Stats:      s.ComputeStats(),
+		Schema:      s,
+		Steward:     steward,
+		Tags:        append([]string(nil), tags...),
+		Registered:  r.now(),
+		Stats:       s.ComputeStats(),
+		Fingerprint: s.Fingerprint(),
 	}
 	r.index.Add(s)
 	return nil
@@ -157,11 +163,12 @@ func (r *Registry) ReplaceSchema(s *schema.Schema, steward string, tags ...strin
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.entries[s.Name] = &Entry{
-		Schema:     s,
-		Steward:    steward,
-		Tags:       append([]string(nil), tags...),
-		Registered: r.now(),
-		Stats:      s.ComputeStats(),
+		Schema:      s,
+		Steward:     steward,
+		Tags:        append([]string(nil), tags...),
+		Registered:  r.now(),
+		Stats:       s.ComputeStats(),
+		Fingerprint: s.Fingerprint(),
 	}
 	r.index.Add(s)
 }
@@ -263,6 +270,29 @@ func (r *Registry) Matches() []*MatchArtifact {
 	out := make([]*MatchArtifact, 0, len(r.matches))
 	for _, ma := range r.matches {
 		out = append(out, ma)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MatchCount returns the number of stored match artifacts.
+func (r *Registry) MatchCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.matches)
+}
+
+// MatchesByTool returns the artifacts created by the named tool (exact
+// Provenance.Tool match), sorted by ID. The service layer uses it to find
+// its own previously persisted match results for cache warm-start.
+func (r *Registry) MatchesByTool(tool string) []*MatchArtifact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*MatchArtifact
+	for _, ma := range r.matches {
+		if ma.Provenance.Tool == tool {
+			out = append(out, ma)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -136,15 +136,15 @@ func TestParseXSDAllGroup(t *testing.T) {
 
 func TestNormalizeXSDTypeCoverage(t *testing.T) {
 	cases := map[string]DataType{
-		"xs:string":          TypeString,
+		"xs:string":             TypeString,
 		"xs:nonNegativeInteger": TypeInteger,
-		"xs:double":          TypeDecimal,
-		"xs:gYear":           TypeDate,
-		"xs:dateTime":        TypeDateTime,
-		"xs:hexBinary":       TypeBinary,
-		"xs:anyURI":          TypeIdentifier,
-		"":                   TypeNone,
-		"custom:Thing":       TypeString,
+		"xs:double":             TypeDecimal,
+		"xs:gYear":              TypeDate,
+		"xs:dateTime":           TypeDateTime,
+		"xs:hexBinary":          TypeBinary,
+		"xs:anyURI":             TypeIdentifier,
+		"":                      TypeNone,
+		"custom:Thing":          TypeString,
 	}
 	for in, want := range cases {
 		if got := normalizeXSDType(in); got != want {

@@ -1,0 +1,53 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a stable, content-addressed hash of the schema's
+// element forest: element names, kinds, data types, documentation, and the
+// tree structure, visited in pre-order. Two schemata with identical element
+// forests share a fingerprint even when registered under different names —
+// the schema Name, Format and schema-level Doc are deliberately excluded,
+// because none of them influence match scoring.
+//
+// The fingerprint is the cache identity the service layer keys match
+// results on: it is stable across process restarts and across a
+// MarshalJSON/ParseJSON round trip (which preserves pre-order), so a match
+// computed yesterday against a schema's content is valid today as long as
+// the content has not changed.
+func (s *Schema) Fingerprint() string {
+	h := sha256.New()
+	for _, r := range s.roots {
+		fingerprintElement(h, r)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// fingerprintElement writes one element's identity record followed by its
+// subtree. Records are framed (length-prefixed strings, fixed-width depth)
+// so that no concatenation of fields is ambiguous, and the pre-order depth
+// sequence uniquely determines the tree shape.
+func fingerprintElement(h hash.Hash, e *Element) {
+	var fixed [8]byte
+	binary.LittleEndian.PutUint32(fixed[0:4], uint32(e.depth))
+	fixed[4] = byte(e.Kind)
+	fixed[5] = byte(e.Type)
+	h.Write(fixed[:6])
+	writeFramed(h, e.Name)
+	writeFramed(h, e.Doc)
+	for _, c := range e.Children {
+		fingerprintElement(h, c)
+	}
+}
+
+func writeFramed(h hash.Hash, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}

@@ -1,0 +1,83 @@
+package schema
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func fpSchema(name string) *Schema {
+	s := New(name, FormatRelational)
+	t := s.AddRoot("Customer", KindTable)
+	c := s.AddElement(t, "id", KindColumn, TypeIdentifier)
+	c.Doc = "surrogate key"
+	s.AddElement(t, "name", KindColumn, TypeString)
+	o := s.AddRoot("Order", KindTable)
+	s.AddElement(o, "total", KindColumn, TypeDecimal)
+	return s
+}
+
+func TestFingerprintIgnoresSchemaName(t *testing.T) {
+	a, b := fpSchema("A"), fpSchema("B")
+	b.Doc = "catalog copy"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint should be content-addressed: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpSchema("S").Fingerprint()
+
+	// Changed element name.
+	s := fpSchema("S")
+	s.Elements()[1].Name = "ident"
+	if s.Fingerprint() == base {
+		t.Fatal("element rename not detected")
+	}
+
+	// Changed documentation.
+	s = fpSchema("S")
+	s.Elements()[1].Doc = "primary key"
+	if s.Fingerprint() == base {
+		t.Fatal("doc change not detected")
+	}
+
+	// Changed data type.
+	s = fpSchema("S")
+	s.Elements()[2].Type = TypeText
+	if s.Fingerprint() == base {
+		t.Fatal("type change not detected")
+	}
+
+	// Different nesting with same flat name sequence.
+	flat := New("F", FormatRelational)
+	r := flat.AddRoot("a", KindGroup)
+	flat.AddElement(r, "b", KindGroup, TypeNone)
+	flat.AddElement(r, "c", KindColumn, TypeString)
+	nested := New("F", FormatRelational)
+	r = nested.AddRoot("a", KindGroup)
+	bb := nested.AddElement(r, "b", KindGroup, TypeNone)
+	nested.AddElement(bb, "c", KindColumn, TypeString)
+	if flat.Fingerprint() == nested.Fingerprint() {
+		t.Fatal("nesting difference not detected")
+	}
+
+	// Empty schema has a fingerprint too, distinct from non-empty.
+	if e := New("E", FormatUnknown).Fingerprint(); e == "" || e == base {
+		t.Fatalf("empty schema fingerprint %q", e)
+	}
+}
+
+func TestFingerprintStableAcrossJSONRoundTrip(t *testing.T) {
+	s := fpSchema("S")
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != back.Fingerprint() {
+		t.Fatalf("fingerprint changed across round trip: %s vs %s", s.Fingerprint(), back.Fingerprint())
+	}
+}

@@ -245,8 +245,8 @@ func TestJSONRoundTrip(t *testing.T) {
 func TestParseJSONErrors(t *testing.T) {
 	cases := []string{
 		`{`,
-		`{"format":"relational","elements":[]}`,                                          // missing name
-		`{"name":"X","elements":[{"name":"","kind":"table"}]}`,                           // empty element name
+		`{"format":"relational","elements":[]}`, // missing name
+		`{"name":"X","elements":[{"name":"","kind":"table"}]}`,                             // empty element name
 		`{"name":"X","elements":[{"name":"c","kind":"column","children":[{"name":"d"}]}]}`, // leaf with children
 	}
 	for _, in := range cases {

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(i int) CacheKey {
+	return CacheKey{
+		FingerprintA: fmt.Sprintf("fpa-%d", i),
+		FingerprintB: fmt.Sprintf("fpb-%d", i),
+		Preset:       "harmony",
+		Threshold:    0.4,
+	}
+}
+
+func outcome(n int) *MatchOutcome {
+	return &MatchOutcome{Pairs: []MatchPair{{PathA: "a", PathB: "b", Score: float64(n) / 10}}}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(4)
+	v1, cached, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) { return outcome(1), nil })
+	if err != nil || cached {
+		t.Fatalf("first call: cached=%v err=%v", cached, err)
+	}
+	v2, cached, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) {
+		t.Fatal("compute called on hit")
+		return nil, nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("second call: cached=%v err=%v", cached, err)
+	}
+	if v1 != v2 {
+		t.Fatal("hit returned a different outcome value")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Computes != 1 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	for i := 1; i <= 2; i++ {
+		c.Put(key(i), outcome(i))
+	}
+	// Touch key 1 so key 2 is the LRU victim.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	c.Put(key(3), outcome(3))
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 should have survived")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("key 3 should be resident")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 || st.Warmed != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheReplaceDoesNotGrow(t *testing.T) {
+	c := NewCache(2)
+	c.Put(key(1), outcome(1))
+	c.Put(key(1), outcome(2))
+	if c.Len() != 1 {
+		t.Fatalf("len %d after replacing the same key", c.Len())
+	}
+	if v, _ := c.Get(key(1)); v.Pairs[0].Score != 0.2 {
+		t.Fatalf("replacement not visible: %+v", v)
+	}
+}
+
+// TestCacheStampede is the single-flight guarantee: many goroutines asking
+// for the same (fingerprint pair, preset, threshold) at once trigger
+// exactly one computation, and everyone gets its result.
+func TestCacheStampede(t *testing.T) {
+	c := NewCache(8)
+	const goroutines = 64
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]*MatchOutcome, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			v, _, err := c.GetOrCompute(key(7), func() (*MatchOutcome, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the stampede window
+				return outcome(7), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = v
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different outcome", g)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Computes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Hits, st.Coalesced, goroutines-1)
+	}
+}
+
+// TestCachePanicReleasesWaiters pins the failure mode where a panicking
+// compute wedged the key forever: the inflight entry must be cleaned up,
+// coalesced waiters released with an error, and the next call must retry.
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	c := NewCache(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.GetOrCompute(key(1), func() (*MatchOutcome, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+
+	<-entered
+	waitErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) {
+			t.Error("waiter should coalesce, not compute")
+			return nil, nil
+		})
+		waitErr <- err
+	}()
+	// Let the waiter reach the coalescing path, then trigger the panic.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-waitErr; err == nil {
+		t.Fatal("coalesced waiter got no error from the panicked compute")
+	}
+	wg.Wait()
+
+	// The key is not wedged: a fresh call computes.
+	v, cached, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) { return outcome(1), nil })
+	if err != nil || cached || v == nil {
+		t.Fatalf("retry after panic: v=%v cached=%v err=%v", v, cached, err)
+	}
+}
+
+func TestCacheComputeErrorNotCached(t *testing.T) {
+	c := NewCache(4)
+	boom := fmt.Errorf("boom")
+	_, _, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) { return nil, boom })
+	if err != boom {
+		t.Fatalf("err %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed computation was cached")
+	}
+	// The next call retries and can succeed.
+	v, cached, err := c.GetOrCompute(key(1), func() (*MatchOutcome, error) { return outcome(1), nil })
+	if err != nil || cached || v == nil {
+		t.Fatalf("retry: v=%v cached=%v err=%v", v, cached, err)
+	}
+}

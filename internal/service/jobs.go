@@ -1,0 +1,314 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/partition"
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+)
+
+// Job kinds accepted by POST /v1/jobs.
+const (
+	KindMatch      = "match"
+	KindVocabulary = "vocabulary"
+	KindCluster    = "cluster"
+)
+
+// JobRequest is the wire form of one job submission.
+type JobRequest struct {
+	// Kind selects the workload: "match", "vocabulary" or "cluster".
+	Kind string `json:"kind"`
+	// A and B name the registered schemata of a match job.
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// Schemas names the registered schemata of a vocabulary or cluster
+	// job (vocabulary needs ≥ 2, cluster ≥ 3).
+	Schemas []string `json:"schemas,omitempty"`
+	// Preset and Threshold override the server defaults when non-zero.
+	Preset    string  `json:"preset,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// K fixes the cluster count of a cluster job; 0 uses the largest-gap
+	// heuristic.
+	K int `json:"k,omitempty"`
+	// Exact makes a cluster job run full pairwise matches instead of the
+	// quick token-profile distances.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// MatchJobResult is a match job's Result payload.
+type MatchJobResult struct {
+	A       string        `json:"a"`
+	B       string        `json:"b"`
+	Cached  bool          `json:"cached"`
+	Outcome *MatchOutcome `json:"outcome"`
+}
+
+// VocabularyJobResult is a vocabulary job's Result payload: the 2^N-1
+// Venn-cell census of the comprehensive vocabulary.
+type VocabularyJobResult struct {
+	Schemas     []string       `json:"schemas"`
+	Terms       int            `json:"terms"`
+	Cells       map[string]int `json:"cells"`
+	SharedByAll int            `json:"sharedByAll"`
+}
+
+// ClusterJobResult is a cluster job's Result payload.
+type ClusterJobResult struct {
+	Schemas []string `json:"schemas"`
+	K       int      `json:"k"`
+	Labels  []int    `json:"labels"`
+	Exact   bool     `json:"exact"`
+}
+
+// buildJob validates a request against the current registry state and
+// returns the job function. Schemas are resolved at submission time so a
+// bad request fails fast with 400 rather than as a failed job.
+func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
+	preset, threshold, err := s.matchParams(req.Preset, req.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case KindMatch:
+		if req.A == "" || req.B == "" {
+			return nil, fmt.Errorf("match job needs schema names a and b")
+		}
+		ea, eb, err := s.lookupPair(req.A, req.B)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context) (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, cached, err := s.matchCached(ea, eb, preset, threshold)
+			if err != nil {
+				return nil, err
+			}
+			return &MatchJobResult{A: req.A, B: req.B, Cached: cached, Outcome: out}, nil
+		}, nil
+
+	case KindVocabulary:
+		if len(req.Schemas) < 2 {
+			return nil, fmt.Errorf("vocabulary job needs ≥ 2 schemas, got %d", len(req.Schemas))
+		}
+		schemas, err := s.lookupSchemas(req.Schemas)
+		if err != nil {
+			return nil, err
+		}
+		eng := s.engines[preset]
+		return func(ctx context.Context) (any, error) {
+			// N(N-1)/2 pairwise matches with a cancellation point
+			// between each: the paper's N-way MATCH as a background job.
+			var pairs []partition.Correspondences
+			for i := 0; i < len(schemas); i++ {
+				for j := i + 1; j < len(schemas); j++ {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					res := eng.Match(schemas[i], schemas[j])
+					pairs = append(pairs, partition.Correspondences{
+						I: i, J: j,
+						Pairs: core.SelectGreedyOneToOne(res.Matrix, threshold),
+					})
+				}
+			}
+			v, err := partition.Build(schemas, pairs)
+			if err != nil {
+				return nil, err
+			}
+			out := &VocabularyJobResult{
+				Schemas:     req.Schemas,
+				Terms:       len(v.Terms),
+				Cells:       make(map[string]int),
+				SharedByAll: len(v.SharedByAll()),
+			}
+			for mask, n := range v.CellCounts() {
+				out.Cells[v.MaskName(mask)] = n
+			}
+			return out, nil
+		}, nil
+
+	case KindCluster:
+		if len(req.Schemas) < 3 {
+			return nil, fmt.Errorf("cluster job needs ≥ 3 schemas, got %d", len(req.Schemas))
+		}
+		schemas, err := s.lookupSchemas(req.Schemas)
+		if err != nil {
+			return nil, err
+		}
+		if req.K < 0 || req.K > len(schemas) {
+			return nil, fmt.Errorf("cluster job k=%d out of range [0,%d]", req.K, len(schemas))
+		}
+		eng := s.engines[preset]
+		return func(ctx context.Context) (any, error) {
+			var d *cluster.DistanceMatrix
+			if req.Exact {
+				d = cluster.NewDistanceMatrix(len(schemas))
+				for i := 0; i < len(schemas); i++ {
+					for j := i + 1; j < len(schemas); j++ {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						res := eng.Match(schemas[i], schemas[j])
+						ov := partition.FromResult(res, threshold, true).OverlapCoefficient()
+						d.Set(i, j, 1-ov)
+					}
+				}
+			} else {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				d = cluster.QuickDistances(schemas)
+			}
+			dg := cluster.Agglomerative(d, cluster.Average)
+			k := req.K
+			if k == 0 {
+				k = dg.SuggestCut()
+			}
+			return &ClusterJobResult{
+				Schemas: req.Schemas, K: k, Labels: dg.Cut(k), Exact: req.Exact,
+			}, nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want match, vocabulary or cluster)", req.Kind)
+	}
+}
+
+// --- registry-backed cache warm-start -------------------------------------
+
+// serviceTool is the Provenance.Tool stamp on artifacts the service stores,
+// which WarmStart recognizes as its own.
+const serviceTool = "harmonyd"
+
+// provenanceNotes encodes the cache key parameters an artifact was
+// computed under, so warm-start can rebuild the exact key and detect
+// schema content drift. The threshold is formatted at full precision:
+// a rounded value would rebuild a different CacheKey after restart.
+func provenanceNotes(key CacheKey) string {
+	return fmt.Sprintf("preset=%s threshold=%s fpA=%s fpB=%s",
+		key.Preset, strconv.FormatFloat(key.Threshold, 'g', -1, 64),
+		key.FingerprintA, key.FingerprintB)
+}
+
+// parseProvenanceNotes inverts provenanceNotes; ok is false for notes
+// written by humans or other tools.
+func parseProvenanceNotes(notes string) (key CacheKey, ok bool) {
+	for _, field := range strings.Fields(notes) {
+		k, v, found := strings.Cut(field, "=")
+		if !found {
+			return CacheKey{}, false
+		}
+		switch k {
+		case "preset":
+			key.Preset = v
+		case "threshold":
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return CacheKey{}, false
+			}
+			key.Threshold = t
+		case "fpA":
+			key.FingerprintA = v
+		case "fpB":
+			key.FingerprintB = v
+		default:
+			return CacheKey{}, false
+		}
+	}
+	return key, key.Preset != "" && key.FingerprintA != "" && key.FingerprintB != ""
+}
+
+// WarmStart seeds the cache from match artifacts previously persisted in
+// the registry by this service (Provenance.Tool == "harmonyd"), realizing
+// the paper's reuse story: match results are knowledge artifacts other
+// projects — and later daemon processes — benefit from. Artifacts whose
+// recorded fingerprints no longer match the registered schema content are
+// skipped (the schema changed since the match was computed). It returns
+// the number of cache entries seeded.
+func WarmStart(c *Cache, reg *registry.Registry) int {
+	seeded := 0
+	for _, ma := range reg.MatchesByTool(serviceTool) {
+		key, ok := parseProvenanceNotes(ma.Provenance.Notes)
+		if !ok {
+			continue
+		}
+		ea, okA := reg.Schema(ma.SchemaA)
+		eb, okB := reg.Schema(ma.SchemaB)
+		if !okA || !okB || ea.Fingerprint != key.FingerprintA || eb.Fingerprint != key.FingerprintB {
+			continue
+		}
+		out := &MatchOutcome{Pairs: make([]MatchPair, 0, len(ma.Pairs))}
+		for _, p := range ma.Pairs {
+			out.Pairs = append(out.Pairs, MatchPair{PathA: p.PathA, PathB: p.PathB, Score: p.Score})
+		}
+		c.Put(key, out)
+		seeded++
+	}
+	return seeded
+}
+
+// storeArtifact persists a computed outcome as a registry match artifact
+// stamped with the service tool, making it warm-start fodder for the next
+// process. Storing is best-effort: an artifact for the same key already in
+// the registry (or a validation failure) leaves the registry unchanged.
+func storeArtifact(reg *registry.Registry, a, b string, key CacheKey, out *MatchOutcome) {
+	notes := provenanceNotes(key)
+	for _, ma := range reg.MatchesBetween(a, b) {
+		if ma.Provenance.Tool == serviceTool && ma.Provenance.Notes == notes {
+			return
+		}
+	}
+	ma := registry.MatchArtifact{
+		SchemaA: a,
+		SchemaB: b,
+		Context: registry.ContextSearch,
+		Provenance: registry.Provenance{
+			CreatedBy: serviceTool,
+			Tool:      serviceTool,
+			Notes:     notes,
+		},
+	}
+	for _, p := range out.Pairs {
+		score := p.Score
+		// The registry requires scores strictly inside (-1,1); a perfect
+		// 1.0 from identical elements is nudged below the bound.
+		if score >= 1 {
+			score = 0.9999
+		}
+		ma.Pairs = append(ma.Pairs, registry.AssertedMatch{
+			PathA: p.PathA, PathB: p.PathB, Score: score,
+			Status: registry.StatusProposed,
+		})
+	}
+	_, _ = reg.AddMatch(ma)
+}
+
+// computeOutcome runs one pairwise match and shapes it into the cacheable
+// outcome: the greedy one-to-one selection at the threshold, by path.
+func computeOutcome(eng *core.Engine, a, b *schema.Schema, threshold float64) *MatchOutcome {
+	start := time.Now()
+	res := eng.Match(a, b)
+	sel := core.SelectGreedyOneToOne(res.Matrix, threshold)
+	out := &MatchOutcome{
+		Pairs:              make([]MatchPair, 0, len(sel)),
+		SuggestedThreshold: core.SuggestThreshold(res.Matrix),
+	}
+	for _, c := range sel {
+		out.Pairs = append(out.Pairs, MatchPair{
+			PathA: res.Src.View(c.Src).El.Path(),
+			PathB: res.Dst.View(c.Dst).El.Path(),
+			Score: c.Score,
+		})
+	}
+	out.ComputeMillis = outcomeElapsed(time.Since(start))
+	return out
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of one submitted job.
+type JobState string
+
+// Job lifecycle: Submit → queued → running → one of done/failed/cancelled.
+// A queued job that is cancelled never runs.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobFunc is the unit of work a job runs. It must honor ctx cancellation
+// at whatever granularity it can (between pairwise matches, between
+// clustering passes); the queue marks the job cancelled when the function
+// returns ctx.Err after a Cancel.
+type JobFunc func(ctx context.Context) (any, error)
+
+// Job is the externally visible snapshot of one job, JSON-ready for the
+// /v1/jobs endpoints.
+type Job struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	State     JobState  `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// WaitMillis is time spent queued; RunMillis time spent executing.
+	WaitMillis int64  `json:"waitMillis"`
+	RunMillis  int64  `json:"runMillis"`
+	Error      string `json:"error,omitempty"`
+	Result     any    `json:"result,omitempty"`
+}
+
+// QueueStats is a point-in-time snapshot of queue counters.
+type QueueStats struct {
+	Workers   int    `json:"workers"`
+	Backlog   int    `json:"backlog"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+	// Queued and Running are gauges.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// queueJob is the internal job record.
+type queueJob struct {
+	snap   Job
+	fn     JobFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Queue is an asynchronous job engine: a bounded submission backlog
+// drained by a fixed worker pool. Safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*queueJob
+	order   []string // submission order, for List
+	work    chan *queueJob
+	wg      sync.WaitGroup
+	closed  bool
+	nextID  int
+	stats   QueueStats
+	baseCtx context.Context
+	stop    context.CancelFunc
+	now     func() time.Time
+}
+
+// NewQueue starts a queue with the given worker-pool size and backlog
+// bound (both forced to at least 1). Callers must Close it.
+func NewQueue(workers, backlog int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	q := &Queue{
+		jobs:    make(map[string]*queueJob),
+		work:    make(chan *queueJob, backlog),
+		baseCtx: ctx,
+		stop:    stop,
+		now:     time.Now,
+	}
+	q.stats.Workers = workers
+	q.stats.Backlog = backlog
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues a job and returns its ID. It fails fast when the
+// backlog is full or the queue is closed.
+func (q *Queue) Submit(kind string, fn JobFunc) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", fmt.Errorf("service: queue is closed")
+	}
+	q.nextID++
+	id := fmt.Sprintf("job-%06d", q.nextID)
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	j := &queueJob{
+		snap:   Job{ID: id, Kind: kind, State: JobQueued, Submitted: q.now()},
+		fn:     fn,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	select {
+	case q.work <- j:
+	default:
+		q.nextID-- // ID not consumed
+		q.stats.Rejected++
+		q.mu.Unlock()
+		cancel()
+		return "", fmt.Errorf("service: job backlog full (%d queued)", cap(q.work))
+	}
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	q.stats.Submitted++
+	q.stats.Queued++
+	q.mu.Unlock()
+	return id, nil
+}
+
+// worker drains the work channel until Close.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.work {
+		q.run(j)
+	}
+}
+
+// run executes one job, honoring a cancellation that happened while the
+// job was still queued.
+func (q *Queue) run(j *queueJob) {
+	q.mu.Lock()
+	if j.snap.State != JobQueued { // cancelled while queued
+		q.mu.Unlock()
+		return
+	}
+	j.snap.State = JobRunning
+	j.snap.Started = q.now()
+	j.snap.WaitMillis = j.snap.Started.Sub(j.snap.Submitted).Milliseconds()
+	q.stats.Queued--
+	q.stats.Running++
+	q.mu.Unlock()
+
+	result, err := j.fn(j.ctx)
+
+	q.mu.Lock()
+	j.snap.Finished = q.now()
+	j.snap.RunMillis = j.snap.Finished.Sub(j.snap.Started).Milliseconds()
+	q.stats.Running--
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		j.snap.State = JobCancelled
+		j.snap.Error = err.Error()
+		q.stats.Cancelled++
+	case err != nil:
+		j.snap.State = JobFailed
+		j.snap.Error = err.Error()
+		q.stats.Failed++
+	default:
+		j.snap.State = JobDone
+		j.snap.Result = result
+		q.stats.Completed++
+	}
+	q.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// Cancel cancels a job. A queued job is marked cancelled immediately and
+// never runs; a running job has its context cancelled and is marked
+// cancelled when its function returns with the context error. Cancelling
+// a terminal job is a no-op; an unknown ID is an error.
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return fmt.Errorf("service: unknown job %q", id)
+	}
+	if j.snap.State == JobQueued {
+		j.snap.State = JobCancelled
+		j.snap.Finished = q.now()
+		j.snap.WaitMillis = j.snap.Finished.Sub(j.snap.Submitted).Milliseconds()
+		q.stats.Queued--
+		q.stats.Cancelled++
+		q.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		return nil
+	}
+	q.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Get returns a snapshot of one job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snap, true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id].snap)
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final snapshot. An unknown ID returns immediately with ok=false.
+func (q *Queue) Wait(id string) (Job, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	<-j.done
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return j.snap, true
+}
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Prune removes terminal jobs finished before cutoff, bounding the job
+// table of a long-running daemon. It returns the number removed.
+func (q *Queue) Prune(cutoff time.Time) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	removed := 0
+	keep := q.order[:0]
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.snap.State.Terminal() && j.snap.Finished.Before(cutoff) {
+			delete(q.jobs, id)
+			removed++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	q.order = keep
+	return removed
+}
+
+// Close stops the queue: queued jobs are cancelled, running jobs have
+// their contexts cancelled, and Close blocks until every worker exits.
+// Submit fails after Close.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.work)
+	q.mu.Unlock()
+	q.stop() // cancels every job context, queued and running
+	q.wg.Wait()
+	// Workers have drained the channel; mark any job they skipped.
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		if j.snap.State == JobQueued {
+			j.snap.State = JobCancelled
+			j.snap.Finished = q.now()
+			q.stats.Queued--
+			q.stats.Cancelled++
+			close(j.done)
+		}
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(3, 16)
+	defer q.Close()
+	var ran atomic.Int64
+	ids := make([]string, 8)
+	for i := range ids {
+		i := i
+		id, err := q.Submit(KindMatch, func(ctx context.Context) (any, error) {
+			ran.Add(1)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		job, ok := q.Wait(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if job.State != JobDone {
+			t.Fatalf("job %s state %s (%s)", id, job.State, job.Error)
+		}
+		if job.Result != i*i {
+			t.Fatalf("job %s result %v, want %d", id, job.Result, i*i)
+		}
+		if job.Submitted.IsZero() || job.Started.IsZero() || job.Finished.IsZero() {
+			t.Fatalf("job %s missing timestamps: %+v", id, job)
+		}
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d jobs", ran.Load())
+	}
+	st := q.Stats()
+	if st.Completed != 8 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueJobFailure(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	id, err := q.Submit("bad", func(ctx context.Context) (any, error) {
+		return nil, fmt.Errorf("no such schema")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := q.Wait(id)
+	if job.State != JobFailed || !strings.Contains(job.Error, "no such schema") {
+		t.Fatalf("job %+v", job)
+	}
+	if st := q.Stats(); st.Failed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueCancelQueuedJob(t *testing.T) {
+	q := NewQueue(1, 8)
+	defer q.Close()
+	release := make(chan struct{})
+	blocker, err := q.Submit("blocker", func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	victim, err := q.Submit("victim", func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Cancel(victim); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if job, _ := q.Wait(victim); job.State != JobCancelled {
+		t.Fatalf("victim state %s", job.State)
+	}
+	if job, _ := q.Wait(blocker); job.State != JobDone {
+		t.Fatalf("blocker state %s", job.State)
+	}
+	if ran.Load() {
+		t.Fatal("cancelled queued job still ran")
+	}
+	if st := q.Stats(); st.Cancelled != 1 || st.Completed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueCancelRunningJob(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	started := make(chan struct{})
+	id, err := q.Submit("slow", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := q.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	job, _ := q.Wait(id)
+	if job.State != JobCancelled {
+		t.Fatalf("state %s, want cancelled", job.State)
+	}
+	// Cancelling a terminal job is a harmless no-op.
+	if err := q.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Cancel("job-999999"); err == nil {
+		t.Fatal("cancelling unknown job should error")
+	}
+}
+
+func TestQueueBacklogBound(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	defer close(release)
+	// Fill the single worker, then the single backlog slot. The worker may
+	// need a moment to pick up the first job, so allow one extra fill.
+	block := func(ctx context.Context) (any, error) { <-release; return nil, nil }
+	if _, err := q.Submit("a", block); err != nil {
+		t.Fatal(err)
+	}
+	var rejected error
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit("b", block); err != nil {
+			rejected = err
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rejected == nil || !strings.Contains(rejected.Error(), "backlog full") {
+		t.Fatalf("expected backlog rejection, got %v", rejected)
+	}
+	if st := q.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueCloseCancelsPending(t *testing.T) {
+	q := NewQueue(1, 8)
+	started := make(chan struct{})
+	_, err := q.Submit("running", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit("queued", func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	job, ok := q.Get(queued)
+	if !ok || !job.State.Terminal() {
+		t.Fatalf("queued job not terminal after Close: %+v", job)
+	}
+	if _, err := q.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("Submit should fail after Close")
+	}
+	q.Close() // idempotent
+}
+
+func TestQueuePrune(t *testing.T) {
+	q := NewQueue(2, 8)
+	defer q.Close()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := q.Submit("quick", func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		q.Wait(id)
+	}
+	if n := q.Prune(time.Now().Add(time.Hour)); n != 4 {
+		t.Fatalf("pruned %d, want 4", n)
+	}
+	if got := q.List(); len(got) != 0 {
+		t.Fatalf("list after prune: %v", got)
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Fatal("pruned job still retrievable")
+	}
+}

@@ -1,0 +1,461 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+	"harmony/internal/search"
+)
+
+// maxBodyBytes bounds request bodies; enterprise schemata serialize to a
+// few MB at most.
+const maxBodyBytes = 16 << 20
+
+// Server is the match-as-a-service front-end: a metadata registry with an
+// HTTP surface, a fingerprint-keyed match cache, and an async job engine.
+// Construct with New; it is ready to serve once Handler is mounted.
+type Server struct {
+	cfg     Config
+	reg     *registry.Registry
+	cache   *Cache
+	queue   *Queue
+	engines map[string]*core.Engine
+	start   time.Time
+	logf    func(format string, args ...any)
+
+	saveStop  chan struct{}
+	saveDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a server from the config. When cfg.DBPath names an existing
+// file the registry is loaded from it and the match cache is warm-started
+// from the service's persisted artifacts; periodic persistence then keeps
+// the file fresh. logf receives operational messages (nil for silence).
+func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := registry.New()
+	if cfg.DBPath != "" {
+		if _, statErr := os.Stat(cfg.DBPath); statErr == nil {
+			reg, err = registry.Load(cfg.DBPath)
+			if err != nil {
+				return nil, fmt.Errorf("service: loading %s: %w", cfg.DBPath, err)
+			}
+			logf("service: loaded %d schemata, %d artifacts from %s",
+				reg.Len(), reg.MatchCount(), cfg.DBPath)
+		}
+	}
+	engines := make(map[string]*core.Engine, len(core.Presets()))
+	for name, mk := range core.Presets() {
+		engines[name] = mk()
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   NewCache(cfg.CacheSize),
+		queue:   NewQueue(cfg.Workers, cfg.Backlog),
+		engines: engines,
+		start:   time.Now(),
+		logf:    logf,
+	}
+	if n := WarmStart(s.cache, reg); n > 0 {
+		logf("service: warm-started match cache with %d stored results", n)
+	}
+	if cfg.DBPath != "" {
+		s.saveStop = make(chan struct{})
+		s.saveDone = make(chan struct{})
+		go s.saveLoop()
+	}
+	return s, nil
+}
+
+// Registry exposes the backing repository (for tests and embedding).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Cache exposes the match cache (for tests and embedding).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Queue exposes the job engine (for tests and embedding).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// saveLoop persists the registry every cfg.SaveInterval until Close.
+func (s *Server) saveLoop() {
+	defer close(s.saveDone)
+	t := time.NewTicker(s.cfg.SaveInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.reg.Save(s.cfg.DBPath); err != nil {
+				s.logf("service: periodic save: %v", err)
+			}
+		case <-s.saveStop:
+			return
+		}
+	}
+}
+
+// Close shuts the server down: the job queue stops (cancelling queued and
+// running jobs), the persistence loop exits, and the registry is saved a
+// final time when a DB path is configured.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.queue.Close()
+		if s.saveStop != nil {
+			close(s.saveStop)
+			<-s.saveDone
+		}
+		if s.cfg.DBPath != "" {
+			err = s.reg.Save(s.cfg.DBPath)
+		}
+	})
+	return err
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/schemas", s.handleAddSchema)
+	mux.HandleFunc("GET /v1/schemas", s.handleListSchemas)
+	mux.HandleFunc("GET /v1/schemas/{name}", s.handleGetSchema)
+	mux.HandleFunc("DELETE /v1/schemas/{name}", s.handleDeleteSchema)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	return http.MaxBytesHandler(mux, maxBodyBytes)
+}
+
+// --- shared helpers -------------------------------------------------------
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// matchParams resolves per-request preset/threshold overrides against the
+// server defaults. A zero threshold means "server default" — matching at
+// literally 0 would select every pair and is never what a caller wants.
+func (s *Server) matchParams(preset string, threshold float64) (string, float64, error) {
+	if preset == "" {
+		preset = s.cfg.Preset
+	}
+	if _, ok := s.engines[preset]; !ok {
+		return "", 0, fmt.Errorf("unknown preset %q", preset)
+	}
+	if threshold == 0 {
+		threshold = s.cfg.Threshold
+	}
+	if threshold < 0 || threshold > 1 {
+		return "", 0, fmt.Errorf("threshold %v out of [0,1]", threshold)
+	}
+	return preset, threshold, nil
+}
+
+func (s *Server) lookupPair(a, b string) (*registry.Entry, *registry.Entry, error) {
+	ea, ok := s.reg.Schema(a)
+	if !ok {
+		return nil, nil, fmt.Errorf("schema %q not registered", a)
+	}
+	eb, ok := s.reg.Schema(b)
+	if !ok {
+		return nil, nil, fmt.Errorf("schema %q not registered", b)
+	}
+	return ea, eb, nil
+}
+
+func (s *Server) lookupSchemas(names []string) ([]*schema.Schema, error) {
+	out := make([]*schema.Schema, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("schema %q listed twice", name)
+		}
+		seen[name] = true
+		e, ok := s.reg.Schema(name)
+		if !ok {
+			return nil, fmt.Errorf("schema %q not registered", name)
+		}
+		out = append(out, e.Schema)
+	}
+	return out, nil
+}
+
+// matchCached serves one pairwise match through the fingerprint-keyed
+// cache. On a fresh computation the outcome is also persisted to the
+// registry as a match artifact, feeding the next process's warm-start.
+func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold float64) (*MatchOutcome, bool, error) {
+	key := CacheKey{
+		FingerprintA: ea.Fingerprint,
+		FingerprintB: eb.Fingerprint,
+		Preset:       preset,
+		Threshold:    threshold,
+	}
+	out, cached, err := s.cache.GetOrCompute(key, func() (*MatchOutcome, error) {
+		return computeOutcome(s.engines[preset], ea.Schema, eb.Schema, threshold), nil
+	})
+	if err == nil && !cached {
+		storeArtifact(s.reg, ea.Schema.Name, eb.Schema.Name, key, out)
+	}
+	return out, cached, err
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Schemas:       s.reg.Len(),
+		Artifacts:     s.reg.MatchCount(),
+		Cache:         s.cache.Stats(),
+		Queue:         s.queue.Stats(),
+	})
+}
+
+// schemaSummary is the catalog row returned by the schema endpoints.
+type schemaSummary struct {
+	Name        string    `json:"name"`
+	Format      string    `json:"format"`
+	Elements    int       `json:"elements"`
+	Roots       int       `json:"roots"`
+	MaxDepth    int       `json:"maxDepth"`
+	Fingerprint string    `json:"fingerprint"`
+	Steward     string    `json:"steward,omitempty"`
+	Tags        []string  `json:"tags,omitempty"`
+	Registered  time.Time `json:"registered"`
+}
+
+func summarizeEntry(e *registry.Entry) schemaSummary {
+	return schemaSummary{
+		Name:        e.Schema.Name,
+		Format:      e.Schema.Format.String(),
+		Elements:    e.Stats.Elements,
+		Roots:       e.Stats.Roots,
+		MaxDepth:    e.Stats.MaxDepth,
+		Fingerprint: e.Fingerprint,
+		Steward:     e.Steward,
+		Tags:        e.Tags,
+		Registered:  e.Registered,
+	}
+}
+
+// handleAddSchema registers a schema posted in the JSON interchange format
+// (the same format schema.MarshalJSON emits). Optional query parameters:
+// steward, tags (comma-separated).
+func (s *Server) handleAddSchema(w http.ResponseWriter, r *http.Request) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	sc, err := schema.ParseJSON(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var tags []string
+	if t := r.URL.Query().Get("tags"); t != "" {
+		tags = strings.Split(t, ",")
+	}
+	if err := s.reg.AddSchema(sc, r.URL.Query().Get("steward"), tags...); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	e, _ := s.reg.Schema(sc.Name)
+	writeJSON(w, http.StatusCreated, summarizeEntry(e))
+}
+
+func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Schemas()
+	out := make([]schemaSummary, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, summarizeEntry(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Schema(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "schema %q not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Schema)
+}
+
+func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.reg.Schema(name); !ok {
+		writeError(w, http.StatusNotFound, "schema %q not registered", name)
+		return
+	}
+	removed := s.reg.RemoveSchema(name)
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name, "removedArtifacts": removed})
+}
+
+// matchRequest is the wire form of POST /v1/match.
+type matchRequest struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Preset    string  `json:"preset,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// matchResponse is the wire form of the sync match result.
+type matchResponse struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Preset    string  `json:"preset"`
+	Threshold float64 `json:"threshold"`
+	// Cached reports whether the outcome was served from the cache (or an
+	// in-flight computation) rather than computed for this request.
+	Cached bool `json:"cached"`
+	*MatchOutcome
+}
+
+// handleMatch is the synchronous match endpoint: cache hit or compute on
+// the request path. Heavy or speculative matches belong on POST /v1/jobs.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req matchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	preset, threshold, err := s.matchParams(req.Preset, req.Threshold)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ea, eb, err := s.lookupPair(req.A, req.B)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	out, cached, err := s.matchCached(ea, eb, preset, threshold)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, matchResponse{
+		A: req.A, B: req.B, Preset: preset, Threshold: threshold,
+		Cached: cached, MatchOutcome: out,
+	})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	fn, err := s.buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.queue.Submit(req.Kind, fn)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	job, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.queue.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	job, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleSearch ranks registered schemata against a free-text query.
+// mode=schemas (default) ranks whole schemata; mode=fragments ranks
+// top-level sub-trees.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid k %q", ks)
+			return
+		}
+		k = n
+	}
+	var hits []search.Result
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "schemas":
+		hits = s.reg.SearchText(q, k)
+	case "fragments":
+		hits = s.reg.SearchFragments(q, k)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want schemas or fragments)", mode)
+		return
+	}
+	out := make([]searchHit, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, searchHit{Schema: h.Schema, Fragment: h.Fragment, Score: h.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// searchHit is the wire form of one search result.
+type searchHit struct {
+	Schema   string  `json:"schema"`
+	Fragment string  `json:"fragment,omitempty"`
+	Score    float64 `json:"score"`
+}

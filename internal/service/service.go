@@ -1,0 +1,89 @@
+// Package service turns the Harmony matching library into shared
+// enterprise infrastructure: a match-as-a-service layer in the spirit of
+// the paper's §5 research agenda, where schema matching is not a one-shot
+// tool run but a long-lived facility many teams query, with past match
+// results reused across projects.
+//
+// The package provides three building blocks and a thin HTTP front-end:
+//
+//   - Cache: a bounded LRU of match results keyed by content-addressed
+//     schema fingerprints plus the engine configuration, with single-flight
+//     computation so a stampede of identical requests scores the pair once.
+//   - Queue: an asynchronous job engine with a fixed worker pool, job
+//     states (queued/running/done/failed/cancelled), cancellation and
+//     per-job timing, for the workloads too heavy for a request cycle
+//     (N-way vocabulary builds, repository clustering, large matches).
+//   - WarmStart: reuse of match artifacts persisted in the metadata
+//     registry as cache seed data, so a restarted daemon serves yesterday's
+//     matches from memory again.
+//   - Server: JSON-over-HTTP endpoints (/v1/schemas, /v1/match, /v1/jobs,
+//     /v1/search, /v1/stats, /healthz) over a registry.Registry with
+//     periodic persistence; cmd/harmonyd is its daemon wrapper.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"harmony/internal/core"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Preset is the default engine preset for requests that do not name
+	// one ("harmony" when empty).
+	Preset string
+	// Threshold is the default confidence threshold for requests that do
+	// not set one.
+	Threshold float64
+	// Workers is the job queue's worker-pool size (default 2).
+	Workers int
+	// Backlog is the job queue's bounded submission backlog (default 64).
+	// When full, job submission fails fast instead of queueing unboundedly.
+	Backlog int
+	// CacheSize is the match cache capacity in entries (default 256).
+	CacheSize int
+	// DBPath, when non-empty, is the registry persistence file. It is
+	// loaded at startup when present and saved periodically and on Close.
+	DBPath string
+	// SaveInterval is the periodic persistence cadence when DBPath is set
+	// (default 30s).
+	SaveInterval time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Preset == "" {
+		c.Preset = "harmony"
+	}
+	if _, ok := core.Presets()[c.Preset]; !ok {
+		return c, fmt.Errorf("service: unknown preset %q", c.Preset)
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.4
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return c, fmt.Errorf("service: threshold %v out of [0,1]", c.Threshold)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Backlog <= 0 {
+		c.Backlog = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.SaveInterval <= 0 {
+		c.SaveInterval = 30 * time.Second
+	}
+	return c, nil
+}
+
+// Stats is the service-wide counters snapshot served by GET /v1/stats.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Schemas       int        `json:"schemas"`
+	Artifacts     int        `json:"artifacts"`
+	Cache         CacheStats `json:"cache"`
+	Queue         QueueStats `json:"queue"`
+}

@@ -48,13 +48,13 @@ func a(key string, words []string, t schema.DataType, doc string) AttrSpec {
 }
 
 var (
-	str  = schema.TypeString
-	txt  = schema.TypeText
-	num  = schema.TypeInteger
-	dec  = schema.TypeDecimal
+	str   = schema.TypeString
+	txt   = schema.TypeText
+	num   = schema.TypeInteger
+	dec   = schema.TypeDecimal
 	flag  = schema.TypeBoolean
-	date = schema.TypeDate
-	dt   = schema.TypeDateTime
+	date  = schema.TypeDate
+	dt    = schema.TypeDateTime
 	ident = schema.TypeIdentifier
 )
 

@@ -349,7 +349,7 @@ func Pair(seed int64, conceptsA, conceptsB, shared, attrs int) (a, b *schema.Sch
 	}
 	truth = NewTruth()
 	common := u[:shared]
-	onlyA := u[shared : conceptsA]
+	onlyA := u[shared:conceptsA]
 	onlyB := u[conceptsA : conceptsA+conceptsB-shared]
 
 	mk := func(concepts []Concept, extra []Concept, attrOffset int) []instance {

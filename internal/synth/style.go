@@ -90,31 +90,31 @@ var surfaceAbbrev = map[string]string{
 // coincide with the matcher's synonym groups, so synonym drift is only
 // partially recoverable — as in real schemata.
 var surfaceSynonyms = map[string][]string{
-	"begin":      {"start", "first", "initial"},
-	"end":        {"stop", "final", "termination"},
-	"person":     {"individual"},
-	"vehicle":    {"conveyance"},
-	"event":      {"incident", "occurrence"},
-	"location":   {"position", "site", "place"},
-	"identifier": {"key"},
-	"name":       {"designation", "title"},
-	"amount":     {"total"},
-	"quantity":   {"count"},
-	"type":       {"kind", "class"},
-	"status":     {"state", "condition"},
-	"weapon":     {"armament"},
-	"facility":   {"installation"},
-	"equipment":  {"materiel", "asset"},
-	"message":    {"communication"},
-	"route":      {"path", "course"},
-	"mission":    {"task", "sortie"},
-	"report":     {"summary"},
-	"country":    {"nation"},
-	"speed":      {"velocity"},
-	"remarks":    {"comments", "notes"},
-	"created":    {"entered", "recorded"},
+	"begin":        {"start", "first", "initial"},
+	"end":          {"stop", "final", "termination"},
+	"person":       {"individual"},
+	"vehicle":      {"conveyance"},
+	"event":        {"incident", "occurrence"},
+	"location":     {"position", "site", "place"},
+	"identifier":   {"key"},
+	"name":         {"designation", "title"},
+	"amount":       {"total"},
+	"quantity":     {"count"},
+	"type":         {"kind", "class"},
+	"status":       {"state", "condition"},
+	"weapon":       {"armament"},
+	"facility":     {"installation"},
+	"equipment":    {"materiel", "asset"},
+	"message":      {"communication"},
+	"route":        {"path", "course"},
+	"mission":      {"task", "sortie"},
+	"report":       {"summary"},
+	"country":      {"nation"},
+	"speed":        {"velocity"},
+	"remarks":      {"comments", "notes"},
+	"created":      {"entered", "recorded"},
 	"organization": {"agency"},
-	"datetime":   {"timestamp"},
+	"datetime":     {"timestamp"},
 }
 
 // styler applies a NamingStyle deterministically using its own random

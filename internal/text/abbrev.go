@@ -8,129 +8,129 @@ import "strings"
 // ORG_ID_CD, DT_TM_GRP). Multi-word expansions are space separated and are
 // split by ExpandAbbreviation.
 var abbreviations = map[string]string{
-	"acct":  "account",
-	"addr":  "address",
-	"adm":   "administrative",
-	"admin": "administrative",
-	"alt":   "altitude",
-	"amt":   "amount",
+	"acct":   "account",
+	"addr":   "address",
+	"adm":    "administrative",
+	"admin":  "administrative",
+	"alt":    "altitude",
+	"amt":    "amount",
 	"approx": "approximate",
-	"attr":  "attribute",
-	"auth":  "authorized",
-	"avg":   "average",
-	"bldg":  "building",
-	"cat":   "category",
-	"cd":    "code",
-	"cfg":   "configuration",
-	"cmd":   "command",
-	"cnt":   "count",
-	"comm":  "communication",
-	"coord": "coordinate",
-	"ctry":  "country",
-	"curr":  "current",
-	"dec":   "decimal",
-	"def":   "definition",
-	"dept":  "department",
-	"desc":  "description",
-	"descr": "description",
-	"dest":  "destination",
-	"dir":   "direction",
-	"dist":  "distance",
-	"dob":   "date of birth",
-	"doc":   "document",
-	"dod":   "department of defense",
-	"dt":    "date",
-	"dtg":   "date time group",
-	"dttm":  "date time",
-	"elev":  "elevation",
-	"eqp":   "equipment",
-	"eqpt":  "equipment",
-	"est":   "estimated",
-	"fac":   "facility",
-	"fname": "first name",
-	"freq":  "frequency",
-	"geo":   "geographic",
-	"gp":    "group",
-	"grp":   "group",
-	"hosp":  "hospital",
-	"hq":    "headquarters",
-	"id":    "identifier",
-	"ident": "identifier",
-	"idx":   "index",
-	"img":   "image",
-	"info":  "information",
-	"lat":   "latitude",
-	"lname": "last name",
-	"loc":   "location",
-	"lon":   "longitude",
-	"lvl":   "level",
-	"max":   "maximum",
-	"med":   "medical",
-	"mfg":   "manufacturing",
-	"mgr":   "manager",
-	"mil":   "military",
-	"min":   "minimum",
-	"msg":   "message",
-	"mun":   "munition",
-	"nat":   "national",
-	"nbr":   "number",
-	"nm":    "name",
-	"no":    "number",
-	"num":   "number",
-	"obj":   "object",
-	"obs":   "observation",
-	"op":    "operation",
-	"opn":   "operation",
-	"org":   "organization",
-	"orig":  "origin",
-	"pct":   "percent",
-	"per":   "person",
-	"perf":  "performance",
-	"pers":  "person",
-	"phys":  "physical",
-	"pos":   "position",
-	"pri":   "priority",
-	"prov":  "province",
-	"pt":    "point",
-	"qty":   "quantity",
-	"rcv":   "receive",
-	"rec":   "record",
-	"ref":   "reference",
-	"reg":   "region",
-	"rel":   "relationship",
-	"rep":   "report",
-	"req":   "required",
-	"rnk":   "rank",
-	"rte":   "route",
-	"sec":   "security",
-	"seq":   "sequence",
-	"sig":   "signal",
-	"spec":  "specification",
-	"sqdn":  "squadron",
-	"src":   "source",
-	"stat":  "status",
-	"sta":   "station",
-	"std":   "standard",
-	"svc":   "service",
-	"sys":   "system",
-	"tel":   "telephone",
-	"temp":  "temperature",
-	"tm":    "time",
-	"tot":   "total",
-	"trk":   "track",
-	"txt":   "text",
-	"typ":   "type",
-	"uid":   "unique identifier",
-	"uom":   "unit of measure",
-	"upd":   "update",
-	"usr":   "user",
-	"veh":   "vehicle",
-	"vel":   "velocity",
-	"ver":   "version",
-	"wpn":   "weapon",
-	"wt":    "weight",
-	"xfer":  "transfer",
-	"xmit":  "transmit",
+	"attr":   "attribute",
+	"auth":   "authorized",
+	"avg":    "average",
+	"bldg":   "building",
+	"cat":    "category",
+	"cd":     "code",
+	"cfg":    "configuration",
+	"cmd":    "command",
+	"cnt":    "count",
+	"comm":   "communication",
+	"coord":  "coordinate",
+	"ctry":   "country",
+	"curr":   "current",
+	"dec":    "decimal",
+	"def":    "definition",
+	"dept":   "department",
+	"desc":   "description",
+	"descr":  "description",
+	"dest":   "destination",
+	"dir":    "direction",
+	"dist":   "distance",
+	"dob":    "date of birth",
+	"doc":    "document",
+	"dod":    "department of defense",
+	"dt":     "date",
+	"dtg":    "date time group",
+	"dttm":   "date time",
+	"elev":   "elevation",
+	"eqp":    "equipment",
+	"eqpt":   "equipment",
+	"est":    "estimated",
+	"fac":    "facility",
+	"fname":  "first name",
+	"freq":   "frequency",
+	"geo":    "geographic",
+	"gp":     "group",
+	"grp":    "group",
+	"hosp":   "hospital",
+	"hq":     "headquarters",
+	"id":     "identifier",
+	"ident":  "identifier",
+	"idx":    "index",
+	"img":    "image",
+	"info":   "information",
+	"lat":    "latitude",
+	"lname":  "last name",
+	"loc":    "location",
+	"lon":    "longitude",
+	"lvl":    "level",
+	"max":    "maximum",
+	"med":    "medical",
+	"mfg":    "manufacturing",
+	"mgr":    "manager",
+	"mil":    "military",
+	"min":    "minimum",
+	"msg":    "message",
+	"mun":    "munition",
+	"nat":    "national",
+	"nbr":    "number",
+	"nm":     "name",
+	"no":     "number",
+	"num":    "number",
+	"obj":    "object",
+	"obs":    "observation",
+	"op":     "operation",
+	"opn":    "operation",
+	"org":    "organization",
+	"orig":   "origin",
+	"pct":    "percent",
+	"per":    "person",
+	"perf":   "performance",
+	"pers":   "person",
+	"phys":   "physical",
+	"pos":    "position",
+	"pri":    "priority",
+	"prov":   "province",
+	"pt":     "point",
+	"qty":    "quantity",
+	"rcv":    "receive",
+	"rec":    "record",
+	"ref":    "reference",
+	"reg":    "region",
+	"rel":    "relationship",
+	"rep":    "report",
+	"req":    "required",
+	"rnk":    "rank",
+	"rte":    "route",
+	"sec":    "security",
+	"seq":    "sequence",
+	"sig":    "signal",
+	"spec":   "specification",
+	"sqdn":   "squadron",
+	"src":    "source",
+	"stat":   "status",
+	"sta":    "station",
+	"std":    "standard",
+	"svc":    "service",
+	"sys":    "system",
+	"tel":    "telephone",
+	"temp":   "temperature",
+	"tm":     "time",
+	"tot":    "total",
+	"trk":    "track",
+	"txt":    "text",
+	"typ":    "type",
+	"uid":    "unique identifier",
+	"uom":    "unit of measure",
+	"upd":    "update",
+	"usr":    "user",
+	"veh":    "vehicle",
+	"vel":    "velocity",
+	"ver":    "version",
+	"wpn":    "weapon",
+	"wt":     "weight",
+	"xfer":   "transfer",
+	"xmit":   "transmit",
 }
 
 // ExpandAbbreviation returns the expansion of tok if it is a known

@@ -28,10 +28,10 @@ var DefaultEffortModel = EffortModel{
 
 // Effort is an estimated workload.
 type Effort struct {
-	Reviews      int
-	Concepts     int
-	PersonHours  float64
-	PersonDays   float64
+	Reviews     int
+	Concepts    int
+	PersonHours float64
+	PersonDays  float64
 	// DaysWithTeam is the calendar estimate for the given team size,
 	// assuming even distribution.
 	TeamSize     int
