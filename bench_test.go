@@ -18,8 +18,10 @@ import (
 
 	"harmony/internal/cluster"
 	"harmony/internal/core"
+	"harmony/internal/corpus"
 	"harmony/internal/export"
 	"harmony/internal/partition"
+	"harmony/internal/registry"
 	"harmony/internal/schema"
 	"harmony/internal/search"
 	"harmony/internal/service"
@@ -299,6 +301,70 @@ func BenchmarkQueueThroughput(b *testing.B) {
 		b.Fatalf("final job %+v ok=%v", job, ok)
 	}
 	b.StopTimer()
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-scale matching benchmarks: the perf trajectory of the blocked
+// top-k pipeline is tracked from day one (see internal/corpus).
+
+var benchCorpus struct {
+	once sync.Once
+	reg  *registry.Registry
+	qs   []*schema.Schema
+}
+
+// corpusFixture builds the 200-schema synthetic repository once.
+func corpusFixture(b *testing.B) (*registry.Registry, []*schema.Schema) {
+	b.Helper()
+	benchCorpus.once.Do(func() {
+		schemas, _, _ := synth.Collection(42, 8, 25)
+		reg := registry.New()
+		for _, s := range schemas {
+			if err := reg.AddSchema(s, "synth"); err != nil {
+				panic(err)
+			}
+		}
+		benchCorpus.reg = reg
+		benchCorpus.qs = schemas
+	})
+	return benchCorpus.reg, benchCorpus.qs
+}
+
+// BenchmarkCorpusTopK measures one blocked top-5 corpus query over the
+// 200-schema repository: blocking + sharded engine scoring with early
+// exit. Compare against BenchmarkE1FullMatch-scale exhaustive costs: the
+// blocked query runs ~20 engine matches instead of 199.
+func BenchmarkCorpusTopK(b *testing.B) {
+	reg, qs := corpusFixture(b)
+	eng := core.PresetHarmony()
+	p := corpus.NewPipeline(reg, nil)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.TopK(ctx, eng, qs[i%len(qs)], corpus.Config{Candidates: 20, TopK: 5})
+		if err != nil || len(res.Matches) == 0 {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkBlockingPrune isolates the blocking stage: BM25 retrieval plus
+// the token-overlap prefilter over the 200-schema corpus, the cost every
+// corpus query pays before any engine work.
+func BenchmarkBlockingPrune(b *testing.B) {
+	reg, qs := corpusFixture(b)
+	p := corpus.NewPipeline(reg, nil)
+	// Warm the profile memo so the benchmark measures the steady state.
+	if _, _, err := p.Candidates(qs[0], corpus.Config{Candidates: 20}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, _, err := p.Candidates(qs[i%len(qs)], corpus.Config{Candidates: 20})
+		if err != nil || len(cands) == 0 {
+			b.Fatalf("cands=%d err=%v", len(cands), err)
+		}
+	}
 }
 
 type acceptAllReviewer struct{}

@@ -50,6 +50,7 @@ func main() {
 		{"E8", "schema-as-query search over the registry", runE8},
 		{"E9", "match cost scaling with candidate pairs", runE9},
 		{"E10", "incremental workflow keeps increments surveyable", runE10},
+		{"E11", "corpus-scale blocked top-k vs exhaustive matching", runE11},
 	}
 
 	want := map[string]bool{}

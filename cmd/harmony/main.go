@@ -5,20 +5,36 @@
 // Usage:
 //
 //	harmony -a schemaA.ddl -b schemaB.xsd [flags]
+//	harmony corpus -query schemaA.ddl -dir schemas/ [flags]
 //
 // Schema format is inferred from the extension: .ddl/.sql relational,
 // .xsd/.xml XML Schema, .json interchange.
 //
-// Flags:
+// Flags (pairwise mode):
 //
 //	-threshold F   confidence filter (default 0.45)
 //	-preset NAME   matcher preset: harmony, coma, cupid, name-only
 //	-out DIR       write concepts.csv, elements.csv, matches.csv to DIR
 //	-report        print the big-picture report (default true)
 //	-top N         also print the N best correspondences
+//
+// The corpus subcommand uses one schema as the query term against every
+// schema file in a directory — the paper's match-against-the-repository
+// idiom — and prints the top-k matching schemata with correspondence
+// counts. Flags:
+//
+//	-query FILE    query schema file
+//	-dir DIR       directory of schema files forming the corpus
+//	-k N           ranked matches to return (default 5)
+//	-candidates N  blocking budget (default 32)
+//	-preset NAME   matcher preset (default harmony)
+//	-threshold F   confidence filter (default 0.4)
+//	-exhaustive    score every schema (disables blocking; slow baseline)
+//	-pairs N       print the N best correspondences per match (default 3)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +46,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "corpus" {
+		runCorpus(os.Args[2:])
+		return
+	}
 	aPath := flag.String("a", "", "source schema file (.ddl/.sql/.xsd/.xml/.json)")
 	bPath := flag.String("b", "", "target schema file")
 	threshold := flag.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
@@ -81,6 +101,83 @@ func main() {
 		exitOn(writeFile(filepath.Join(*outDir, "elements.csv"), wb.WriteElementCSV))
 		fmt.Fprintf(os.Stderr, "wrote %s/concepts.csv (%d rows) and %s/elements.csv (%d rows)\n",
 			*outDir, wb.ConceptRows(), *outDir, wb.ElementRows())
+	}
+}
+
+// runCorpus is the corpus subcommand: load a directory of schema files
+// into a registry and answer one top-k query against it.
+func runCorpus(args []string) {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	queryPath := fs.String("query", "", "query schema file")
+	dir := fs.String("dir", "", "directory of schema files forming the corpus")
+	k := fs.Int("k", 5, "ranked matches to return")
+	candidates := fs.Int("candidates", 32, "blocking candidate budget")
+	preset := fs.String("preset", "harmony", "matcher preset")
+	threshold := fs.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
+	exhaustive := fs.Bool("exhaustive", false, "score every schema (disables blocking)")
+	pairs := fs.Int("pairs", 3, "correspondences to print per match")
+	exitOn(fs.Parse(args))
+
+	if *queryPath == "" || *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	q, err := loadSchema(*queryPath)
+	exitOn(err)
+
+	entries, err := os.ReadDir(*dir)
+	exitOn(err)
+	reg := harmony.NewRegistry()
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".ddl", ".sql", ".xsd", ".xml", ".json":
+		default:
+			continue
+		}
+		s, err := loadSchema(filepath.Join(*dir, e.Name()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmony: skipping %s: %v\n", e.Name(), err)
+			continue
+		}
+		if err := reg.AddSchema(s, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "harmony: skipping %s: %v\n", e.Name(), err)
+			continue
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		exitOn(fmt.Errorf("no loadable schema files in %s", *dir))
+	}
+
+	m, err := harmony.NewMatcherWith(*preset, *threshold)
+	exitOn(err)
+	res, err := m.TopKAgainst(context.Background(), harmony.NewCorpusPipeline(reg, nil), q, harmony.CorpusConfig{
+		Candidates: *candidates,
+		TopK:       *k,
+		Exhaustive: *exhaustive,
+	})
+	exitOn(err)
+
+	st := res.Stats
+	fmt.Printf("%s (%d elements) vs %d schemata: %d candidates, %d engine runs, %d early exits (block %dms, score %dms)\n\n",
+		q.Name, q.Len(), st.CorpusSize, st.Candidates, st.EngineRuns, st.EarlyExits, st.BlockMillis, st.ScoreMillis)
+	for rank, match := range res.Matches {
+		tag := ""
+		if match.Reused {
+			tag = fmt.Sprintf("  [reused via %s]", match.Hub)
+		}
+		fmt.Printf("%2d. %-32s score %.3f  (%d correspondences)%s\n",
+			rank+1, match.Schema, match.Score, len(match.Pairs), tag)
+		for i, p := range match.Pairs {
+			if i >= *pairs {
+				break
+			}
+			fmt.Printf("      %-40s %-40s %.3f\n", p.PathA, p.PathB, p.Score)
+		}
 	}
 }
 

@@ -9,15 +9,17 @@
 //
 // Flags:
 //
-//	-addr ADDR       listen address (default :8071)
-//	-db PATH         registry persistence file (loaded if present, saved
-//	                 periodically and on shutdown; empty = in-memory only)
-//	-preset NAME     default matcher preset (default harmony)
-//	-threshold F     default confidence filter (default 0.4)
-//	-workers N       job worker-pool size (default 2)
-//	-backlog N       job submission backlog bound (default 64)
-//	-cache N         match cache capacity in entries (default 256)
-//	-save-interval D periodic persistence cadence (default 30s)
+//	-addr ADDR           listen address (default :8071)
+//	-db PATH             registry persistence file (loaded if present, saved
+//	                     periodically and on shutdown; empty = in-memory only)
+//	-preset NAME         default matcher preset (default harmony)
+//	-threshold F         default confidence filter (default 0.4)
+//	-workers N           job worker-pool size (default 2)
+//	-backlog N           job submission backlog bound (default 64)
+//	-cache N             match cache capacity in entries (default 256)
+//	-save-interval D     periodic persistence cadence (default 30s)
+//	-corpus-candidates N default blocking budget of corpus queries (default 32)
+//	-corpus-topk N       default result count of corpus queries (default 5)
 //
 // Endpoints:
 //
@@ -26,12 +28,15 @@
 //	GET    /v1/schemas/{name}  one schema, full JSON
 //	DELETE /v1/schemas/{name}  unregister (drops its match artifacts)
 //	POST   /v1/match           synchronous pairwise match (cached)
-//	POST   /v1/jobs            submit async match / vocabulary / cluster job
+//	POST   /v1/corpus/match    one query schema vs the whole registry (top-k)
+//	GET    /v1/corpus/topk     corpus query, convenience GET form
+//	POST   /v1/jobs            submit async match / vocabulary / cluster /
+//	                           corpus job
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job state, timing and result
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/search          free-text schema/fragment search
-//	GET    /v1/stats           cache, queue and repository counters
+//	GET    /v1/stats           cache, queue, corpus and index counters
 //	GET    /healthz            liveness probe
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
@@ -61,16 +66,20 @@ func main() {
 	backlog := flag.Int("backlog", 64, "job submission backlog bound")
 	cacheSize := flag.Int("cache", 256, "match cache capacity (entries)")
 	saveInterval := flag.Duration("save-interval", 30*time.Second, "periodic persistence cadence")
+	corpusCandidates := flag.Int("corpus-candidates", 32, "default blocking budget of corpus queries")
+	corpusTopK := flag.Int("corpus-topk", 5, "default result count of corpus queries")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
-		Preset:       *preset,
-		Threshold:    *threshold,
-		Workers:      *workers,
-		Backlog:      *backlog,
-		CacheSize:    *cacheSize,
-		DBPath:       *db,
-		SaveInterval: *saveInterval,
+		Preset:           *preset,
+		Threshold:        *threshold,
+		Workers:          *workers,
+		Backlog:          *backlog,
+		CacheSize:        *cacheSize,
+		DBPath:           *db,
+		SaveInterval:     *saveInterval,
+		CorpusCandidates: *corpusCandidates,
+		CorpusTopK:       *corpusTopK,
 	}, log.Printf)
 	if err != nil {
 		log.Fatal(err)

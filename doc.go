@@ -18,6 +18,9 @@
 //   - a concept-at-a-time team workflow with effort accounting
 //   - a match-as-a-service layer (cmd/harmonyd): a fingerprint-keyed
 //     match cache, an async job engine, and a JSON-over-HTTP API
+//   - corpus-scale matching: one query schema against the whole registry
+//     via blocking, sharded top-k scoring, and reuse of stored mappings
+//     composed through hub schemata
 //
 // # Quick start
 //

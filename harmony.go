@@ -1,11 +1,13 @@
 package harmony
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"harmony/internal/cluster"
 	"harmony/internal/core"
+	"harmony/internal/corpus"
 	"harmony/internal/eval"
 	"harmony/internal/export"
 	"harmony/internal/partition"
@@ -311,6 +313,44 @@ var (
 	// holds (reuse of persisted match results across processes).
 	WarmStartCache = service.WarmStart
 )
+
+// Corpus-scale matching: one query schema against the full registry,
+// returning ranked top-k matched schemata with correspondences — blocking
+// over the search index, sharded engine scoring with a streaming top-k
+// heap, and transitive reuse of stored mappings through hub schemata.
+
+type (
+	// CorpusPipeline answers top-k corpus queries over one registry.
+	CorpusPipeline = corpus.Pipeline
+	// CorpusConfig tunes one corpus query (candidate budget, k,
+	// threshold, early-exit slack, reuse coverage).
+	CorpusConfig = corpus.Config
+	// CorpusResult is the product of one corpus query: ranked matches
+	// plus pipeline execution stats.
+	CorpusResult = corpus.Result
+	// CorpusMatch is one ranked corpus hit with its correspondences.
+	CorpusMatch = corpus.SchemaMatch
+	// CorpusPair is one element-level correspondence of a corpus hit.
+	CorpusPair = corpus.Pair
+	// CorpusQueryStats counts what one corpus query did (engine runs,
+	// early exits, reused mappings, cache hits).
+	CorpusQueryStats = corpus.Stats
+)
+
+// NewCorpusPipeline builds a corpus-query pipeline over a registry. The
+// cache port may be nil; pass a corpus.Cache implementation to share
+// outcomes with an external store (the service layer does this with its
+// fingerprint-keyed match cache).
+var NewCorpusPipeline = corpus.NewPipeline
+
+// TopKAgainst runs a corpus query through the pipeline using this
+// matcher's engine, defaulting the confidence threshold to the matcher's.
+func (m *Matcher) TopKAgainst(ctx context.Context, p *CorpusPipeline, q *Schema, cfg CorpusConfig) (*CorpusResult, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = m.Threshold
+	}
+	return p.TopK(ctx, m.Engine, q, cfg)
+}
 
 // Synthetic workloads and evaluation. The generator reproduces the paper's
 // proprietary workload shapes with known ground truth; it is public because

@@ -1,0 +1,117 @@
+package corpus
+
+import (
+	"time"
+
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+)
+
+// candidate is one schema that survived (or bypassed) blocking.
+type candidate struct {
+	entry *registry.Entry
+	// bm25 is the blocking index's relevance score (0 when the candidate
+	// entered exhaustively rather than through the index).
+	bm25 float64
+	// overlap is the token-overlap coefficient with the query profile.
+	overlap float64
+	// bound is the cheap upper bound on the candidate's aggregate match
+	// score, used for early exit in the scoring stage.
+	bound float64
+}
+
+// CandidateInfo is the exported view of one blocking-stage survivor: the
+// observability hook for tuning budgets without running the engine.
+type CandidateInfo struct {
+	// Schema is the candidate's registered name.
+	Schema string `json:"schema"`
+	// BM25 is the index relevance score.
+	BM25 float64 `json:"bm25"`
+	// Overlap is the token-overlap coefficient with the query.
+	Overlap float64 `json:"overlap"`
+	// Bound is the derived upper bound used for early exit.
+	Bound float64 `json:"bound"`
+}
+
+// Candidates runs only the blocking stage and returns the candidate set
+// that would enter scoring, with the blocking figures per candidate.
+func (p *Pipeline) Candidates(q *schema.Schema, cfg Config) ([]CandidateInfo, Stats, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, Stats{}, err
+	}
+	cfg = cfg.withDefaults()
+	var st Stats
+	cands := p.block(q, q.Fingerprint(), cfg, &st)
+	out := make([]CandidateInfo, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, CandidateInfo{
+			Schema:  c.entry.Schema.Name,
+			BM25:    c.bm25,
+			Overlap: c.overlap,
+			Bound:   c.bound,
+		})
+	}
+	return out, st, nil
+}
+
+// blockOverscan is how many times the candidate budget the BM25 stage
+// retrieves before the overlap prefilter and budget truncation: the two
+// rankings disagree at the margin, and prefiltered hits must be
+// replaceable.
+const blockOverscan = 4
+
+// block generates the candidate set for a query: BM25 retrieval over the
+// registry index, a token-overlap prefilter, and budget truncation. In
+// exhaustive mode every registered schema (minus the query itself) is a
+// candidate with a vacuous bound.
+func (p *Pipeline) block(q *schema.Schema, qfp string, cfg Config, st *Stats) []candidate {
+	start := time.Now()
+	defer func() { st.BlockMillis = time.Since(start).Milliseconds() }()
+
+	qprof := p.profile(qfp, q)
+	var cands []candidate
+	if cfg.Exhaustive {
+		for _, e := range p.reg.Schemas() {
+			if e.Schema.Name == q.Name || e.Fingerprint == qfp {
+				continue
+			}
+			st.CorpusSize++
+			cands = append(cands, candidate{entry: e, bound: 1})
+		}
+		st.Candidates = len(cands)
+		return cands
+	}
+
+	st.CorpusSize = p.reg.Len()
+	if _, self := p.reg.Schema(q.Name); self {
+		st.CorpusSize--
+	}
+	hits := p.reg.SearchSchema(q, cfg.Candidates*blockOverscan)
+	for _, h := range hits {
+		if h.Schema == q.Name {
+			continue
+		}
+		e, ok := p.reg.Schema(h.Schema)
+		if !ok || e.Fingerprint == qfp {
+			continue
+		}
+		ov := overlapCoefficient(qprof, p.profile(e.Fingerprint, e.Schema))
+		if ov < cfg.MinOverlap {
+			st.Pruned++
+			continue
+		}
+		bound := ov * cfg.BoundSlack
+		if bound > 1 {
+			bound = 1
+		}
+		cands = append(cands, candidate{entry: e, bm25: h.Score, overlap: ov, bound: bound})
+	}
+	// The index already returns hits by BM25 rank; enforce the budget on
+	// that order (relevance), not on the overlap order (the bound).
+	if len(cands) > cfg.Candidates {
+		st.Pruned += len(cands) - cfg.Candidates
+		cands = cands[:cfg.Candidates]
+	}
+	st.Candidates = len(cands)
+	return cands
+}

@@ -1,0 +1,317 @@
+// Package corpus implements repository-scale matching: one query schema
+// against the full metadata registry, returning the top-k best-matching
+// schemata with their element correspondences — the paper's enterprise
+// idiom of "using one's target schema as the query term" over the MDR,
+// made cheap enough to serve interactively.
+//
+// A naive implementation runs the O(n·m) match engine against every
+// registered schema. The pipeline avoids that with three stages:
+//
+//  1. Blocking: candidate generation over the registry's BM25 index plus
+//     a token-overlap prefilter, pruning the corpus to a bounded candidate
+//     set (Config.Candidates).
+//  2. Sharded scoring: a worker pool partitions the candidates into
+//     shards, runs the match engine per surviving candidate with bounded
+//     concurrency, and maintains a streaming top-k min-heap. Before each
+//     engine run a cheap upper bound (derived from the token-overlap
+//     coefficient) is compared against the current k-th score; candidates
+//     that cannot make the heap are skipped.
+//  3. Mapping reuse: when stored match artifacts connect the query to a
+//     candidate through a hub schema (A→H and H→B), the pipeline composes
+//     them transitively (score multiplication, hub provenance) and runs
+//     the engine only over the query elements the composed mapping does
+//     not cover — Smith et al.'s "reuse of previously validated mappings"
+//     as an executable fast path.
+//
+// The pipeline is safe for concurrent use; token profiles of registered
+// schemata are memoized by content fingerprint.
+package corpus
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+	"harmony/internal/text"
+)
+
+// Config tunes one corpus query. The zero value means "server defaults"
+// for every knob (see withDefaults).
+type Config struct {
+	// Candidates is the blocking budget: at most this many schemata
+	// survive candidate generation and are considered for engine scoring
+	// (default 32).
+	Candidates int
+	// TopK is the number of ranked matches returned (default 5).
+	TopK int
+	// Threshold is the correspondence confidence filter applied when
+	// selecting element pairs per candidate (default 0.4).
+	Threshold float64
+	// MinOverlap is the token-overlap prefilter floor: candidates whose
+	// overlap coefficient with the query falls below it are pruned before
+	// scoring (default 0.05).
+	MinOverlap float64
+	// Workers bounds the scoring worker pool (default GOMAXPROCS).
+	Workers int
+	// BoundSlack scales the token-overlap coefficient into the cheap
+	// upper bound used for per-candidate early exit. The engine's voters
+	// see evidence beyond shared name tokens (types, structure,
+	// documentation), so the overlap alone is not admissible; the slack
+	// restores headroom. 0 picks the calibrated default (1.6); values
+	// below 1 make pruning aggressive and may cost recall.
+	BoundSlack float64
+	// MinReuseCoverage is the fraction of the query's hub-mapped
+	// elements (the elements a validated query↔hub artifact covers) that
+	// must survive composition before the composed mapping is used;
+	// below it the composition is discarded as too weak and the engine
+	// scores the candidate from scratch (default 0.5). Elements outside
+	// the composed mapping are always engine-scored via the partial
+	// fallback, so coverage gates only how much of the *known* mapping
+	// carried through the hub.
+	MinReuseCoverage float64
+	// Preset names the engine configuration for cache keying; it does not
+	// select the engine (the caller passes the engine). Empty disables
+	// external cache lookups.
+	Preset string
+	// Exhaustive disables blocking, the prefilter and early exit: every
+	// registered schema is engine-scored. This is the ground-truth mode
+	// the blocked pipeline is evaluated against.
+	Exhaustive bool
+	// NoReuse disables the mapping-reuse stage (stage 3).
+	NoReuse bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Candidates <= 0 {
+		c.Candidates = 32
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.4
+	}
+	if c.MinOverlap <= 0 {
+		c.MinOverlap = 0.05
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BoundSlack <= 0 {
+		c.BoundSlack = 1.6
+	}
+	if c.MinReuseCoverage <= 0 {
+		c.MinReuseCoverage = 0.5
+	}
+	return c
+}
+
+// Pair is one element-level correspondence of a corpus match, identified
+// by path so it is meaningful without the in-memory schema values.
+type Pair struct {
+	PathA string  `json:"pathA"`
+	PathB string  `json:"pathB"`
+	Score float64 `json:"score"`
+}
+
+// SchemaMatch is one ranked corpus hit: a candidate schema, its aggregate
+// similarity to the query, and the element correspondences behind it.
+type SchemaMatch struct {
+	// Schema is the matched schema's registered name.
+	Schema string `json:"schema"`
+	// Score is the aggregate similarity: the sum of selected
+	// correspondence scores normalized by the smaller element count, in
+	// [0,1]. 1 means every element of the smaller side matched perfectly.
+	Score float64 `json:"score"`
+	// BlockScore is the blocking stage's BM25 relevance (0 in exhaustive
+	// mode for candidates the index did not surface).
+	BlockScore float64 `json:"blockScore"`
+	// Pairs are the selected one-to-one correspondences at the config
+	// threshold.
+	Pairs []Pair `json:"pairs"`
+	// Reused reports that the mapping was (at least partly) composed from
+	// stored artifacts rather than fully engine-computed.
+	Reused bool `json:"reused,omitempty"`
+	// Hub names the intermediate schema a reused mapping was composed
+	// through ("" for direct matches).
+	Hub string `json:"hub,omitempty"`
+	// Cached reports that the per-candidate outcome was served from an
+	// external cache (see Cache) without touching the engine.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Stats counts what one corpus query actually did — the observability the
+// tuning knobs need.
+type Stats struct {
+	// CorpusSize is the number of registered schemata eligible as
+	// candidates (the registry minus the query itself).
+	CorpusSize int `json:"corpusSize"`
+	// Candidates survived blocking and entered the scoring stage.
+	Candidates int `json:"candidates"`
+	// Pruned were dropped by the token-overlap prefilter or the
+	// candidate budget.
+	Pruned int `json:"pruned"`
+	// EngineRuns counts full or partial match-engine executions.
+	EngineRuns int `json:"engineRuns"`
+	// EarlyExits counts candidates skipped because their upper bound
+	// could not beat the current k-th score.
+	EarlyExits int `json:"earlyExits"`
+	// Reused counts candidates served through composed mappings.
+	Reused int `json:"reused"`
+	// CacheHits counts candidates served from the external cache.
+	CacheHits int `json:"cacheHits"`
+	// BlockMillis and ScoreMillis split the wall time between stages.
+	BlockMillis int64 `json:"blockMillis"`
+	ScoreMillis int64 `json:"scoreMillis"`
+}
+
+// Result is the product of one corpus query.
+type Result struct {
+	// Query is the query schema's name.
+	Query string `json:"query"`
+	// Matches are the top-k hits, best first.
+	Matches []SchemaMatch `json:"matches"`
+	// Stats describes the pipeline execution.
+	Stats Stats `json:"stats"`
+}
+
+// CacheKey identifies one per-candidate outcome for external caching. It
+// mirrors the service layer's fingerprint-keyed match cache so corpus
+// queries and pairwise /v1/match requests share entries.
+type CacheKey struct {
+	FingerprintA string
+	FingerprintB string
+	Preset       string
+	Threshold    float64
+}
+
+// Cache lets the caller serve per-candidate outcomes from, and publish
+// them to, an external store (the service layer's LRU + registry
+// artifacts). Implementations must be safe for concurrent use. A nil
+// Cache disables both directions.
+type Cache interface {
+	// Lookup returns the cached correspondence set for the key, if any,
+	// along with the hub the mapping was composed through ("" for
+	// engine-computed outcomes) so provenance survives cache hits.
+	Lookup(key CacheKey) (pairs []Pair, hub string, ok bool)
+	// Store publishes a freshly computed candidate outcome for the named
+	// query schema (m.Schema names the candidate side). Reused outcomes
+	// carry the hub name for provenance.
+	Store(key CacheKey, queryName string, m *SchemaMatch)
+}
+
+// Pipeline answers corpus queries over one registry. Construct with
+// NewPipeline; safe for concurrent use.
+type Pipeline struct {
+	reg   *registry.Registry
+	cache Cache
+
+	mu       sync.Mutex
+	profiles map[string][]string // fingerprint -> sorted unique token profile
+}
+
+// maxProfiles bounds the fingerprint-keyed profile memo. Fingerprints of
+// replaced schema versions never come back, so a long-running daemon that
+// churns schemata would otherwise grow the memo without bound; on
+// overflow the memo is simply dropped and rebuilt from live traffic.
+const maxProfiles = 8192
+
+// NewPipeline builds a pipeline over the registry. cache may be nil.
+func NewPipeline(reg *registry.Registry, cache Cache) *Pipeline {
+	return &Pipeline{
+		reg:      reg,
+		cache:    cache,
+		profiles: make(map[string][]string),
+	}
+}
+
+// profile returns the sorted unique normalized token profile for a schema,
+// memoized by content fingerprint.
+func (p *Pipeline) profile(fingerprint string, s *schema.Schema) []string {
+	p.mu.Lock()
+	if toks, ok := p.profiles[fingerprint]; ok {
+		p.mu.Unlock()
+		return toks
+	}
+	p.mu.Unlock()
+	toks := profileTokens(s)
+	p.mu.Lock()
+	if len(p.profiles) >= maxProfiles {
+		p.profiles = make(map[string][]string)
+	}
+	p.profiles[fingerprint] = toks
+	p.mu.Unlock()
+	return toks
+}
+
+// profileTokens computes the sorted unique token profile of a schema:
+// normalized name tokens plus documentation tokens of every element.
+func profileTokens(s *schema.Schema) []string {
+	seen := make(map[string]bool)
+	for _, e := range s.Elements() {
+		for _, t := range text.NormalizeName(e.Name) {
+			seen[t] = true
+		}
+		if e.Doc != "" {
+			for _, t := range text.NormalizeDoc(e.Doc) {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// overlapCoefficient computes |a ∩ b| / min(|a|, |b|) over two sorted
+// unique token slices.
+func overlapCoefficient(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return float64(inter) / float64(n)
+}
+
+// sortMatches orders matches best-first with deterministic tie-breaking.
+func sortMatches(ms []SchemaMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		return ms[i].Schema < ms[j].Schema
+	})
+}
+
+// validateQuery checks the query schema is usable.
+func validateQuery(q *schema.Schema) error {
+	if q == nil || q.Name == "" {
+		return fmt.Errorf("corpus: query schema must be non-nil and named")
+	}
+	if q.Len() == 0 {
+		return fmt.Errorf("corpus: query schema %q has no elements", q.Name)
+	}
+	return nil
+}

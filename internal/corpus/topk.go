@@ -1,0 +1,309 @@
+package corpus
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/schema"
+)
+
+// TopK answers one corpus query: block the registry down to a candidate
+// set, score the survivors with the engine across a sharded worker pool,
+// and return the k best-matching schemata with their correspondences.
+// The context cancels between candidate scorings.
+func (p *Pipeline) TopK(ctx context.Context, eng *core.Engine, q *schema.Schema, cfg Config) (*Result, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	res := &Result{Query: q.Name}
+	qfp := q.Fingerprint()
+
+	cands := p.block(q, qfp, cfg, &res.Stats)
+	// Descending bound order makes early exit effective: once the k-th
+	// score exceeds a candidate's bound it exceeds every later bound in
+	// the same shard, so the whole tail can be skipped.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			return cands[i].bound > cands[j].bound
+		}
+		if cands[i].bm25 != cands[j].bm25 {
+			return cands[i].bm25 > cands[j].bm25
+		}
+		return cands[i].entry.Schema.Name < cands[j].entry.Schema.Name
+	})
+
+	start := time.Now()
+	// The reuse context (which hubs have validated mappings from the
+	// query, and the artifact pair index) is built once per query and
+	// shared read-only across shards.
+	var rctx *reuseContext
+	if !cfg.NoReuse {
+		rctx = newReuseContext(p.reg, q)
+	}
+	coll := &collector{k: cfg.TopK, stats: &res.Stats}
+	workers := cfg.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// Round-robin sharding preserves descending bound order within
+		// each shard.
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < len(cands); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				c := cands[i]
+				if !cfg.Exhaustive && !coll.canBeat(c.bound) {
+					// Everything after i in this shard has an equal or
+					// smaller bound.
+					coll.earlyExit((len(cands) - 1 - i) / workers)
+					return
+				}
+				m := p.scoreCandidate(eng, q, qfp, c, cfg, rctx, coll)
+				coll.offer(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Stats.ScoreMillis = time.Since(start).Milliseconds()
+	res.Matches = coll.ranked()
+	return res, nil
+}
+
+// scoreCandidate produces the SchemaMatch for one candidate: external
+// cache, composed (reused) mapping with partial-engine fallback, or a
+// full engine run — in that order of preference.
+func (p *Pipeline) scoreCandidate(eng *core.Engine, q *schema.Schema, qfp string, c candidate, cfg Config, rctx *reuseContext, coll *collector) *SchemaMatch {
+	m := &SchemaMatch{Schema: c.entry.Schema.Name, BlockScore: c.bm25}
+	key := CacheKey{
+		FingerprintA: qfp,
+		FingerprintB: c.entry.Fingerprint,
+		Preset:       cfg.Preset,
+		Threshold:    cfg.Threshold,
+	}
+	if p.cache != nil && cfg.Preset != "" {
+		if pairs, hub, ok := p.cache.Lookup(key); ok {
+			m.Pairs = pairs
+			m.Score = aggregateScore(pairs, q, c.entry.Schema)
+			m.Cached = true
+			m.Hub = hub
+			m.Reused = hub != ""
+			coll.count(func(st *Stats) { st.CacheHits++ })
+			return m
+		}
+	}
+
+	if rctx != nil {
+		if comp := rctx.compose(c.entry.Schema, q, cfg.Threshold, cfg.MinReuseCoverage); comp != nil {
+			m.Pairs = comp.pairs
+			m.Reused = true
+			m.Hub = comp.hub
+			if uncovered := uncoveredElements(q, comp.pairs); len(uncovered) > 0 {
+				m.Pairs = append(m.Pairs, p.matchRemainder(eng, q, c.entry.Schema, uncovered, comp.pairs, cfg)...)
+				coll.count(func(st *Stats) { st.EngineRuns++ })
+			}
+			sortPairs(m.Pairs)
+			m.Score = aggregateScore(m.Pairs, q, c.entry.Schema)
+			coll.count(func(st *Stats) { st.Reused++ })
+			p.publish(key, q.Name, m, cfg)
+			return m
+		}
+	}
+
+	res := eng.Match(q, c.entry.Schema)
+	m.Pairs = selectionPairs(res, cfg.Threshold)
+	m.Score = aggregateScore(m.Pairs, q, c.entry.Schema)
+	coll.count(func(st *Stats) { st.EngineRuns++ })
+	p.publish(key, q.Name, m, cfg)
+	return m
+}
+
+// publish stores a freshly computed outcome in the external cache.
+func (p *Pipeline) publish(key CacheKey, queryName string, m *SchemaMatch, cfg Config) {
+	if p.cache != nil && cfg.Preset != "" {
+		p.cache.Store(key, queryName, m)
+	}
+}
+
+// matchRemainder engine-scores only the query elements a composed mapping
+// left uncovered, excluding candidate paths the composition already
+// claimed (the mapping stays one-to-one).
+func (p *Pipeline) matchRemainder(eng *core.Engine, q, cand *schema.Schema, uncovered []*schema.Element, composed []Pair, cfg Config) []Pair {
+	sv, dv := core.Preprocess(q, cand)
+	res := eng.MatchElements(sv, dv, uncovered)
+	usedB := make(map[string]bool, len(composed))
+	for _, pr := range composed {
+		usedB[pr.PathB] = true
+	}
+	var out []Pair
+	for _, c := range core.SelectGreedyOneToOne(res.Matrix, cfg.Threshold) {
+		pb := res.Dst.View(c.Dst).El.Path()
+		if usedB[pb] {
+			continue
+		}
+		out = append(out, Pair{
+			PathA: res.Src.View(c.Src).El.Path(),
+			PathB: pb,
+			Score: c.Score,
+		})
+	}
+	return out
+}
+
+// selectionPairs shapes a raw engine result into path-level pairs at the
+// threshold.
+func selectionPairs(res *core.Result, threshold float64) []Pair {
+	sel := core.SelectGreedyOneToOne(res.Matrix, threshold)
+	out := make([]Pair, 0, len(sel))
+	for _, c := range sel {
+		out = append(out, Pair{
+			PathA: res.Src.View(c.Src).El.Path(),
+			PathB: res.Dst.View(c.Dst).El.Path(),
+			Score: c.Score,
+		})
+	}
+	return out
+}
+
+// aggregateScore folds element correspondences into one schema-level
+// similarity: the sum of pair scores over the smaller element count. A
+// perfect sub-schema containment scores 1.
+func aggregateScore(pairs []Pair, q, cand *schema.Schema) float64 {
+	n := q.Len()
+	if cand.Len() < n {
+		n = cand.Len()
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pairs {
+		sum += p.Score
+	}
+	s := sum / float64(n)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// uncoveredElements returns the query elements that appear in no composed
+// pair.
+func uncoveredElements(q *schema.Schema, pairs []Pair) []*schema.Element {
+	covered := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		covered[p.PathA] = true
+	}
+	var out []*schema.Element
+	for _, e := range q.Elements() {
+		if !covered[e.Path()] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sortPairs orders pairs by descending score with path tie-breaks, the
+// order reviewers read.
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		if ps[i].PathA != ps[j].PathA {
+			return ps[i].PathA < ps[j].PathA
+		}
+		return ps[i].PathB < ps[j].PathB
+	})
+}
+
+// --- streaming top-k collection -------------------------------------------
+
+// collector maintains the shared top-k min-heap and the execution
+// counters across scoring shards.
+type collector struct {
+	mu    sync.Mutex
+	k     int
+	heap  matchHeap
+	stats *Stats
+}
+
+// canBeat reports whether a candidate with the given score upper bound
+// could still enter the top k.
+func (c *collector) canBeat(bound float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) < c.k {
+		return true
+	}
+	return bound > c.heap[0].Score
+}
+
+// offer inserts a scored match, displacing the current minimum when full.
+func (c *collector) offer(m *SchemaMatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) < c.k {
+		heap.Push(&c.heap, m)
+		return
+	}
+	if betterMatch(m, c.heap[0]) {
+		c.heap[0] = m
+		heap.Fix(&c.heap, 0)
+	}
+}
+
+// earlyExit records n skipped candidates.
+func (c *collector) earlyExit(n int) {
+	c.mu.Lock()
+	c.stats.EarlyExits += n + 1
+	c.mu.Unlock()
+}
+
+// count applies a stats mutation under the collector lock.
+func (c *collector) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(c.stats)
+	c.mu.Unlock()
+}
+
+// ranked drains the heap into best-first order.
+func (c *collector) ranked() []SchemaMatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SchemaMatch, 0, len(c.heap))
+	for _, m := range c.heap {
+		out = append(out, *m)
+	}
+	sortMatches(out)
+	return out
+}
+
+// matchHeap is a min-heap by score (worst retained match at the root).
+type matchHeap []*SchemaMatch
+
+func (h matchHeap) Len() int { return len(h) }
+func (h matchHeap) Less(i, j int) bool {
+	return betterMatch(h[j], h[i]) // min-heap: root is the worst
+}
+func (h matchHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)     { *h = append(*h, x.(*SchemaMatch)) }
+func (h *matchHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func betterMatch(a, b *SchemaMatch) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Schema < b.Schema
+}

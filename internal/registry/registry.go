@@ -298,6 +298,28 @@ func (r *Registry) MatchesByTool(tool string) []*MatchArtifact {
 	return out
 }
 
+// MatchesInvolving returns the artifacts that reference the named schema
+// on either side, sorted by ID. The corpus pipeline uses it to discover
+// hub schemata for transitive mapping reuse.
+func (r *Registry) MatchesInvolving(name string) []*MatchArtifact {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*MatchArtifact
+	for _, ma := range r.matches {
+		if ma.SchemaA == name || ma.SchemaB == name {
+			out = append(out, ma)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IndexStats returns the search index occupancy (live and dead documents,
+// posting entries) for operational monitoring.
+func (r *Registry) IndexStats() search.Stats {
+	return r.index.IndexStats()
+}
+
 // MatchesBetween returns the artifacts linking two schemata (either
 // orientation), sorted by ID.
 func (r *Registry) MatchesBetween(a, b string) []*MatchArtifact {

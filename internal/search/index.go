@@ -52,6 +52,11 @@ type posting struct {
 
 // Index is an inverted index over schema token profiles. The zero value is
 // not usable; call NewIndex.
+//
+// Removal marks documents dead rather than rewriting posting lists; dead
+// entries are reclaimed by compaction, which runs automatically once dead
+// documents outnumber live ones (so a long-running daemon churning
+// schemata does not leak postings) and can be forced with Compact.
 type Index struct {
 	mu         sync.RWMutex
 	docs       []document
@@ -64,6 +69,10 @@ type Index struct {
 	aliveDocs  int
 	aliveFrags int
 }
+
+// compactMinDead is the dead-document floor below which automatic
+// compaction is not worth the rebuild.
+const compactMinDead = 64
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
@@ -130,6 +139,93 @@ func (ix *Index) removeLocked(name string) {
 			ix.totalFrag -= ix.fragDocs[i].length
 		}
 	}
+	if dead := len(ix.docs) + len(ix.fragDocs) - ix.aliveDocs - ix.aliveFrags; dead >= compactMinDead &&
+		dead > ix.aliveDocs+ix.aliveFrags {
+		ix.compactLocked()
+	}
+}
+
+// Compact reclaims the space held by dead (removed or replaced) documents:
+// posting lists are rewritten over the live documents only. Removal marks
+// documents dead lazily, so without compaction a daemon that churns
+// schemata grows its posting lists without bound. Compaction also runs
+// automatically when dead documents outnumber live ones.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.compactLocked()
+}
+
+func (ix *Index) compactLocked() {
+	ix.docs, ix.postings, ix.byName = compactSpace(ix.docs, ix.postings, true)
+	ix.fragDocs, ix.fragPost, _ = compactSpace(ix.fragDocs, ix.fragPost, false)
+}
+
+// compactSpace rebuilds one posting space (documents + inverted lists)
+// keeping only live documents. When wantNames is true it also rebuilds the
+// name → doc-ID map (the schema space; fragments are looked up by scan).
+func compactSpace(docs []document, postings map[string][]posting, wantNames bool) ([]document, map[string][]posting, map[string][]int) {
+	remap := make([]int, len(docs))
+	newDocs := make([]document, 0, len(docs))
+	for i, d := range docs {
+		if !d.alive {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(newDocs)
+		newDocs = append(newDocs, d)
+	}
+	newPost := make(map[string][]posting, len(postings))
+	for tok, plist := range postings {
+		kept := plist[:0]
+		for _, p := range plist {
+			if remap[p.doc] >= 0 {
+				kept = append(kept, posting{doc: remap[p.doc], tf: p.tf})
+			}
+		}
+		if len(kept) > 0 {
+			newPost[tok] = append([]posting(nil), kept...)
+		}
+	}
+	var byName map[string][]int
+	if wantNames {
+		byName = make(map[string][]int, len(newDocs))
+		for i, d := range newDocs {
+			byName[d.schemaName] = append(byName[d.schemaName], i)
+		}
+	}
+	return newDocs, newPost, byName
+}
+
+// Stats describes the index's document and posting occupancy, including
+// the dead entries awaiting compaction.
+type Stats struct {
+	Schemas       int `json:"schemas"`
+	DeadSchemas   int `json:"deadSchemas"`
+	Fragments     int `json:"fragments"`
+	DeadFragments int `json:"deadFragments"`
+	Terms         int `json:"terms"`
+	Postings      int `json:"postings"`
+}
+
+// IndexStats returns a snapshot of the index occupancy.
+func (ix *Index) IndexStats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{
+		Schemas:       ix.aliveDocs,
+		DeadSchemas:   len(ix.docs) - ix.aliveDocs,
+		Fragments:     ix.aliveFrags,
+		DeadFragments: len(ix.fragDocs) - ix.aliveFrags,
+		Terms:         len(ix.postings) + len(ix.fragPost),
+	}
+	for _, p := range ix.postings {
+		st.Postings += len(p)
+	}
+	for _, p := range ix.fragPost {
+		st.Postings += len(p)
+	}
+	return st
 }
 
 // Len returns the number of indexed schemata.

@@ -161,6 +161,120 @@ func TestQueryBySchemaRanksOwnDomainFirst(t *testing.T) {
 	}
 }
 
+func TestCompactReclaimsDeadDocuments(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(medicalSchema())
+	ix.Add(vehicleSchema())
+	// Churn one name repeatedly: every re-Add kills the previous documents.
+	for i := 0; i < 10; i++ {
+		ix.Add(medicalSchema())
+	}
+	st := ix.IndexStats()
+	if st.DeadSchemas == 0 {
+		t.Fatalf("expected dead documents before compaction, got %+v", st)
+	}
+	ix.Compact()
+	st = ix.IndexStats()
+	if st.DeadSchemas != 0 || st.DeadFragments != 0 {
+		t.Fatalf("dead documents survived compaction: %+v", st)
+	}
+	if st.Schemas != 2 {
+		t.Fatalf("Schemas = %d, want 2 (%+v)", st.Schemas, st)
+	}
+	// Search still works and ranks identically after ID remapping.
+	got := ix.SearchText("blood test", 10)
+	if len(got) != 1 || got[0].Schema != "HealthSys" {
+		t.Fatalf("SearchText after compaction = %v", got)
+	}
+	if got := ix.SearchFragments("work order maintenance", 5); len(got) == 0 || got[0].Fragment != "Maintenance_Log" {
+		t.Fatalf("SearchFragments after compaction = %v", got)
+	}
+	// Re-adding after compaction keeps the index consistent.
+	ix.Remove("HealthSys")
+	ix.Add(medicalSchema())
+	if ix.Len() != 2 {
+		t.Fatalf("Len after remove+re-add = %d, want 2", ix.Len())
+	}
+}
+
+func TestAutoCompactionBoundsPostings(t *testing.T) {
+	// A daemon that churns the same schemata forever must not leak
+	// postings: automatic compaction keeps dead documents bounded by the
+	// live count (plus the compaction floor).
+	ix := NewIndex()
+	schemas, _, _ := synth.Collection(3, 2, 3)
+	for round := 0; round < 60; round++ {
+		for _, s := range schemas {
+			ix.Add(s)
+			ix.Remove(s.Name)
+			ix.Add(s)
+		}
+	}
+	st := ix.IndexStats()
+	dead := st.DeadSchemas + st.DeadFragments
+	live := st.Schemas + st.Fragments
+	if dead > live+compactMinDead {
+		t.Fatalf("postings leaked: dead=%d live=%d (%+v)", dead, live, st)
+	}
+	if ix.Len() != len(schemas) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(schemas))
+	}
+}
+
+func TestConcurrentAddRemoveSearch(t *testing.T) {
+	// Interleaves Add, Remove (with its automatic compaction) and the three
+	// search modes; run under -race this exercises the locking around
+	// document remapping.
+	ix := NewIndex()
+	schemas, _, _ := synth.Collection(17, 3, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 15; round++ {
+				for i, s := range schemas {
+					if i%4 != w {
+						continue
+					}
+					ix.Add(s)
+					if round%3 == 1 {
+						ix.Remove(s.Name)
+					}
+				}
+				if round%5 == 4 {
+					ix.Compact()
+				}
+			}
+			// Converge: every worker leaves its slice of schemas indexed.
+			for i, s := range schemas {
+				if i%4 == w {
+					ix.Add(s)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				ix.SearchText("unit status identifier", 5)
+				ix.SearchFragments("maintenance record", 5)
+				ix.SearchSchema(schemas[j%len(schemas)], 3)
+				ix.IndexStats()
+			}
+		}()
+	}
+	wg.Wait()
+	if ix.Len() != len(schemas) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(schemas))
+	}
+	if got := ix.SearchSchema(schemas[0], 1); len(got) == 0 {
+		t.Fatal("no hits after concurrent churn")
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	ix := NewIndex()
 	schemas, _, _ := synth.Collection(13, 3, 3)

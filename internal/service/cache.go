@@ -36,6 +36,12 @@ type MatchPair struct {
 // one-to-one selection at the key's threshold plus summary figures.
 type MatchOutcome struct {
 	Pairs []MatchPair `json:"pairs"`
+	// ReusedVia names the hub schema the corpus pipeline composed this
+	// mapping through ("" for engine-computed outcomes). Composed scores
+	// are multiplied approximations, not engine scores; the marker keeps
+	// them auditable wherever the outcome is served — including
+	// /v1/match hits on a key the corpus pipeline populated.
+	ReusedVia string `json:"reusedVia,omitempty"`
 	// SuggestedThreshold is the histogram-derived operating point proposal
 	// for this score distribution (0 when unavailable, e.g. warm-started
 	// outcomes).

@@ -1,0 +1,269 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"harmony/internal/corpus"
+	"harmony/internal/registry"
+)
+
+// CorpusStats aggregates corpus-query counters across the server's
+// lifetime, served by GET /v1/stats.
+type CorpusStats struct {
+	// Queries counts corpus top-k queries (sync endpoint + jobs).
+	Queries uint64 `json:"queries"`
+	// EngineRuns, EarlyExits, Reused and CacheHits sum the per-query
+	// pipeline stats: how many candidate scorings hit the engine, were
+	// skipped by the upper bound, were served through composed mappings,
+	// or came out of the match cache.
+	EngineRuns uint64 `json:"engineRuns"`
+	EarlyExits uint64 `json:"earlyExits"`
+	Reused     uint64 `json:"reused"`
+	CacheHits  uint64 `json:"cacheHits"`
+}
+
+// corpusCounters accumulates CorpusStats under a lock.
+type corpusCounters struct {
+	mu sync.Mutex
+	st CorpusStats
+}
+
+func (c *corpusCounters) add(st corpus.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.Queries++
+	c.st.EngineRuns += uint64(st.EngineRuns)
+	c.st.EarlyExits += uint64(st.EarlyExits)
+	c.st.Reused += uint64(st.Reused)
+	c.st.CacheHits += uint64(st.CacheHits)
+}
+
+func (c *corpusCounters) snapshot() CorpusStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// serverCorpusCache adapts the server's fingerprint-keyed match cache and
+// registry persistence to the corpus pipeline's Cache port: corpus
+// queries and pairwise /v1/match requests share one entry space, and
+// every fresh corpus outcome becomes a stored artifact (with hub
+// provenance when composed) that warm-starts the next process.
+type serverCorpusCache struct{ s *Server }
+
+func serviceKey(key corpus.CacheKey) CacheKey {
+	return CacheKey{
+		FingerprintA: key.FingerprintA,
+		FingerprintB: key.FingerprintB,
+		Preset:       key.Preset,
+		Threshold:    key.Threshold,
+	}
+}
+
+func (cc serverCorpusCache) Lookup(key corpus.CacheKey) ([]corpus.Pair, string, bool) {
+	out, ok := cc.s.cache.Get(serviceKey(key))
+	if !ok {
+		return nil, "", false
+	}
+	pairs := make([]corpus.Pair, 0, len(out.Pairs))
+	for _, p := range out.Pairs {
+		pairs = append(pairs, corpus.Pair{PathA: p.PathA, PathB: p.PathB, Score: p.Score})
+	}
+	return pairs, out.ReusedVia, true
+}
+
+func (cc serverCorpusCache) Store(key corpus.CacheKey, queryName string, m *corpus.SchemaMatch) {
+	out := &MatchOutcome{ReusedVia: m.Hub, Pairs: make([]MatchPair, 0, len(m.Pairs))}
+	for _, p := range m.Pairs {
+		out.Pairs = append(out.Pairs, MatchPair{PathA: p.PathA, PathB: p.PathB, Score: p.Score})
+	}
+	sk := serviceKey(key)
+	cc.s.cache.Put(sk, out)
+	// Persisting is best-effort: an unregistered query schema (corpus
+	// queries may be ad hoc) fails artifact validation and is skipped.
+	storeArtifactVia(cc.s.reg, queryName, m.Schema, sk, out, m.Hub)
+}
+
+// --- request handling -----------------------------------------------------
+
+// corpusRequest is the wire form of POST /v1/corpus/match; the GET
+// /v1/corpus/topk endpoint maps its query parameters onto the same shape.
+type corpusRequest struct {
+	// Query names the registered schema used as the query term.
+	Query string `json:"query"`
+	// K overrides the server's default top-k (flag -corpus-topk).
+	K int `json:"k,omitempty"`
+	// Candidates overrides the blocking budget (flag -corpus-candidates).
+	Candidates int `json:"candidates,omitempty"`
+	// Preset and Threshold override the match defaults when non-zero.
+	Preset    string  `json:"preset,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Exhaustive disables blocking (ground-truth mode); NoReuse disables
+	// composed-mapping reuse.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	NoReuse    bool `json:"noReuse,omitempty"`
+}
+
+// corpusTopK validates a corpus request against the registry and runs the
+// pipeline.
+func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Result, error) {
+	if req.Query == "" {
+		return nil, fmt.Errorf("corpus query needs a schema name")
+	}
+	preset, threshold, err := s.matchParams(req.Preset, req.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := s.reg.Schema(req.Query)
+	if !ok {
+		return nil, fmt.Errorf("schema %q not registered", req.Query)
+	}
+	if req.K < 0 || req.Candidates < 0 {
+		return nil, fmt.Errorf("k and candidates must be positive")
+	}
+	cfg := corpus.Config{
+		Candidates: req.Candidates,
+		TopK:       req.K,
+		Threshold:  threshold,
+		Preset:     preset,
+		Exhaustive: req.Exhaustive,
+		NoReuse:    req.NoReuse,
+	}
+	if cfg.Candidates == 0 {
+		cfg.Candidates = s.cfg.CorpusCandidates
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = s.cfg.CorpusTopK
+	}
+	res, err := s.corpusPipe.TopK(ctx, s.engines[preset], e.Schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.corpusStats.add(res.Stats)
+	return res, nil
+}
+
+// handleCorpusMatch is POST /v1/corpus/match: one query schema against
+// the whole registry, synchronously. Large registries or exhaustive mode
+// belong on POST /v1/jobs with kind "corpus".
+func (s *Server) handleCorpusMatch(w http.ResponseWriter, r *http.Request) {
+	var req corpusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	res, err := s.corpusTopK(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCorpusTopK is GET /v1/corpus/topk?schema=NAME[&k=5][&candidates=32]
+// [&preset=...][&threshold=...][&exhaustive=1][&noreuse=1] — the
+// convenience form of the corpus query.
+func (s *Server) handleCorpusTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := corpusRequest{
+		Query:  q.Get("schema"),
+		Preset: q.Get("preset"),
+	}
+	for _, p := range []struct {
+		name string
+		dst  *bool
+	}{{"exhaustive", &req.Exhaustive}, {"noreuse", &req.NoReuse}} {
+		if v := q.Get(p.name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "invalid %s %q", p.name, v)
+				return
+			}
+			*p.dst = b
+		}
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"k", &req.K}, {"candidates", &req.Candidates}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, "invalid %s %q", p.name, v)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid threshold %q", v)
+			return
+		}
+		req.Threshold = f
+	}
+	res, err := s.corpusTopK(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusFor maps corpus errors onto HTTP statuses: unknown schemata are
+// 404, everything else is a bad request.
+func statusFor(err error) int {
+	if strings.Contains(err.Error(), "not registered") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// storeArtifactVia persists a corpus outcome like storeArtifact, with the
+// composing hub recorded in the provenance notes ("via=<hub>") so the
+// reuse path of a mapping survives restarts and audits.
+func storeArtifactVia(reg *registry.Registry, a, b string, key CacheKey, out *MatchOutcome, hub string) {
+	notes := provenanceNotes(key)
+	if hub != "" {
+		notes += " via=" + hub
+	}
+	// Deduplicate by cache key, not by exact notes: a composed and an
+	// engine artifact for the same key would otherwise coexist and race
+	// for the warm-start slot after a restart.
+	for _, ma := range reg.MatchesBetween(a, b) {
+		if ma.Provenance.Tool != serviceTool {
+			continue
+		}
+		if existing, _, ok := parseProvenanceNotes(ma.Provenance.Notes); ok && existing == key {
+			return
+		}
+	}
+	ma := registry.MatchArtifact{
+		SchemaA: a,
+		SchemaB: b,
+		Context: registry.ContextSearch,
+		Provenance: registry.Provenance{
+			CreatedBy: serviceTool,
+			Tool:      serviceTool,
+			Notes:     notes,
+		},
+	}
+	for _, p := range out.Pairs {
+		score := p.Score
+		if score >= 1 {
+			score = 0.9999
+		}
+		ma.Pairs = append(ma.Pairs, registry.AssertedMatch{
+			PathA: p.PathA, PathB: p.PathB, Score: score,
+			Status: registry.StatusProposed,
+		})
+	}
+	_, _ = reg.AddMatch(ma)
+}

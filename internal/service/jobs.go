@@ -19,6 +19,7 @@ const (
 	KindMatch      = "match"
 	KindVocabulary = "vocabulary"
 	KindCluster    = "cluster"
+	KindCorpus     = "corpus"
 )
 
 // JobRequest is the wire form of one job submission.
@@ -34,12 +35,22 @@ type JobRequest struct {
 	// Preset and Threshold override the server defaults when non-zero.
 	Preset    string  `json:"preset,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
-	// K fixes the cluster count of a cluster job; 0 uses the largest-gap
-	// heuristic.
+	// K fixes the cluster count of a cluster job (0 uses the largest-gap
+	// heuristic) or the result count of a corpus job (0 uses the server
+	// default).
 	K int `json:"k,omitempty"`
 	// Exact makes a cluster job run full pairwise matches instead of the
 	// quick token-profile distances.
 	Exact bool `json:"exact,omitempty"`
+	// Query names the registered query schema of a corpus job.
+	Query string `json:"query,omitempty"`
+	// Candidates overrides the blocking budget of a corpus job.
+	Candidates int `json:"candidates,omitempty"`
+	// Exhaustive makes a corpus job score every registered schema instead
+	// of blocking first (the ground-truth mode; expensive).
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// NoReuse disables composed-mapping reuse in a corpus job.
+	NoReuse bool `json:"noReuse,omitempty"`
 }
 
 // MatchJobResult is a match job's Result payload.
@@ -178,8 +189,31 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 			}, nil
 		}, nil
 
+	case KindCorpus:
+		// Validation (query registered, params in range) happens at
+		// submission time inside corpusTopK's fail-fast path; the heavy
+		// pipeline runs on a worker.
+		if req.Query == "" {
+			return nil, fmt.Errorf("corpus job needs a query schema name")
+		}
+		if _, ok := s.reg.Schema(req.Query); !ok {
+			return nil, fmt.Errorf("schema %q not registered", req.Query)
+		}
+		creq := corpusRequest{
+			Query:      req.Query,
+			K:          req.K,
+			Candidates: req.Candidates,
+			Preset:     req.Preset,
+			Threshold:  req.Threshold,
+			Exhaustive: req.Exhaustive,
+			NoReuse:    req.NoReuse,
+		}
+		return func(ctx context.Context) (any, error) {
+			return s.corpusTopK(ctx, creq)
+		}, nil
+
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want match, vocabulary or cluster)", req.Kind)
+		return nil, fmt.Errorf("unknown job kind %q (want match, vocabulary, cluster or corpus)", req.Kind)
 	}
 }
 
@@ -200,12 +234,15 @@ func provenanceNotes(key CacheKey) string {
 }
 
 // parseProvenanceNotes inverts provenanceNotes; ok is false for notes
-// written by humans or other tools.
-func parseProvenanceNotes(notes string) (key CacheKey, ok bool) {
+// written by humans or other tools. Besides the cache key fields, the
+// notes may carry a "via=<hub>" marker on artifacts the corpus pipeline
+// composed through a hub schema; hub records the path a reused mapping
+// took and does not participate in the cache key.
+func parseProvenanceNotes(notes string) (key CacheKey, hub string, ok bool) {
 	for _, field := range strings.Fields(notes) {
 		k, v, found := strings.Cut(field, "=")
 		if !found {
-			return CacheKey{}, false
+			return CacheKey{}, "", false
 		}
 		switch k {
 		case "preset":
@@ -213,18 +250,20 @@ func parseProvenanceNotes(notes string) (key CacheKey, ok bool) {
 		case "threshold":
 			t, err := strconv.ParseFloat(v, 64)
 			if err != nil {
-				return CacheKey{}, false
+				return CacheKey{}, "", false
 			}
 			key.Threshold = t
 		case "fpA":
 			key.FingerprintA = v
 		case "fpB":
 			key.FingerprintB = v
+		case "via":
+			hub = v
 		default:
-			return CacheKey{}, false
+			return CacheKey{}, "", false
 		}
 	}
-	return key, key.Preset != "" && key.FingerprintA != "" && key.FingerprintB != ""
+	return key, hub, key.Preset != "" && key.FingerprintA != "" && key.FingerprintB != ""
 }
 
 // WarmStart seeds the cache from match artifacts previously persisted in
@@ -237,7 +276,7 @@ func parseProvenanceNotes(notes string) (key CacheKey, ok bool) {
 func WarmStart(c *Cache, reg *registry.Registry) int {
 	seeded := 0
 	for _, ma := range reg.MatchesByTool(serviceTool) {
-		key, ok := parseProvenanceNotes(ma.Provenance.Notes)
+		key, hub, ok := parseProvenanceNotes(ma.Provenance.Notes)
 		if !ok {
 			continue
 		}
@@ -246,7 +285,7 @@ func WarmStart(c *Cache, reg *registry.Registry) int {
 		if !okA || !okB || ea.Fingerprint != key.FingerprintA || eb.Fingerprint != key.FingerprintB {
 			continue
 		}
-		out := &MatchOutcome{Pairs: make([]MatchPair, 0, len(ma.Pairs))}
+		out := &MatchOutcome{ReusedVia: hub, Pairs: make([]MatchPair, 0, len(ma.Pairs))}
 		for _, p := range ma.Pairs {
 			out.Pairs = append(out.Pairs, MatchPair{PathA: p.PathA, PathB: p.PathB, Score: p.Score})
 		}
@@ -261,35 +300,7 @@ func WarmStart(c *Cache, reg *registry.Registry) int {
 // process. Storing is best-effort: an artifact for the same key already in
 // the registry (or a validation failure) leaves the registry unchanged.
 func storeArtifact(reg *registry.Registry, a, b string, key CacheKey, out *MatchOutcome) {
-	notes := provenanceNotes(key)
-	for _, ma := range reg.MatchesBetween(a, b) {
-		if ma.Provenance.Tool == serviceTool && ma.Provenance.Notes == notes {
-			return
-		}
-	}
-	ma := registry.MatchArtifact{
-		SchemaA: a,
-		SchemaB: b,
-		Context: registry.ContextSearch,
-		Provenance: registry.Provenance{
-			CreatedBy: serviceTool,
-			Tool:      serviceTool,
-			Notes:     notes,
-		},
-	}
-	for _, p := range out.Pairs {
-		score := p.Score
-		// The registry requires scores strictly inside (-1,1); a perfect
-		// 1.0 from identical elements is nudged below the bound.
-		if score >= 1 {
-			score = 0.9999
-		}
-		ma.Pairs = append(ma.Pairs, registry.AssertedMatch{
-			PathA: p.PathA, PathB: p.PathB, Score: score,
-			Status: registry.StatusProposed,
-		})
-	}
-	_, _ = reg.AddMatch(ma)
+	storeArtifactVia(reg, a, b, key, out, "")
 }
 
 // computeOutcome runs one pairwise match and shapes it into the cacheable

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/corpus"
 	"harmony/internal/registry"
 	"harmony/internal/schema"
 	"harmony/internal/search"
@@ -31,6 +32,9 @@ type Server struct {
 	engines map[string]*core.Engine
 	start   time.Time
 	logf    func(format string, args ...any)
+
+	corpusPipe  *corpus.Pipeline
+	corpusStats corpusCounters
 
 	saveStop  chan struct{}
 	saveDone  chan struct{}
@@ -73,6 +77,7 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		start:   time.Now(),
 		logf:    logf,
 	}
+	s.corpusPipe = corpus.NewPipeline(reg, serverCorpusCache{s})
 	if n := WarmStart(s.cache, reg); n > 0 {
 		logf("service: warm-started match cache with %d stored results", n)
 	}
@@ -138,6 +143,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/schemas/{name}", s.handleGetSchema)
 	mux.HandleFunc("DELETE /v1/schemas/{name}", s.handleDeleteSchema)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/corpus/match", s.handleCorpusMatch)
+	mux.HandleFunc("GET /v1/corpus/topk", s.handleCorpusTopK)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -242,6 +249,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Artifacts:     s.reg.MatchCount(),
 		Cache:         s.cache.Stats(),
 		Queue:         s.queue.Stats(),
+		Corpus:        s.corpusStats.snapshot(),
+		Index:         s.reg.IndexStats(),
 	})
 }
 

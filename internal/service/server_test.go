@@ -285,12 +285,18 @@ func TestProvenanceNotesRoundTrip(t *testing.T) {
 		FingerprintA: "aa", FingerprintB: "bb",
 		Preset: "harmony", Threshold: 0.42857142857142855,
 	}
-	out, ok := parseProvenanceNotes(provenanceNotes(in))
-	if !ok || out != in {
-		t.Fatalf("round trip %+v -> %+v (ok=%v)", in, out, ok)
+	out, hub, ok := parseProvenanceNotes(provenanceNotes(in))
+	if !ok || out != in || hub != "" {
+		t.Fatalf("round trip %+v -> %+v (hub=%q ok=%v)", in, out, hub, ok)
 	}
-	if _, ok := parseProvenanceNotes("engineer says these columns line up"); ok {
+	if _, _, ok := parseProvenanceNotes("engineer says these columns line up"); ok {
 		t.Fatal("human notes parsed as a cache key")
+	}
+	// Composed corpus artifacts append the hub path; the key must still
+	// round-trip and the hub must surface.
+	out, hub, ok = parseProvenanceNotes(provenanceNotes(in) + " via=HubMDR")
+	if !ok || out != in || hub != "HubMDR" {
+		t.Fatalf("via round trip %+v -> %+v (hub=%q ok=%v)", in, out, hub, ok)
 	}
 }
 

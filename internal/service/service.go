@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/search"
 )
 
 // Config configures a Server.
@@ -49,6 +50,12 @@ type Config struct {
 	// SaveInterval is the periodic persistence cadence when DBPath is set
 	// (default 30s).
 	SaveInterval time.Duration
+	// CorpusCandidates is the default blocking budget of corpus queries
+	// that do not set one (default 32).
+	CorpusCandidates int
+	// CorpusTopK is the default result count of corpus queries that do
+	// not set one (default 5).
+	CorpusTopK int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -76,14 +83,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SaveInterval <= 0 {
 		c.SaveInterval = 30 * time.Second
 	}
+	if c.CorpusCandidates <= 0 {
+		c.CorpusCandidates = 32
+	}
+	if c.CorpusTopK <= 0 {
+		c.CorpusTopK = 5
+	}
 	return c, nil
 }
 
 // Stats is the service-wide counters snapshot served by GET /v1/stats.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Schemas       int        `json:"schemas"`
-	Artifacts     int        `json:"artifacts"`
-	Cache         CacheStats `json:"cache"`
-	Queue         QueueStats `json:"queue"`
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	Schemas       int          `json:"schemas"`
+	Artifacts     int          `json:"artifacts"`
+	Cache         CacheStats   `json:"cache"`
+	Queue         QueueStats   `json:"queue"`
+	Corpus        CorpusStats  `json:"corpus"`
+	Index         search.Stats `json:"index"`
 }
