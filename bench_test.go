@@ -73,6 +73,23 @@ func BenchmarkE1FullMatch(b *testing.B) {
 	b.ReportMetric(float64(sa.Len()*sb.Len()), "pairs/op")
 }
 
+// BenchmarkE1SparseMatch is E1's sparse counterpart (E12 in
+// EXPERIMENTS.md): the same 1378x784 match with sparse candidate-pair
+// scoring at the default budget — candidate retrieval plus voter scoring
+// of ~7 % of the pairs. TestRegressionSparseVsDense enforces the >= 3x
+// wall-clock advantage over BenchmarkE1FullMatch at matched F-measure.
+func BenchmarkE1SparseMatch(b *testing.B) {
+	sa, sb, _ := synth.CaseStudy(42)
+	eng := core.PresetHarmony().WithOptions(core.WithSparse(core.DefaultSparseBudget))
+	b.ResetTimer()
+	var scored int
+	for i := 0; i < b.N; i++ {
+		res := eng.Match(sa, sb)
+		scored = res.Matrix.Pairs()
+	}
+	b.ReportMetric(float64(scored), "pairs/op")
+}
+
 // BenchmarkE2Partition regenerates E2: deriving the {SA-only, SB-only,
 // matched} decision partition from a scored matrix.
 func BenchmarkE2Partition(b *testing.B) {
@@ -419,6 +436,22 @@ func BenchmarkSpreadsheetExport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := wb.WriteElementCSV(io.Discard); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrixAbove measures Correspondence extraction from the scored
+// million-pair case-study matrix. Above pre-sizes its result from a
+// counting pass; -benchmem shows the win over append-growth (one
+// allocation per call instead of a dozen reallocations of a slice that
+// ends up thousands of entries long).
+func BenchmarkMatrixAbove(b *testing.B) {
+	f := caseFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.res.Matrix.Above(caseStudyThreshold)) == 0 {
+			b.Fatal("no correspondences")
 		}
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 		{"E9", "match cost scaling with candidate pairs", runE9},
 		{"E10", "incremental workflow keeps increments surveyable", runE10},
 		{"E11", "corpus-scale blocked top-k vs exhaustive matching", runE11},
+		{"E12", "sparse candidate-pair scoring vs dense full match", runE12},
 	}
 
 	want := map[string]bool{}

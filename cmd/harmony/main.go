@@ -12,11 +12,13 @@
 //
 // Flags (pairwise mode):
 //
-//	-threshold F   confidence filter (default 0.45)
-//	-preset NAME   matcher preset: harmony, coma, cupid, name-only
-//	-out DIR       write concepts.csv, elements.csv, matches.csv to DIR
-//	-report        print the big-picture report (default true)
-//	-top N         also print the N best correspondences
+//	-threshold F      confidence filter (default 0.45)
+//	-preset NAME      matcher preset: harmony, coma, cupid, name-only
+//	-out DIR          write concepts.csv, elements.csv, matches.csv to DIR
+//	-report           print the big-picture report (default true)
+//	-top N            also print the N best correspondences
+//	-sparse-budget N  per-source candidate budget for sparse scoring of
+//	                  large matches (default 64; 0 scores every pair)
 //
 // The corpus subcommand uses one schema as the query term against every
 // schema file in a directory — the paper's match-against-the-repository
@@ -31,6 +33,8 @@
 //	-threshold F   confidence filter (default 0.4)
 //	-exhaustive    score every schema (disables blocking; slow baseline)
 //	-pairs N       print the N best correspondences per match (default 3)
+//	-sparse-budget N  per-source element candidate budget inside each
+//	               engine run (default 64; 0 scores every pair densely)
 package main
 
 import (
@@ -57,6 +61,8 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV outputs")
 	report := flag.Bool("report", true, "print big-picture report")
 	top := flag.Int("top", 0, "print the N best correspondences")
+	sparseBudget := flag.Int("sparse-budget", harmony.DefaultSparseBudget,
+		"per-source candidate budget for sparse scoring of large matches (0 scores every pair)")
 	flag.Parse()
 
 	if *aPath == "" || *bPath == "" {
@@ -70,6 +76,7 @@ func main() {
 
 	m, err := harmony.NewMatcherWith(*preset, *threshold)
 	exitOn(err)
+	m.Sparse(*sparseBudget)
 	res := m.Match(a, b)
 	sa, sb := harmony.SummarizeRoots(a), harmony.SummarizeRoots(b)
 
@@ -116,6 +123,8 @@ func runCorpus(args []string) {
 	threshold := fs.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
 	exhaustive := fs.Bool("exhaustive", false, "score every schema (disables blocking)")
 	pairs := fs.Int("pairs", 3, "correspondences to print per match")
+	sparseBudget := fs.Int("sparse-budget", harmony.DefaultSparseBudget,
+		"per-source element candidate budget inside each engine run (0 scores every pair)")
 	exitOn(fs.Parse(args))
 
 	if *queryPath == "" || *dir == "" {
@@ -155,10 +164,15 @@ func runCorpus(args []string) {
 
 	m, err := harmony.NewMatcherWith(*preset, *threshold)
 	exitOn(err)
+	budget := *sparseBudget
+	if budget <= 0 {
+		budget = -1 // CorpusConfig: negative forces dense, zero means default
+	}
 	res, err := m.TopKAgainst(context.Background(), harmony.NewCorpusPipeline(reg, nil), q, harmony.CorpusConfig{
-		Candidates: *candidates,
-		TopK:       *k,
-		Exhaustive: *exhaustive,
+		Candidates:   *candidates,
+		TopK:         *k,
+		Exhaustive:   *exhaustive,
+		SparseBudget: budget,
 	})
 	exitOn(err)
 

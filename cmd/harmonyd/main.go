@@ -20,6 +20,9 @@
 //	-save-interval D     periodic persistence cadence (default 30s)
 //	-corpus-candidates N default blocking budget of corpus queries (default 32)
 //	-corpus-topk N       default result count of corpus queries (default 5)
+//	-sparse-budget N     per-source candidate budget of sparse candidate-pair
+//	                     scoring for large matches (default 64; 0 disables
+//	                     sparse mode, every pair is scored densely)
 //
 // Endpoints:
 //
@@ -68,8 +71,14 @@ func main() {
 	saveInterval := flag.Duration("save-interval", 30*time.Second, "periodic persistence cadence")
 	corpusCandidates := flag.Int("corpus-candidates", 32, "default blocking budget of corpus queries")
 	corpusTopK := flag.Int("corpus-topk", 5, "default result count of corpus queries")
+	sparseBudget := flag.Int("sparse-budget", service.DefaultSparseBudget,
+		"per-source candidate budget for sparse scoring of large matches (0 disables)")
 	flag.Parse()
 
+	budget := *sparseBudget
+	if budget <= 0 {
+		budget = -1 // service.Config: negative disables, zero means default
+	}
 	srv, err := service.New(service.Config{
 		Preset:           *preset,
 		Threshold:        *threshold,
@@ -80,6 +89,7 @@ func main() {
 		SaveInterval:     *saveInterval,
 		CorpusCandidates: *corpusCandidates,
 		CorpusTopK:       *corpusTopK,
+		SparseBudget:     budget,
 	}, log.Printf)
 	if err != nil {
 		log.Fatal(err)

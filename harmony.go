@@ -29,8 +29,17 @@ type (
 	Element = schema.Element
 	// Engine is a configured match engine.
 	Engine = core.Engine
+	// EngineOption configures an Engine (workers, propagation, sparse
+	// scoring); apply with Engine.WithOptions.
+	EngineOption = core.Option
 	// Result is a raw match result (views + matrix).
 	Result = core.Result
+	// ScoreMatrix is the match-matrix contract shared by the dense and
+	// sparse representations.
+	ScoreMatrix = core.ScoreMatrix
+	// SparseMatrix is the candidate-pair matrix produced by sparse
+	// scoring.
+	SparseMatrix = core.SparseMatrix
 	// Correspondence is one scored element pair.
 	Correspondence = core.Correspondence
 	// Vote is a single voter's opinion on a pair.
@@ -114,6 +123,35 @@ func NewMatcherWith(preset string, threshold float64) (*Matcher, error) {
 		return nil, fmt.Errorf("harmony: unknown preset %q", preset)
 	}
 	return &Matcher{Engine: mk(), Threshold: threshold}, nil
+}
+
+// Engine options, re-exported so callers can reconfigure preset engines
+// without importing internal packages.
+var (
+	// WithWorkers sets the pair-loop worker count.
+	WithWorkers = core.WithWorkers
+	// WithPropagation configures structural score propagation.
+	WithPropagation = core.WithPropagation
+	// WithSparse enables sparse candidate-pair scoring with a per-source
+	// candidate budget (<= 0 disables).
+	WithSparse = core.WithSparse
+	// WithSparseCutoff sets the minimum potential-pair count before
+	// sparse scoring engages.
+	WithSparseCutoff = core.WithSparseCutoff
+)
+
+// DefaultSparseBudget is the calibrated per-source candidate budget of
+// sparse scoring (see EXPERIMENTS.md, E12).
+const DefaultSparseBudget = core.DefaultSparseBudget
+
+// Sparse returns the matcher with sparse candidate-pair scoring enabled at
+// the given per-source budget (<= 0 disables). Matches below the engine's
+// size cutoff still run dense; large matches score only retrieved
+// candidate pairs, trading a bounded score drift (within the quality
+// tolerance of the regression harness) for a several-fold speedup.
+func (m *Matcher) Sparse(budget int) *Matcher {
+	m.Engine = m.Engine.WithOptions(core.WithSparse(budget))
+	return m
 }
 
 // Match scores every element pair of the two schemata and wraps the result

@@ -25,6 +25,13 @@ type Engine struct {
 	// flooding).
 	propagationRounds int
 	propagationAlpha  float64
+
+	// sparseBudget > 0 enables sparse candidate-pair scoring: per source
+	// element, at most sparseBudget targets survive token retrieval and
+	// only those pairs are scored (see sparse.go). Matches smaller than
+	// sparseCutoff potential pairs fall back to dense scoring.
+	sparseBudget int
+	sparseCutoff int
 }
 
 // Option configures an Engine.
@@ -49,6 +56,32 @@ func WithPropagation(rounds int, alpha float64) Option {
 	}
 }
 
+// WithSparse enables sparse candidate-pair scoring with the given
+// per-source candidate budget (DefaultSparseBudget is the calibrated
+// default; budget <= 0 disables sparse mode). Matches below the sparse
+// cutoff still run dense — sparse mode changes large-match cost, not
+// small-match semantics.
+func WithSparse(budget int) Option {
+	return func(e *Engine) {
+		if budget > 0 {
+			e.sparseBudget = budget
+		} else {
+			e.sparseBudget = 0
+		}
+	}
+}
+
+// WithSparseCutoff sets the minimum number of potential pairs (rows×cols)
+// before sparse scoring engages (default DefaultSparseCutoff). Tests force
+// sparse mode on small workloads with a cutoff of 1.
+func WithSparseCutoff(pairs int) Option {
+	return func(e *Engine) {
+		if pairs > 0 {
+			e.sparseCutoff = pairs
+		}
+	}
+}
+
 // NewEngine builds an engine from weighted voters and a merger.
 func NewEngine(voters []WeightedVoter, merger Merger, opts ...Option) *Engine {
 	e := &Engine{
@@ -62,6 +95,17 @@ func NewEngine(voters []WeightedVoter, merger Merger, opts ...Option) *Engine {
 	return e
 }
 
+// WithOptions returns a copy of the engine with further options applied.
+// The copy shares the (immutable) voter set and merger, so deriving a
+// sparse or differently-parallel engine from a preset is cheap.
+func (e *Engine) WithOptions(opts ...Option) *Engine {
+	c := *e
+	for _, o := range opts {
+		o(&c)
+	}
+	return &c
+}
+
 // Voters returns the engine's weighted voters in order.
 func (e *Engine) Voters() []WeightedVoter { return e.voters }
 
@@ -69,11 +113,12 @@ func (e *Engine) Voters() []WeightedVoter { return e.voters }
 func (e *Engine) Merger() Merger { return e.merger }
 
 // Result is the outcome of one match run: the preprocessed views of both
-// schemata and the dense match matrix over their element IDs.
+// schemata and the match matrix over their element IDs — dense for full
+// scoring, a SparseMatrix when sparse candidate-pair scoring was active.
 type Result struct {
 	Src    *SchemaView
 	Dst    *SchemaView
-	Matrix *Matrix
+	Matrix ScoreMatrix
 }
 
 // Match preprocesses both schemata and scores every element pair. This is
@@ -84,16 +129,41 @@ func (e *Engine) Match(src, dst *schema.Schema) *Result {
 	return e.MatchViews(sv, dv)
 }
 
-// MatchViews scores every element pair of two preprocessed schemata.
-// Use this form to amortize preprocessing across repeated matches (for
-// example the concept-at-a-time workflow, which re-matches sub-trees).
+// MatchViews scores element pairs of two preprocessed schemata: every
+// pair in dense mode, the retrieved candidate pairs when sparse scoring is
+// enabled and the match is large enough. Use this form to amortize
+// preprocessing across repeated matches (for example the
+// concept-at-a-time workflow, which re-matches sub-trees).
 func (e *Engine) MatchViews(sv, dv *SchemaView) *Result {
-	m := NewMatrix(sv.Len(), dv.Len())
-	e.score(sv, dv, m, nil)
+	var m ScoreMatrix
+	if e.sparseActive(sv.Len(), dv.Len()) {
+		sm := NewSparseMatrix(sv.Len(), dv.Len(), sparseCandidates(sv, dv, e.sparseBudget))
+		e.scoreSparse(sv, dv, sm)
+		m = sm
+	} else {
+		dm := NewMatrix(sv.Len(), dv.Len())
+		e.score(sv, dv, dm, nil)
+		m = dm
+	}
 	for r := 0; r < e.propagationRounds; r++ {
-		e.propagate(sv, dv, m)
+		m = e.propagate(sv, dv, m)
 	}
 	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// sparseActive reports whether a rows×cols match runs sparse: sparse mode
+// is configured, the match is at least the cutoff, and the budget actually
+// prunes (a budget covering every target would just be dense with
+// overhead).
+func (e *Engine) sparseActive(rows, cols int) bool {
+	if e.sparseBudget <= 0 || cols <= e.sparseBudget {
+		return false
+	}
+	cutoff := e.sparseCutoff
+	if cutoff <= 0 {
+		cutoff = DefaultSparseCutoff
+	}
+	return rows*cols >= cutoff
 }
 
 // MatchSubtree scores only the pairs whose source element lies in the
@@ -131,98 +201,110 @@ func (e *Engine) score(sv, dv *SchemaView, m *Matrix, rows []int) {
 			rows[i] = i
 		}
 	}
+	e.forEachRowChunk(len(rows), func(lo, hi int, votes []Vote, weights []float64) {
+		for _, i := range rows[lo:hi] {
+			srcView := sv.View(i)
+			row := m.Row(i)
+			for j := 0; j < dv.Len(); j++ {
+				dstView := dv.View(j)
+				for k, wv := range e.voters {
+					votes[k] = wv.Voter.Vote(srcView, dstView)
+				}
+				row[j] = e.merger.Merge(votes, weights)
+			}
+		}
+	})
+}
+
+// forEachRowChunk splits the index range [0, n) into one contiguous chunk
+// per engine worker and runs fn concurrently, handing each worker its own
+// votes/weights scratch buffers. Both the dense and the sparse scorers
+// fan out through here so the chunking and clamping logic exists once.
+func (e *Engine) forEachRowChunk(n int, fn func(lo, hi int, votes []Vote, weights []float64)) {
 	workers := e.workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(rows) {
-		workers = len(rows)
+	if workers > n {
+		workers = n
 	}
 	if workers == 0 {
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (len(rows) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(rows []int) {
+		go func(lo, hi int) {
 			defer wg.Done()
 			votes := make([]Vote, len(e.voters))
 			weights := make([]float64, len(e.voters))
 			for i, wv := range e.voters {
 				weights[i] = wv.Weight
 			}
-			for _, i := range rows {
-				srcView := sv.View(i)
-				row := m.Row(i)
-				for j := 0; j < dv.Len(); j++ {
-					dstView := dv.View(j)
-					for k, wv := range e.voters {
-						votes[k] = wv.Voter.Vote(srcView, dstView)
-					}
-					row[j] = e.merger.Merge(votes, weights)
-				}
-			}
-		}(rows[lo:hi])
+			fn(lo, hi, votes, weights)
+		}(lo, hi)
 	}
 	wg.Wait()
 }
 
-// propagate runs one round of structural propagation: container pair scores
-// are blended with the average of their children's best mutual scores, then
-// leaf pair scores are blended with their parents' pair score.
-func (e *Engine) propagate(sv, dv *SchemaView, m *Matrix) {
+// propagate runs one round of structural propagation and returns the
+// blended matrix: container pair scores are blended with the average of
+// their children's best mutual scores, and leaf pair scores with their
+// parents' pair score. All reads come from the pre-round matrix, so the
+// two passes stay order-independent. Only cells the representation stores
+// are visited — for a sparse matrix that is exactly the candidate set
+// (structural expansion guarantees every candidate pair's parents are
+// candidates too, so the parent reads hit stored cells).
+func (e *Engine) propagate(sv, dv *SchemaView, m ScoreMatrix) ScoreMatrix {
 	alpha := e.propagationAlpha
 	if alpha <= 0 {
-		return
+		return m
 	}
-	// Pass 1: containers inherit children agreement.
 	next := m.Clone()
 	for i := 0; i < sv.Len(); i++ {
 		a := sv.View(i).El
 		if a.IsLeaf() {
+			if a.Parent == nil {
+				continue
+			}
+			pi := a.Parent.ID
+			m.ForRow(i, func(j int, s float64) bool {
+				b := dv.View(j).El
+				if !b.IsLeaf() || b.Parent == nil {
+					return true
+				}
+				parentScore := m.At(pi, b.Parent.ID)
+				next.Set(i, j, clampScore((1-alpha)*s+alpha*parentScore))
+				return true
+			})
 			continue
 		}
-		for j := 0; j < dv.Len(); j++ {
+		m.ForRow(i, func(j int, s float64) bool {
 			b := dv.View(j).El
 			if b.IsLeaf() {
-				continue
+				return true
 			}
 			agg := childrenAgreement(a, b, m)
-			next.Set(i, j, clampScore((1-alpha)*m.At(i, j)+alpha*agg))
-		}
+			next.Set(i, j, clampScore((1-alpha)*s+alpha*agg))
+			return true
+		})
 	}
-	// Pass 2: leaves inherit parent agreement.
-	for i := 0; i < sv.Len(); i++ {
-		a := sv.View(i).El
-		if !a.IsLeaf() || a.Parent == nil {
-			continue
-		}
-		pi := a.Parent.ID
-		for j := 0; j < dv.Len(); j++ {
-			b := dv.View(j).El
-			if !b.IsLeaf() || b.Parent == nil {
-				continue
-			}
-			parentScore := m.At(pi, b.Parent.ID)
-			next.Set(i, j, clampScore((1-alpha)*m.At(i, j)+alpha*parentScore))
-		}
-	}
-	copy(m.data, next.data)
+	return next
 }
 
 // childrenAgreement computes the greedy one-to-one alignment quality of two
 // containers' children under the current matrix scores, normalized over the
 // smaller child set.
-func childrenAgreement(a, b *schema.Element, m *Matrix) float64 {
+func childrenAgreement(a, b *schema.Element, m ScoreMatrix) float64 {
 	ca, cb := a.Children, b.Children
 	if len(ca) == 0 || len(cb) == 0 {
 		return 0

@@ -100,8 +100,10 @@ type FilterSpec struct {
 
 // Candidates extracts the correspondences of r that pass the filters,
 // ordered by descending score. With a zero FilterSpec it returns every
-// pair, which for industrial-size schemata is rarely what a human wants —
-// combine with ConfidenceRange as the paper's engineers did.
+// scored pair — all rows×cols pairs of a dense match, only the candidate
+// pairs of a sparse one — which for industrial-size schemata is rarely
+// what a human wants; combine with ConfidenceRange as the paper's
+// engineers did.
 func (r *Result) Candidates(spec FilterSpec) []Correspondence {
 	srcOK := spec.SrcNode
 	if srcOK == nil {
@@ -117,17 +119,17 @@ func (r *Result) Candidates(spec FilterSpec) []Correspondence {
 		if !srcOK(srcEl) {
 			continue
 		}
-		row := r.Matrix.Row(i)
-		for j, s := range row {
+		r.Matrix.ForRow(i, func(j int, s float64) bool {
 			dstEl := r.Dst.View(j).El
 			if !dstOK(dstEl) {
-				continue
+				return true
 			}
 			if spec.Link != nil && !spec.Link(srcEl, dstEl, s) {
-				continue
+				return true
 			}
 			out = append(out, Correspondence{Src: i, Dst: j, Score: s})
-		}
+			return true
+		})
 	}
 	sortCorrespondences(out)
 	return out

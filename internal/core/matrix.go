@@ -5,6 +5,59 @@ import (
 	"sort"
 )
 
+// ScoreMatrix is the contract every match-matrix representation satisfies:
+// the dense Matrix (every pair scored) and the SparseMatrix (only candidate
+// pairs scored, everything else implicitly zero). Selection policies,
+// threshold suggestion, filters and structural propagation all operate
+// through this interface, so the engine can swap representations without
+// touching downstream analysis code.
+type ScoreMatrix interface {
+	// Rows returns the number of source elements.
+	Rows() int
+	// Cols returns the number of target elements.
+	Cols() int
+	// Pairs returns the number of scored cells (candidate
+	// correspondences): rows*cols for a dense matrix, the stored entry
+	// count for a sparse one.
+	Pairs() int
+	// At returns the score of pair (src, dst); 0 for cells a sparse
+	// representation pruned.
+	At(src, dst int) float64
+	// Set stores the score of pair (src, dst). Sparse representations
+	// ignore writes to pruned cells.
+	Set(src, dst int, score float64)
+	// Row returns one source element's scores against every target
+	// element. The dense form aliases internal storage; the sparse form
+	// materializes a fresh dense row on every call.
+	Row(src int) []float64
+	// ForRow calls f for every scored cell of row src in ascending dst
+	// order, stopping early when f returns false. For a dense matrix this
+	// visits every column; for a sparse one only the stored candidates.
+	ForRow(src int, f func(dst int, score float64) bool)
+	// Clone returns a copy whose scores can be mutated independently.
+	Clone() ScoreMatrix
+	// Above returns every correspondence with score >= threshold, ordered
+	// by descending score (ties broken by source then target ID).
+	Above(threshold float64) []Correspondence
+	// TopKPerSource returns, for each source element, its best k targets
+	// with score >= threshold, ordered by descending score overall.
+	TopKPerSource(k int, threshold float64) []Correspondence
+	// BestPerSource returns each source element's single best scored
+	// target; sources whose best scored cell is below minScore — for a
+	// sparse matrix, also sources whose candidate set is empty — are
+	// omitted.
+	BestPerSource(minScore float64) []Correspondence
+	// MatchedTargets returns the target IDs appearing in any
+	// correspondence with score >= threshold.
+	MatchedTargets(threshold float64) map[int]bool
+	// MatchedSources returns the source IDs appearing in any
+	// correspondence with score >= threshold.
+	MatchedSources(threshold float64) map[int]bool
+	// Histogram buckets all scored cells into n equal-width bins over
+	// [-1, 1] and returns the counts.
+	Histogram(n int) []int
+}
+
 // Matrix is the dense match matrix produced by a match run: one score in
 // (-1,+1) per [source element, target element] pair, indexed by element ID.
 // For the paper's case study this is the 1378×784 matrix of roughly 10^6
@@ -13,6 +66,8 @@ type Matrix struct {
 	rows, cols int
 	data       []float64
 }
+
+var _ ScoreMatrix = (*Matrix)(nil)
 
 // NewMatrix returns a zeroed rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
@@ -38,8 +93,17 @@ func (m *Matrix) Set(src, dst int, score float64) { m.data[src*m.cols+dst] = sco
 // target element. The returned slice aliases the matrix.
 func (m *Matrix) Row(src int) []float64 { return m.data[src*m.cols : (src+1)*m.cols] }
 
+// ForRow implements ScoreMatrix: every column is a scored cell.
+func (m *Matrix) ForRow(src int, f func(dst int, score float64) bool) {
+	for j, s := range m.Row(src) {
+		if !f(j, s) {
+			return
+		}
+	}
+}
+
 // Clone returns a deep copy of the matrix.
-func (m *Matrix) Clone() *Matrix {
+func (m *Matrix) Clone() ScoreMatrix {
 	c := NewMatrix(m.rows, m.cols)
 	copy(c.data, m.data)
 	return c
@@ -60,8 +124,19 @@ func (c Correspondence) String() string {
 
 // Above returns every correspondence with score >= threshold, ordered by
 // descending score (ties broken by source then target ID for determinism).
+// The result is sized by a counting pass first: on million-pair matrices
+// the append-growth path otherwise reallocates the slice a dozen times.
 func (m *Matrix) Above(threshold float64) []Correspondence {
-	var out []Correspondence
+	n := 0
+	for _, s := range m.data {
+		if s >= threshold {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Correspondence, 0, n)
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		for j, s := range row {
@@ -154,16 +229,21 @@ func (m *Matrix) Histogram(n int) []int {
 	}
 	counts := make([]int, n)
 	for _, s := range m.data {
-		bin := int((s + 1) / 2 * float64(n))
-		if bin >= n {
-			bin = n - 1
-		}
-		if bin < 0 {
-			bin = 0
-		}
-		counts[bin]++
+		counts[histogramBin(s, n)]++
 	}
 	return counts
+}
+
+// histogramBin maps a score in (-1,1) onto one of n equal-width bins.
+func histogramBin(s float64, n int) int {
+	bin := int((s + 1) / 2 * float64(n))
+	if bin >= n {
+		bin = n - 1
+	}
+	if bin < 0 {
+		bin = 0
+	}
+	return bin
 }
 
 // sortCorrespondences orders by descending score, then ascending Src, Dst.

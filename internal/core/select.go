@@ -10,7 +10,7 @@ import "sort"
 
 // SelectThreshold returns every correspondence scoring at least threshold.
 // Elements may participate in several correspondences (m:n semantics).
-func SelectThreshold(m *Matrix, threshold float64) []Correspondence {
+func SelectThreshold(m ScoreMatrix, threshold float64) []Correspondence {
 	return m.Above(threshold)
 }
 
@@ -18,7 +18,7 @@ func SelectThreshold(m *Matrix, threshold float64) []Correspondence {
 // the highest-scoring pairs at or above threshold. Each source and each
 // target element appears at most once. This is the classic stable-greedy
 // heuristic: the result is also a stable matching when scores are distinct.
-func SelectGreedyOneToOne(m *Matrix, threshold float64) []Correspondence {
+func SelectGreedyOneToOne(m ScoreMatrix, threshold float64) []Correspondence {
 	cands := m.Above(threshold)
 	usedSrc := make(map[int]bool)
 	usedDst := make(map[int]bool)
@@ -39,26 +39,36 @@ func SelectGreedyOneToOne(m *Matrix, threshold float64) []Correspondence {
 // in descending score order; targets accept their best proposal so far.
 // The result is stable: no unmatched (source, target) pair both prefer each
 // other to their assigned partners.
-func SelectStableMarriage(m *Matrix, threshold float64) []Correspondence {
+func SelectStableMarriage(m ScoreMatrix, threshold float64) []Correspondence {
 	rows, cols := m.Rows(), m.Cols()
-	// Build per-source preference lists over eligible targets.
+	// Build per-source preference lists over eligible targets, capturing
+	// scores during the row walk so the sort never re-reads the matrix.
+	type pref struct {
+		dst   int
+		score float64
+	}
 	prefs := make([][]int, rows)
 	for i := 0; i < rows; i++ {
-		row := m.Row(i)
-		var elig []int
-		for j := 0; j < cols; j++ {
-			if row[j] >= threshold {
-				elig = append(elig, j)
+		var elig []pref
+		m.ForRow(i, func(j int, s float64) bool {
+			if s >= threshold {
+				elig = append(elig, pref{dst: j, score: s})
 			}
-		}
-		sort.Slice(elig, func(a, b int) bool {
-			sa, sb := row[elig[a]], row[elig[b]]
-			if sa != sb {
-				return sa > sb
-			}
-			return elig[a] < elig[b]
+			return true
 		})
-		prefs[i] = elig
+		sort.Slice(elig, func(a, b int) bool {
+			if elig[a].score != elig[b].score {
+				return elig[a].score > elig[b].score
+			}
+			return elig[a].dst < elig[b].dst
+		})
+		if len(elig) > 0 {
+			order := make([]int, len(elig))
+			for k, p := range elig {
+				order[k] = p.dst
+			}
+			prefs[i] = order
+		}
 	}
 	nextProposal := make([]int, rows) // index into prefs[i]
 	engagedTo := make([]int, cols)    // target -> source, -1 if free
@@ -105,7 +115,7 @@ func SelectStableMarriage(m *Matrix, threshold float64) []Correspondence {
 }
 
 // better reports whether target j strictly prefers source a over source b.
-func better(m *Matrix, a, b, j int) bool {
+func better(m ScoreMatrix, a, b, j int) bool {
 	sa, sb := m.At(a, j), m.At(b, j)
 	if sa != sb {
 		return sa > sb
@@ -117,7 +127,7 @@ func better(m *Matrix, a, b, j int) bool {
 // over pairs at or above threshold: there is no (source, target) pair that
 // both strictly prefer each other to their assigned partners. Exposed for
 // property-based tests.
-func IsStableMatching(m *Matrix, matching []Correspondence, threshold float64) bool {
+func IsStableMatching(m ScoreMatrix, matching []Correspondence, threshold float64) bool {
 	srcPartner := make(map[int]float64)
 	dstPartner := make(map[int]float64)
 	for _, c := range matching {

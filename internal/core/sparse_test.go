@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+func buildTestSparse() *SparseMatrix {
+	// 3×5 with rows {0:[1,3], 1:[], 2:[0,2,4]}
+	return NewSparseMatrix(3, 5, [][]int32{{1, 3}, nil, {0, 2, 4}})
+}
+
+func TestSparseMatrixBasics(t *testing.T) {
+	m := buildTestSparse()
+	if m.Rows() != 3 || m.Cols() != 5 || m.Pairs() != 5 {
+		t.Fatalf("dims: %d %d %d", m.Rows(), m.Cols(), m.Pairs())
+	}
+	m.Set(0, 3, 0.5)
+	m.Set(2, 2, -0.25)
+	if m.At(0, 3) != 0.5 || m.At(2, 2) != -0.25 {
+		t.Error("Set/At mismatch on stored cells")
+	}
+	// pruned cells read as zero and ignore writes
+	if m.At(0, 0) != 0 || m.At(1, 4) != 0 {
+		t.Error("pruned cell should read 0")
+	}
+	m.Set(0, 0, 0.9)
+	if m.At(0, 0) != 0 {
+		t.Error("write to pruned cell should be ignored")
+	}
+	row := m.Row(0)
+	if len(row) != 5 || row[3] != 0.5 || row[0] != 0 {
+		t.Errorf("Row = %v", row)
+	}
+	var visited []int
+	m.ForRow(2, func(dst int, score float64) bool {
+		visited = append(visited, dst)
+		return true
+	})
+	if len(visited) != 3 || visited[0] != 0 || visited[2] != 4 {
+		t.Errorf("ForRow visited %v", visited)
+	}
+	// early stop
+	n := 0
+	m.ForRow(2, func(int, float64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("ForRow early stop visited %d", n)
+	}
+	c := m.Clone()
+	c.Set(0, 3, -0.5)
+	if m.At(0, 3) != 0.5 {
+		t.Error("Clone aliases original scores")
+	}
+}
+
+func TestSparseMatrixSelections(t *testing.T) {
+	m := buildTestSparse()
+	m.Set(0, 1, 0.8)
+	m.Set(0, 3, 0.6)
+	m.Set(2, 0, 0.9)
+	m.Set(2, 2, 0.3)
+
+	above := m.Above(0.5)
+	if len(above) != 3 || above[0].Score != 0.9 || above[0].Src != 2 {
+		t.Errorf("Above = %v", above)
+	}
+	if m.Above(2) != nil {
+		t.Error("Above with impossible threshold should be nil")
+	}
+	top := m.TopKPerSource(1, 0)
+	if len(top) != 2 || top[0] != (Correspondence{Src: 2, Dst: 0, Score: 0.9}) {
+		t.Errorf("TopKPerSource = %v", top)
+	}
+	best := m.BestPerSource(0.5)
+	if len(best) != 2 || best[0].Dst != 1 || best[1].Dst != 0 {
+		t.Errorf("BestPerSource = %v", best)
+	}
+	if srcs := m.MatchedSources(0.5); len(srcs) != 2 || !srcs[0] || !srcs[2] {
+		t.Errorf("MatchedSources = %v", srcs)
+	}
+	if dsts := m.MatchedTargets(0.85); len(dsts) != 1 || !dsts[0] {
+		t.Errorf("MatchedTargets = %v", dsts)
+	}
+	total := 0
+	for _, n := range m.Histogram(10) {
+		total += n
+	}
+	if total != m.Pairs() {
+		t.Errorf("histogram total %d != pairs %d", total, m.Pairs())
+	}
+}
+
+// sparseTestEngine forces sparse scoring regardless of workload size.
+func sparseTestEngine(budget int) *Engine {
+	return PresetHarmony().WithOptions(WithSparse(budget), WithSparseCutoff(1))
+}
+
+func TestSparseActivation(t *testing.T) {
+	a, b, _ := synth.Pair(3, 8, 8, 4, 5)
+	// Default cutoff: workload far below DefaultSparseCutoff stays dense.
+	res := PresetHarmony().WithOptions(WithSparse(8)).Match(a, b)
+	if _, ok := res.Matrix.(*Matrix); !ok {
+		t.Errorf("small match should fall back to dense, got %T", res.Matrix)
+	}
+	// Forced cutoff: sparse representation engages.
+	res = sparseTestEngine(8).Match(a, b)
+	sm, ok := res.Matrix.(*SparseMatrix)
+	if !ok {
+		t.Fatalf("expected sparse matrix, got %T", res.Matrix)
+	}
+	if sm.Pairs() >= a.Len()*b.Len() {
+		t.Errorf("sparse stored %d of %d pairs: no pruning", sm.Pairs(), a.Len()*b.Len())
+	}
+	// Budget covering every target is dense with overhead; stay dense.
+	res = PresetHarmony().WithOptions(WithSparse(b.Len()+1), WithSparseCutoff(1)).Match(a, b)
+	if _, ok := res.Matrix.(*Matrix); !ok {
+		t.Errorf("budget >= cols should fall back to dense, got %T", res.Matrix)
+	}
+}
+
+// parityThreshold is the calibrated case-study operating point the parity
+// property is asserted at.
+const parityThreshold = 0.74
+
+// parityMargin is how far a sparse score may fall below a dense score for
+// the same pair before parity counts it as lost: the quality tolerance of
+// the golden regression harness.
+const parityMargin = 0.02
+
+// TestSparseParityWithDense asserts the retrieval-safety property the
+// sparse fast path rests on: every correspondence dense scoring puts at or
+// above the operating point survives sparse scoring at the default budget
+// (present in the candidate set, score within the quality margin). Smaller
+// budgets are measured and logged so the budget/recall trade-off stays
+// visible.
+func TestSparseParityWithDense(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b, _ := synth.Pair(seed, 30, 25, 15, 6)
+		dense := PresetHarmony().Match(a, b)
+		keep := dense.Matrix.Above(parityThreshold)
+		if len(keep) == 0 {
+			t.Fatalf("seed %d: dense found no pairs above %.2f; workload too easy to test", seed, parityThreshold)
+		}
+
+		sparse := sparseTestEngine(DefaultSparseBudget).Match(a, b)
+		sm := sparse.Matrix.(*SparseMatrix)
+		for _, c := range keep {
+			if sm.find(c.Src, c.Dst) < 0 {
+				t.Errorf("seed %d: dense pair %v pruned from sparse candidates (%s vs %s)",
+					seed, c, a.Element(c.Src).Path(), b.Element(c.Dst).Path())
+				continue
+			}
+			if got := sm.At(c.Src, c.Dst); got < c.Score-parityMargin {
+				t.Errorf("seed %d: pair %v scored %.3f sparse, more than %.2f below dense",
+					seed, c, got, parityMargin)
+			}
+		}
+
+		// Quantify recall at smaller budgets: how many of the dense
+		// above-threshold pairs stay in the candidate set.
+		for _, budget := range []int{4, 8, 16} {
+			res := sparseTestEngine(budget).Match(a, b)
+			bm := res.Matrix.(*SparseMatrix)
+			hit := 0
+			for _, c := range keep {
+				if bm.find(c.Src, c.Dst) >= 0 {
+					hit++
+				}
+			}
+			recall := float64(hit) / float64(len(keep))
+			t.Logf("seed %d budget %2d: candidate recall %.3f (%d/%d), %.1f%% of pairs scored",
+				seed, budget, recall, hit, len(keep),
+				100*float64(bm.Pairs())/float64(a.Len()*b.Len()))
+			if budget >= 16 && recall < 0.9 {
+				t.Errorf("seed %d: budget %d recall %.3f below 0.9", seed, budget, recall)
+			}
+		}
+	}
+}
+
+// TestSparseAcronymRetrieval asserts the acronym families cross between
+// query and index: an acronym-only pair shares no name tokens, so only
+// the crossed acronym postings can retrieve it.
+func TestSparseAcronymRetrieval(t *testing.T) {
+	a := schema.New("A", schema.FormatRelational)
+	ta := a.AddRoot("Records", schema.KindTable)
+	a.AddElement(ta, "ZQV", schema.KindColumn, schema.TypeString)
+	a.AddElement(ta, "Zebra_Quark_Vortex", schema.KindColumn, schema.TypeString)
+
+	b := schema.New("B", schema.FormatXML)
+	tb := b.AddRoot("Entries", schema.KindComplexType)
+	b.AddElement(tb, "Zebra_Quark_Vortex", schema.KindXMLElement, schema.TypeString)
+	b.AddElement(tb, "ZQV", schema.KindXMLElement, schema.TypeString)
+
+	sv, dv := Preprocess(a, b)
+	cands := sparseCandidates(sv, dv, 8)
+	for _, pair := range [][2]string{
+		{"Records/ZQV", "Entries/Zebra_Quark_Vortex"}, // raw acronym → expansion
+		{"Records/Zebra_Quark_Vortex", "Entries/ZQV"}, // expansion → raw acronym
+	} {
+		src, dst := a.ByPath(pair[0]), b.ByPath(pair[1])
+		found := false
+		for _, j := range cands[src.ID] {
+			if int(j) == dst.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("acronym pair %s vs %s missing from candidates %v", pair[0], pair[1], cands[src.ID])
+		}
+	}
+}
+
+// TestSparseMatchConcurrent exercises the sparse scoring path under the
+// race detector: one shared preprocessed view pair, several goroutines
+// matching concurrently with a multi-worker engine, results identical.
+func TestSparseMatchConcurrent(t *testing.T) {
+	a, b, _ := synth.Pair(11, 20, 18, 10, 6)
+	sv, dv := Preprocess(a, b)
+	eng := PresetHarmony().WithOptions(WithSparse(16), WithSparseCutoff(1), WithWorkers(4))
+	want := eng.MatchViews(sv, dv).Matrix.Above(0.4)
+
+	const goroutines = 4
+	results := make([][]Correspondence, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = eng.MatchViews(sv, dv).Matrix.Above(0.4)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("goroutine %d: %d correspondences, want %d", g, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("goroutine %d diverges at %d: %v vs %v", g, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -16,15 +16,16 @@ import "sort"
 // evidence-rich case study (≈0.74) and small undocumented schemata
 // (≈0.4); see EXPERIMENTS.md. It returns 0 when the matrix has no
 // positive scores (nothing worth filtering).
-func SuggestThreshold(m *Matrix) float64 {
+func SuggestThreshold(m ScoreMatrix) float64 {
 	var maxima []float64
 	for i := 0; i < m.Rows(); i++ {
 		best := 0.0
-		for _, s := range m.Row(i) {
+		m.ForRow(i, func(_ int, s float64) bool {
 			if s > best {
 				best = s
 			}
-		}
+			return true
+		})
 		if best > 0 {
 			maxima = append(maxima, best)
 		}

@@ -183,20 +183,38 @@ func containerVote(src, dst *ElementView) Vote {
 	if len(tokA) == 0 || len(tokB) == 0 {
 		return Abstain
 	}
-	// cap the alignment work per pair to bound worst-case cost
-	const maxChildren = 64
-	if len(tokA) > maxChildren {
-		tokA = tokA[:maxChildren]
-	}
-	if len(tokB) > maxChildren {
-		tokB = tokB[:maxChildren]
-	}
-	used := make([]bool, len(tokB))
 	var total float64
 	n := min(len(tokA), len(tokB))
-	for i := range tokA {
+	if n > maxAlignChildren {
+		n = maxAlignChildren
+	}
+	greedyAlignChildren(tokA, tokB, func(_, _ int, sim float64) {
+		total += sim
+	})
+	return Vote{Ratio: total / float64(n), Evidence: float64(n) * 0.9}
+}
+
+// maxAlignChildren caps the per-pair children-alignment work of both the
+// structure voter and the sparse candidate expansion.
+const maxAlignChildren = 64
+
+// greedyAlignChildren greedily aligns two containers' children by
+// synonym-aware token overlap, calling fn for every aligned (ci, cj)
+// child-index pair with its similarity. The structure voter scores the
+// alignment; the sparse candidate generator admits the aligned pairs, so
+// both stay in lock-step by construction.
+func greedyAlignChildren(tokA, tokB [][]string, fn func(ci, cj int, sim float64)) {
+	na, nb := len(tokA), len(tokB)
+	if na > maxAlignChildren {
+		na = maxAlignChildren
+	}
+	if nb > maxAlignChildren {
+		nb = maxAlignChildren
+	}
+	used := make([]bool, nb)
+	for i := 0; i < na; i++ {
 		best, bestJ := 0.0, -1
-		for j := range tokB {
+		for j := 0; j < nb; j++ {
 			if used[j] {
 				continue
 			}
@@ -206,10 +224,9 @@ func containerVote(src, dst *ElementView) Vote {
 		}
 		if bestJ >= 0 && best > 0 {
 			used[bestJ] = true
-			total += best
+			fn(i, bestJ, best)
 		}
 	}
-	return Vote{Ratio: total / float64(n), Evidence: float64(n) * 0.9}
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"sync"
 
+	"harmony/internal/core"
 	"harmony/internal/registry"
 	"harmony/internal/schema"
 	"harmony/internal/text"
@@ -72,6 +73,13 @@ type Config struct {
 	// fallback, so coverage gates only how much of the *known* mapping
 	// carried through the hub.
 	MinReuseCoverage float64
+	// SparseBudget is the per-source candidate budget of element-level
+	// sparse scoring inside each engine run (0 picks
+	// core.DefaultSparseBudget, negative forces dense scoring). Above the
+	// engine's size cutoff, candidate schemata are scored sparsely by
+	// default: blocking prunes the corpus to schemata, sparse scoring
+	// prunes each surviving schema pair to candidate element pairs.
+	SparseBudget int
 	// Preset names the engine configuration for cache keying; it does not
 	// select the engine (the caller passes the engine). Empty disables
 	// external cache lookups.
@@ -106,7 +114,21 @@ func (c Config) withDefaults() Config {
 	if c.MinReuseCoverage <= 0 {
 		c.MinReuseCoverage = 0.5
 	}
+	if c.SparseBudget == 0 {
+		c.SparseBudget = core.DefaultSparseBudget
+	}
 	return c
+}
+
+// engineFor derives the scoring engine from the config: sparse
+// candidate-pair scoring at the configured budget (the engine still falls
+// back to dense below its size cutoff), or plain dense when the budget is
+// negative.
+func (c Config) engineFor(eng *core.Engine) *core.Engine {
+	if c.SparseBudget > 0 {
+		return eng.WithOptions(core.WithSparse(c.SparseBudget))
+	}
+	return eng.WithOptions(core.WithSparse(0))
 }
 
 // Pair is one element-level correspondence of a corpus match, identified

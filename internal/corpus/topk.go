@@ -20,6 +20,7 @@ func (p *Pipeline) TopK(ctx context.Context, eng *core.Engine, q *schema.Schema,
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	eng = cfg.engineFor(eng)
 	res := &Result{Query: q.Name}
 	qfp := q.Fingerprint()
 

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"harmony/internal/corpus"
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+// TestConcurrentMatchAndCorpusTraffic drives pairwise /v1/match and corpus
+// /v1/corpus/match requests through one server from many goroutines at
+// once — the two paths share the fingerprint-keyed cache, the registry and
+// the (sparse-enabled) preset engines, and the race detector watches the
+// whole interleaving. The schemata are sized past the sparse cutoff so
+// the concurrent engine runs exercise the sparse scoring path, not just
+// the dense one.
+func TestConcurrentMatchAndCorpusTraffic(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, SparseBudget: 32})
+
+	const nSchemas = 4
+	names := make([]string, nSchemas)
+	for i := 0; i < nSchemas; i++ {
+		s, _ := synth.Custom(fmt.Sprintf("Conc%d", i), schema.FormatRelational,
+			synth.StyleRelational, int64(40+i), 30, 6, i*3)
+		if s.Len()*s.Len() < 30000 {
+			t.Fatalf("schema %s too small (%d elements) to cross the sparse cutoff", s.Name, s.Len())
+		}
+		if err := srv.Registry().AddSchema(s, "test"); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = s.Name
+	}
+
+	// post issues one JSON POST and decodes the 200 response into out.
+	// Workers must not touch testing.T (FailNow from a non-test goroutine
+	// is undefined), so failures travel back through the error channel.
+	post := func(url string, body, out any) error {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", &buf)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, b := names[g%nSchemas], names[(g+1)%nSchemas]
+			var mres matchResponse
+			if err := post(ts.URL+"/v1/match", matchRequest{A: a, B: b}, &mres); err != nil {
+				errs <- fmt.Errorf("goroutine %d: match %s vs %s: %w", g, a, b, err)
+			} else if len(mres.Pairs) == 0 {
+				errs <- fmt.Errorf("goroutine %d: match %s vs %s found no pairs", g, a, b)
+			}
+			var cres corpus.Result
+			if err := post(ts.URL+"/v1/corpus/match", corpusRequest{Query: a, K: 2}, &cres); err != nil {
+				errs <- fmt.Errorf("goroutine %d: corpus query %s: %w", g, a, err)
+			} else if len(cres.Matches) == 0 {
+				errs <- fmt.Errorf("goroutine %d: corpus query %s found no matches", g, a)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The two traffic kinds share one cache: a repeat of any pairwise
+	// match must now be served without an engine run.
+	var mres matchResponse
+	do(t, "POST", ts.URL+"/v1/match", matchRequest{A: names[0], B: names[1]}, http.StatusOK, &mres)
+	if !mres.Cached {
+		t.Error("repeated pairwise match not served from the shared cache")
+	}
+	var st Stats
+	do(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &st)
+	if st.Corpus.Queries != goroutines {
+		t.Errorf("corpus queries = %d, want %d", st.Corpus.Queries, goroutines)
+	}
+	if st.Cache.Size == 0 {
+		t.Error("shared cache empty after concurrent traffic")
+	}
+}

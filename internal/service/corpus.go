@@ -131,9 +131,14 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 		Candidates: req.Candidates,
 		TopK:       req.K,
 		Threshold:  threshold,
-		Preset:     preset,
-		Exhaustive: req.Exhaustive,
-		NoReuse:    req.NoReuse,
+		// The corpus pipeline keys its external cache entries by this
+		// string only; decorating it with the sparse budget keeps corpus
+		// and pairwise outcomes sharing one entry space per scoring
+		// configuration.
+		Preset:       s.cachePreset(preset),
+		Exhaustive:   req.Exhaustive,
+		NoReuse:      req.NoReuse,
+		SparseBudget: s.cfg.SparseBudget,
 	}
 	if cfg.Candidates == 0 {
 		cfg.Candidates = s.cfg.CorpusCandidates

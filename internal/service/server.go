@@ -66,7 +66,11 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 	}
 	engines := make(map[string]*core.Engine, len(core.Presets()))
 	for name, mk := range core.Presets() {
-		engines[name] = mk()
+		eng := mk()
+		if cfg.SparseBudget > 0 {
+			eng = eng.WithOptions(core.WithSparse(cfg.SparseBudget))
+		}
+		engines[name] = eng
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -217,6 +221,18 @@ func (s *Server) lookupSchemas(names []string) ([]*schema.Schema, error) {
 	return out, nil
 }
 
+// cachePreset derives the cache-keying identity of a preset: when sparse
+// scoring is enabled the budget is baked into the string, so results
+// computed under a different scoring configuration (an earlier dense
+// daemon's persisted artifacts, say) occupy different cache entries
+// instead of silently answering for each other.
+func (s *Server) cachePreset(preset string) string {
+	if s.cfg.SparseBudget > 0 {
+		return fmt.Sprintf("%s+sparse%d", preset, s.cfg.SparseBudget)
+	}
+	return preset
+}
+
 // matchCached serves one pairwise match through the fingerprint-keyed
 // cache. On a fresh computation the outcome is also persisted to the
 // registry as a match artifact, feeding the next process's warm-start.
@@ -224,7 +240,7 @@ func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold fl
 	key := CacheKey{
 		FingerprintA: ea.Fingerprint,
 		FingerprintB: eb.Fingerprint,
-		Preset:       preset,
+		Preset:       s.cachePreset(preset),
 		Threshold:    threshold,
 	}
 	out, cached, err := s.cache.GetOrCompute(key, func() (*MatchOutcome, error) {

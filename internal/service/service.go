@@ -29,6 +29,10 @@ import (
 	"harmony/internal/search"
 )
 
+// DefaultSparseBudget mirrors the engine's calibrated sparse candidate
+// budget for daemon flag defaults.
+const DefaultSparseBudget = core.DefaultSparseBudget
+
 // Config configures a Server.
 type Config struct {
 	// Preset is the default engine preset for requests that do not name
@@ -56,6 +60,13 @@ type Config struct {
 	// CorpusTopK is the default result count of corpus queries that do
 	// not set one (default 5).
 	CorpusTopK int
+	// SparseBudget is the per-source candidate budget of sparse
+	// candidate-pair scoring in the match engines (0 picks
+	// core.DefaultSparseBudget, negative disables sparse scoring).
+	// Matches below the engine's size cutoff always run dense, so small
+	// interactive matches are unaffected; large uncached matches score
+	// only retrieved candidate pairs.
+	SparseBudget int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -88,6 +99,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CorpusTopK <= 0 {
 		c.CorpusTopK = 5
+	}
+	if c.SparseBudget == 0 {
+		c.SparseBudget = core.DefaultSparseBudget
 	}
 	return c, nil
 }

@@ -92,6 +92,15 @@ func (c *Corpus) Vector(tokens []string) Vector {
 	return Vector{terms: terms, weights: weights}
 }
 
+// ForEach calls f for every non-zero entry of the vector in ascending term
+// order. Candidate-generation indexes use it to enumerate a document's
+// weighted terms without materializing intermediate maps.
+func (v Vector) ForEach(f func(term string, weight float64)) {
+	for i, t := range v.terms {
+		f(t, v.weights[i])
+	}
+}
+
 // Cosine returns the cosine similarity of two vectors produced by the same
 // corpus. Both vectors are unit length, so this is simply their dot
 // product; the result lies in [0,1]. Either vector being empty yields 0.
