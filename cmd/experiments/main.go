@@ -52,6 +52,7 @@ func main() {
 		{"E10", "incremental workflow keeps increments surveyable", runE10},
 		{"E11", "corpus-scale blocked top-k vs exhaustive matching", runE11},
 		{"E12", "sparse candidate-pair scoring vs dense full match", runE12},
+		{"E13", "incremental artifact migration vs full rematch on a version bump", runE13},
 	}
 
 	want := map[string]bool{}

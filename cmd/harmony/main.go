@@ -6,6 +6,8 @@
 //
 //	harmony -a schemaA.ddl -b schemaB.xsd [flags]
 //	harmony corpus -query schemaA.ddl -dir schemas/ [flags]
+//	harmony diff -old v1.ddl -new v2.ddl [flags]
+//	harmony evolve -db registry.json -schema v2.ddl [flags]
 //
 // Schema format is inferred from the extension: .ddl/.sql relational,
 // .xsd/.xml XML Schema, .json interchange.
@@ -35,6 +37,17 @@
 //	-pairs N       print the N best correspondences per match (default 3)
 //	-sparse-budget N  per-source element candidate budget inside each
 //	               engine run (default 64; 0 scores every pair densely)
+//
+// The diff subcommand prints the typed structural change set between two
+// versions of a schema (added / removed / renamed / moved / retyped), with
+// rename detection by the match engine on the changed residue. The evolve
+// subcommand applies a version bump to a schema inside a persisted
+// registry (harmonyd -db file): the version chain is extended, every
+// stored match artifact is migrated through the diff — unchanged elements
+// keep their validated decisions, renamed/moved elements are re-pathed
+// with migrated-from provenance — and only the dirty elements are
+// re-matched against the artifact counterparts. Flags: see
+// harmony diff -h / harmony evolve -h.
 package main
 
 import (
@@ -50,9 +63,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "corpus" {
-		runCorpus(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "corpus":
+			runCorpus(os.Args[2:])
+			return
+		case "diff":
+			runDiff(os.Args[2:])
+			return
+		case "evolve":
+			runEvolve(os.Args[2:])
+			return
+		}
 	}
 	aPath := flag.String("a", "", "source schema file (.ddl/.sql/.xsd/.xml/.json)")
 	bPath := flag.String("b", "", "target schema file")

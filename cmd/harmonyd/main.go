@@ -29,12 +29,18 @@
 //	POST   /v1/schemas         register a schema (JSON interchange format)
 //	GET    /v1/schemas         catalog listing with fingerprints
 //	GET    /v1/schemas/{name}  one schema, full JSON
+//	PUT    /v1/schemas/{name}  register the next version: diff against the
+//	                           current one, migrate stored match artifacts
+//	                           (re-pathing renames/moves, dropping removals),
+//	                           evict cache entries keyed by the old
+//	                           fingerprint, and re-match only the dirty
+//	                           elements (?rematch=sync|async|none)
 //	DELETE /v1/schemas/{name}  unregister (drops its match artifacts)
 //	POST   /v1/match           synchronous pairwise match (cached)
 //	POST   /v1/corpus/match    one query schema vs the whole registry (top-k)
 //	GET    /v1/corpus/topk     corpus query, convenience GET form
 //	POST   /v1/jobs            submit async match / vocabulary / cluster /
-//	                           corpus job
+//	                           corpus / migrate job
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job state, timing and result
 //	DELETE /v1/jobs/{id}       cancel a job

@@ -9,6 +9,7 @@ import (
 	"harmony/internal/core"
 	"harmony/internal/corpus"
 	"harmony/internal/eval"
+	"harmony/internal/evolve"
 	"harmony/internal/export"
 	"harmony/internal/partition"
 	"harmony/internal/registry"
@@ -60,6 +61,9 @@ type (
 	Registry = registry.Registry
 	// MatchArtifact is a stored match with provenance.
 	MatchArtifact = registry.MatchArtifact
+	// AssertedMatch is one element-level correspondence of a stored match
+	// artifact.
+	AssertedMatch = registry.AssertedMatch
 	// Index is the schema search index.
 	Index = search.Index
 	// SearchResult is one ranked search hit.
@@ -434,11 +438,97 @@ func Score(truth *Truth, a, b *Schema, sel []Correspondence) PRF {
 	return eval.ScoreCorrespondences(truth, a, b, sel)
 }
 
+// Churn configures one synthetic schema-evolution step (rename / move /
+// remove / add / retype rates).
+type Churn = synth.Churn
+
+// EvolutionLog is the ground-truth change record of one synthetic
+// evolution step.
+type EvolutionLog = synth.EvolutionLog
+
+// ChurnMixed spreads a total churn rate across change kinds in realistic
+// proportions.
+var ChurnMixed = synth.ChurnMixed
+
+// GenerateEvolution applies one synthetic evolution step to a generated
+// schema: the returned next version (same name), a truth re-keyed to the
+// new paths, and the exact change log to score diffs and migrations
+// against.
+func GenerateEvolution(s *Schema, truth *Truth, seed int64, churn Churn) (*Schema, *Truth, *EvolutionLog) {
+	return synth.Evolve(s, truth, seed, churn)
+}
+
 // GeneratePair produces a small two-schema workload with a controlled
 // concept overlap (shared concepts common to both sides, partially
 // overlapping attributes) — the test-scale analog of GenerateCaseStudy.
 func GeneratePair(seed int64, conceptsA, conceptsB, shared, attrs int) (a, b *Schema, truth *Truth) {
 	return synth.Pair(seed, conceptsA, conceptsB, shared, attrs)
+}
+
+// Schema evolution: versioned registries keep the validated mapping — the
+// expensive asset — alive across schema releases. Diff two versions into a
+// typed change set, migrate stored artifacts through it, and re-match only
+// the dirty elements.
+
+type (
+	// SchemaChange is one element-level difference between two schema
+	// versions.
+	SchemaChange = evolve.Change
+	// SchemaChangeSet is the typed structural diff of two schema versions
+	// (added / removed / renamed / moved / retyped).
+	SchemaChangeSet = evolve.ChangeSet
+	// DiffOptions tunes structural diffing (rename threshold, engine).
+	DiffOptions = evolve.Options
+	// MigrationReport accounts for one artifact's migration through a
+	// diff.
+	MigrationReport = evolve.MigrationReport
+	// UpgradeReport is the product of one registry version bump with
+	// mapping maintenance.
+	UpgradeReport = evolve.UpgradeReport
+	// ArtifactSide names which side of an artifact an evolved schema is
+	// on.
+	ArtifactSide = evolve.Side
+	// RegistryEntry is one registered schema version with catalog
+	// metadata.
+	RegistryEntry = registry.Entry
+)
+
+// Artifact sides.
+const (
+	ArtifactSideA = evolve.SideA
+	ArtifactSideB = evolve.SideB
+)
+
+var (
+	// DiffSchemas computes the typed change set between two versions of a
+	// schema, with engine-backed rename detection on the residue.
+	DiffSchemas = evolve.Diff
+	// MigrateArtifact patches one stored match artifact through a change
+	// set, preserving surviving human decisions.
+	MigrateArtifact = evolve.Migrate
+	// UpgradeSchema bumps a registered schema to its next version and
+	// migrates every stored artifact referencing it.
+	UpgradeSchema = evolve.Upgrade
+	// RematchArtifacts runs the scoped re-match of an upgraded schema's
+	// dirty elements against its artifact counterparts.
+	RematchArtifacts = evolve.Rematch
+	// WhichSide reports which side of an artifact a schema is on.
+	WhichSide = evolve.ArtifactSide
+)
+
+// Evolve performs a full version bump with mapping maintenance using this
+// matcher: diff, registry version chain, artifact migration, and the
+// scoped re-match of dirty elements at the matcher's threshold. It is the
+// library form of the service's PUT /v1/schemas/{name}.
+func (m *Matcher) Evolve(reg *Registry, next *Schema, steward string, tags ...string) (*UpgradeReport, error) {
+	rep, d, err := evolve.Upgrade(reg, next, steward, evolve.Options{Engine: m.Engine}, tags...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := evolve.Rematch(reg, m.Engine, d, rep, m.Threshold); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // SuggestedThreshold proposes a confidence-filter operating point from

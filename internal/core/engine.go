@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"harmony/internal/schema"
@@ -190,6 +191,52 @@ func (e *Engine) MatchElements(sv, dv *SchemaView, elements []*schema.Element) *
 	}
 	e.score(sv, dv, m, rows)
 	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// MatchCross scores only the cross product of the two given element
+// subsets; every other cell reads zero. This is the residue-matching
+// primitive of schema-evolution diffing: rename detection needs scores for
+// (removed candidates × added candidates) only, a workload quadratic in
+// the *churn*, not in the schema — on a 1000-element schema with 5% churn
+// that is 2500 pairs instead of a million. The result is backed by a
+// SparseMatrix holding exactly the cross product, so both the scoring
+// time and the memory are proportional to the residue, never to
+// rows×cols.
+func (e *Engine) MatchCross(sv, dv *SchemaView, srcEls, dstEls []*schema.Element) *Result {
+	cols := make([]int32, 0, len(dstEls))
+	for _, el := range dstEls {
+		cols = append(cols, int32(el.ID))
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+	cands := make([][]int32, sv.Len())
+	for _, el := range srcEls {
+		cands[el.ID] = cols
+	}
+	m := NewSparseMatrix(sv.Len(), dv.Len(), cands)
+	e.scoreSparse(sv, dv, m)
+	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// MatchScoped scores only the pairs whose source element is in the given
+// set, like MatchElements, but routes through the sparse candidate-pair
+// path when sparse scoring is configured and the scoped workload
+// (len(elements) × target size) clears the engine's cutoff: each in-scope
+// element retrieves a bounded candidate set instead of scoring the full
+// target row. This is the incremental re-match primitive of schema
+// evolution — after a version bump only the dirty elements are in scope,
+// so the run costs a fraction of a full rematch. Out-of-scope rows are left
+// empty in either representation.
+func (e *Engine) MatchScoped(sv, dv *SchemaView, elements []*schema.Element) *Result {
+	if !e.sparseActive(len(elements), dv.Len()) {
+		return e.MatchElements(sv, dv, elements)
+	}
+	scope := make([]bool, sv.Len())
+	for _, el := range elements {
+		scope[el.ID] = true
+	}
+	sm := NewSparseMatrix(sv.Len(), dv.Len(), sparseCandidatesScoped(sv, dv, e.sparseBudget, scope))
+	e.scoreSparse(sv, dv, sm)
+	return &Result{Src: sv, Dst: dv, Matrix: sm}
 }
 
 // score fills the matrix for the given source rows (all rows when rows is

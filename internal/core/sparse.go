@@ -387,6 +387,16 @@ func buildSparseIndex(dv *SchemaView) *sparseIndex {
 // the structure voter's children alignment and the propagation passes both
 // need those cells to exist.
 func sparseCandidates(sv, dv *SchemaView, budget int) [][]int32 {
+	return sparseCandidatesScoped(sv, dv, budget, nil)
+}
+
+// sparseCandidatesScoped is sparseCandidates restricted to the given source
+// rows (nil means every row): retrieval runs only for in-scope rows and the
+// structural expansion never promotes a row outside the scope, so a scoped
+// run costs O(|scope|) retrievals, not O(rows). The scoped form is what
+// incremental re-matching after a schema version bump uses: only the dirty
+// elements retrieve candidates.
+func sparseCandidatesScoped(sv, dv *SchemaView, budget int, scope []bool) [][]int32 {
 	ix := buildSparseIndex(dv)
 	rows, cols := sv.Len(), dv.Len()
 	sets := make([]map[int32]struct{}, rows)
@@ -395,6 +405,9 @@ func sparseCandidates(sv, dv *SchemaView, budget int) [][]int32 {
 	var touched []int32
 	var keys []string
 	for i := 0; i < rows; i++ {
+		if scope != nil && !scope[i] {
+			continue
+		}
 		keys = elementKeys(sv.View(i), keys[:0], true)
 		sort.Strings(keys)
 		prev := ""
@@ -449,13 +462,17 @@ func sparseCandidates(sv, dv *SchemaView, budget int) [][]int32 {
 	// Upward structural expansion: every candidate (i, j) promotes
 	// (parent(i), parent(j)). Bounded by the number of distinct candidate
 	// parents, so container rows grow by at most their subtree's retrieval
-	// breadth.
+	// breadth. Scoped runs only promote in-scope parents: out-of-scope rows
+	// must stay empty (their stored decisions are not being revisited).
 	for i := 0; i < rows; i++ {
 		a := sv.View(i).El
 		if a.Parent == nil {
 			continue
 		}
 		pi := a.Parent.ID
+		if scope != nil && !scope[pi] {
+			continue
+		}
 		for j := range sets[i] {
 			b := dv.View(int(j)).El
 			if b.Parent == nil {
@@ -487,7 +504,7 @@ func sparseCandidates(sv, dv *SchemaView, budget int) [][]int32 {
 			if len(bv.El.Children) == 0 {
 				continue
 			}
-			alignChildren(av, bv, sets)
+			alignChildren(av, bv, sets, scope)
 		}
 	}
 
@@ -508,10 +525,14 @@ func sparseCandidates(sv, dv *SchemaView, budget int) [][]int32 {
 
 // alignChildren adds every pair of the structure voter's greedy children
 // alignment (greedyAlignChildren, the same computation containerVote
-// scores) to the source child's candidate set.
-func alignChildren(av, bv *ElementView, sets []map[int32]struct{}) {
+// scores) to the source child's candidate set. Children outside a scoped
+// run's row scope are skipped.
+func alignChildren(av, bv *ElementView, sets []map[int32]struct{}, scope []bool) {
 	greedyAlignChildren(av.ChildTokens, bv.ChildTokens, func(ci, cj int, _ float64) {
 		x := av.El.Children[ci].ID
+		if scope != nil && !scope[x] {
+			return
+		}
 		if sets[x] == nil {
 			sets[x] = make(map[int32]struct{}, 4)
 		}

@@ -246,3 +246,81 @@ func TestSparseMatchConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestMatchScopedRestrictsRows(t *testing.T) {
+	a, b, _ := synth.Pair(17, 20, 18, 10, 6)
+	// Propagation off: scoped runs never propagate (partial rows would
+	// blend against unscored zeros), so score parity with the full run is
+	// only defined pre-propagation.
+	eng := sparseTestEngine(8).WithOptions(WithPropagation(0, 0))
+	sv, dv := Preprocess(a, b)
+
+	scope := a.Roots()[2].Subtree()
+	inScope := make(map[int]bool, len(scope))
+	for _, el := range scope {
+		inScope[el.ID] = true
+	}
+	res := eng.MatchScoped(sv, dv, scope)
+	sm, ok := res.Matrix.(*SparseMatrix)
+	if !ok {
+		t.Fatalf("scoped sparse run produced %T", res.Matrix)
+	}
+	// Out-of-scope rows must be empty; in-scope rows must match the full
+	// sparse run's scores for the cells both retain.
+	for i := 0; i < sv.Len(); i++ {
+		stored := 0
+		sm.ForRow(i, func(int, float64) bool { stored++; return true })
+		if !inScope[i] && stored != 0 {
+			t.Fatalf("out-of-scope row %d has %d stored cells", i, stored)
+		}
+	}
+	full := eng.MatchViews(sv, dv)
+	for _, el := range scope {
+		sm.ForRow(el.ID, func(j int, s float64) bool {
+			if fs := full.Matrix.At(el.ID, j); fs > 0 && s > 0 && fs != s {
+				t.Fatalf("scoped score (%d,%d)=%f differs from full %f", el.ID, j, s, fs)
+			}
+			return true
+		})
+	}
+	// Dense fallback: an engine without sparse gives the same behavior as
+	// MatchElements.
+	denseRes := PresetHarmony().MatchScoped(sv, dv, scope)
+	if _, isDense := denseRes.Matrix.(*Matrix); !isDense {
+		t.Fatalf("dense engine MatchScoped produced %T", denseRes.Matrix)
+	}
+}
+
+func TestMatchCrossScoresOnlySubset(t *testing.T) {
+	a, b, _ := synth.Pair(19, 12, 10, 6, 5)
+	eng := PresetHarmony()
+	sv, dv := Preprocess(a, b)
+	srcEls := a.Roots()[0].Subtree()
+	dstEls := b.Roots()[1].Subtree()
+	res := eng.MatchCross(sv, dv, srcEls, dstEls)
+	inSrc := make(map[int]bool)
+	for _, el := range srcEls {
+		inSrc[el.ID] = true
+	}
+	inDst := make(map[int]bool)
+	for _, el := range dstEls {
+		inDst[el.ID] = true
+	}
+	// MatchElements is the reference: full rows for the source subset,
+	// no propagation — MatchCross must agree on the dst subset exactly.
+	rows := eng.MatchElements(sv, dv, srcEls)
+	for i := 0; i < sv.Len(); i++ {
+		for j := 0; j < dv.Len(); j++ {
+			got := res.Matrix.At(i, j)
+			if !inSrc[i] || !inDst[j] {
+				if got != 0 {
+					t.Fatalf("cell (%d,%d)=%f outside the cross subset", i, j, got)
+				}
+				continue
+			}
+			if want := rows.Matrix.At(i, j); got != want {
+				t.Fatalf("cross cell (%d,%d)=%f, row-scoped=%f", i, j, got, want)
+			}
+		}
+	}
+}

@@ -232,7 +232,24 @@ type Pipeline struct {
 	cache Cache
 
 	mu       sync.Mutex
-	profiles map[string][]string // fingerprint -> sorted unique token profile
+	profiles map[string]*tokenProfile // fingerprint -> counted token profile
+}
+
+// tokenProfile is a schema's counted token profile: occurrence counts per
+// normalized token (so element-level subtraction is exact) plus the sorted
+// unique token list the blocking prefilter consumes.
+type tokenProfile struct {
+	counts map[string]int
+	sorted []string
+}
+
+// resort rebuilds the sorted unique list from the counts.
+func (tp *tokenProfile) resort() {
+	tp.sorted = make([]string, 0, len(tp.counts))
+	for t := range tp.counts {
+		tp.sorted = append(tp.sorted, t)
+	}
+	sort.Strings(tp.sorted)
 }
 
 // maxProfiles bounds the fingerprint-keyed profile memo. Fingerprints of
@@ -246,7 +263,7 @@ func NewPipeline(reg *registry.Registry, cache Cache) *Pipeline {
 	return &Pipeline{
 		reg:      reg,
 		cache:    cache,
-		profiles: make(map[string][]string),
+		profiles: make(map[string]*tokenProfile),
 	}
 }
 
@@ -254,41 +271,86 @@ func NewPipeline(reg *registry.Registry, cache Cache) *Pipeline {
 // memoized by content fingerprint.
 func (p *Pipeline) profile(fingerprint string, s *schema.Schema) []string {
 	p.mu.Lock()
-	if toks, ok := p.profiles[fingerprint]; ok {
+	if tp, ok := p.profiles[fingerprint]; ok {
 		p.mu.Unlock()
-		return toks
+		return tp.sorted
 	}
 	p.mu.Unlock()
-	toks := profileTokens(s)
+	tp := profileTokens(s)
 	p.mu.Lock()
 	if len(p.profiles) >= maxProfiles {
-		p.profiles = make(map[string][]string)
+		p.profiles = make(map[string]*tokenProfile)
 	}
-	p.profiles[fingerprint] = toks
+	p.profiles[fingerprint] = tp
 	p.mu.Unlock()
-	return toks
+	return tp.sorted
 }
 
-// profileTokens computes the sorted unique token profile of a schema:
-// normalized name tokens plus documentation tokens of every element.
-func profileTokens(s *schema.Schema) []string {
-	seen := make(map[string]bool)
-	for _, e := range s.Elements() {
-		for _, t := range text.NormalizeName(e.Name) {
-			seen[t] = true
-		}
-		if e.Doc != "" {
-			for _, t := range text.NormalizeDoc(e.Doc) {
-				seen[t] = true
+// EvolveProfile migrates the memoized token profile across a schema
+// version bump by re-tokenizing only the changed elements: tokens of
+// removed (old-version) elements are subtracted from the counts, tokens of
+// added (new-version) elements are added, and the result is memoized under
+// the new fingerprint — the corpus layer's "re-block only what changed".
+// Renamed elements appear on both lists (old element out, new element in);
+// moved and retyped elements carry the same tokens and need not appear at
+// all. When the old profile was never memoized there is nothing to migrate
+// and the new version's profile is built lazily on first use; EvolveProfile
+// reports whether an incremental migration actually happened.
+func (p *Pipeline) EvolveProfile(oldFp, newFp string, removed, added []*schema.Element) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old, ok := p.profiles[oldFp]
+	delete(p.profiles, oldFp) // the old version no longer takes queries
+	if !ok || oldFp == newFp {
+		return false
+	}
+	counts := make(map[string]int, len(old.counts))
+	for t, n := range old.counts {
+		counts[t] = n
+	}
+	for _, e := range removed {
+		for _, t := range elementTokens(e) {
+			if counts[t] <= 1 {
+				delete(counts, t)
+			} else {
+				counts[t]--
 			}
 		}
 	}
-	out := make([]string, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
+	for _, e := range added {
+		for _, t := range elementTokens(e) {
+			counts[t]++
+		}
 	}
-	sort.Strings(out)
-	return out
+	tp := &tokenProfile{counts: counts}
+	tp.resort()
+	if len(p.profiles) >= maxProfiles {
+		p.profiles = make(map[string]*tokenProfile)
+	}
+	p.profiles[newFp] = tp
+	return true
+}
+
+// elementTokens returns one element's normalized name and documentation
+// tokens.
+func elementTokens(e *schema.Element) []string {
+	toks := text.NormalizeName(e.Name)
+	if e.Doc != "" {
+		toks = append(toks, text.NormalizeDoc(e.Doc)...)
+	}
+	return toks
+}
+
+// profileTokens computes the counted token profile of a schema.
+func profileTokens(s *schema.Schema) *tokenProfile {
+	tp := &tokenProfile{counts: make(map[string]int)}
+	for _, e := range s.Elements() {
+		for _, t := range elementTokens(e) {
+			tp.counts[t]++
+		}
+	}
+	tp.resort()
+	return tp
 }
 
 // overlapCoefficient computes |a ∩ b| / min(|a|, |b|) over two sorted

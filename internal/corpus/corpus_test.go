@@ -316,3 +316,54 @@ func TestOverlapCoefficient(t *testing.T) {
 		}
 	}
 }
+
+func TestEvolveProfileMatchesFromScratch(t *testing.T) {
+	old := schema.New("Evo", schema.FormatRelational)
+	tbl := old.AddRoot("EVENT", schema.KindTable)
+	tbl.Doc = "operational event"
+	old.AddElement(tbl, "EVENT_ID", schema.KindColumn, schema.TypeIdentifier)
+	old.AddElement(tbl, "EVENT_DATE", schema.KindColumn, schema.TypeDate)
+	old.AddElement(tbl, "REMARKS", schema.KindColumn, schema.TypeText).Doc = "free text remarks"
+	old.AddElement(tbl, "STATUS_CODE", schema.KindColumn, schema.TypeString)
+
+	new := schema.New("Evo", schema.FormatRelational)
+	tbl2 := new.AddRoot("EVENT", schema.KindTable)
+	tbl2.Doc = "operational event"
+	new.AddElement(tbl2, "EVENT_ID", schema.KindColumn, schema.TypeIdentifier)
+	new.AddElement(tbl2, "EVENT_DT", schema.KindColumn, schema.TypeDate) // renamed
+	new.AddElement(tbl2, "STATUS_CODE", schema.KindColumn, schema.TypeString)
+	new.AddElement(tbl2, "PRIORITY_LEVEL", schema.KindColumn, schema.TypeInteger) // added
+	// REMARKS removed — but "event" tokens survive through other elements
+
+	p := NewPipeline(registry.New(), nil)
+	oldFp, newFp := old.Fingerprint(), new.Fingerprint()
+	p.profile(oldFp, old) // memoize the old version
+
+	removed := []*schema.Element{old.ByPath("EVENT/EVENT_DATE"), old.ByPath("EVENT/REMARKS")}
+	added := []*schema.Element{new.ByPath("EVENT/EVENT_DT"), new.ByPath("EVENT/PRIORITY_LEVEL")}
+	if !p.EvolveProfile(oldFp, newFp, removed, added) {
+		t.Fatal("EvolveProfile reported no migration despite a memoized profile")
+	}
+	got := p.profile(newFp, nil) // nil schema: must come from the memo
+	want := profileTokens(new).sorted
+	if len(got) != len(want) {
+		t.Fatalf("incremental profile = %v, from scratch = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("incremental profile diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	// The old fingerprint must be evicted.
+	p.mu.Lock()
+	_, stale := p.profiles[oldFp]
+	p.mu.Unlock()
+	if stale {
+		t.Fatal("old fingerprint profile not evicted")
+	}
+	// Without a memoized old profile, EvolveProfile is a no-op.
+	p2 := NewPipeline(registry.New(), nil)
+	if p2.EvolveProfile(oldFp, newFp, removed, added) {
+		t.Fatal("EvolveProfile migrated a profile it never had")
+	}
+}

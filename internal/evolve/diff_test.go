@@ -1,0 +1,213 @@
+package evolve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+// ordersV1 builds a small relational schema used by the hand-crafted diff
+// scenarios.
+func ordersV1() *schema.Schema {
+	s := schema.New("Orders", schema.FormatRelational)
+	o := s.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	s.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	s.AddElement(o, "ORDER_DATE", schema.KindColumn, schema.TypeDate)
+	s.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	c := s.AddRoot("CUSTOMER", schema.KindTable)
+	s.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	s.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	s.AddElement(c, "PHONE_NUMBER", schema.KindColumn, schema.TypeString)
+	return s
+}
+
+func TestDiffIdentical(t *testing.T) {
+	d := Diff(ordersV1(), ordersV1(), Options{})
+	if !d.Empty() {
+		t.Fatalf("identical versions diffed non-empty: %s", d.Summary())
+	}
+	if d.Unchanged != ordersV1().Len() {
+		t.Fatalf("Unchanged = %d, want %d", d.Unchanged, ordersV1().Len())
+	}
+	if d.OldFingerprint != d.NewFingerprint {
+		t.Fatal("identical content, different fingerprints")
+	}
+}
+
+func TestDiffAddRemoveRetype(t *testing.T) {
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DATE", schema.KindColumn, schema.TypeDateTime) // retyped
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	v2.AddElement(o, "CURRENCY_CODE", schema.KindColumn, schema.TypeString) // added
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	// PHONE_NUMBER removed
+
+	d := Diff(ordersV1(), v2, Options{})
+	if len(d.Added) != 1 || d.Added[0].NewPath != "ORDER_HEADER/CURRENCY_CODE" {
+		t.Fatalf("Added = %+v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0].OldPath != "CUSTOMER/PHONE_NUMBER" {
+		t.Fatalf("Removed = %+v", d.Removed)
+	}
+	if len(d.Retyped) != 1 || d.Retyped[0].NewPath != "ORDER_HEADER/ORDER_DATE" ||
+		d.Retyped[0].OldType != schema.TypeDate || d.Retyped[0].NewType != schema.TypeDateTime {
+		t.Fatalf("Retyped = %+v", d.Retyped)
+	}
+	if len(d.Renamed) != 0 || len(d.Moved) != 0 {
+		t.Fatalf("spurious renames/moves: %s", d.Summary())
+	}
+	dirty := d.DirtyNewPaths()
+	want := map[string]bool{"ORDER_HEADER/CURRENCY_CODE": true, "ORDER_HEADER/ORDER_DATE": true}
+	if len(dirty) != len(want) {
+		t.Fatalf("DirtyNewPaths = %v", dirty)
+	}
+	for _, p := range dirty {
+		if !want[p] {
+			t.Fatalf("unexpected dirty path %q", p)
+		}
+	}
+}
+
+func TestDiffDetectsRenameAndMove(t *testing.T) {
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DT", schema.KindColumn, schema.TypeDate) // renamed from ORDER_DATE
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	v2.AddElement(o, "PHONE_NUMBER", schema.KindColumn, schema.TypeString) // moved from CUSTOMER
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+
+	d := Diff(ordersV1(), v2, Options{})
+	if len(d.Renamed) != 1 || d.Renamed[0].OldPath != "ORDER_HEADER/ORDER_DATE" ||
+		d.Renamed[0].NewPath != "ORDER_HEADER/ORDER_DT" {
+		t.Fatalf("Renamed = %+v (summary %s)", d.Renamed, d.Summary())
+	}
+	if d.Renamed[0].Score <= 0 {
+		t.Fatalf("rename carries no confidence: %+v", d.Renamed[0])
+	}
+	if len(d.Moved) != 1 || d.Moved[0].OldPath != "CUSTOMER/PHONE_NUMBER" ||
+		d.Moved[0].NewPath != "ORDER_HEADER/PHONE_NUMBER" {
+		t.Fatalf("Moved = %+v", d.Moved)
+	}
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("rename/move leaked into add/remove: %s", d.Summary())
+	}
+	pm := d.PathMap()
+	if pm["ORDER_HEADER/ORDER_DATE"] != "ORDER_HEADER/ORDER_DT" {
+		t.Fatalf("PathMap missing rename: %v", pm)
+	}
+}
+
+func TestDiffContainerRenameDoesNotDirtySubtree(t *testing.T) {
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HDR", schema.KindTable) // renamed container
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DATE", schema.KindColumn, schema.TypeDate)
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	v2.AddElement(c, "PHONE_NUMBER", schema.KindColumn, schema.TypeString)
+
+	d := Diff(ordersV1(), v2, Options{})
+	if len(d.Renamed) != 1 || d.Renamed[0].OldPath != "ORDER_HEADER" || d.Renamed[0].NewPath != "ORDER_HDR" {
+		t.Fatalf("container rename not detected: %s", d.Summary())
+	}
+	if len(d.Added) != 0 || len(d.Removed) != 0 || len(d.Moved) != 0 {
+		t.Fatalf("container rename dirtied its subtree: %s", d.Summary())
+	}
+	// The children are re-pathed in the map but not dirty.
+	pm := d.PathMap()
+	if pm["ORDER_HEADER/ORDER_ID"] != "ORDER_HDR/ORDER_ID" {
+		t.Fatalf("children not re-pathed through container rename: %v", pm)
+	}
+	if dirty := d.DirtyNewPaths(); len(dirty) != 1 || dirty[0] != "ORDER_HDR" {
+		t.Fatalf("DirtyNewPaths = %v, want just the container", dirty)
+	}
+}
+
+func TestDiffRecoversSynthEvolution(t *testing.T) {
+	s, truth := synth.Custom("S", schema.FormatRelational, synth.StyleRelational, 17, 60, 6, 0)
+	v2, _, log := synth.Evolve(s, truth, 4, synth.ChurnMixed(0.10))
+	d := Diff(s, v2, Options{})
+
+	// Every ground-truth removal and addition must be classified as such
+	// or absorbed into a rename/move pairing; none may survive unnoticed.
+	if d.Empty() {
+		t.Fatal("evolution produced an empty diff")
+	}
+	// Rename recall: how many ground-truth renames the diff recovered
+	// (exact old->new pairing) — engine-based detection should get most.
+	recovered := 0
+	pm := d.PathMap()
+	for oldPath, newPath := range log.Renamed {
+		if pm[oldPath] == newPath {
+			recovered++
+		}
+	}
+	if len(log.Renamed) > 0 {
+		recall := float64(recovered) / float64(len(log.Renamed))
+		if recall < 0.8 {
+			t.Fatalf("rename recall %.2f (%d/%d)", recall, recovered, len(log.Renamed))
+		}
+	}
+	// Moves keep their names, so recall should be high.
+	movedRecovered := 0
+	for oldPath, newPath := range log.Moved {
+		if pm[oldPath] == newPath {
+			movedRecovered++
+		}
+	}
+	if len(log.Moved) > 0 && movedRecovered == 0 {
+		t.Fatalf("no moves recovered of %d", len(log.Moved))
+	}
+	// Unchanged elements must never be dropped from the map.
+	for oldPath, newPath := range log.Mapping {
+		if _, renamed := log.Renamed[oldPath]; renamed {
+			continue
+		}
+		if _, moved := log.Moved[oldPath]; moved {
+			continue
+		}
+		got, ok := pm[oldPath]
+		if !ok || got != newPath {
+			t.Fatalf("untouched element %q mapped to %q, want %q", oldPath, got, newPath)
+		}
+	}
+}
+
+func TestChangeJSONRoundTripsRetype(t *testing.T) {
+	ch := Change{OldPath: "T/A", NewPath: "T/A", OldType: schema.TypeInteger, NewType: schema.TypeDecimal}
+	data, err := json.Marshal(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"oldType":"integer"`) || !strings.Contains(string(data), `"newType":"decimal"`) {
+		t.Fatalf("retype lost in JSON: %s", data)
+	}
+	var back Change
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ch {
+		t.Fatalf("round trip: %+v != %+v", back, ch)
+	}
+	// Non-retype changes omit the type fields entirely.
+	plain, _ := json.Marshal(Change{OldPath: "a", NewPath: "b", Score: 0.5})
+	if strings.Contains(string(plain), "Type") || strings.Contains(string(plain), "none") {
+		t.Fatalf("spurious type fields: %s", plain)
+	}
+}

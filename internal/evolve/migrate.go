@@ -1,0 +1,172 @@
+package evolve
+
+import (
+	"fmt"
+
+	"harmony/internal/registry"
+)
+
+// Side names which side of a match artifact the evolved schema is on.
+type Side int
+
+// Sides of a MatchArtifact.
+const (
+	SideA Side = iota
+	SideB
+)
+
+// ArtifactSide reports which side of the artifact the named schema is on.
+// ok is false when the artifact does not reference the schema at all; an
+// artifact matching a schema against itself resolves to SideA.
+func ArtifactSide(ma *registry.MatchArtifact, name string) (Side, bool) {
+	switch name {
+	case ma.SchemaA:
+		return SideA, true
+	case ma.SchemaB:
+		return SideB, true
+	}
+	return SideA, false
+}
+
+// MigrationReport accounts for one artifact's migration through a diff.
+type MigrationReport struct {
+	// ArtifactID is the migrated artifact.
+	ArtifactID string `json:"artifactId"`
+	// Counterpart is the schema on the artifact's other side.
+	Counterpart string `json:"counterpart"`
+	// Kept counts pairs whose evolved-side path survived unchanged.
+	Kept int `json:"kept"`
+	// Repathed counts pairs re-pathed through a rename, move or ancestor
+	// rename, with migrated-from provenance.
+	Repathed int `json:"repathed"`
+	// Dropped counts pairs whose evolved-side element was removed.
+	Dropped int `json:"dropped"`
+	// DroppedPaths lists the removed old paths, for audit.
+	DroppedPaths []string `json:"droppedPaths,omitempty"`
+	// Proposals counts fresh pairs a scoped re-match appended (0 until
+	// Rematch runs).
+	Proposals int `json:"proposals,omitempty"`
+}
+
+// Preserved returns the fraction of the artifact's pairs that survived
+// migration (kept or re-pathed); 1 for an empty artifact.
+func (r *MigrationReport) Preserved() float64 {
+	total := r.Kept + r.Repathed + r.Dropped
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Kept+r.Repathed) / float64(total)
+}
+
+// migratedFromNote stamps a re-pathed pair with its pre-evolution path.
+func migratedFromNote(oldPath string) string { return "migrated-from=" + oldPath }
+
+// rematchNote marks pairs proposed by the post-migration scoped re-match.
+const rematchNote = "rematch=evolve"
+
+// Migrate patches a stored match artifact through a change set: the
+// evolved schema is on the given side, and every pair follows its element
+// through the diff. Unchanged elements keep their pair — including the
+// human validation status, annotation and reviewer — untouched; renamed
+// and moved elements keep the pair but are re-pathed with a
+// "migrated-from=<old-path>" note; removed elements drop their pairs. The
+// input artifact is not modified; the returned copy shares nothing with it
+// but the ID and counterpart paths.
+//
+// Retyped elements keep their pairs as-is: the decision may still hold,
+// and the scoped re-match revisits them — a migration should never delete
+// a human judgement an element's survival does not contradict.
+func Migrate(ma *registry.MatchArtifact, d *ChangeSet, side Side) (*registry.MatchArtifact, *MigrationReport) {
+	out := *ma
+	out.Pairs = make([]registry.AssertedMatch, 0, len(ma.Pairs))
+	rep := &MigrationReport{ArtifactID: ma.ID, Counterpart: ma.SchemaB}
+	if side == SideB {
+		rep.Counterpart = ma.SchemaA
+	}
+	pathMap := d.PathMap()
+	for _, p := range ma.Pairs {
+		oldPath := p.PathA
+		if side == SideB {
+			oldPath = p.PathB
+		}
+		newPath, ok := pathMap[oldPath]
+		if !ok {
+			rep.Dropped++
+			rep.DroppedPaths = append(rep.DroppedPaths, oldPath)
+			continue
+		}
+		if newPath == oldPath {
+			rep.Kept++
+			out.Pairs = append(out.Pairs, p)
+			continue
+		}
+		rep.Repathed++
+		moved := p
+		if side == SideB {
+			moved.PathB = newPath
+		} else {
+			moved.PathA = newPath
+		}
+		if moved.Note != "" {
+			moved.Note += "; "
+		}
+		moved.Note += migratedFromNote(oldPath)
+		out.Pairs = append(out.Pairs, moved)
+	}
+	return &out, rep
+}
+
+// MigrateBoth patches an artifact whose two sides are *both* the evolved
+// schema (a self-match); both paths of every pair follow the diff in one
+// pass, so the report accounts each pair exactly once: dropped when either
+// side's element was removed, re-pathed when either side moved, kept only
+// when both sides survived untouched.
+func MigrateBoth(ma *registry.MatchArtifact, d *ChangeSet) (*registry.MatchArtifact, *MigrationReport) {
+	out := *ma
+	out.Pairs = make([]registry.AssertedMatch, 0, len(ma.Pairs))
+	rep := &MigrationReport{ArtifactID: ma.ID, Counterpart: ma.SchemaA}
+	pathMap := d.PathMap()
+	for _, p := range ma.Pairs {
+		newA, okA := pathMap[p.PathA]
+		newB, okB := pathMap[p.PathB]
+		if !okA || !okB {
+			rep.Dropped++
+			if !okA {
+				rep.DroppedPaths = append(rep.DroppedPaths, p.PathA)
+			}
+			if !okB {
+				rep.DroppedPaths = append(rep.DroppedPaths, p.PathB)
+			}
+			continue
+		}
+		if newA == p.PathA && newB == p.PathB {
+			rep.Kept++
+			out.Pairs = append(out.Pairs, p)
+			continue
+		}
+		rep.Repathed++
+		moved := p
+		if newA != p.PathA {
+			if moved.Note != "" {
+				moved.Note += "; "
+			}
+			moved.Note += migratedFromNote(p.PathA)
+			moved.PathA = newA
+		}
+		if newB != p.PathB {
+			if moved.Note != "" {
+				moved.Note += "; "
+			}
+			moved.Note += migratedFromNote(p.PathB)
+			moved.PathB = newB
+		}
+		out.Pairs = append(out.Pairs, moved)
+	}
+	return &out, rep
+}
+
+// String renders the report headline.
+func (r *MigrationReport) String() string {
+	return fmt.Sprintf("%s vs %s: %d kept, %d repathed, %d dropped, %d proposed",
+		r.ArtifactID, r.Counterpart, r.Kept, r.Repathed, r.Dropped, r.Proposals)
+}

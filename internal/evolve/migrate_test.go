@@ -1,0 +1,231 @@
+package evolve
+
+import (
+	"testing"
+
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+func TestMigrateKeepsRepathsAndDrops(t *testing.T) {
+	v1 := ordersV1()
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DT", schema.KindColumn, schema.TypeDate) // renamed
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	// PHONE_NUMBER removed
+
+	ma := &registry.MatchArtifact{
+		ID: "match-000001", SchemaA: "Orders", SchemaB: "CRM",
+		Pairs: []registry.AssertedMatch{
+			{PathA: "ORDER_HEADER/ORDER_ID", PathB: "crm/order_key", Score: 0.9,
+				Status: registry.StatusAccepted, ValidatedBy: "alice"},
+			{PathA: "ORDER_HEADER/ORDER_DATE", PathB: "crm/order_date", Score: 0.8,
+				Status: registry.StatusAccepted, ValidatedBy: "alice"},
+			{PathA: "CUSTOMER/PHONE_NUMBER", PathB: "crm/phone", Score: 0.7,
+				Status: registry.StatusAccepted, ValidatedBy: "bob"},
+		},
+	}
+	d := Diff(v1, v2, Options{})
+	migrated, rep := Migrate(ma, d, SideA)
+
+	if rep.Kept != 1 || rep.Repathed != 1 || rep.Dropped != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(migrated.Pairs) != 2 {
+		t.Fatalf("migrated pairs = %+v", migrated.Pairs)
+	}
+	if migrated.Pairs[0].PathA != "ORDER_HEADER/ORDER_ID" || migrated.Pairs[0].Note != "" {
+		t.Fatalf("kept pair mutated: %+v", migrated.Pairs[0])
+	}
+	re := migrated.Pairs[1]
+	if re.PathA != "ORDER_HEADER/ORDER_DT" || re.Note != "migrated-from=ORDER_HEADER/ORDER_DATE" {
+		t.Fatalf("re-pathed pair = %+v", re)
+	}
+	if re.ValidatedBy != "alice" || re.Status != registry.StatusAccepted {
+		t.Fatal("re-pathing lost the human validation")
+	}
+	if rep.Preserved() < 0.66 || rep.Preserved() > 0.67 {
+		t.Fatalf("Preserved = %.3f", rep.Preserved())
+	}
+	// The original artifact must be untouched.
+	if len(ma.Pairs) != 3 || ma.Pairs[1].PathA != "ORDER_HEADER/ORDER_DATE" {
+		t.Fatal("Migrate mutated its input")
+	}
+}
+
+func TestMigrateSideB(t *testing.T) {
+	v1 := ordersV1()
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DT", schema.KindColumn, schema.TypeDate)
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	v2.AddElement(c, "PHONE_NUMBER", schema.KindColumn, schema.TypeString)
+
+	ma := &registry.MatchArtifact{
+		ID: "match-000002", SchemaA: "CRM", SchemaB: "Orders",
+		Pairs: []registry.AssertedMatch{
+			{PathA: "crm/order_date", PathB: "ORDER_HEADER/ORDER_DATE", Score: 0.8, Status: registry.StatusAccepted},
+		},
+	}
+	side, ok := ArtifactSide(ma, "Orders")
+	if !ok || side != SideB {
+		t.Fatalf("ArtifactSide = %v, %v", side, ok)
+	}
+	d := Diff(v1, v2, Options{})
+	migrated, rep := Migrate(ma, d, side)
+	if rep.Repathed != 1 || migrated.Pairs[0].PathB != "ORDER_HEADER/ORDER_DT" {
+		t.Fatalf("side-B migration failed: %+v / %+v", rep, migrated.Pairs)
+	}
+	if migrated.Pairs[0].PathA != "crm/order_date" {
+		t.Fatal("side-B migration touched the counterpart path")
+	}
+}
+
+// truthArtifact turns the generation oracle's ground-truth pairs between a
+// and b into an accepted, human-validated artifact — the asset migration
+// must preserve.
+func truthArtifact(truth *synth.Truth, a, b *schema.Schema) *registry.MatchArtifact {
+	ma := &registry.MatchArtifact{
+		ID: "match-000042", SchemaA: a.Name, SchemaB: b.Name,
+		Context: registry.ContextIntegration,
+	}
+	for _, p := range truth.Pairs(a, b) {
+		ma.Pairs = append(ma.Pairs, registry.AssertedMatch{
+			PathA: p[0], PathB: p[1], Score: 0.85,
+			Status: registry.StatusAccepted, ValidatedBy: "oracle",
+		})
+	}
+	return ma
+}
+
+// TestMigrationFidelityScenarios is the migration-fidelity gate: across
+// rename-heavy, move-heavy and additive evolution scenarios, migrating a
+// ground-truth-accepted artifact through the structural diff must preserve
+// at least 95% of the pairs that actually survived the evolution, each at
+// its correct new path.
+func TestMigrationFidelityScenarios(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		churn synth.Churn
+	}{
+		{"rename-heavy", synth.ChurnRenameHeavy},
+		{"move-heavy", synth.ChurnMoveHeavy},
+		{"additive", synth.ChurnAdditive},
+		{"mixed-10pct", synth.ChurnMixed(0.10)},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			a, b, truth := synth.Pair(31, 40, 32, 24, 6)
+			ma := truthArtifact(truth, a, b)
+			if len(ma.Pairs) < 50 {
+				t.Fatalf("workload too small: %d ground-truth pairs", len(ma.Pairs))
+			}
+			a2, _, log := synth.Evolve(a, truth, 77, sc.churn)
+			d := Diff(a, a2, Options{})
+			migrated, rep := Migrate(ma, d, SideA)
+
+			byOldPath := make(map[string]string, len(migrated.Pairs))
+			for i, p := range ma.Pairs {
+				_ = i
+				byOldPath[p.PathA] = ""
+			}
+			got := make(map[string]string, len(migrated.Pairs)) // new path -> counterpart
+			for _, p := range migrated.Pairs {
+				got[p.PathA] = p.PathB
+			}
+			shouldSurvive, preserved := 0, 0
+			for _, p := range ma.Pairs {
+				newPath, ok := log.Mapping[p.PathA]
+				if !ok {
+					continue // ground truth: element removed; pair should drop
+				}
+				shouldSurvive++
+				if got[newPath] == p.PathB {
+					preserved++
+				}
+			}
+			if shouldSurvive == 0 {
+				t.Fatal("no pairs should survive; bad scenario")
+			}
+			frac := float64(preserved) / float64(shouldSurvive)
+			t.Logf("%s: %d/%d preserved (%.3f), report: kept=%d repathed=%d dropped=%d",
+				sc.name, preserved, shouldSurvive, frac, rep.Kept, rep.Repathed, rep.Dropped)
+			if frac < 0.95 {
+				t.Fatalf("preservation %.3f < 0.95 (%d/%d)", frac, preserved, shouldSurvive)
+			}
+		})
+	}
+}
+
+func TestMigrateBothSelfMatchAccounting(t *testing.T) {
+	v1 := ordersV1()
+	v2 := schema.New("Orders", schema.FormatRelational)
+	o := v2.AddRoot("ORDER_HEADER", schema.KindTable)
+	o.Doc = "one customer order"
+	v2.AddElement(o, "ORDER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(o, "ORDER_DT", schema.KindColumn, schema.TypeDate) // renamed
+	v2.AddElement(o, "TOTAL_AMOUNT", schema.KindColumn, schema.TypeDecimal)
+	c := v2.AddRoot("CUSTOMER", schema.KindTable)
+	v2.AddElement(c, "CUSTOMER_ID", schema.KindColumn, schema.TypeIdentifier)
+	v2.AddElement(c, "CUSTOMER_NAME", schema.KindColumn, schema.TypeString)
+	// PHONE_NUMBER removed
+
+	ma := &registry.MatchArtifact{
+		ID: "match-000007", SchemaA: "Orders", SchemaB: "Orders",
+		Pairs: []registry.AssertedMatch{
+			// A-side element removed: must be DROPPED, not reported kept.
+			{PathA: "CUSTOMER/PHONE_NUMBER", PathB: "CUSTOMER/CUSTOMER_ID", Score: 0.4, Status: registry.StatusAccepted},
+			// A-side repathed, B-side kept: one REPATHED pair.
+			{PathA: "ORDER_HEADER/ORDER_DATE", PathB: "CUSTOMER/CUSTOMER_ID", Score: 0.4, Status: registry.StatusAccepted},
+			// untouched on both sides: KEPT.
+			{PathA: "ORDER_HEADER/ORDER_ID", PathB: "CUSTOMER/CUSTOMER_ID", Score: 0.4, Status: registry.StatusAccepted},
+		},
+	}
+	d := Diff(v1, v2, Options{})
+	migrated, rep := MigrateBoth(ma, d)
+	if rep.Dropped != 1 || rep.Repathed != 1 || rep.Kept != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.DroppedPaths) != 1 || rep.DroppedPaths[0] != "CUSTOMER/PHONE_NUMBER" {
+		t.Fatalf("DroppedPaths = %v", rep.DroppedPaths)
+	}
+	if len(migrated.Pairs) != 2 {
+		t.Fatalf("pairs = %+v", migrated.Pairs)
+	}
+	if migrated.Pairs[0].PathA != "ORDER_HEADER/ORDER_DT" ||
+		migrated.Pairs[0].Note != "migrated-from=ORDER_HEADER/ORDER_DATE" {
+		t.Fatalf("repathed self pair = %+v", migrated.Pairs[0])
+	}
+}
+
+func TestDiffTracksDocChanges(t *testing.T) {
+	v2 := ordersV1()
+	v2.ByPath("ORDER_HEADER").Doc = "one customer order, including drafts"
+	d := Diff(ordersV1(), v2, Options{})
+	if len(d.Redocumented) != 1 || d.Redocumented[0].NewPath != "ORDER_HEADER" {
+		t.Fatalf("Redocumented = %+v", d.Redocumented)
+	}
+	if d.Empty() {
+		t.Fatal("doc-only change reported as empty diff despite fingerprint change")
+	}
+	// Doc drift does not dirty the pair for re-matching...
+	if len(d.DirtyNewPaths()) != 0 {
+		t.Fatalf("doc change dirtied %v", d.DirtyNewPaths())
+	}
+	// ...and keeps the pair mapped for migration.
+	if d.PathMap()["ORDER_HEADER"] != "ORDER_HEADER" {
+		t.Fatal("doc change broke the path map")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"harmony/internal/schema"
@@ -14,6 +15,10 @@ type persisted struct {
 	Schemas []persistedEntry    `json:"schemas"`
 	Matches []persistedArtifact `json:"matches"`
 	NextID  int                 `json:"nextId"`
+	// History holds superseded schema versions (version chains minus the
+	// current entries, which live in Schemas). Absent in files written
+	// before schema versioning; those load as single-entry chains.
+	History []persistedEntry `json:"history,omitempty"`
 }
 
 type persistedEntry struct {
@@ -21,6 +26,9 @@ type persistedEntry struct {
 	Steward    string          `json:"steward,omitempty"`
 	Tags       []string        `json:"tags,omitempty"`
 	Registered time.Time       `json:"registered"`
+	// Version is the entry's place in its schema's version chain; 0 in
+	// pre-versioning files, normalized to 1 at load.
+	Version int `json:"version,omitempty"`
 }
 
 type persistedArtifact struct {
@@ -37,15 +45,38 @@ type persistedArtifact struct {
 func (r *Registry) Save(path string) error {
 	r.mu.RLock()
 	p := persisted{NextID: r.nextID}
-	for _, e := range r.Schemas() {
+	marshalEntry := func(e *Entry) (persistedEntry, error) {
 		raw, err := json.Marshal(e.Schema)
+		if err != nil {
+			return persistedEntry{}, err
+		}
+		return persistedEntry{
+			Schema: raw, Steward: e.Steward, Tags: e.Tags,
+			Registered: e.Registered, Version: e.Version,
+		}, nil
+	}
+	for _, e := range r.Schemas() {
+		pe, err := marshalEntry(e)
 		if err != nil {
 			r.mu.RUnlock()
 			return fmt.Errorf("registry save: %w", err)
 		}
-		p.Schemas = append(p.Schemas, persistedEntry{
-			Schema: raw, Steward: e.Steward, Tags: e.Tags, Registered: e.Registered,
-		})
+		p.Schemas = append(p.Schemas, pe)
+	}
+	names := make([]string, 0, len(r.history))
+	for name := range r.history {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, e := range r.history[name] {
+			pe, err := marshalEntry(e)
+			if err != nil {
+				r.mu.RUnlock()
+				return fmt.Errorf("registry save: %w", err)
+			}
+			p.History = append(p.History, pe)
+		}
 	}
 	for _, ma := range r.Matches() {
 		p.Matches = append(p.Matches, persistedArtifact{
@@ -70,7 +101,8 @@ func (r *Registry) Save(path string) error {
 }
 
 // Load reads a registry previously written by Save. Artifacts are restored
-// verbatim (IDs preserved); the search index is rebuilt.
+// verbatim (IDs preserved); the search index is rebuilt over the current
+// versions, and superseded versions rejoin their chains.
 func Load(path string) (*Registry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -89,12 +121,39 @@ func Load(path string) (*Registry, error) {
 		if err := r.AddSchema(s, pe.Steward, pe.Tags...); err != nil {
 			return nil, fmt.Errorf("registry load: %w", err)
 		}
-		// preserve original registration time
+		// preserve original registration time and version
 		r.mu.Lock()
 		r.entries[s.Name].Registered = pe.Registered
+		if pe.Version > 1 {
+			r.entries[s.Name].Version = pe.Version
+		}
+		r.mu.Unlock()
+	}
+	for _, pe := range p.History {
+		s, err := schema.ParseJSON(pe.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("registry load: %w", err)
+		}
+		version := pe.Version
+		if version < 1 {
+			version = 1
+		}
+		r.mu.Lock()
+		r.history[s.Name] = append(r.history[s.Name], &Entry{
+			Schema:      s,
+			Steward:     pe.Steward,
+			Tags:        pe.Tags,
+			Registered:  pe.Registered,
+			Stats:       s.ComputeStats(),
+			Fingerprint: s.Fingerprint(),
+			Version:     version,
+		})
 		r.mu.Unlock()
 	}
 	r.mu.Lock()
+	for _, chain := range r.history {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Version < chain[j].Version })
+	}
 	for i := range p.Matches {
 		pa := p.Matches[i]
 		r.matches[pa.ID] = &MatchArtifact{

@@ -69,6 +69,12 @@ type AssertedMatch struct {
 	Status       ValidationStatus
 	Annotation   Annotation
 	ValidatedBy  string
+	// Note carries machine-readable pair provenance beyond the review
+	// fields; the evolution layer stamps re-pathed pairs with
+	// "migrated-from=<old-path>" and fresh re-match proposals with
+	// "rematch=evolve", so an auditor can tell a surviving human decision
+	// from a machine-proposed one after a schema version bump.
+	Note string `json:",omitempty"`
 }
 
 // Provenance records who created a match artifact, with what, and when.
@@ -100,7 +106,7 @@ func (ma *MatchArtifact) AcceptedPairs() []AssertedMatch {
 	return out
 }
 
-// Entry is one registered schema with catalog metadata.
+// Entry is one registered schema version with catalog metadata.
 type Entry struct {
 	Schema     *schema.Schema
 	Steward    string
@@ -112,12 +118,25 @@ type Entry struct {
 	// service layer keys its match cache on it, so stored match artifacts
 	// can be reused as long as the schema content is unchanged.
 	Fingerprint string
+	// Version numbers this entry within its schema's version chain,
+	// starting at 1. AddVersion bumps it; only the highest version is
+	// current (searchable, matchable); superseded versions remain readable
+	// through Versions for diffing and audit.
+	Version int
 }
+
+// maxHistory bounds the superseded versions kept per schema; beyond it the
+// oldest is dropped. Version chains exist for diffing and audit, not as an
+// archive — a daemon bumping a schema hourly must not grow without bound.
+const maxHistory = 8
 
 // Registry is the repository. Construct with New; safe for concurrent use.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	// history holds each schema's superseded versions, oldest first. The
+	// current version lives in entries only.
+	history map[string][]*Entry
 	matches map[string]*MatchArtifact
 	index   *search.Index
 	nextID  int
@@ -128,6 +147,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		entries: make(map[string]*Entry),
+		history: make(map[string][]*Entry),
 		matches: make(map[string]*MatchArtifact),
 		index:   search.NewIndex(),
 		now:     time.Now,
@@ -152,33 +172,128 @@ func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) e
 		Registered:  r.now(),
 		Stats:       s.ComputeStats(),
 		Fingerprint: s.Fingerprint(),
+		Version:     1,
 	}
 	r.index.Add(s)
 	return nil
 }
 
-// ReplaceSchema updates a registered schema in place, keeping its match
-// artifacts (they may now dangle; ValidateArtifacts reports those).
-func (r *Registry) ReplaceSchema(s *schema.Schema, steward string, tags ...string) {
+// VersionBump reports one AddVersion outcome: the superseded entry (nil
+// when the schema was not previously registered) and the new current one.
+type VersionBump struct {
+	Prev *Entry
+	Curr *Entry
+}
+
+// AddVersion registers the next version of a schema: the current entry is
+// pushed onto the version chain (bounded to maxHistory superseded
+// versions) and the new content becomes current, with its search-index
+// documents and fingerprint updated incrementally — only this schema's
+// postings are touched. Match artifacts referencing the schema are kept
+// as-is; the evolution layer (internal/evolve) migrates them through the
+// structural diff. A schema not yet registered starts its chain at
+// version 1.
+func (r *Registry) AddVersion(s *schema.Schema, steward string, tags ...string) (*VersionBump, error) {
+	if s == nil || s.Name == "" {
+		return nil, fmt.Errorf("registry: schema must be non-nil and named")
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.entries[s.Name] = &Entry{
+	return r.addVersionLocked(s, steward, tags)
+}
+
+// AddVersionIf is AddVersion under optimistic concurrency: the bump
+// applies only when the schema is currently registered and its fingerprint
+// still equals expect — the fingerprint the caller computed its diff
+// against. A conflict (schema removed, or bumped by someone else in
+// between) returns an error with the registry unchanged, so a stale diff
+// can never migrate artifacts against the wrong base version.
+func (r *Registry) AddVersionIf(s *schema.Schema, expect, steward string, tags ...string) (*VersionBump, error) {
+	if s == nil || s.Name == "" {
+		return nil, fmt.Errorf("registry: schema must be non-nil and named")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.entries[s.Name]
+	if prev == nil {
+		return nil, fmt.Errorf("registry: schema %q no longer registered", s.Name)
+	}
+	if prev.Fingerprint != expect {
+		return nil, fmt.Errorf("registry: schema %q changed concurrently (fingerprint %s, expected %s)",
+			s.Name, prev.Fingerprint, expect)
+	}
+	return r.addVersionLocked(s, steward, tags)
+}
+
+// addVersionLocked implements the version bump; callers hold the lock.
+func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []string) (*VersionBump, error) {
+	prev := r.entries[s.Name]
+	version := 1
+	if prev != nil {
+		version = prev.Version + 1
+		chain := append(r.history[s.Name], prev)
+		if len(chain) > maxHistory {
+			chain = chain[len(chain)-maxHistory:]
+		}
+		r.history[s.Name] = chain
+	}
+	curr := &Entry{
 		Schema:      s,
 		Steward:     steward,
 		Tags:        append([]string(nil), tags...),
 		Registered:  r.now(),
 		Stats:       s.ComputeStats(),
 		Fingerprint: s.Fingerprint(),
+		Version:     version,
 	}
+	r.entries[s.Name] = curr
 	r.index.Add(s)
+	return &VersionBump{Prev: prev, Curr: curr}, nil
 }
 
-// RemoveSchema unregisters a schema and deletes the match artifacts that
-// reference it. It returns the number of artifacts removed.
+// ReplaceSchema updates a registered schema in place, keeping its match
+// artifacts (they may now dangle; ValidateArtifacts reports those, and
+// evolve.Upgrade migrates them). It is AddVersion without the report.
+func (r *Registry) ReplaceSchema(s *schema.Schema, steward string, tags ...string) {
+	_, _ = r.AddVersion(s, steward, tags...)
+}
+
+// Versions returns a schema's full version chain, oldest first, ending
+// with the current entry. It returns nil for unknown names.
+func (r *Registry) Versions(name string) []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cur, ok := r.entries[name]
+	if !ok {
+		return nil
+	}
+	out := append([]*Entry(nil), r.history[name]...)
+	return append(out, cur)
+}
+
+// SchemaVersion returns one specific version of a schema's chain.
+func (r *Registry) SchemaVersion(name string, version int) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if cur, ok := r.entries[name]; ok && cur.Version == version {
+		return cur, true
+	}
+	for _, e := range r.history[name] {
+		if e.Version == version {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// RemoveSchema unregisters a schema — its whole version chain — and
+// deletes the match artifacts that reference it. It returns the number of
+// artifacts removed.
 func (r *Registry) RemoveSchema(name string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.entries, name)
+	delete(r.history, name)
 	r.index.Remove(name)
 	removed := 0
 	for id, ma := range r.matches {
@@ -253,6 +368,41 @@ func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
 	stored := ma
 	r.matches[stored.ID] = &stored
 	return stored.ID, nil
+}
+
+// UpdateMatch replaces a stored artifact in place, preserving its ID —
+// the write half of artifact migration after a schema version bump. The
+// replacement is validated like AddMatch: both schemata registered, every
+// referenced path present in the *current* versions, scores in range.
+func (r *Registry) UpdateMatch(id string, ma MatchArtifact) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.matches[id]; !ok {
+		return fmt.Errorf("registry: no artifact %q", id)
+	}
+	ea, ok := r.entries[ma.SchemaA]
+	if !ok {
+		return fmt.Errorf("registry: schema %q not registered", ma.SchemaA)
+	}
+	eb, ok := r.entries[ma.SchemaB]
+	if !ok {
+		return fmt.Errorf("registry: schema %q not registered", ma.SchemaB)
+	}
+	for _, p := range ma.Pairs {
+		if ea.Schema.ByPath(p.PathA) == nil {
+			return fmt.Errorf("registry: path %q not in schema %q", p.PathA, ma.SchemaA)
+		}
+		if eb.Schema.ByPath(p.PathB) == nil {
+			return fmt.Errorf("registry: path %q not in schema %q", p.PathB, ma.SchemaB)
+		}
+		if p.Score <= -1 || p.Score >= 1 {
+			return fmt.Errorf("registry: score %f out of range for %q~%q", p.Score, p.PathA, p.PathB)
+		}
+	}
+	ma.ID = id
+	stored := ma
+	r.matches[id] = &stored
+	return nil
 }
 
 // Match returns a stored artifact by ID.

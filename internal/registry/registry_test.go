@@ -176,6 +176,92 @@ func TestValidateArtifactsDetectsDanglers(t *testing.T) {
 	}
 }
 
+func TestAddVersionChains(t *testing.T) {
+	r := New()
+	v1 := personSchema()
+	bump, err := r.AddVersion(v1, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bump.Prev != nil || bump.Curr.Version != 1 {
+		t.Fatalf("first AddVersion: prev=%v version=%d", bump.Prev, bump.Curr.Version)
+	}
+	v2 := personSchema()
+	tbl := v2.Roots()[0]
+	v2.AddElement(tbl, "FIRST_NAME", schema.KindColumn, schema.TypeString)
+	bump, err = r.AddVersion(v2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bump.Prev == nil || bump.Prev.Version != 1 || bump.Curr.Version != 2 {
+		t.Fatalf("second AddVersion: %+v", bump)
+	}
+	if bump.Prev.Fingerprint == bump.Curr.Fingerprint {
+		t.Fatal("version bump kept the fingerprint despite content change")
+	}
+	chain := r.Versions("PersonSys")
+	if len(chain) != 2 || chain[0].Version != 1 || chain[1].Version != 2 {
+		t.Fatalf("Versions = %+v", chain)
+	}
+	if e, ok := r.SchemaVersion("PersonSys", 1); !ok || e.Schema.Len() != v1.Len() {
+		t.Fatalf("SchemaVersion(1) = %+v, %v", e, ok)
+	}
+	cur, _ := r.Schema("PersonSys")
+	if cur.Version != 2 || cur.Schema.ByPath("Person/FIRST_NAME") == nil {
+		t.Fatalf("current entry is not v2: %+v", cur)
+	}
+	// History is bounded.
+	for i := 0; i < maxHistory+5; i++ {
+		if _, err := r.AddVersion(personSchema(), "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(r.Versions("PersonSys")); got != maxHistory+1 {
+		t.Fatalf("chain length %d, want %d", got, maxHistory+1)
+	}
+	// RemoveSchema drops the whole chain.
+	r.RemoveSchema("PersonSys")
+	if r.Versions("PersonSys") != nil {
+		t.Fatal("RemoveSchema left version history behind")
+	}
+}
+
+func TestUpdateMatchValidatesAndPreservesID(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(personSchema(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(individualSchema(), ""); err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.AddMatch(MatchArtifact{
+		SchemaA: "PersonSys", SchemaB: "IndivSys",
+		Pairs: []AssertedMatch{{PathA: "Person/PERSON_ID", PathB: "IndividualType/individualId", Score: 0.9, Status: StatusAccepted}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := r.Match(id)
+	upd := *ma
+	upd.Pairs = append([]AssertedMatch(nil), ma.Pairs...)
+	upd.Pairs[0].Note = "migrated-from=Old/PERSON_ID"
+	if err := r.UpdateMatch(id, upd); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Match(id)
+	if got.ID != id || got.Pairs[0].Note == "" {
+		t.Fatalf("update lost ID or note: %+v", got)
+	}
+	bad := upd
+	bad.Pairs = []AssertedMatch{{PathA: "Person/NO_SUCH", PathB: "IndividualType/individualId", Score: 0.5}}
+	if err := r.UpdateMatch(id, bad); err == nil {
+		t.Fatal("UpdateMatch accepted a dangling path")
+	}
+	if err := r.UpdateMatch("match-999999", upd); err == nil {
+		t.Fatal("UpdateMatch accepted an unknown ID")
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "registry.json")
@@ -226,6 +312,37 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadPreservesVersionChain(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(personSchema(), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	v2 := personSchema()
+	v2.AddElement(v2.Roots()[0], "FIRST_NAME", schema.KindColumn, schema.TypeString)
+	if _, err := r.AddVersion(v2, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "reg.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := r2.Versions("PersonSys")
+	if len(chain) != 2 || chain[0].Version != 1 || chain[1].Version != 2 {
+		t.Fatalf("chain after reload: %+v", chain)
+	}
+	cur, _ := r2.Schema("PersonSys")
+	if cur.Version != 2 {
+		t.Fatalf("current version after reload = %d", cur.Version)
+	}
+	if chain[0].Fingerprint != personSchema().Fingerprint() {
+		t.Fatal("superseded version lost its content")
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("expected error for missing file")
@@ -258,5 +375,36 @@ func TestRegistryConcurrent(t *testing.T) {
 	wg.Wait()
 	if r.Len() != len(schemas) {
 		t.Errorf("Len = %d, want %d", r.Len(), len(schemas))
+	}
+}
+
+func TestAddVersionIfConflicts(t *testing.T) {
+	r := New()
+	v1 := personSchema()
+	if err := r.AddSchema(v1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	fp := v1.Fingerprint()
+	v2 := personSchema()
+	v2.AddElement(v2.Roots()[0], "FIRST_NAME", schema.KindColumn, schema.TypeString)
+	// Wrong expectation: rejected, registry unchanged.
+	if _, err := r.AddVersionIf(v2, "bogus-fingerprint", "alice"); err == nil {
+		t.Fatal("AddVersionIf accepted a stale fingerprint")
+	}
+	if cur, _ := r.Schema("PersonSys"); cur.Version != 1 {
+		t.Fatalf("failed CAS mutated the registry: %+v", cur)
+	}
+	// Matching expectation: applies.
+	bump, err := r.AddVersionIf(v2, fp, "alice")
+	if err != nil || bump.Curr.Version != 2 {
+		t.Fatalf("AddVersionIf: %v %+v", err, bump)
+	}
+	// Unregistered schema: rejected (no silent re-register at v1).
+	r.RemoveSchema("PersonSys")
+	if _, err := r.AddVersionIf(v2, fp, "alice"); err == nil {
+		t.Fatal("AddVersionIf resurrected a removed schema")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed CAS registered the schema")
 	}
 }

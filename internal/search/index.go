@@ -55,8 +55,9 @@ type posting struct {
 //
 // Removal marks documents dead rather than rewriting posting lists; dead
 // entries are reclaimed by compaction, which runs automatically once dead
-// documents outnumber live ones (so a long-running daemon churning
-// schemata does not leak postings) and can be forced with Compact.
+// documents reach a quarter of the live count (so a long-running daemon
+// churning or version-bumping schemata does not leak postings) and can be
+// forced with Compact.
 type Index struct {
 	mu         sync.RWMutex
 	docs       []document
@@ -139,8 +140,16 @@ func (ix *Index) removeLocked(name string) {
 			ix.totalFrag -= ix.fragDocs[i].length
 		}
 	}
+	// Auto-compact once enough dead documents pile up. The dead count is
+	// compared against a *fraction* of the live count, not the whole of it:
+	// on a large index (thousands of live schemata) requiring dead > alive
+	// would let one schema replaced over and over — the version-bump
+	// workload — accumulate stale postings for thousands of replacements
+	// before any reclamation. Dead docs are bounded to
+	// max(compactMinDead-1, alive/4), amortizing the rebuild to O(1) per
+	// removal.
 	if dead := len(ix.docs) + len(ix.fragDocs) - ix.aliveDocs - ix.aliveFrags; dead >= compactMinDead &&
-		dead > ix.aliveDocs+ix.aliveFrags {
+		dead*4 >= ix.aliveDocs+ix.aliveFrags {
 		ix.compactLocked()
 	}
 }
@@ -149,7 +158,7 @@ func (ix *Index) removeLocked(name string) {
 // posting lists are rewritten over the live documents only. Removal marks
 // documents dead lazily, so without compaction a daemon that churns
 // schemata grows its posting lists without bound. Compaction also runs
-// automatically when dead documents outnumber live ones.
+// automatically once dead documents reach a quarter of the live count.
 func (ix *Index) Compact() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

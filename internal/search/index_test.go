@@ -221,6 +221,37 @@ func TestAutoCompactionBoundsPostings(t *testing.T) {
 	}
 }
 
+func TestReplaceOnLargeIndexBoundsDeadDocs(t *testing.T) {
+	// Regression: re-adding (replacing) one schema repeatedly on an index
+	// with many live documents used to leave one dead document per
+	// replacement, because auto-compaction only fired once dead docs
+	// outnumbered live ones — on a 100-schema index a version-bumped
+	// schema could pile up hundreds of stale postings. Dead docs must stay
+	// bounded by max(compactMinDead, alive/4) regardless of index size.
+	ix := NewIndex()
+	schemas, _, _ := synth.Collection(5, 4, 25)
+	for _, s := range schemas {
+		ix.Add(s)
+	}
+	churned := schemas[0]
+	for i := 0; i < 3*compactMinDead; i++ {
+		ix.Add(churned) // replace in place: marks the old version dead
+	}
+	st := ix.IndexStats()
+	dead := st.DeadSchemas + st.DeadFragments
+	live := st.Schemas + st.Fragments
+	bound := compactMinDead
+	if live/4 > bound {
+		bound = live / 4
+	}
+	if dead > bound {
+		t.Fatalf("stale docs leaked on replace: dead=%d live=%d bound=%d (%+v)", dead, live, bound, st)
+	}
+	if ix.Len() != len(schemas) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(schemas))
+	}
+}
+
 func TestConcurrentAddRemoveSearch(t *testing.T) {
 	// Interleaves Add, Remove (with its automatic compaction) and the three
 	// search modes; run under -race this exercises the locking around

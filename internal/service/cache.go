@@ -66,6 +66,9 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 	// Warmed counts entries inserted by warm-start rather than computed.
 	Warmed uint64 `json:"warmed"`
+	// Invalidated counts entries evicted by fingerprint invalidation
+	// (schema version bumps).
+	Invalidated uint64 `json:"invalidated"`
 	// Size and Capacity describe the current occupancy.
 	Size     int `json:"size"`
 	Capacity int `json:"capacity"`
@@ -93,6 +96,11 @@ type flight struct {
 	done chan struct{}
 	val  *MatchOutcome
 	err  error
+	// invalidated marks an in-flight computation whose key was swept by
+	// InvalidateFingerprint mid-compute: its result is served to the
+	// waiters (they asked before the bump) but never inserted, so a stale
+	// outcome cannot outlive the invalidation.
+	invalidated bool
 }
 
 // NewCache returns an empty cache bounded to capacity entries (minimum 1).
@@ -148,7 +156,9 @@ func (c *Cache) GetOrCompute(key CacheKey, compute func() (*MatchOutcome, error)
 			f.err = fmt.Errorf("service: cache compute for %s panicked", key)
 		} else if f.err == nil {
 			c.stats.Computes++
-			c.insert(key, f.val)
+			if !f.invalidated {
+				c.insert(key, f.val)
+			}
 		}
 		c.mu.Unlock()
 		close(f.done)
@@ -197,6 +207,37 @@ func (c *Cache) insert(key CacheKey, val *MatchOutcome) {
 		delete(c.items, last.Value.(*cacheEntry).key)
 		c.stats.Evictions++
 	}
+}
+
+// InvalidateFingerprint evicts every resident entry whose key references
+// the fingerprint on either side, and poisons matching in-flight
+// computations so their results are delivered to waiters but not cached.
+// A schema version bump calls it with the superseded version's
+// fingerprint: outcomes computed against the old content disappear
+// immediately instead of lingering until LRU pressure pushes them out,
+// while entries for the new fingerprint are never touched. It returns the
+// number of resident entries evicted.
+func (c *Cache) InvalidateFingerprint(fp string) int {
+	if fp == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.items {
+		if key.FingerprintA == fp || key.FingerprintB == fp {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			removed++
+		}
+	}
+	for key, f := range c.inflight {
+		if key.FingerprintA == fp || key.FingerprintB == fp {
+			f.invalidated = true
+		}
+	}
+	c.stats.Invalidated += uint64(removed)
+	return removed
 }
 
 // Len returns the number of resident entries.

@@ -192,3 +192,101 @@ func TestCacheComputeErrorNotCached(t *testing.T) {
 		t.Fatalf("retry: v=%v cached=%v err=%v", v, cached, err)
 	}
 }
+
+func TestInvalidateFingerprintEvicts(t *testing.T) {
+	c := NewCache(16)
+	shared := "fp-shared"
+	c.Put(CacheKey{FingerprintA: shared, FingerprintB: "fp-x", Preset: "p", Threshold: 0.4}, outcome(1))
+	c.Put(CacheKey{FingerprintA: "fp-y", FingerprintB: shared, Preset: "p", Threshold: 0.4}, outcome(2))
+	c.Put(key(3), outcome(3))
+	if n := c.InvalidateFingerprint(shared); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after invalidation", c.Len())
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("unrelated entry evicted")
+	}
+	if st := c.Stats(); st.Invalidated != 2 {
+		t.Fatalf("Invalidated counter = %d", st.Invalidated)
+	}
+	if n := c.InvalidateFingerprint(""); n != 0 {
+		t.Fatal("empty fingerprint must be a no-op")
+	}
+}
+
+func TestInvalidateFingerprintPoisonsInflight(t *testing.T) {
+	// An invalidation that lands while a computation for the same
+	// fingerprint is in flight must not let the (now stale) result enter
+	// the cache — the waiters still get it, but the next lookup recomputes.
+	c := NewCache(16)
+	k := CacheKey{FingerprintA: "fp-old", FingerprintB: "fp-b", Preset: "p", Threshold: 0.4}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.GetOrCompute(k, func() (*MatchOutcome, error) {
+			close(started)
+			<-release
+			return outcome(9), nil
+		})
+	}()
+	<-started
+	if n := c.InvalidateFingerprint("fp-old"); n != 0 {
+		t.Fatalf("in-flight invalidation evicted %d resident entries", n)
+	}
+	close(release)
+	<-done
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale in-flight result entered the cache after invalidation")
+	}
+}
+
+func TestInvalidateWhileGetOrComputeRace(t *testing.T) {
+	// Satellite regression: concurrent InvalidateFingerprint sweeps racing
+	// GetOrCompute traffic over the same fingerprints must neither
+	// deadlock nor corrupt the LRU. Run with -race.
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(i % 8)
+				_, _, _ = c.GetOrCompute(k, func() (*MatchOutcome, error) {
+					return outcome(i), nil
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.InvalidateFingerprint(fmt.Sprintf("fpa-%d", i%8))
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	st := c.Stats()
+	if st.Size != c.Len() {
+		t.Fatalf("stats size %d != Len %d", st.Size, c.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.GetOrCompute(key(i), func() (*MatchOutcome, error) { return outcome(i), nil }); err != nil {
+			t.Fatalf("cache wedged after race: %v", err)
+		}
+	}
+}

@@ -20,6 +20,11 @@ const (
 	KindVocabulary = "vocabulary"
 	KindCluster    = "cluster"
 	KindCorpus     = "corpus"
+	// KindMigrate runs the scoped re-match of a schema upgraded via
+	// PUT /v1/schemas/{name} with rematch deferred (mode async submits it
+	// automatically; mode none leaves the migration parked for a manual
+	// job). A names the upgraded schema.
+	KindMigrate = "migrate"
 )
 
 // JobRequest is the wire form of one job submission.
@@ -212,8 +217,23 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 			return s.corpusTopK(ctx, creq)
 		}, nil
 
+	case KindMigrate:
+		if req.A == "" {
+			return nil, fmt.Errorf("migrate job needs the upgraded schema name in a")
+		}
+		if _, ok := s.reg.Schema(req.A); !ok {
+			return nil, fmt.Errorf("schema %q not registered", req.A)
+		}
+		if !s.evolveStats.hasPending(req.A) {
+			return nil, fmt.Errorf("no pending migration for schema %q (PUT /v1/schemas/%s first)", req.A, req.A)
+		}
+		name := req.A
+		return func(ctx context.Context) (any, error) {
+			return s.runMigrateJob(ctx, name)
+		}, nil
+
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want match, vocabulary, cluster or corpus)", req.Kind)
+		return nil, fmt.Errorf("unknown job kind %q (want match, vocabulary, cluster, corpus or migrate)", req.Kind)
 	}
 }
 

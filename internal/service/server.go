@@ -35,6 +35,12 @@ type Server struct {
 
 	corpusPipe  *corpus.Pipeline
 	corpusStats corpusCounters
+	evolveStats evolveCounters
+	// upgradeMu serializes schema version bumps: concurrent PUTs of the
+	// same schema would otherwise race diff-vs-bump (the registry's
+	// AddVersionIf turns that race into an error; the mutex turns it into
+	// first-come-first-served instead of a client-visible conflict).
+	upgradeMu sync.Mutex
 
 	saveStop  chan struct{}
 	saveDone  chan struct{}
@@ -145,6 +151,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/schemas", s.handleAddSchema)
 	mux.HandleFunc("GET /v1/schemas", s.handleListSchemas)
 	mux.HandleFunc("GET /v1/schemas/{name}", s.handleGetSchema)
+	mux.HandleFunc("PUT /v1/schemas/{name}", s.handlePutSchema)
 	mux.HandleFunc("DELETE /v1/schemas/{name}", s.handleDeleteSchema)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/corpus/match", s.handleCorpusMatch)
@@ -266,6 +273,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		Queue:         s.queue.Stats(),
 		Corpus:        s.corpusStats.snapshot(),
+		Evolve:        s.evolveStats.snapshot(),
 		Index:         s.reg.IndexStats(),
 	})
 }

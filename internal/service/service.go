@@ -114,5 +114,6 @@ type Stats struct {
 	Cache         CacheStats   `json:"cache"`
 	Queue         QueueStats   `json:"queue"`
 	Corpus        CorpusStats  `json:"corpus"`
+	Evolve        EvolveStats  `json:"evolve"`
 	Index         search.Stats `json:"index"`
 }

@@ -1,0 +1,338 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"harmony/internal/schema"
+)
+
+// Schema evolution scenarios: given a generated schema with ground truth,
+// Evolve produces the next version — renamed, moved, removed, retyped and
+// freshly added elements — together with the exact change record. Enterprise
+// schemata are long-lived and constantly maintained; the evolution oracle is
+// what lets the migration layer (internal/evolve) be scored the way the
+// matcher is scored against Truth: did the diff recover the renames, and did
+// migration preserve the validated pairs that should have survived?
+
+// Churn configures one synthetic evolution step. All probabilities are per
+// eligible element; Add is a fraction of the original element count.
+type Churn struct {
+	// Rename is the probability that an element's name is rewritten in
+	// place (token abbreviation, suffix churn, token drop — the mutations
+	// keep partial token overlap, as real renames do).
+	Rename float64
+	// Move is the probability that a leaf is relocated under a different
+	// container, keeping its name and type.
+	Move float64
+	// Remove is the probability that a leaf is dropped.
+	Remove float64
+	// Add is the number of new leaves appended, as a fraction of the
+	// original element count (0.05 on a 500-element schema adds 25).
+	Add float64
+	// Retype is the probability that a leaf's data type changes while name
+	// and position stay put.
+	Retype float64
+}
+
+// Preset churn shapes for the migration-fidelity scenarios.
+var (
+	// ChurnRenameHeavy models a naming-convention cleanup release.
+	ChurnRenameHeavy = Churn{Rename: 0.20, Retype: 0.02}
+	// ChurnMoveHeavy models a structural reorganization release.
+	ChurnMoveHeavy = Churn{Move: 0.15, Rename: 0.03}
+	// ChurnAdditive models a purely accretive release.
+	ChurnAdditive = Churn{Add: 0.15, Retype: 0.02}
+)
+
+// ChurnMixed spreads a total churn rate across rename, move, remove, add
+// and retype in realistic proportions (renames dominate).
+func ChurnMixed(rate float64) Churn {
+	return Churn{
+		Rename: rate * 0.4,
+		Move:   rate * 0.15,
+		Remove: rate * 0.15,
+		Add:    rate * 0.2,
+		Retype: rate * 0.1,
+	}
+}
+
+// EvolutionLog is the ground-truth change record of one Evolve step, keyed
+// by element path. It is what a structural diff should recover.
+type EvolutionLog struct {
+	// Mapping maps every surviving old element path to its new path
+	// (identity for untouched elements).
+	Mapping map[string]string
+	// Renamed maps old path -> new path for in-place renames (including
+	// descendants re-pathed by a container rename only when the element
+	// itself was renamed).
+	Renamed map[string]string
+	// Moved maps old path -> new path for relocated leaves.
+	Moved map[string]string
+	// Removed lists dropped old paths.
+	Removed []string
+	// Added lists new paths with no old counterpart.
+	Added []string
+	// Retyped lists new paths whose data type changed in place.
+	Retyped []string
+}
+
+// ChangedFraction returns the fraction of the original schema the step
+// touched (renames + moves + removals + retypes + additions over old size).
+func (l *EvolutionLog) ChangedFraction(oldLen int) float64 {
+	if oldLen == 0 {
+		return 0
+	}
+	n := len(l.Renamed) + len(l.Moved) + len(l.Removed) + len(l.Added) + len(l.Retyped)
+	return float64(n) / float64(oldLen)
+}
+
+// Evolve applies one synthetic evolution step to a generated schema and
+// returns the new version (same name — it is the next version of the same
+// schema), a Truth whose entries for this schema are re-keyed to the new
+// paths, and the exact change log. The input schema and truth are not
+// modified.
+func Evolve(s *schema.Schema, truth *Truth, seed int64, churn Churn) (*schema.Schema, *Truth, *EvolutionLog) {
+	rng := rand.New(rand.NewSource(seed))
+	out := schema.New(s.Name, s.Format)
+	log := &EvolutionLog{
+		Mapping: make(map[string]string),
+		Renamed: make(map[string]string),
+		Moved:   make(map[string]string),
+	}
+
+	// Decide leaf fates up front so a move and a remove never collide.
+	removed := make(map[int]bool)
+	var movedLeaves []*schema.Element
+	for _, e := range s.Elements() {
+		if !e.IsLeaf() || e.Parent == nil {
+			continue
+		}
+		r := rng.Float64()
+		switch {
+		case r < churn.Remove:
+			removed[e.ID] = true
+		case r < churn.Remove+churn.Move:
+			movedLeaves = append(movedLeaves, e)
+		}
+	}
+	moved := make(map[int]bool, len(movedLeaves))
+	for _, e := range movedLeaves {
+		moved[e.ID] = true
+	}
+
+	// usedNames tracks sibling names per new container so moves and
+	// additions disambiguate the way real DDL does (UNIT_CD -> UNIT_CD_2).
+	usedNames := make(map[*schema.Element]map[string]int)
+	addNamed := func(parent *schema.Element, name string, kind schema.Kind, typ schema.DataType) *schema.Element {
+		scope, ok := usedNames[parent]
+		if !ok {
+			scope = make(map[string]int)
+			usedNames[parent] = scope
+		}
+		return out.AddElement(parent, uniqueName(scope, name), kind, typ)
+	}
+
+	var copyEl func(e *schema.Element, parent *schema.Element)
+	copyEl = func(e *schema.Element, parent *schema.Element) {
+		if removed[e.ID] {
+			log.Removed = append(log.Removed, e.Path())
+			return
+		}
+		if moved[e.ID] {
+			return // re-attached below
+		}
+		name := e.Name
+		if rng.Float64() < churn.Rename {
+			name = mutateName(rng, e.Name)
+		}
+		typ := e.Type
+		if e.IsLeaf() && rng.Float64() < churn.Retype {
+			typ = retype(rng, e.Type)
+		}
+		ne := addNamed(parent, name, e.Kind, typ)
+		ne.Doc = e.Doc
+		log.Mapping[e.Path()] = ne.Path()
+		if name != e.Name {
+			log.Renamed[e.Path()] = ne.Path()
+		}
+		if typ != e.Type {
+			log.Retyped = append(log.Retyped, ne.Path())
+		}
+		for _, c := range e.Children {
+			copyEl(c, ne)
+		}
+	}
+	for _, r := range s.Roots() {
+		copyEl(r, nil)
+	}
+
+	// Re-attach moved leaves under a different container than the one
+	// their old parent mapped to.
+	containers := out.Containers()
+	if len(containers) > 0 {
+		for _, e := range movedLeaves {
+			oldParentNew := log.Mapping[e.Parent.Path()]
+			target := containers[rng.Intn(len(containers))]
+			if target.Path() == oldParentNew && len(containers) > 1 {
+				for target.Path() == oldParentNew {
+					target = containers[rng.Intn(len(containers))]
+				}
+			}
+			ne := addNamed(target, e.Name, e.Kind, e.Type)
+			ne.Doc = e.Doc
+			log.Mapping[e.Path()] = ne.Path()
+			log.Moved[e.Path()] = ne.Path()
+		}
+	}
+
+	// Additions: fresh attributes drawn from the concept universe, with
+	// keys not already present in this schema so ground truth stays a
+	// partial one-to-one mapping.
+	nAdd := int(churn.Add * float64(s.Len()))
+	var added []struct {
+		path, key string
+	}
+	if nAdd > 0 && len(containers) > 0 {
+		usedKeys := make(map[string]bool, len(truth.keys[s.Name]))
+		for _, k := range truth.keys[s.Name] {
+			usedKeys[k] = true
+		}
+		style := StyleRelational
+		if s.Format == schema.FormatXML {
+			style = StyleXML
+		}
+		st := newStyler(style, rng)
+		childKind := schema.KindColumn
+		if s.Format == schema.FormatXML {
+			childKind = schema.KindXMLElement
+		}
+		pool := shuffledUniverse(rng)
+		for _, c := range pool {
+			if nAdd == 0 {
+				break
+			}
+			for _, at := range c.Attrs {
+				if nAdd == 0 {
+					break
+				}
+				if usedKeys[at.Key] {
+					continue
+				}
+				usedKeys[at.Key] = true
+				target := containers[rng.Intn(len(containers))]
+				ne := addNamed(target, st.render(at.Words, false), childKind, at.Type)
+				if st.keepDoc() {
+					ne.Doc = at.Doc
+				}
+				log.Added = append(log.Added, ne.Path())
+				added = append(added, struct{ path, key string }{ne.Path(), at.Key})
+				nAdd--
+			}
+		}
+	}
+	sort.Strings(log.Removed)
+	sort.Strings(log.Added)
+	sort.Strings(log.Retyped)
+
+	// Re-key the truth: other schemata carry over verbatim; this schema's
+	// entries follow the path mapping, and additions record their own keys.
+	nt := NewTruth()
+	for name, paths := range truth.keys {
+		if name == s.Name {
+			continue
+		}
+		for p, k := range paths {
+			nt.Record(name, p, k)
+		}
+	}
+	for oldPath, k := range truth.keys[s.Name] {
+		if np, ok := log.Mapping[oldPath]; ok {
+			nt.Record(s.Name, np, k)
+		}
+	}
+	for _, a := range added {
+		nt.Record(s.Name, a.path, a.key)
+	}
+	return out, nt, log
+}
+
+// mutateName rewrites a name the way enterprise renames do, keeping part of
+// the token material so a matcher (and a human) can still recognize it:
+// abbreviate a token, drop a trailing token, or swap the numeric suffix.
+func mutateName(rng *rand.Rand, name string) string {
+	sep := ""
+	switch {
+	case strings.Contains(name, "_"):
+		sep = "_"
+	case strings.Contains(name, "-"):
+		sep = "-"
+	}
+	var tokens []string
+	if sep != "" {
+		tokens = strings.Split(name, sep)
+	} else {
+		tokens = []string{name}
+	}
+	mutated := name
+	switch choice := rng.Intn(3); {
+	case choice == 0 && len(tokens) >= 3:
+		// drop the last token (DATE_BEGIN_156 -> DATE_BEGIN)
+		mutated = strings.Join(tokens[:len(tokens)-1], sep)
+	case choice <= 1:
+		// abbreviate the longest token to its head (QUANTITY -> QUA)
+		longest, li := "", -1
+		for i, t := range tokens {
+			if len(t) > len(longest) {
+				longest, li = t, i
+			}
+		}
+		if len(longest) >= 5 {
+			ts := append([]string(nil), tokens...)
+			ts[li] = longest[:3]
+			mutated = strings.Join(ts, sep)
+		} else {
+			mutated = name + numericRenameSuffix(rng, sep)
+		}
+	default:
+		// churn the suffix (DATE_BEGIN -> DATE_BEGIN_2 / dateBegin2)
+		mutated = name + numericRenameSuffix(rng, sep)
+	}
+	if mutated == name || mutated == "" {
+		mutated = name + numericRenameSuffix(rng, sep)
+	}
+	return mutated
+}
+
+func numericRenameSuffix(rng *rand.Rand, sep string) string {
+	n := 2 + rng.Intn(8)
+	if sep == "" {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%s%d", sep, n)
+}
+
+// retype moves a data type to a plausible neighbor (the migrations real
+// releases make: widen a string, promote an integer to decimal).
+func retype(rng *rand.Rand, t schema.DataType) schema.DataType {
+	alts := map[schema.DataType][]schema.DataType{
+		schema.TypeString:   {schema.TypeText, schema.TypeIdentifier},
+		schema.TypeText:     {schema.TypeString},
+		schema.TypeInteger:  {schema.TypeDecimal, schema.TypeIdentifier},
+		schema.TypeDecimal:  {schema.TypeInteger},
+		schema.TypeBoolean:  {schema.TypeInteger},
+		schema.TypeDate:     {schema.TypeDateTime},
+		schema.TypeTime:     {schema.TypeDateTime},
+		schema.TypeDateTime: {schema.TypeDate},
+		schema.TypeBinary:   {schema.TypeText},
+		schema.TypeIdentifier: {
+			schema.TypeString, schema.TypeInteger,
+		},
+	}
+	if a, ok := alts[t]; ok {
+		return a[rng.Intn(len(a))]
+	}
+	return schema.TypeString
+}

@@ -1,0 +1,94 @@
+package synth
+
+import (
+	"testing"
+
+	"harmony/internal/schema"
+)
+
+func TestEvolveMixedChurn(t *testing.T) {
+	s, _ := Custom("S", schema.FormatRelational, StyleRelational, 7, 50, 6, 0)
+	truth := NewTruth()
+	for _, e := range s.Elements() {
+		truth.Record(s.Name, e.Path(), "k:"+e.Path())
+	}
+	v2, nt, log := Evolve(s, truth, 11, ChurnMixed(0.10))
+	if err := v2.Validate(); err != nil {
+		t.Fatalf("evolved schema invalid: %v", err)
+	}
+	if v2.Name != s.Name {
+		t.Fatalf("evolved schema renamed itself: %q", v2.Name)
+	}
+	if len(log.Renamed) == 0 || len(log.Removed) == 0 || len(log.Added) == 0 || len(log.Moved) == 0 {
+		t.Fatalf("mixed churn should produce every change kind, got %+v", map[string]int{
+			"renamed": len(log.Renamed), "removed": len(log.Removed),
+			"added": len(log.Added), "moved": len(log.Moved),
+		})
+	}
+	cf := log.ChangedFraction(s.Len())
+	if cf < 0.03 || cf > 0.25 {
+		t.Fatalf("10%% churn produced changed fraction %.3f", cf)
+	}
+	// Every mapping target must exist in the new version; every removed
+	// path must not.
+	for oldPath, newPath := range log.Mapping {
+		if v2.ByPath(newPath) == nil {
+			t.Fatalf("mapping %q -> %q: target missing", oldPath, newPath)
+		}
+		if truth.Key(s.Name, oldPath) != nt.Key(s.Name, newPath) {
+			t.Fatalf("truth key not carried from %q to %q", oldPath, newPath)
+		}
+	}
+	for _, p := range log.Removed {
+		if _, ok := log.Mapping[p]; ok {
+			t.Fatalf("removed path %q still mapped", p)
+		}
+	}
+	// Renames must keep the element recognizable: non-empty, different.
+	for oldPath, newPath := range log.Renamed {
+		if oldPath == newPath {
+			t.Fatalf("rename with identical path %q", oldPath)
+		}
+	}
+	// The original schema must be untouched.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("original schema mutated: %v", err)
+	}
+}
+
+func TestEvolvePresets(t *testing.T) {
+	for name, churn := range map[string]Churn{
+		"rename-heavy": ChurnRenameHeavy,
+		"move-heavy":   ChurnMoveHeavy,
+		"additive":     ChurnAdditive,
+	} {
+		s, truth := Custom("S", schema.FormatRelational, StyleRelational, 3, 40, 5, 0)
+		v2, _, log := Evolve(s, truth, 5, churn)
+		if err := v2.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		switch name {
+		case "rename-heavy":
+			if len(log.Renamed) < 10 || len(log.Moved) > 0 {
+				t.Fatalf("rename-heavy produced %d renames, %d moves", len(log.Renamed), len(log.Moved))
+			}
+		case "move-heavy":
+			if len(log.Moved) < 5 {
+				t.Fatalf("move-heavy produced only %d moves", len(log.Moved))
+			}
+		case "additive":
+			if len(log.Added) < 10 || len(log.Removed) > 0 {
+				t.Fatalf("additive produced %d adds, %d removes", len(log.Added), len(log.Removed))
+			}
+		}
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	s, truth := Custom("S", schema.FormatXML, StyleXML, 9, 30, 5, 0)
+	a, _, _ := Evolve(s, truth, 21, ChurnMixed(0.2))
+	b, _, _ := Evolve(s, truth, 21, ChurnMixed(0.2))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different evolutions")
+	}
+}

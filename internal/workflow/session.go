@@ -189,7 +189,10 @@ func (s *Session) RunTask(taskID int, reviewer Reviewer) (*Task, error) {
 		return nil, fmt.Errorf("workflow: task %d assigned to %q, reviewed by %q", taskID, t.AssignedTo, reviewer.Name())
 	}
 	t.Status = TaskInProgress
-	res := s.engine.MatchElements(s.srcView, s.dstView, t.Concept.Members)
+	// MatchScoped routes large increments through the sparse candidate
+	// path when the engine has it configured; for dense engines it is
+	// exactly the incremental MatchElements the workflow always used.
+	res := s.engine.MatchScoped(s.srcView, s.dstView, t.Concept.Members)
 	member := make(map[int]bool, len(t.Concept.Members))
 	for _, m := range t.Concept.Members {
 		member[m.ID] = true
