@@ -53,6 +53,7 @@ func main() {
 		{"E11", "corpus-scale blocked top-k vs exhaustive matching", runE11},
 		{"E12", "sparse candidate-pair scoring vs dense full match", runE12},
 		{"E13", "incremental artifact migration vs full rematch on a version bump", runE13},
+		{"E14", "per-op WAL durability vs full snapshot per mutation", runE14},
 	}
 
 	want := map[string]bool{}

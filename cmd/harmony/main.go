@@ -8,6 +8,7 @@
 //	harmony corpus -query schemaA.ddl -dir schemas/ [flags]
 //	harmony diff -old v1.ddl -new v2.ddl [flags]
 //	harmony evolve -db registry.json -schema v2.ddl [flags]
+//	harmony evolve -store-dir store/ -schema v2.ddl [flags]
 //
 // Schema format is inferred from the extension: .ddl/.sql relational,
 // .xsd/.xml XML Schema, .json interchange.
@@ -42,12 +43,14 @@
 // versions of a schema (added / removed / renamed / moved / retyped), with
 // rename detection by the match engine on the changed residue. The evolve
 // subcommand applies a version bump to a schema inside a persisted
-// registry (harmonyd -db file): the version chain is extended, every
-// stored match artifact is migrated through the diff — unchanged elements
-// keep their validated decisions, renamed/moved elements are re-pathed
-// with migrated-from provenance — and only the dirty elements are
-// re-matched against the artifact counterparts. Flags: see
-// harmony diff -h / harmony evolve -h.
+// registry — either a durable store directory (harmonyd -store-dir, the
+// upgrade commits as one atomic WAL record; an empty store imports a
+// legacy -db file one-shot) or a legacy JSON file (harmonyd -db): the
+// version chain is extended, every stored match artifact is migrated
+// through the diff — unchanged elements keep their validated decisions,
+// renamed/moved elements are re-pathed with migrated-from provenance —
+// and only the dirty elements are re-matched against the artifact
+// counterparts. Flags: see harmony diff -h / harmony evolve -h.
 package main
 
 import (

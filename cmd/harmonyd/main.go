@@ -10,8 +10,21 @@
 // Flags:
 //
 //	-addr ADDR           listen address (default :8071)
-//	-db PATH             registry persistence file (loaded if present, saved
-//	                     periodically and on shutdown; empty = in-memory only)
+//	-store-dir DIR       durable storage engine directory: every mutation
+//	                     commits to a write-ahead log before the request
+//	                     completes, with periodic snapshot + log truncation.
+//	                     An empty store transparently imports a legacy -db
+//	                     JSON file one-shot. (empty = legacy/-db mode)
+//	-fsync POLICY        WAL durability policy with -store-dir: commit
+//	                     (default; a returned mutation is durable), interval
+//	                     (amortized background syncs) or off
+//	-snapshot-interval D background compaction check cadence (default 1m)
+//	-snapshot-every N    WAL records that trigger snapshot + truncation
+//	                     (default 1024)
+//	-db PATH             legacy registry persistence file (loaded if present,
+//	                     saved periodically and on shutdown; with -store-dir
+//	                     it is only the one-shot migration source; empty with
+//	                     no -store-dir = in-memory only)
 //	-preset NAME         default matcher preset (default harmony)
 //	-threshold F         default confidence filter (default 0.4)
 //	-workers N           job worker-pool size (default 2)
@@ -45,8 +58,10 @@
 //	GET    /v1/jobs/{id}       job state, timing and result
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/search          free-text schema/fragment search
-//	GET    /v1/stats           cache, queue, corpus and index counters
-//	GET    /healthz            liveness probe
+//	GET    /v1/stats           cache, queue, corpus, index and store counters
+//	GET    /healthz            liveness probe; reports status "degraded" with
+//	                           the error when the last WAL append / snapshot /
+//	                           legacy save failed
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, jobs are cancelled, and the registry is saved.
@@ -68,7 +83,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8071", "listen address")
-	db := flag.String("db", "", "registry persistence file (empty = in-memory)")
+	storeDir := flag.String("store-dir", "", "durable store directory (WAL + snapshots; empty = legacy -db mode)")
+	fsync := flag.String("fsync", "commit", "WAL durability policy with -store-dir: commit, interval or off")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "background compaction check cadence")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records that trigger snapshot + log truncation")
+	db := flag.String("db", "", "legacy registry persistence file (migration source with -store-dir; empty = in-memory)")
 	preset := flag.String("preset", "harmony", "default matcher preset")
 	threshold := flag.Float64("threshold", 0.4, "default confidence filter")
 	workers := flag.Int("workers", 2, "job worker-pool size")
@@ -93,6 +112,10 @@ func main() {
 		CacheSize:        *cacheSize,
 		DBPath:           *db,
 		SaveInterval:     *saveInterval,
+		StoreDir:         *storeDir,
+		Fsync:            *fsync,
+		SnapshotInterval: *snapshotInterval,
+		SnapshotEvery:    *snapshotEvery,
 		CorpusCandidates: *corpusCandidates,
 		CorpusTopK:       *corpusTopK,
 		SparseBudget:     budget,

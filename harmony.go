@@ -16,6 +16,7 @@ import (
 	"harmony/internal/schema"
 	"harmony/internal/search"
 	"harmony/internal/service"
+	"harmony/internal/store"
 	"harmony/internal/summarize"
 	"harmony/internal/synth"
 	"harmony/internal/workflow"
@@ -299,6 +300,50 @@ func NewRegistry() *Registry { return registry.New() }
 
 // LoadRegistry reads a repository saved with Registry.Save.
 func LoadRegistry(path string) (*Registry, error) { return registry.Load(path) }
+
+// Durable storage: the registry's event-sourced persistence engine. A
+// Store recovers a registry from snapshot + write-ahead-log replay and
+// journals every subsequent mutation (schema add/version/delete, match
+// add/update, atomic upgrade batches) under a configurable fsync policy,
+// replacing save-on-a-timer JSON dumps. Registries without a store keep
+// their in-memory behavior.
+
+type (
+	// Store is the durable WAL + snapshot storage engine bound to one
+	// registry; open with OpenStore.
+	Store = store.Store
+	// StoreOptions configures OpenStore (directory, fsync policy,
+	// snapshot cadence, legacy migration source).
+	StoreOptions = store.Options
+	// StoreStats is the store's operational snapshot (log position,
+	// replay debt, commit counters, last persistence error).
+	StoreStats = store.Stats
+	// FsyncPolicy says when WAL appends reach stable storage.
+	FsyncPolicy = store.FsyncPolicy
+	// RegistryOp is one journaled registry mutation.
+	RegistryOp = registry.Op
+	// RegistryJournal receives registry mutations as typed op batches;
+	// a Store is one, and tests can supply their own.
+	RegistryJournal = registry.Journal
+)
+
+// WAL durability policies.
+const (
+	// FsyncPerCommit syncs after every commit: a returned mutation is
+	// durable (the default).
+	FsyncPerCommit = store.FsyncPerCommit
+	// FsyncInterval syncs on a background cadence: bounded loss,
+	// amortized cost.
+	FsyncInterval = store.FsyncInterval
+	// FsyncOff leaves flushing to the OS.
+	FsyncOff = store.FsyncOff
+)
+
+// OpenStore recovers (or initializes) a durable store directory and
+// returns the engine with its registry attached (Store.Registry). With
+// StoreOptions.MigrateFrom set and an empty directory, a legacy
+// Registry.Save JSON file seeds the first snapshot.
+var OpenStore = store.Open
 
 // Workflow entry points.
 

@@ -124,28 +124,43 @@ func Upgrade(reg *registry.Registry, next *schema.Schema, steward string, opts O
 	// the fingerprint the diff was computed against; a concurrent remove
 	// or competing upgrade turns into an error instead of migrating
 	// artifacts through a stale diff.
-	bump, err := reg.AddVersionIf(next, d.OldFingerprint, steward, tags...)
+	//
+	// The bump and every artifact migration commit as one registry batch:
+	// when a durable store journals the registry, the upgrade is a single
+	// atomic WAL record — after a crash, either the new version with all
+	// its migrated artifacts recovers, or the old state does. Never half.
+	var bump *registry.VersionBump
+	var rep *UpgradeReport
+	err := reg.Batch(func() error {
+		var err error
+		bump, err = reg.AddVersionIf(next, d.OldFingerprint, steward, tags...)
+		if err != nil {
+			return err
+		}
+		rep = &UpgradeReport{
+			Schema:         next.Name,
+			FromVersion:    bump.Prev.Version,
+			ToVersion:      bump.Curr.Version,
+			OldFingerprint: d.OldFingerprint,
+			NewFingerprint: d.NewFingerprint,
+			Added:          len(d.Added), Removed: len(d.Removed),
+			Renamed: len(d.Renamed), Moved: len(d.Moved),
+			Retyped: len(d.Retyped), Unchanged: d.Unchanged,
+			DirtyPaths: d.DirtyNewPaths(),
+		}
+		for _, pm := range pending {
+			if err := reg.UpdateMatch(pm.id, *pm.migrated); err != nil {
+				// Unreachable unless the registry is mutated concurrently
+				// with the upgrade (callers serialize); report rather than
+				// panic.
+				return fmt.Errorf("evolve: migrating %s: %w", pm.id, err)
+			}
+			rep.addArtifact(pm.rep)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
-	}
-	rep := &UpgradeReport{
-		Schema:         next.Name,
-		FromVersion:    bump.Prev.Version,
-		ToVersion:      bump.Curr.Version,
-		OldFingerprint: d.OldFingerprint,
-		NewFingerprint: d.NewFingerprint,
-		Added:          len(d.Added), Removed: len(d.Removed),
-		Renamed: len(d.Renamed), Moved: len(d.Moved),
-		Retyped: len(d.Retyped), Unchanged: d.Unchanged,
-		DirtyPaths: d.DirtyNewPaths(),
-	}
-	for _, pm := range pending {
-		if err := reg.UpdateMatch(pm.id, *pm.migrated); err != nil {
-			// Unreachable unless the registry is mutated concurrently with
-			// the upgrade (callers serialize); report rather than panic.
-			return nil, nil, fmt.Errorf("evolve: migrating %s: %w", pm.id, err)
-		}
-		rep.addArtifact(pm.rep)
 	}
 	return rep, d, nil
 }

@@ -1,0 +1,282 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"harmony/internal/schema"
+)
+
+// ErrNotJournaled marks a mutation that was applied in memory but whose
+// journal commit failed: the state is live in this process yet will not
+// survive a crash. Callers distinguish it (errors.Is) from validation
+// errors — the mutation did happen, so a retry would hit duplicate
+// checks; the right reaction is surfacing the durability failure, not
+// retrying.
+var ErrNotJournaled = errors.New("not journaled")
+
+// The journal layer makes the registry event-sourced: every mutation emits
+// a typed operation through a Journal, so a durable store (internal/store)
+// can append it to a write-ahead log before — in log order — it becomes
+// visible to a crash recovery. A nil journal preserves the registry's
+// historical in-memory behavior, so library users who never wire a store
+// pay nothing.
+//
+// Ops are replayable: Apply reconstructs the exact mutation from the
+// recorded payload (assigned IDs, registration times and version numbers
+// included), so snapshot-load + op replay is deterministic.
+
+// OpKind names one registry mutation type.
+type OpKind string
+
+// Operation kinds. Schema replace is journaled as OpSchemaVersion
+// (ReplaceSchema is AddVersion without the report), and a migration apply
+// (evolve.Upgrade) is a Batch of one OpSchemaVersion plus its
+// OpMatchUpdate ops committed as a single atomic record.
+const (
+	OpSchemaAdd     OpKind = "schema-add"
+	OpSchemaVersion OpKind = "schema-version"
+	OpSchemaDelete  OpKind = "schema-delete"
+	OpMatchAdd      OpKind = "match-add"
+	OpMatchUpdate   OpKind = "match-update"
+)
+
+// Op is one journaled registry mutation, self-contained and
+// JSON-serializable. Exactly one payload group is populated, selected by
+// Kind: schema ops carry the schema in the JSON interchange format plus
+// catalog metadata, delete carries the name, match ops carry the full
+// artifact (with its assigned ID).
+type Op struct {
+	Kind OpKind `json:"kind"`
+
+	// Schema / Steward / Tags / Registered / Version describe a
+	// schema-add or schema-version mutation.
+	Schema     json.RawMessage `json:"schema,omitempty"`
+	Steward    string          `json:"steward,omitempty"`
+	Tags       []string        `json:"tags,omitempty"`
+	Registered time.Time       `json:"registered,omitzero"`
+	Version    int             `json:"version,omitempty"`
+
+	// Name is the schema-delete target.
+	Name string `json:"name,omitempty"`
+
+	// Artifact is the match-add / match-update payload.
+	Artifact *MatchArtifact `json:"artifact,omitempty"`
+}
+
+// Journal receives registry mutations as they are applied. Commit is
+// called with the registry write lock held for single-op mutations (so log
+// order always equals apply order) and must persist the ops as one atomic
+// record: after a crash, either the whole batch replays or none of it
+// does. A Commit error does not roll back the in-memory mutation; the
+// journal implementation is expected to retain the error for health
+// reporting (see store.Stats.LastError).
+type Journal interface {
+	Commit(ops []Op) error
+}
+
+// BatchLocker is optionally implemented by journals that must exclude
+// state snapshots while a multi-op batch is open: between a batch's first
+// mutation and its Commit, a snapshot would capture state whose ops are
+// not yet in the log. Registry.Batch brackets the batch with it.
+type BatchLocker interface {
+	LockBatch()
+	UnlockBatch()
+}
+
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+// Attach before the first mutation that must be durable; ops applied while
+// no journal is attached are not recorded anywhere.
+func (r *Registry) SetJournal(j Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = j
+}
+
+// emitLocked hands one op to the journal; callers hold the write lock.
+// During a batch the op is buffered instead and committed as part of the
+// batch's single record. A Commit error is returned so the mutator can
+// surface it: the in-memory mutation has already happened, but the
+// caller must not be told a durable write succeeded when it did not —
+// under fsync-per-commit, "returned without error" is the durability
+// contract.
+func (r *Registry) emitLocked(op Op) error {
+	if r.journal == nil {
+		return nil
+	}
+	if r.batching {
+		r.pending = append(r.pending, op)
+		return nil
+	}
+	return r.journal.Commit([]Op{op})
+}
+
+// Batch runs fn and commits every op it emits as one atomic journal
+// record — the evolution layer uses it so a schema version bump and the
+// migration of all its artifacts either all survive a crash or none do.
+// Batches serialize against each other; ops emitted by other goroutines
+// while a batch is open ride along in its record, which keeps the log in
+// exact memory-mutation order (their durability acknowledgment is
+// deferred to the batch commit — the tradeoff for replay fidelity).
+// Whatever fn did in memory is always committed — even when fn errors or
+// panics — so the log never diverges from the in-memory state; fn's
+// error (or the commit's) is returned. With no journal attached Batch is
+// just fn(). Batch must not be nested.
+func (r *Registry) Batch(fn func() error) (err error) {
+	r.mu.RLock()
+	j := r.journal
+	r.mu.RUnlock()
+	if j == nil {
+		return fn()
+	}
+	r.batchMu.Lock()
+	defer r.batchMu.Unlock()
+	if bl, ok := j.(BatchLocker); ok {
+		bl.LockBatch()
+		defer bl.UnlockBatch()
+	}
+	r.mu.Lock()
+	r.batching = true
+	r.mu.Unlock()
+	// The flush is deferred so a panic inside fn cannot leave the
+	// registry buffering ops forever: whatever fn applied in memory is
+	// committed before the panic propagates, and batching is always
+	// reset. The commit happens while the write lock is still held —
+	// like every single-op emit — so no concurrent mutation can slip a
+	// lower LSN in between clearing `batching` and appending the batch
+	// record, which would reorder the log against memory.
+	defer func() {
+		r.mu.Lock()
+		r.batching = false
+		ops := r.pending
+		r.pending = nil
+		var cerr error
+		if len(ops) > 0 {
+			cerr = j.Commit(ops)
+		}
+		r.mu.Unlock()
+		if cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return fn()
+}
+
+// Apply replays journaled ops into the registry without re-journaling or
+// re-validating them — the write half of crash recovery. Ops must arrive
+// in their original commit order on a registry whose state matches the
+// point just before they were first applied (a snapshot); anything else is
+// reported as corruption.
+func (r *Registry) Apply(ops []Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range ops {
+		if err := r.applyLocked(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) applyLocked(op *Op) error {
+	switch op.Kind {
+	case OpSchemaAdd:
+		s, err := schema.ParseJSON(op.Schema)
+		if err != nil {
+			return fmt.Errorf("registry replay: %s: %w", op.Kind, err)
+		}
+		if _, dup := r.entries[s.Name]; dup {
+			return fmt.Errorf("registry replay: schema %q already registered", s.Name)
+		}
+		r.entries[s.Name] = opEntry(s, op)
+		r.index.Add(s)
+		return nil
+
+	case OpSchemaVersion:
+		s, err := schema.ParseJSON(op.Schema)
+		if err != nil {
+			return fmt.Errorf("registry replay: %s: %w", op.Kind, err)
+		}
+		if prev := r.entries[s.Name]; prev != nil {
+			chain := append(r.history[s.Name], prev)
+			if len(chain) > maxHistory {
+				chain = chain[len(chain)-maxHistory:]
+			}
+			r.history[s.Name] = chain
+		}
+		r.entries[s.Name] = opEntry(s, op)
+		r.index.Add(s)
+		return nil
+
+	case OpSchemaDelete:
+		if _, ok := r.entries[op.Name]; !ok {
+			return fmt.Errorf("registry replay: schema %q not registered", op.Name)
+		}
+		r.removeSchemaLocked(op.Name)
+		return nil
+
+	case OpMatchAdd:
+		if op.Artifact == nil || op.Artifact.ID == "" {
+			return fmt.Errorf("registry replay: %s without artifact", op.Kind)
+		}
+		if _, dup := r.matches[op.Artifact.ID]; dup {
+			return fmt.Errorf("registry replay: artifact %q already stored", op.Artifact.ID)
+		}
+		stored := *op.Artifact
+		r.matches[stored.ID] = &stored
+		var n int
+		if _, err := fmt.Sscanf(stored.ID, "match-%d", &n); err == nil && n > r.nextID {
+			r.nextID = n
+		}
+		return nil
+
+	case OpMatchUpdate:
+		if op.Artifact == nil || op.Artifact.ID == "" {
+			return fmt.Errorf("registry replay: %s without artifact", op.Kind)
+		}
+		if _, ok := r.matches[op.Artifact.ID]; !ok {
+			return fmt.Errorf("registry replay: no artifact %q to update", op.Artifact.ID)
+		}
+		stored := *op.Artifact
+		r.matches[stored.ID] = &stored
+		return nil
+	}
+	return fmt.Errorf("registry replay: unknown op kind %q", op.Kind)
+}
+
+// opEntry rebuilds a catalog entry from a schema op's recorded metadata.
+func opEntry(s *schema.Schema, op *Op) *Entry {
+	version := op.Version
+	if version < 1 {
+		version = 1
+	}
+	return &Entry{
+		Schema:      s,
+		Steward:     op.Steward,
+		Tags:        op.Tags,
+		Registered:  op.Registered,
+		Stats:       s.ComputeStats(),
+		Fingerprint: s.Fingerprint(),
+		Version:     version,
+	}
+}
+
+// schemaOp shapes a registered entry into its journal op. The schema is
+// marshaled here, under the write lock — the payload is O(one schema), the
+// delta being persisted, not O(corpus).
+func schemaOp(kind OpKind, e *Entry) (Op, error) {
+	raw, err := json.Marshal(e.Schema)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{
+		Kind:       kind,
+		Schema:     raw,
+		Steward:    e.Steward,
+		Tags:       e.Tags,
+		Registered: e.Registered,
+		Version:    e.Version,
+	}, nil
+}

@@ -10,7 +10,8 @@ import (
 	"harmony/internal/schema"
 )
 
-// persisted is the on-disk JSON form of a registry.
+// persisted is the serialized form of a registry — both the legacy
+// Save/Load JSON file and the payload of a store snapshot.
 type persisted struct {
 	Schemas []persistedEntry    `json:"schemas"`
 	Matches []persistedArtifact `json:"matches"`
@@ -40,11 +41,55 @@ type persistedArtifact struct {
 	Pairs      []AssertedMatch `json:"pairs"`
 }
 
-// Save writes the registry to path as JSON (atomically: temp file +
-// rename).
-func (r *Registry) Save(path string) error {
+// SnapshotView is a point-in-time copy of the registry's contents, taken
+// under the read lock in O(entries) pointer copies. Serialization
+// (Encode) happens outside any registry lock: entries and artifacts are
+// replace-on-write — the registry never mutates them in place once
+// stored — so the view stays consistent while writers proceed.
+type SnapshotView struct {
+	schemas []*Entry
+	history []*Entry
+	matches []*MatchArtifact
+	nextID  int
+}
+
+// SnapshotView captures the current state. The optional during callback
+// runs while the read lock is still held — the store uses it to read the
+// WAL position the view corresponds to, which cannot move mid-copy
+// because journal commits happen under the write lock.
+func (r *Registry) SnapshotView(during func()) *SnapshotView {
 	r.mu.RLock()
-	p := persisted{NextID: r.nextID}
+	v := &SnapshotView{
+		schemas: make([]*Entry, 0, len(r.entries)),
+		matches: make([]*MatchArtifact, 0, len(r.matches)),
+		nextID:  r.nextID,
+	}
+	for _, e := range r.entries {
+		v.schemas = append(v.schemas, e)
+	}
+	names := make([]string, 0, len(r.history))
+	for name := range r.history {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v.history = append(v.history, r.history[name]...)
+	}
+	for _, ma := range r.matches {
+		v.matches = append(v.matches, ma)
+	}
+	if during != nil {
+		during()
+	}
+	r.mu.RUnlock()
+	sort.Slice(v.schemas, func(i, j int) bool { return v.schemas[i].Schema.Name < v.schemas[j].Schema.Name })
+	sort.Slice(v.matches, func(i, j int) bool { return v.matches[i].ID < v.matches[j].ID })
+	return v
+}
+
+// Encode serializes the view to the registry's JSON interchange form.
+func (v *SnapshotView) Encode() ([]byte, error) {
+	p := persisted{NextID: v.nextID}
 	marshalEntry := func(e *Entry) (persistedEntry, error) {
 		raw, err := json.Marshal(e.Schema)
 		if err != nil {
@@ -55,71 +100,88 @@ func (r *Registry) Save(path string) error {
 			Registered: e.Registered, Version: e.Version,
 		}, nil
 	}
-	for _, e := range r.Schemas() {
+	for _, e := range v.schemas {
 		pe, err := marshalEntry(e)
 		if err != nil {
-			r.mu.RUnlock()
-			return fmt.Errorf("registry save: %w", err)
+			return nil, fmt.Errorf("registry encode: %w", err)
 		}
 		p.Schemas = append(p.Schemas, pe)
 	}
-	names := make([]string, 0, len(r.history))
-	for name := range r.history {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		for _, e := range r.history[name] {
-			pe, err := marshalEntry(e)
-			if err != nil {
-				r.mu.RUnlock()
-				return fmt.Errorf("registry save: %w", err)
-			}
-			p.History = append(p.History, pe)
+	for _, e := range v.history {
+		pe, err := marshalEntry(e)
+		if err != nil {
+			return nil, fmt.Errorf("registry encode: %w", err)
 		}
+		p.History = append(p.History, pe)
 	}
-	for _, ma := range r.Matches() {
+	for _, ma := range v.matches {
 		p.Matches = append(p.Matches, persistedArtifact{
 			ID: ma.ID, SchemaA: ma.SchemaA, SchemaB: ma.SchemaB,
 			Context: ma.Context, Provenance: ma.Provenance, Pairs: ma.Pairs,
 		})
 	}
-	r.mu.RUnlock()
+	data, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("registry encode: %w", err)
+	}
+	return data, nil
+}
 
-	data, err := json.MarshalIndent(p, "", "  ")
+// Save writes the registry to path as JSON, atomically (temp file, fsync,
+// rename). The registry lock is held only for the pointer copy of the
+// state, never across serialization or disk I/O.
+func (r *Registry) Save(path string) error {
+	data, err := r.SnapshotView(nil).Encode()
 	if err != nil {
 		return fmt.Errorf("registry save: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("registry save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("registry save: %w", err)
 	}
 	return nil
 }
 
-// Load reads a registry previously written by Save. Artifacts are restored
-// verbatim (IDs preserved); the search index is rebuilt over the current
-// versions, and superseded versions rejoin their chains.
-func Load(path string) (*Registry, error) {
-	data, err := os.ReadFile(path)
+// WriteFileAtomic writes data to path via a temp file + fsync + rename,
+// so a crash mid-write leaves either the old content or the new, never a
+// torn file.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("registry load: %w", err)
+		return err
 	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// DecodeSnapshot reconstructs a registry from bytes produced by
+// SnapshotView.Encode (or a legacy Save file — same format). Artifacts
+// are restored verbatim (IDs preserved); the search index is rebuilt over
+// the current versions, and superseded versions rejoin their chains. The
+// returned registry has no journal attached.
+func DecodeSnapshot(data []byte) (*Registry, error) {
 	var p persisted
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("registry load: %w", err)
+		return nil, fmt.Errorf("registry decode: %w", err)
 	}
 	r := New()
 	for _, pe := range p.Schemas {
 		s, err := schema.ParseJSON(pe.Schema)
 		if err != nil {
-			return nil, fmt.Errorf("registry load: %w", err)
+			return nil, fmt.Errorf("registry decode: %w", err)
 		}
 		if err := r.AddSchema(s, pe.Steward, pe.Tags...); err != nil {
-			return nil, fmt.Errorf("registry load: %w", err)
+			return nil, fmt.Errorf("registry decode: %w", err)
 		}
 		// preserve original registration time and version
 		r.mu.Lock()
@@ -132,7 +194,7 @@ func Load(path string) (*Registry, error) {
 	for _, pe := range p.History {
 		s, err := schema.ParseJSON(pe.Schema)
 		if err != nil {
-			return nil, fmt.Errorf("registry load: %w", err)
+			return nil, fmt.Errorf("registry decode: %w", err)
 		}
 		version := pe.Version
 		if version < 1 {
@@ -163,5 +225,18 @@ func Load(path string) (*Registry, error) {
 	}
 	r.nextID = p.NextID
 	r.mu.Unlock()
+	return r, nil
+}
+
+// Load reads a registry previously written by Save.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry load: %w", err)
+	}
+	r, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("registry load: %w", err)
+	}
 	return r, nil
 }

@@ -141,6 +141,14 @@ type Registry struct {
 	index   *search.Index
 	nextID  int
 	now     func() time.Time
+
+	// journal receives every mutation as a typed op (nil = in-memory
+	// only); batchMu serializes Batch calls, whose ops accumulate in
+	// pending until the batch commits as one record.
+	journal  Journal
+	batchMu  sync.Mutex
+	batching bool
+	pending  []Op
 }
 
 // New returns an empty registry.
@@ -165,7 +173,7 @@ func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) e
 	if _, dup := r.entries[s.Name]; dup {
 		return fmt.Errorf("registry: schema %q already registered", s.Name)
 	}
-	r.entries[s.Name] = &Entry{
+	e := &Entry{
 		Schema:      s,
 		Steward:     steward,
 		Tags:        append([]string(nil), tags...),
@@ -174,7 +182,18 @@ func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) e
 		Fingerprint: s.Fingerprint(),
 		Version:     1,
 	}
+	var op Op
+	if r.journal != nil {
+		var err error
+		if op, err = schemaOp(OpSchemaAdd, e); err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+	}
+	r.entries[s.Name] = e
 	r.index.Add(s)
+	if err := r.emitLocked(op); err != nil {
+		return fmt.Errorf("registry: schema %q registered in memory but %w: %w", s.Name, ErrNotJournaled, err)
+	}
 	return nil
 }
 
@@ -231,11 +250,6 @@ func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []str
 	version := 1
 	if prev != nil {
 		version = prev.Version + 1
-		chain := append(r.history[s.Name], prev)
-		if len(chain) > maxHistory {
-			chain = chain[len(chain)-maxHistory:]
-		}
-		r.history[s.Name] = chain
 	}
 	curr := &Entry{
 		Schema:      s,
@@ -246,9 +260,27 @@ func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []str
 		Fingerprint: s.Fingerprint(),
 		Version:     version,
 	}
+	var op Op
+	if r.journal != nil {
+		var err error
+		if op, err = schemaOp(OpSchemaVersion, curr); err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+	}
+	if prev != nil {
+		chain := append(r.history[s.Name], prev)
+		if len(chain) > maxHistory {
+			chain = chain[len(chain)-maxHistory:]
+		}
+		r.history[s.Name] = chain
+	}
 	r.entries[s.Name] = curr
 	r.index.Add(s)
-	return &VersionBump{Prev: prev, Curr: curr}, nil
+	bump := &VersionBump{Prev: prev, Curr: curr}
+	if err := r.emitLocked(op); err != nil {
+		return bump, fmt.Errorf("registry: schema %q version-bumped in memory but %w: %w", s.Name, ErrNotJournaled, err)
+	}
+	return bump, nil
 }
 
 // ReplaceSchema updates a registered schema in place, keeping its match
@@ -289,9 +321,25 @@ func (r *Registry) SchemaVersion(name string, version int) (*Entry, bool) {
 // RemoveSchema unregisters a schema — its whole version chain — and
 // deletes the match artifacts that reference it. It returns the number of
 // artifacts removed.
-func (r *Registry) RemoveSchema(name string) int {
+// It also reports a journaling failure: the removal stands in memory,
+// but under a journal the caller must know when it did not reach the
+// log (the schema would resurrect on crash recovery).
+func (r *Registry) RemoveSchema(name string) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	_, existed := r.entries[name]
+	removed := r.removeSchemaLocked(name)
+	if existed {
+		if err := r.emitLocked(Op{Kind: OpSchemaDelete, Name: name}); err != nil {
+			return removed, fmt.Errorf("registry: schema %q removed in memory but %w: %w", name, ErrNotJournaled, err)
+		}
+	}
+	return removed, nil
+}
+
+// removeSchemaLocked drops a schema's version chain, index documents and
+// referencing artifacts; callers hold the write lock.
+func (r *Registry) removeSchemaLocked(name string) int {
 	delete(r.entries, name)
 	delete(r.history, name)
 	r.index.Remove(name)
@@ -367,6 +415,9 @@ func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
 	ma.ID = fmt.Sprintf("match-%06d", r.nextID)
 	stored := ma
 	r.matches[stored.ID] = &stored
+	if err := r.emitLocked(Op{Kind: OpMatchAdd, Artifact: &stored}); err != nil {
+		return stored.ID, fmt.Errorf("registry: artifact %s stored in memory but %w: %w", stored.ID, ErrNotJournaled, err)
+	}
 	return stored.ID, nil
 }
 
@@ -402,6 +453,9 @@ func (r *Registry) UpdateMatch(id string, ma MatchArtifact) error {
 	ma.ID = id
 	stored := ma
 	r.matches[id] = &stored
+	if err := r.emitLocked(Op{Kind: OpMatchUpdate, Artifact: &stored}); err != nil {
+		return fmt.Errorf("registry: artifact %s updated in memory but %w: %w", id, ErrNotJournaled, err)
+	}
 	return nil
 }
 

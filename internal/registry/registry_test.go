@@ -141,8 +141,8 @@ func TestRemoveSchemaCascades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if removed := r.RemoveSchema("PersonSys"); removed != 1 {
-		t.Errorf("removed artifacts = %d, want 1", removed)
+	if removed, err := r.RemoveSchema("PersonSys"); err != nil || removed != 1 {
+		t.Errorf("removed artifacts = %d (err %v), want 1", removed, err)
 	}
 	if r.Len() != 1 || len(r.Matches()) != 0 {
 		t.Errorf("after remove: %d schemas, %d matches", r.Len(), len(r.Matches()))

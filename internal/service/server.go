@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"harmony/internal/registry"
 	"harmony/internal/schema"
 	"harmony/internal/search"
+	"harmony/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; enterprise schemata serialize to a
@@ -42,15 +44,36 @@ type Server struct {
 	// first-come-first-served instead of a client-visible conflict).
 	upgradeMu sync.Mutex
 
+	// st is the durable storage engine (nil in legacy DBPath mode and for
+	// in-memory servers). With a store, mutations are durable per-op and
+	// saveLoop is replaced by snapshotLoop's background compaction.
+	st *store.Store
+
+	// persistMu guards persistErr, the legacy save loop's last failure;
+	// /healthz reports degraded while it is set. Store-mode errors are
+	// tracked by the store itself.
+	persistMu  sync.Mutex
+	persistErr error
+
 	saveStop  chan struct{}
 	saveDone  chan struct{}
 	closeOnce sync.Once
 }
 
-// New builds a server from the config. When cfg.DBPath names an existing
-// file the registry is loaded from it and the match cache is warm-started
-// from the service's persisted artifacts; periodic persistence then keeps
-// the file fresh. logf receives operational messages (nil for silence).
+// New builds a server from the config.
+//
+// With cfg.StoreDir set, the durable storage engine owns persistence:
+// the registry is recovered from snapshot + WAL replay (migrating a
+// legacy cfg.DBPath file one-shot if the store is empty), every mutation
+// commits to the WAL per-op under cfg.Fsync, and a background loop
+// snapshots + truncates the log once it outgrows cfg.SnapshotEvery.
+//
+// Without a store but with cfg.DBPath naming an existing file, the
+// legacy mode loads the registry from it and saves it on a timer — a
+// crash discards everything since the last tick.
+//
+// Either way the match cache is warm-started from the service's persisted
+// artifacts. logf receives operational messages (nil for silence).
 func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -60,7 +83,23 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	reg := registry.New()
-	if cfg.DBPath != "" {
+	var st *store.Store
+	switch {
+	case cfg.StoreDir != "":
+		st, err = store.Open(store.Options{
+			Dir:           cfg.StoreDir,
+			Fsync:         store.FsyncPolicy(cfg.Fsync),
+			SnapshotEvery: cfg.SnapshotEvery,
+			MigrateFrom:   cfg.DBPath,
+			Logf:          logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		reg = st.Registry()
+		logf("service: store %s recovered %d schemata, %d artifacts (fsync=%s)",
+			cfg.StoreDir, reg.Len(), reg.MatchCount(), cfg.Fsync)
+	case cfg.DBPath != "":
 		if _, statErr := os.Stat(cfg.DBPath); statErr == nil {
 			reg, err = registry.Load(cfg.DBPath)
 			if err != nil {
@@ -86,12 +125,18 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		engines: engines,
 		start:   time.Now(),
 		logf:    logf,
+		st:      st,
 	}
 	s.corpusPipe = corpus.NewPipeline(reg, serverCorpusCache{s})
 	if n := WarmStart(s.cache, reg); n > 0 {
 		logf("service: warm-started match cache with %d stored results", n)
 	}
-	if cfg.DBPath != "" {
+	switch {
+	case s.st != nil:
+		s.saveStop = make(chan struct{})
+		s.saveDone = make(chan struct{})
+		go s.snapshotLoop()
+	case cfg.DBPath != "":
 		s.saveStop = make(chan struct{})
 		s.saveDone = make(chan struct{})
 		go s.saveLoop()
@@ -108,7 +153,9 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Queue exposes the job engine (for tests and embedding).
 func (s *Server) Queue() *Queue { return s.queue }
 
-// saveLoop persists the registry every cfg.SaveInterval until Close.
+// saveLoop persists the registry every cfg.SaveInterval until Close (the
+// legacy DBPath mode). Failures surface through /healthz as degraded
+// until a save succeeds again.
 func (s *Server) saveLoop() {
 	defer close(s.saveDone)
 	t := time.NewTicker(s.cfg.SaveInterval)
@@ -116,8 +163,35 @@ func (s *Server) saveLoop() {
 	for {
 		select {
 		case <-t.C:
-			if err := s.reg.Save(s.cfg.DBPath); err != nil {
+			err := s.reg.Save(s.cfg.DBPath)
+			if err != nil {
 				s.logf("service: periodic save: %v", err)
+			}
+			s.persistMu.Lock()
+			s.persistErr = err
+			s.persistMu.Unlock()
+		case <-s.saveStop:
+			return
+		}
+	}
+}
+
+// snapshotLoop is the store mode's background compaction: durability is
+// already per-op through the WAL, so all this loop does is snapshot +
+// truncate the log whenever the replay debt passes cfg.SnapshotEvery
+// records — bounding both crash-recovery time and disk growth.
+func (s *Server) snapshotLoop() {
+	defer close(s.saveDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !s.st.ShouldSnapshot() {
+				continue
+			}
+			if err := s.st.Snapshot(); err != nil {
+				s.logf("service: background snapshot: %v", err)
 			}
 		case <-s.saveStop:
 			return
@@ -126,8 +200,9 @@ func (s *Server) saveLoop() {
 }
 
 // Close shuts the server down: the job queue stops (cancelling queued and
-// running jobs), the persistence loop exits, and the registry is saved a
-// final time when a DB path is configured.
+// running jobs) and the persistence machinery winds down — in store mode
+// a final snapshot compacts the log for a fast next start and the WAL is
+// synced shut; in legacy mode the registry is saved one last time.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -136,12 +211,25 @@ func (s *Server) Close() error {
 			close(s.saveStop)
 			<-s.saveDone
 		}
-		if s.cfg.DBPath != "" {
+		switch {
+		case s.st != nil:
+			if serr := s.st.Snapshot(); serr != nil {
+				s.logf("service: final snapshot: %v", serr)
+				err = serr
+			}
+			if cerr := s.st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		case s.cfg.DBPath != "":
 			err = s.reg.Save(s.cfg.DBPath)
 		}
 	})
 	return err
 }
+
+// Store exposes the durable storage engine (nil in legacy / in-memory
+// modes), for tests and embedding.
+func (s *Server) Store() *store.Store { return s.st }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -261,12 +349,41 @@ func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold fl
 
 // --- handlers -------------------------------------------------------------
 
+// healthResponse is the wire form of GET /healthz. Status is "ok" or
+// "degraded"; degraded carries the last persistence failure so an
+// operator (or probe) sees *why* instead of digging through logs.
+type healthResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// persistenceError returns the most recent save/append failure (nil when
+// persistence is healthy).
+func (s *Server) persistenceError() error {
+	if s.st != nil {
+		return s.st.LastError()
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.persistErr
+}
+
+// handleHealth reports degraded — with the error — when the last
+// persistence attempt (WAL append, snapshot, or legacy periodic save)
+// failed. The process still serves from memory, so this stays HTTP 200:
+// restarting the pod would not fix a full disk, but an alert on the
+// status can page someone who can.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok"}
+	if err := s.persistenceError(); err != nil {
+		resp.Status = "degraded"
+		resp.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Schemas:       s.reg.Len(),
 		Artifacts:     s.reg.MatchCount(),
@@ -275,7 +392,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Corpus:        s.corpusStats.snapshot(),
 		Evolve:        s.evolveStats.snapshot(),
 		Index:         s.reg.IndexStats(),
-	})
+	}
+	if s.st != nil {
+		ss := s.st.Stats()
+		st.Store = &ss
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // schemaSummary is the catalog row returned by the schema endpoints.
@@ -324,7 +446,15 @@ func (s *Server) handleAddSchema(w http.ResponseWriter, r *http.Request) {
 		tags = strings.Split(t, ",")
 	}
 	if err := s.reg.AddSchema(sc, r.URL.Query().Get("steward"), tags...); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		// A journaling failure is a persistence outage, not a name
+		// conflict — 500 tells the client the write may not survive a
+		// crash (a retry would hit the duplicate check: the schema IS
+		// registered in memory).
+		code := http.StatusConflict
+		if errors.Is(err, registry.ErrNotJournaled) {
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
 	e, _ := s.reg.Schema(sc.Name)
@@ -351,11 +481,23 @@ func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSchema(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Serialized with PUT upgrades: a delete landing between an upgrade's
+	// pre-flight validation and its commit batch would vanish a
+	// counterpart schema's artifacts mid-migration, committing a version
+	// bump the client is then told failed.
+	s.upgradeMu.Lock()
+	defer s.upgradeMu.Unlock()
 	if _, ok := s.reg.Schema(name); !ok {
 		writeError(w, http.StatusNotFound, "schema %q not registered", name)
 		return
 	}
-	removed := s.reg.RemoveSchema(name)
+	removed, err := s.reg.RemoveSchema(name)
+	if err != nil {
+		// The schema is gone from memory but the delete never reached the
+		// WAL — it would resurrect on crash recovery. Tell the client.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name, "removedArtifacts": removed})
 }
 

@@ -17,8 +17,10 @@
 //     registry as cache seed data, so a restarted daemon serves yesterday's
 //     matches from memory again.
 //   - Server: JSON-over-HTTP endpoints (/v1/schemas, /v1/match, /v1/jobs,
-//     /v1/search, /v1/stats, /healthz) over a registry.Registry with
-//     periodic persistence; cmd/harmonyd is its daemon wrapper.
+//     /v1/search, /v1/stats, /healthz) over a registry.Registry whose
+//     mutations are durable per-op through the internal/store WAL (with
+//     background snapshot compaction), or — in the legacy DBPath mode —
+//     saved on a timer; cmd/harmonyd is its daemon wrapper.
 package service
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"harmony/internal/core"
 	"harmony/internal/search"
+	"harmony/internal/store"
 )
 
 // DefaultSparseBudget mirrors the engine's calibrated sparse candidate
@@ -48,12 +51,31 @@ type Config struct {
 	Backlog int
 	// CacheSize is the match cache capacity in entries (default 256).
 	CacheSize int
-	// DBPath, when non-empty, is the registry persistence file. It is
-	// loaded at startup when present and saved periodically and on Close.
+	// DBPath, when non-empty, is the legacy registry persistence file. It
+	// is loaded at startup when present and saved periodically and on
+	// Close. With StoreDir also set, DBPath is only the one-shot migration
+	// source: an empty store imports it, after which the store owns the
+	// data and the file is no longer read or written.
 	DBPath string
-	// SaveInterval is the periodic persistence cadence when DBPath is set
-	// (default 30s).
+	// SaveInterval is the periodic persistence cadence of the legacy
+	// DBPath mode (default 30s). Ignored when StoreDir is set.
 	SaveInterval time.Duration
+	// StoreDir, when non-empty, enables the durable storage engine
+	// (internal/store): every registry mutation commits to a
+	// write-ahead log before the request completes, background snapshots
+	// bound crash-recovery replay, and the timer-based DBPath save loop is
+	// replaced entirely.
+	StoreDir string
+	// Fsync is the WAL durability policy when StoreDir is set: "commit"
+	// (default; a returned mutation is durable), "interval" (amortized
+	// background syncs) or "off".
+	Fsync string
+	// SnapshotInterval is how often the background compaction loop checks
+	// whether the WAL has grown past SnapshotEvery records (default 1m).
+	SnapshotInterval time.Duration
+	// SnapshotEvery is the WAL record count that triggers a background
+	// snapshot + log truncation (default 1024).
+	SnapshotEvery int
 	// CorpusCandidates is the default blocking budget of corpus queries
 	// that do not set one (default 32).
 	CorpusCandidates int
@@ -94,6 +116,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SaveInterval <= 0 {
 		c.SaveInterval = 30 * time.Second
 	}
+	if _, err := store.ParseFsyncPolicy(c.Fsync); err != nil {
+		return c, fmt.Errorf("service: %w", err)
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = time.Minute
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
 	if c.CorpusCandidates <= 0 {
 		c.CorpusCandidates = 32
 	}
@@ -116,4 +147,7 @@ type Stats struct {
 	Corpus        CorpusStats  `json:"corpus"`
 	Evolve        EvolveStats  `json:"evolve"`
 	Index         search.Stats `json:"index"`
+	// Store is the durable storage engine's snapshot (nil in legacy
+	// DBPath mode and for in-memory servers).
+	Store *store.Stats `json:"store,omitempty"`
 }

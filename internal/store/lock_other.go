@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// lockDir is a no-op where flock is unavailable; single-writer discipline
+// is then the operator's responsibility.
+func lockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes the store's single-writer lock: a flock on a LOCK file
+// inside the directory. flock releases automatically when the holding
+// process dies (kill -9 included), so a crashed daemon never strands the
+// store. A second writer — say `harmony evolve -store-dir` pointed at a
+// live daemon's directory — would otherwise interleave appends into the
+// same active segment with independent LSN counters, corrupting replay.
+func lockDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process (stop it or use a different -store-dir): %w", dir, err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,403 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The write-ahead log is a sequence of segments, each a flat file of
+// checksummed records:
+//
+//	wal-<firstLSN hex>.seg
+//	record := uint32(len(payload)) | uint32(crc32c(payload)) | payload
+//
+// Records are numbered by a monotonically increasing log sequence number
+// (LSN, starting at 1); a segment's file name carries the LSN of its
+// first record, so replay can skip whole segments already covered by a
+// snapshot without reading them, and each record's LSN is its segment's
+// first LSN plus its index. Little-endian framing, CRC32-Castagnoli.
+
+const (
+	walPrefix    = "wal-"
+	walSuffix    = ".seg"
+	recordHeader = 8
+	// maxRecordBytes bounds a single record so a corrupted length field
+	// cannot demand an absurd allocation during replay.
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", walPrefix, firstLSN, walSuffix)
+}
+
+func parseSegmentName(name string) (firstLSN uint64, ok bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the directory's WAL segments sorted by first LSN.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, lsn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// frame assembles one on-disk record.
+func frame(payload []byte) []byte {
+	buf := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[recordHeader:], payload)
+	return buf
+}
+
+// readRecord parses the record at data[off:]. A short or checksum-failed
+// record returns ok=false — at the log tail that is a torn write, not an
+// error.
+func readRecord(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+recordHeader > len(data) {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n > maxRecordBytes || off+recordHeader+n > len(data) {
+		return nil, off, false
+	}
+	payload = data[off+recordHeader : off+recordHeader+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+		return nil, off, false
+	}
+	return payload, off + recordHeader + n, true
+}
+
+// wal is the appendable log. Safe for concurrent use; replay happens
+// before construction (see replaySegments).
+type wal struct {
+	dir          string
+	policy       FsyncPolicy
+	segmentBytes int64
+
+	mu      sync.Mutex
+	f       *os.File // active segment (nil until first append after open)
+	size    int64
+	lastLSN uint64
+	dirty   bool // unsynced appends (interval / off policies)
+	closed  bool
+	// wedged marks a log whose tail could not be repaired after a failed
+	// write: appending past the partial record would make replay discard
+	// everything after it, so further appends fail instead.
+	wedged bool
+
+	appends       uint64
+	appendedBytes uint64
+	syncs         uint64
+}
+
+// openWAL readies the log for appends after recovery. lastLSN is the
+// highest LSN already on disk (snapshot or replayed record); appends
+// continue from there. The active segment is the newest existing one (its
+// torn tail, if any, was truncated by replay) or a fresh segment created
+// lazily on first append.
+func openWAL(dir string, policy FsyncPolicy, segmentBytes int64, lastLSN uint64) (*wal, error) {
+	w := &wal{dir: dir, policy: policy, segmentBytes: segmentBytes, lastLSN: lastLSN}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f, w.size = f, st.Size()
+	}
+	return w, nil
+}
+
+// Append writes one record and returns its LSN, honoring the fsync
+// policy. Rotation to a fresh segment happens before the write once the
+// active segment exceeds segmentBytes, so a record never spans segments.
+func (w *wal) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("store: append on closed WAL")
+	}
+	if w.wedged {
+		return 0, fmt.Errorf("store: WAL wedged by an unrepaired partial write; restart to recover")
+	}
+	if len(payload) > maxRecordBytes {
+		// Replay rejects anything larger as corruption, so appending it
+		// would plant a time bomb: fail the commit now instead.
+		return 0, fmt.Errorf("store: record %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	lsn := w.lastLSN + 1
+	if w.f == nil || w.size >= w.segmentBytes {
+		if err := w.rotateLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	buf := frame(payload)
+	if _, err := w.f.Write(buf); err != nil {
+		// A partial write would sit mid-log and make replay truncate away
+		// every later record; cut the file back so the log stays
+		// well-formed and only this append is lost. If even the repair
+		// fails, wedge the log: acknowledging writes after the garbage
+		// would lose them all at the next replay.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.wedged = true
+		}
+		return 0, err
+	}
+	w.size += int64(len(buf))
+	w.lastLSN = lsn
+	w.appends++
+	w.appendedBytes += uint64(len(buf))
+	if w.policy == FsyncPerCommit {
+		if err := w.f.Sync(); err != nil {
+			// After a failed fsync the on-disk fate of this record is
+			// unknown (the kernel may have dropped the dirty page).
+			// Appending more records after it would let a torn-tail
+			// recovery truncate away later, successfully-synced commits —
+			// wedge the log instead; a restart replays what actually
+			// landed.
+			w.wedged = true
+			return 0, err
+		}
+		w.syncs++
+	} else {
+		w.dirty = true
+	}
+	return lsn, nil
+}
+
+// rotateLocked closes the active segment (syncing it, whatever the
+// policy — a finished segment is immutable and must be durable before
+// its successor starts) and opens a new one whose first record will be
+// firstLSN.
+func (w *wal) rotateLocked(firstLSN uint64) error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.syncs++
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f = nil
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(firstLSN)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return syncDir(w.dir)
+}
+
+// Sync flushes outstanding appends (interval policy's ticker and Close).
+// A failed sync wedges the log like a failed per-commit sync does — the
+// on-disk suffix is in an unknown state, and writing past it risks
+// discarding later durable records at replay.
+func (w *wal) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dirty || w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.wedged = true
+		return err
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// LastLSN returns the LSN of the newest appended record.
+func (w *wal) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// TruncateThrough deletes segments whose records are all covered by a
+// snapshot at lsn. The active segment is never deleted.
+func (w *wal) TruncateThrough(lsn uint64) (removed int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	for i, first := range segs {
+		// A segment's records end where the next segment begins; the
+		// newest segment is the active one and always stays.
+		if i == len(segs)-1 {
+			break
+		}
+		if segs[i+1] <= lsn+1 {
+			if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	if removed > 0 {
+		err = syncDir(w.dir)
+	}
+	return removed, err
+}
+
+// Segments reports the live segment count and their total bytes.
+func (w *wal) Segments() (n int, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, first := range segs {
+		if st, err := os.Stat(filepath.Join(w.dir, segmentName(first))); err == nil {
+			bytes += st.Size()
+		}
+	}
+	return len(segs), bytes
+}
+
+// Close syncs and closes the active segment; further appends fail.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayResult reports what replaySegments found.
+type replayResult struct {
+	lastLSN  uint64 // highest LSN seen on disk (≥ fromLSN)
+	replayed int    // records handed to fn
+	tornTail bool   // the final segment ended in a damaged record
+}
+
+// replaySegments walks every record with LSN > fromLSN through fn, in log
+// order. A short or corrupt record in the final segment is a torn tail:
+// the file is truncated back to the last intact record and replay stops
+// cleanly. The same damage in a non-final segment is real corruption and
+// fails, as does any fn error (the log no longer matches the snapshot it
+// is being replayed onto).
+func replaySegments(dir string, fromLSN uint64, fn func(lsn uint64, payload []byte) error) (replayResult, error) {
+	res := replayResult{lastLSN: fromLSN}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	if len(segs) > 0 && segs[0] > fromLSN+1 {
+		// Compaction only ever deletes segments the recovery snapshot
+		// covers, so a first segment beyond fromLSN+1 means records
+		// between the snapshot and the log are missing — refuse to start
+		// rather than recover with a silent gap.
+		return res, fmt.Errorf("store: log gap: snapshot covers lsn %d but oldest segment starts at %d", fromLSN, segs[0])
+	}
+	for i, first := range segs {
+		final := i == len(segs)-1
+		// Skip segments fully covered by the snapshot without reading
+		// them: all their LSNs precede the next segment's first.
+		if !final && segs[i+1] <= fromLSN+1 {
+			if segs[i+1] > 0 && segs[i+1]-1 > res.lastLSN {
+				res.lastLSN = segs[i+1] - 1
+			}
+			continue
+		}
+		path := filepath.Join(dir, segmentName(first))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return res, err
+		}
+		lsn := first - 1
+		off := 0
+		for off < len(data) {
+			payload, next, ok := readRecord(data, off)
+			if !ok {
+				if !final {
+					return res, fmt.Errorf("store: corrupt record at %s offset %d", filepath.Base(path), off)
+				}
+				res.tornTail = true
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return res, fmt.Errorf("store: truncating torn tail of %s: %w", filepath.Base(path), err)
+				}
+				break
+			}
+			lsn++
+			if lsn > fromLSN {
+				if err := fn(lsn, payload); err != nil {
+					return res, err
+				}
+				res.replayed++
+			}
+			if lsn > res.lastLSN {
+				res.lastLSN = lsn
+			}
+			off = next
+		}
+	}
+	return res, nil
+}
+
+// syncDir fsyncs a directory so renames and segment creations survive a
+// crash. Best-effort on platforms where directories cannot be opened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+func isSyncUnsupported(err error) bool {
+	return strings.Contains(err.Error(), "invalid argument") ||
+		strings.Contains(err.Error(), "not supported")
+}
