@@ -54,6 +54,7 @@ func main() {
 		{"E12", "sparse candidate-pair scoring vs dense full match", runE12},
 		{"E13", "incremental artifact migration vs full rematch on a version bump", runE13},
 		{"E14", "per-op WAL durability vs full snapshot per mutation", runE14},
+		{"E15", "replica read-scaling: scatter-gather corpus serving over a 3-replica cluster", runE15},
 	}
 
 	want := map[string]bool{}

@@ -36,6 +36,24 @@
 //	-sparse-budget N     per-source candidate budget of sparse candidate-pair
 //	                     scoring for large matches (default 64; 0 disables
 //	                     sparse mode, every pair is scored densely)
+//	-role ROLE           replication role: leader (writable; serves the
+//	                     /repl/v1 API with -store-dir) or follower (read-only
+//	                     mirror tailing -peer's WAL; mutations answer 403
+//	                     pointing at the leader). Empty = unreplicated.
+//	-peer URL            the leader's base URL (required with -role=follower)
+//	-replica-id ID       this node's name on the leader — keys the segment
+//	                     pin that protects its catch-up cursor from
+//	                     compaction (default: hostname)
+//	-replicas CSV        replica base URLs for scatter-gather corpus serving:
+//	                     corpus top-k queries are partitioned across the set
+//	                     by schema fingerprint and merged exactly
+//	-lag-threshold N     follower lag, in WAL records, beyond which /healthz
+//	                     reports degraded (default 1024)
+//	-corpus-workers N    per-query scoring worker bound (default: GOMAXPROCS;
+//	                     replicated deployments typically set cores/replicas)
+//	-promote URL         one-shot admin mode: ask the follower at URL to
+//	                     catch up, stop tailing and become a writable leader
+//	                     (POST /repl/v1/promote), print the result and exit
 //
 // Endpoints:
 //
@@ -61,7 +79,12 @@
 //	GET    /v1/stats           cache, queue, corpus, index and store counters
 //	GET    /healthz            liveness probe; reports status "degraded" with
 //	                           the error when the last WAL append / snapshot /
-//	                           legacy save failed
+//	                           legacy save failed, or when a follower's
+//	                           replication stream is down or lagging
+//	GET    /repl/v1/snapshot   bootstrap snapshot for followers (store mode)
+//	GET    /repl/v1/wal        LSN-ordered WAL records, long-polling
+//	GET    /repl/v1/status     leader head / durable / snapshot LSNs
+//	POST   /repl/v1/promote    turn this follower into a writable leader
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, jobs are cancelled, and the registry is saved.
@@ -71,15 +94,37 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"harmony/internal/service"
 )
+
+// promoteFollower is the -promote admin mode: one POST to the follower's
+// promotion endpoint, result on stdout. The daemon side drains the
+// replication stream first, so running this against a caught-up follower
+// loses nothing; against a dead leader it promotes with whatever has
+// been replicated — the failover case.
+func promoteFollower(baseURL string) error {
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/repl/v1/promote", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	fmt.Printf("%s\n", strings.TrimSpace(string(body)))
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8071", "listen address")
@@ -98,7 +143,28 @@ func main() {
 	corpusTopK := flag.Int("corpus-topk", 5, "default result count of corpus queries")
 	sparseBudget := flag.Int("sparse-budget", service.DefaultSparseBudget,
 		"per-source candidate budget for sparse scoring of large matches (0 disables)")
+	role := flag.String("role", "", "replication role: leader, follower or empty (unreplicated)")
+	peer := flag.String("peer", "", "leader base URL (required with -role=follower)")
+	replicaID := flag.String("replica-id", "", "this node's name on the leader (default: hostname)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs for scatter-gather corpus serving")
+	lagThreshold := flag.Uint64("lag-threshold", 1024, "follower lag (WAL records) beyond which /healthz degrades")
+	corpusWorkers := flag.Int("corpus-workers", 0, "per-query corpus scoring worker bound (0 = GOMAXPROCS)")
+	promote := flag.String("promote", "", "one-shot: promote the follower at this base URL and exit")
 	flag.Parse()
+
+	if *promote != "" {
+		if err := promoteFollower(*promote); err != nil {
+			log.Fatalf("harmonyd: promote %s: %v", *promote, err)
+		}
+		return
+	}
+
+	var replicaSet []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicaSet = append(replicaSet, u)
+		}
+	}
 
 	budget := *sparseBudget
 	if budget <= 0 {
@@ -119,6 +185,12 @@ func main() {
 		CorpusCandidates: *corpusCandidates,
 		CorpusTopK:       *corpusTopK,
 		SparseBudget:     budget,
+		Role:             *role,
+		PeerURL:          *peer,
+		ReplicaID:        *replicaID,
+		Replicas:         replicaSet,
+		LagThreshold:     *lagThreshold,
+		CorpusWorkers:    *corpusWorkers,
 	}, log.Printf)
 	if err != nil {
 		log.Fatal(err)

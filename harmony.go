@@ -13,6 +13,7 @@ import (
 	"harmony/internal/export"
 	"harmony/internal/partition"
 	"harmony/internal/registry"
+	"harmony/internal/repl"
 	"harmony/internal/schema"
 	"harmony/internal/search"
 	"harmony/internal/service"
@@ -344,6 +345,37 @@ const (
 // StoreOptions.MigrateFrom set and an empty directory, a legacy
 // Registry.Save JSON file seeds the first snapshot.
 var OpenStore = store.Open
+
+// Replication: WAL-shipping leader/follower clusters over the durable
+// store. A leader's store serves snapshot bootstrap plus LSN-ordered
+// record streaming (ReplSource); followers mirror it byte-for-byte by
+// appending the shipped records through the same replay path
+// (ReplFollower); a ReplRouter fans corpus top-k queries across the
+// replica set and merges the partials exactly. The service layer wires
+// all three behind harmonyd's -role/-peer/-replicas flags.
+
+type (
+	// ReplSource serves one store's replication surface (snapshot, WAL
+	// tail with long-poll, status); mount its handlers on the leader.
+	ReplSource = repl.Source
+	// ReplFollower tails a leader's WAL into a local registry (and
+	// store, when present); start with StartReplFollower.
+	ReplFollower = repl.Follower
+	// ReplFollowerOptions configures StartReplFollower (peer URL,
+	// replica ID, target store/registry, poll and retry cadence).
+	ReplFollowerOptions = repl.Options
+	// ReplRouter scatter-gathers corpus top-k queries across replicas.
+	ReplRouter = repl.Router
+)
+
+// NewReplSource wraps a store in its replication serving surface.
+var NewReplSource = repl.NewSource
+
+// StartReplFollower begins tailing the peer's WAL; Stop it to halt.
+var StartReplFollower = repl.StartFollower
+
+// NewReplRouter builds a scatter-gather router over replica base URLs.
+var NewReplRouter = repl.NewRouter
 
 // Workflow entry points.
 

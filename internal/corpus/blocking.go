@@ -75,6 +75,9 @@ func (p *Pipeline) block(q *schema.Schema, qfp string, cfg Config, st *Stats) []
 			if e.Schema.Name == q.Name || e.Fingerprint == qfp {
 				continue
 			}
+			if !cfg.inShard(e.Fingerprint) {
+				continue
+			}
 			st.CorpusSize++
 			cands = append(cands, candidate{entry: e, bound: 1})
 		}
@@ -82,9 +85,19 @@ func (p *Pipeline) block(q *schema.Schema, qfp string, cfg Config, st *Stats) []
 		return cands
 	}
 
-	st.CorpusSize = p.reg.Len()
-	if _, self := p.reg.Schema(q.Name); self {
-		st.CorpusSize--
+	if cfg.Shards > 1 {
+		// Report the shard's partition size, so summing stats across a
+		// scatter-gather fan-out reproduces the full corpus size.
+		for _, e := range p.reg.Schemas() {
+			if e.Schema.Name != q.Name && cfg.inShard(e.Fingerprint) {
+				st.CorpusSize++
+			}
+		}
+	} else {
+		st.CorpusSize = p.reg.Len()
+		if _, self := p.reg.Schema(q.Name); self {
+			st.CorpusSize--
+		}
 	}
 	hits := p.reg.SearchSchema(q, cfg.Candidates*blockOverscan)
 	for _, h := range hits {
@@ -93,6 +106,10 @@ func (p *Pipeline) block(q *schema.Schema, qfp string, cfg Config, st *Stats) []
 		}
 		e, ok := p.reg.Schema(h.Schema)
 		if !ok || e.Fingerprint == qfp {
+			continue
+		}
+		if !cfg.inShard(e.Fingerprint) {
+			// Another shard's work, not a pruned candidate.
 			continue
 		}
 		ov := overlapCoefficient(qprof, p.profile(e.Fingerprint, e.Schema))

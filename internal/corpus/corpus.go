@@ -84,6 +84,14 @@ type Config struct {
 	// select the engine (the caller passes the engine). Empty disables
 	// external cache lookups.
 	Preset string
+	// Shard and Shards partition scoring work across replicas: when
+	// Shards > 1, only candidates whose fingerprint hashes to Shard (see
+	// ShardOf) enter scoring, and a router merges the per-shard partials
+	// with MergeTopK. The corpus itself stays fully replicated — sharding
+	// partitions work, not data, so any shard can be reassigned to any
+	// replica when one fails. Zero means unsharded.
+	Shard  int
+	Shards int
 	// Exhaustive disables blocking, the prefilter and early exit: every
 	// registered schema is engine-scored. This is the ground-truth mode
 	// the blocked pipeline is evaluated against.

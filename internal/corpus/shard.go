@@ -1,0 +1,65 @@
+package corpus
+
+import (
+	"container/heap"
+	"hash/fnv"
+)
+
+// ShardOf assigns a schema (by content fingerprint) to one of shards
+// scoring partitions. The assignment is stable across processes — every
+// replica computes the same partition for the same corpus — and
+// fingerprint-based, so versioning a schema may move it between shards
+// but re-registering identical content never does. shards <= 1 means
+// unsharded (everything is shard 0).
+func ShardOf(fingerprint string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(fingerprint))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// inShard reports whether a candidate fingerprint belongs to this
+// config's shard; vacuously true when unsharded.
+func (c Config) inShard(fingerprint string) bool {
+	return c.Shards <= 1 || ShardOf(fingerprint, c.Shards) == c.Shard
+}
+
+// MergeTopK folds per-shard partial top-k lists into one global top-k,
+// best first. Because each partial was itself computed with the global k
+// and the shards partition the candidate set, the global top-k is a
+// subset of the union, so the merge is exact. Duplicate schema names
+// across partials (a replica answering for a reassigned shard may
+// overlap) keep their best-scoring entry.
+func MergeTopK(k int, partials ...[]SchemaMatch) []SchemaMatch {
+	if k <= 0 {
+		return nil
+	}
+	best := make(map[string]*SchemaMatch)
+	for _, part := range partials {
+		for i := range part {
+			m := &part[i]
+			if cur, ok := best[m.Schema]; !ok || betterMatch(m, cur) {
+				best[m.Schema] = m
+			}
+		}
+	}
+	var h matchHeap
+	for _, m := range best {
+		if len(h) < k {
+			heap.Push(&h, m)
+			continue
+		}
+		if betterMatch(m, h[0]) {
+			h[0] = m
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]SchemaMatch, 0, len(h))
+	for _, m := range h {
+		out = append(out, *m)
+	}
+	sortMatches(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/synth"
+)
+
+func TestShardOfStablePartition(t *testing.T) {
+	const shards = 3
+	schemas, _, _ := synth.Collection(7, 6, 6)
+	seen := make(map[int]int)
+	for _, s := range schemas {
+		fp := s.Fingerprint()
+		sh := ShardOf(fp, shards)
+		if sh < 0 || sh >= shards {
+			t.Fatalf("ShardOf(%q, %d) = %d out of range", fp, shards, sh)
+		}
+		if again := ShardOf(fp, shards); again != sh {
+			t.Fatalf("ShardOf not stable: %d then %d", sh, again)
+		}
+		seen[sh]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("36 schemata landed in %d shard(s): degenerate hash", len(seen))
+	}
+	if ShardOf("anything", 1) != 0 || ShardOf("anything", 0) != 0 {
+		t.Fatal("unsharded ShardOf must be 0")
+	}
+}
+
+// TestShardedUnionMatchesUnsharded: scoring each shard separately with
+// the global k and merging must reproduce the unsharded top-k exactly —
+// the scatter-gather correctness property the router relies on.
+func TestShardedUnionMatchesUnsharded(t *testing.T) {
+	schemas, _, _ := synth.Collection(13, 5, 8)
+	reg := buildRegistry(t, schemas)
+	p := NewPipeline(reg, nil)
+	eng := core.PresetCOMA()
+	q := schemas[0]
+	base := Config{TopK: 5, Candidates: len(schemas), Exhaustive: true, Workers: 2}
+
+	single, err := p.TopK(context.Background(), eng, q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	var partials [][]SchemaMatch
+	var partitionSize int
+	for sh := 0; sh < shards; sh++ {
+		cfg := base
+		cfg.Shard, cfg.Shards = sh, shards
+		res, err := p.TopK(context.Background(), eng, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, res.Matches)
+		partitionSize += res.Stats.CorpusSize
+	}
+	if partitionSize != single.Stats.CorpusSize {
+		t.Fatalf("shard partitions cover %d schemata, corpus has %d", partitionSize, single.Stats.CorpusSize)
+	}
+
+	merged := MergeTopK(base.TopK, partials...)
+	if !reflect.DeepEqual(merged, single.Matches) {
+		t.Fatalf("merged top-k diverges from unsharded:\nmerged: %+v\nsingle: %+v", merged, single.Matches)
+	}
+}
+
+// TestShardedBlockingPartitions: the indexed (non-exhaustive) path also
+// respects the shard filter and reports the partition's corpus size.
+func TestShardedBlockingPartitions(t *testing.T) {
+	schemas, _, _ := synth.Collection(17, 5, 8)
+	reg := buildRegistry(t, schemas)
+	p := NewPipeline(reg, nil)
+	q := schemas[0]
+
+	const shards = 3
+	total := 0
+	for sh := 0; sh < shards; sh++ {
+		cands, st, err := p.Candidates(q, Config{Candidates: len(schemas), Shard: sh, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			e, ok := reg.Schema(c.Schema)
+			if !ok {
+				t.Fatalf("candidate %q not registered", c.Schema)
+			}
+			if got := ShardOf(e.Fingerprint, shards); got != sh {
+				t.Fatalf("candidate %q in shard-%d result belongs to shard %d", c.Schema, sh, got)
+			}
+		}
+		total += st.CorpusSize
+	}
+	if total != len(schemas)-1 {
+		t.Fatalf("partition sizes sum to %d, want %d", total, len(schemas)-1)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	a := []SchemaMatch{{Schema: "x", Score: 0.9}, {Schema: "y", Score: 0.5}}
+	b := []SchemaMatch{{Schema: "z", Score: 0.7}, {Schema: "y", Score: 0.6}}
+	got := MergeTopK(2, a, b)
+	want := []SchemaMatch{{Schema: "x", Score: 0.9}, {Schema: "z", Score: 0.7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeTopK = %+v, want %+v", got, want)
+	}
+	// Duplicates keep the best-scoring entry.
+	got = MergeTopK(3, a, b)
+	if len(got) != 3 || got[2].Schema != "y" || got[2].Score != 0.6 {
+		t.Fatalf("dedup kept %+v", got)
+	}
+	if MergeTopK(0, a) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := MergeTopK(5); len(got) != 0 {
+		t.Fatalf("no partials returned %+v", got)
+	}
+}

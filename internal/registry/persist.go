@@ -228,6 +228,36 @@ func DecodeSnapshot(data []byte) (*Registry, error) {
 	return r, nil
 }
 
+// ResetTo replaces the registry's entire contents with a snapshot's —
+// the follower-side write half of replication re-bootstrap. The attached
+// journal (if any) is kept but NOT notified: like Apply, a reset mirrors
+// state that is already durable elsewhere. Concurrent readers see either
+// the old state or the new, never a mix.
+func (r *Registry) ResetTo(data []byte) error {
+	fresh, err := DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The search index pointer is read without the registry lock
+	// (search.Index synchronizes internally), so it must never be
+	// swapped: re-populate it in place instead.
+	for name := range r.entries {
+		if _, still := fresh.entries[name]; !still {
+			r.index.Remove(name)
+		}
+	}
+	for _, e := range fresh.entries {
+		r.index.Add(e.Schema)
+	}
+	r.entries = fresh.entries
+	r.history = fresh.history
+	r.matches = fresh.matches
+	r.nextID = fresh.nextID
+	return nil
+}
+
 // Load reads a registry previously written by Save.
 func Load(path string) (*Registry, error) {
 	data, err := os.ReadFile(path)

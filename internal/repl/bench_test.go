@@ -1,0 +1,114 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/corpus"
+	"harmony/internal/registry"
+	"harmony/internal/store"
+	"harmony/internal/synth"
+)
+
+// BenchmarkFollowerApply measures the follower's apply path — replicated
+// WAL append plus registry op replay — in records/op. Fsync is off on
+// both sides so the number is the software cost, not the disk's.
+func BenchmarkFollowerApply(b *testing.B) {
+	leader, err := store.Open(store.Options{Dir: b.TempDir(), Fsync: store.FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < b.N; i++ {
+		if err := leader.Registry().AddSchema(testSchema(fmt.Sprintf("s%07d", i)), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	recs, err := leader.ReadRecords(0, b.N, 1<<30)
+	if err != nil || len(recs) != b.N {
+		b.Fatalf("shipped %d records, err %v", len(recs), err)
+	}
+	follower, err := store.Open(store.Options{Dir: b.TempDir(), Fsync: store.FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer follower.Close()
+
+	b.ResetTimer()
+	for _, rec := range recs {
+		var ops []registry.Op
+		if err := json.Unmarshal(rec.Payload, &ops); err != nil {
+			b.Fatal(err)
+		}
+		follower.LockBatch()
+		err := follower.AppendReplicated(rec.LSN, rec.Payload, len(ops))
+		if err == nil {
+			err = follower.Registry().Apply(ops)
+		}
+		follower.UnlockBatch()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScatterGatherTopK measures a full fanned-out corpus query:
+// three single-worker replicas behind HTTP, sharded scoring, exact
+// merge.
+func BenchmarkScatterGatherTopK(b *testing.B) {
+	schemas, _, _ := synth.Collection(7, 4, 4)
+	reg := registry.New()
+	for _, s := range schemas {
+		if err := reg.AddSchema(s, "synth"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pipe := corpus.NewPipeline(reg, nil)
+	eng := core.PresetCOMA()
+
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		e, ok := reg.Schema(q.Get("schema"))
+		if !ok {
+			http.Error(w, "unknown schema", http.StatusNotFound)
+			return
+		}
+		shard, _ := strconv.Atoi(q.Get("shard"))
+		shards, _ := strconv.Atoi(q.Get("shards"))
+		k, _ := strconv.Atoi(q.Get("k"))
+		res, err := pipe.TopK(r.Context(), eng, e.Schema, corpus.Config{
+			TopK: k, Shard: shard, Shards: shards,
+			Candidates: len(schemas), Workers: 1,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	var replicas []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(handler)
+		defer srv.Close()
+		replicas = append(replicas, srv.URL)
+	}
+	rt, err := NewRouter(replicas, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := url.Values{"schema": {schemas[0].Name}}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.TopK(context.Background(), 5, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harmony/internal/corpus"
+	"harmony/internal/registry"
+	"harmony/internal/schema"
+	"harmony/internal/store"
+)
+
+func testSchema(name string) *schema.Schema {
+	s := schema.New(name, schema.FormatRelational)
+	tbl := s.AddRoot("record", schema.KindTable)
+	s.AddElement(tbl, "id", schema.KindColumn, schema.TypeString)
+	s.AddElement(tbl, "name", schema.KindColumn, schema.TypeString)
+	return s
+}
+
+func openStore(t *testing.T, opts store.Options) *store.Store {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	st, err := store.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// serveSource mounts a Source the way the service layer does.
+func serveSource(t *testing.T, src *Source) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSnapshot, src.HandleSnapshot)
+	mux.HandleFunc("GET "+PathWAL, src.HandleWAL)
+	mux.HandleFunc("GET "+PathStatus, src.HandleStatus)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFollowerMirrorsLeader(t *testing.T) {
+	leader := openStore(t, store.Options{})
+	src := NewSource(leader, t.Logf)
+	srv := serveSource(t, src)
+
+	follower := openStore(t, store.Options{})
+	f, err := StartFollower(Options{
+		Peer: srv.URL, ReplicaID: "f1", Store: follower,
+		PollWait: 200 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	for i := 0; i < 8; i++ {
+		if err := leader.Registry().AddSchema(testSchema(fmt.Sprintf("s%d", i)), "ops"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Registry().AddMatch(registry.MatchArtifact{
+		SchemaA: "s0", SchemaB: "s1",
+		Pairs: []registry.AssertedMatch{{PathA: "record/id", PathB: "record/id", Score: 0.9, Status: registry.StatusAccepted}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "follower catch-up", func() bool { return f.Stats().AppliedLSN == leader.LastLSN() })
+	st := f.Stats()
+	if st.Lag != 0 || !st.Connected || st.LastError != "" {
+		t.Fatalf("follower stats %+v", st)
+	}
+	if follower.Registry().Len() != 8 || follower.Registry().MatchCount() != 1 {
+		t.Fatalf("follower holds %d schemata / %d artifacts", follower.Registry().Len(), follower.Registry().MatchCount())
+	}
+	if follower.LastLSN() != leader.LastLSN() {
+		t.Fatalf("follower LSN %d, leader %d", follower.LastLSN(), leader.LastLSN())
+	}
+	// The follower showed up in the leader's source stats, and its
+	// live cursor pins the leader's segments.
+	sst := src.Stats()
+	if sst.Replicas != 1 || sst.RecordsShipped == 0 {
+		t.Fatalf("source stats %+v", sst)
+	}
+	if lst := leader.Stats(); lst.Pins != 1 {
+		t.Fatalf("leader store has %d pins, want 1", lst.Pins)
+	}
+}
+
+// TestMemoryFollowerBootstrapsAndTails: a follower without a store
+// bootstraps its registry from a shipped snapshot and keeps applying.
+func TestMemoryFollowerBootstrapsAndTails(t *testing.T) {
+	leader := openStore(t, store.Options{SegmentBytes: 64})
+	for i := 0; i < 6; i++ {
+		if err := leader.Registry().AddSchema(testSchema(fmt.Sprintf("pre%d", i)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact so a from-zero tail is impossible: the follower MUST go
+	// through the snapshot path.
+	if err := leader.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv := serveSource(t, NewSource(leader, t.Logf))
+
+	reg := registry.New()
+	f, err := StartFollower(Options{
+		Peer: srv.URL, ReplicaID: "mem1", Registry: reg,
+		PollWait: 200 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	if err := leader.Registry().AddSchema(testSchema("post"), ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "memory follower catch-up", func() bool { return f.Stats().AppliedLSN == leader.LastLSN() })
+	if reg.Len() != 7 {
+		t.Fatalf("memory follower holds %d schemata, want 7", reg.Len())
+	}
+	if f.Stats().Bootstraps == 0 {
+		t.Fatal("follower never bootstrapped")
+	}
+}
+
+// TestFollowerRebootstrapsAfterCompactionGap: a disconnected follower
+// whose pin expired comes back to a compacted log, gets 410, and
+// re-converges via snapshot reset.
+func TestFollowerRebootstrapsAfterCompactionGap(t *testing.T) {
+	leader := openStore(t, store.Options{SegmentBytes: 64})
+	src := NewSource(leader, t.Logf)
+	src.PinTTL = 50 * time.Millisecond
+	srv := serveSource(t, src)
+
+	fdir := t.TempDir()
+	follower := openStore(t, store.Options{Dir: fdir})
+	f, err := StartFollower(Options{
+		Peer: srv.URL, ReplicaID: "f1", Store: follower,
+		PollWait: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Registry().AddSchema(testSchema("a"), ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial catch-up", func() bool { return f.Stats().AppliedLSN == leader.LastLSN() })
+	f.Stop()
+
+	// While the follower is gone: new records, pin expiry, compaction.
+	for i := 0; i < 9; i++ {
+		if err := leader.Registry().AddSchema(testSchema(fmt.Sprintf("gap%d", i)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * src.PinTTL)
+	leader.Unpin("f1") // the TTL sweep runs on contact; the test forces expiry now
+	if err := leader.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.ReadRecords(1, 0, 0); err == nil {
+		t.Fatal("precondition: leader log should be compacted past the follower cursor")
+	}
+
+	f2, err := StartFollower(Options{
+		Peer: srv.URL, ReplicaID: "f1", Store: follower,
+		PollWait: 50 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Stop()
+	waitFor(t, "re-bootstrap catch-up", func() bool { return f2.Stats().AppliedLSN == leader.LastLSN() })
+	if f2.Stats().Bootstraps == 0 {
+		t.Fatal("follower tailed through a compaction gap without bootstrapping")
+	}
+	if follower.Registry().Len() != leader.Registry().Len() {
+		t.Fatalf("follower holds %d schemata, leader %d", follower.Registry().Len(), leader.Registry().Len())
+	}
+}
+
+// TestFollowerReconnectsWithBackoff: a dead leader marks the follower
+// disconnected; a revived one (same address) picks the stream back up.
+func TestFollowerReconnectsWithBackoff(t *testing.T) {
+	leader := openStore(t, store.Options{})
+	src := NewSource(leader, t.Logf)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSnapshot, src.HandleSnapshot)
+	mux.HandleFunc("GET "+PathWAL, src.HandleWAL)
+	mux.HandleFunc("GET "+PathStatus, src.HandleStatus)
+	var down atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "leader down", http.StatusBadGateway)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	follower := openStore(t, store.Options{})
+	f, err := StartFollower(Options{
+		Peer: srv.URL, ReplicaID: "f1", Store: follower,
+		PollWait: 20 * time.Millisecond, RetryMin: 5 * time.Millisecond,
+		RetryMax: 20 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if err := leader.Registry().AddSchema(testSchema("a"), ""); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial sync", func() bool { return f.Stats().AppliedLSN == 1 })
+
+	down.Store(true)
+	waitFor(t, "disconnect detection", func() bool { st := f.Stats(); return !st.Connected && st.LastError != "" })
+	if err := leader.Registry().AddSchema(testSchema("b"), ""); err != nil {
+		t.Fatal(err)
+	}
+	down.Store(false)
+	waitFor(t, "reconnect catch-up", func() bool { return f.Stats().AppliedLSN == 2 })
+	if f.Stats().Reconnects == 0 {
+		t.Fatal("no reconnect counted")
+	}
+}
+
+func TestCatchUpLeaderUnreachable(t *testing.T) {
+	follower := openStore(t, store.Options{})
+	f, err := StartFollower(Options{
+		Peer: "http://127.0.0.1:1", ReplicaID: "f1", Store: follower,
+		PollWait: 10 * time.Millisecond, RetryMin: 5 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.CatchUp(ctx); !errors.Is(err, ErrLeaderUnreachable) {
+		t.Fatalf("CatchUp err = %v, want leader-unreachable", err)
+	}
+}
+
+// TestSourceLongPollWakes: an empty poll parks until an append lands,
+// instead of returning immediately.
+func TestSourceLongPollWakes(t *testing.T) {
+	leader := openStore(t, store.Options{})
+	srv := serveSource(t, NewSource(leader, t.Logf))
+
+	start := time.Now()
+	type res struct {
+		wr  WALResponse
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + PathWAL + "?from=0&wait_ms=5000")
+		if err != nil {
+			ch <- res{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var wr WALResponse
+		err = json.NewDecoder(resp.Body).Decode(&wr)
+		ch <- res{wr: wr, err: err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := leader.Registry().AddSchema(testSchema("wake"), ""); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.wr.Records) != 1 || r.wr.Records[0].LSN != 1 {
+		t.Fatalf("long poll returned %+v", r.wr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("long poll waited the full budget (%v) despite the append", elapsed)
+	}
+}
+
+// TestRouterScatterGatherMergesAndFailsOver exercises the fan-out
+// against stub replicas: shard routing, failover to the neighbor, and
+// the exact merge.
+func TestRouterScatterGatherMergesAndFailsOver(t *testing.T) {
+	// Three stub replicas, each answering its shard with canned matches;
+	// replica 1 is down, so shard 1 must fail over to replica 2.
+	canned := map[string][]corpus.SchemaMatch{
+		"0": {{Schema: "a", Score: 0.9}, {Schema: "b", Score: 0.4}},
+		"1": {{Schema: "c", Score: 0.8}},
+		"2": {{Schema: "d", Score: 0.6}, {Schema: "a", Score: 0.3}},
+	}
+	var replicas []string
+	for i := 0; i < 3; i++ {
+		down := i == 1
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if down {
+				http.Error(w, "down", http.StatusBadGateway)
+				return
+			}
+			q := r.URL.Query()
+			if q.Get("local") != "1" || q.Get("shards") != "3" || q.Get("schema") != "q" {
+				t.Errorf("unexpected shard query %q", r.URL.RawQuery)
+			}
+			writeJSON(w, http.StatusOK, corpus.Result{
+				Query:   "q",
+				Matches: canned[q.Get("shard")],
+				Stats:   corpus.Stats{CorpusSize: 4, EngineRuns: 2},
+			})
+		}))
+		defer srv.Close()
+		replicas = append(replicas, srv.URL)
+	}
+
+	rt, err := NewRouter(replicas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.TopK(context.Background(), 3, url.Values{"schema": {"q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "d"}
+	if len(res.Matches) != 3 {
+		t.Fatalf("merged %d matches: %+v", len(res.Matches), res.Matches)
+	}
+	for i, name := range want {
+		if res.Matches[i].Schema != name {
+			t.Fatalf("merged order %+v, want %v", res.Matches, want)
+		}
+	}
+	// Duplicate "a" kept its best score.
+	if res.Matches[0].Score != 0.9 {
+		t.Fatalf("dedup kept score %v", res.Matches[0].Score)
+	}
+	if res.Stats.CorpusSize != 12 || res.Stats.EngineRuns != 6 {
+		t.Fatalf("summed stats %+v", res.Stats)
+	}
+	st := rt.Stats()
+	if st.Queries != 1 || st.Failovers != 1 || st.Errors != 0 {
+		t.Fatalf("router stats %+v", st)
+	}
+
+	// All replicas for one shard down → the query fails.
+	bad, err := NewRouter([]string{"http://127.0.0.1:1", "http://127.0.0.1:1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.TopK(context.Background(), 3, url.Values{"schema": {"q"}}); err == nil {
+		t.Fatal("router with all replicas down returned success")
+	}
+}
+
+func TestVerifyRecord(t *testing.T) {
+	payload := []byte(`[{"kind":"schema-add"}]`)
+	rec := store.Record{LSN: 4, CRC: crc32.Checksum(payload, crcTable), Payload: payload}
+	if err := verifyRecord(rec, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyRecord(rec, 4); err == nil {
+		t.Fatal("out-of-sequence record accepted")
+	}
+	rec.CRC++
+	if err := verifyRecord(rec, 3); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+}

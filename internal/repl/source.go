@@ -1,0 +1,199 @@
+package repl
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"harmony/internal/store"
+)
+
+const (
+	// defaultPinTTL is how long a follower's segment pin survives
+	// without contact before the source releases it: long enough to ride
+	// out restarts and network blips, short enough that a decommissioned
+	// replica cannot block compaction indefinitely.
+	defaultPinTTL = 5 * time.Minute
+	// maxWait caps one long-poll.
+	maxWait = 30 * time.Second
+)
+
+// SourceStats counts what the leader's replication endpoints served.
+type SourceStats struct {
+	// SnapshotsShipped counts bootstrap snapshots served.
+	SnapshotsShipped uint64 `json:"snapshotsShipped"`
+	// RecordsShipped counts WAL records served (re-reads after a
+	// follower restart count again — this is wire volume, not progress).
+	RecordsShipped uint64 `json:"recordsShipped"`
+	// Replicas is the number of followers with a live pin.
+	Replicas int `json:"replicas"`
+	// CompactedMisses counts 410 responses — followers forced to
+	// re-bootstrap because compaction passed their cursor.
+	CompactedMisses uint64 `json:"compactedMisses"`
+}
+
+// Source serves one store's replication surface: snapshot bootstrap,
+// WAL tailing with long-poll, and a status probe. Mount its handlers on
+// the leader's mux (the service layer does this when -role=leader).
+type Source struct {
+	st   *store.Store
+	logf func(string, ...any)
+
+	// PinTTL overrides the follower-pin expiry; set before serving.
+	PinTTL time.Duration
+
+	mu    sync.Mutex
+	seen  map[string]time.Time // replica id -> last contact
+	stats SourceStats
+}
+
+// NewSource wraps a store for serving. logf may be nil.
+func NewSource(st *store.Store, logf func(string, ...any)) *Source {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Source{st: st, logf: logf, PinTTL: defaultPinTTL, seen: make(map[string]time.Time)}
+}
+
+// touch records contact from a replica, pins its cursor so compaction
+// keeps the records it still needs, and sweeps pins whose replicas have
+// gone quiet past the TTL.
+func (src *Source) touch(replica string, lsn uint64) {
+	if replica == "" {
+		return
+	}
+	now := time.Now()
+	src.mu.Lock()
+	src.seen[replica] = now
+	for id, last := range src.seen {
+		if now.Sub(last) > src.PinTTL {
+			delete(src.seen, id)
+			src.st.Unpin(id)
+			src.logf("repl: released pin of quiet replica %q", id)
+		}
+	}
+	src.mu.Unlock()
+	src.st.Pin(replica, lsn)
+}
+
+// HandleSnapshot is GET PathSnapshot[?replica=ID]: the current registry
+// state as a snapshot body, with the LSN it covers and the log head in
+// response headers. A replica id pins the snapshot LSN immediately, so
+// the follower cannot lose the race between bootstrapping and its first
+// WAL poll.
+func (src *Source) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	lsn, data, err := src.st.ShipSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	src.touch(r.URL.Query().Get("replica"), lsn)
+	src.mu.Lock()
+	src.stats.SnapshotsShipped++
+	src.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderSnapshotLSN, strconv.FormatUint(lsn, 10))
+	w.Header().Set(HeaderLeaderLSN, strconv.FormatUint(src.st.LastLSN(), 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// HandleWAL is GET PathWAL?from=LSN[&limit=N][&wait_ms=MS][&replica=ID]:
+// records with LSN > from, long-polling up to wait_ms when the log has
+// nothing new. A cursor behind the compaction horizon gets 410 Gone —
+// the follower must re-bootstrap from PathSnapshot.
+func (src *Source) HandleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid from %q", q.Get("from"))
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "invalid wait_ms %q", v)
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxWait {
+			wait = maxWait
+		}
+	}
+	src.touch(q.Get("replica"), from)
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the notify channel BEFORE reading: an append landing
+		// between the read and the wait closes this channel, so the
+		// wake-up cannot be missed.
+		notify := src.st.AppendNotify()
+		recs, err := src.st.ReadRecords(from, limit, 0)
+		switch {
+		case errors.Is(err, store.ErrCompacted):
+			src.mu.Lock()
+			src.stats.CompactedMisses++
+			src.mu.Unlock()
+			writeError(w, http.StatusGone, "records after lsn %d compacted; re-bootstrap from %s", from, PathSnapshot)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, "read: %v", err)
+			return
+		}
+		if len(recs) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			src.mu.Lock()
+			src.stats.RecordsShipped += uint64(len(recs))
+			src.mu.Unlock()
+			writeJSON(w, http.StatusOK, WALResponse{
+				Records:    recs,
+				LeaderLSN:  src.st.LastLSN(),
+				DurableLSN: src.st.DurableLSN(),
+			})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// HandleStatus is GET PathStatus: the leader's log position, for lag
+// probes and promotion catch-up checks.
+func (src *Source) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	st := src.st.Stats()
+	src.mu.Lock()
+	replicas := len(src.seen)
+	src.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		LeaderLSN:   st.LastLSN,
+		DurableLSN:  st.DurableLSN,
+		SnapshotLSN: st.SnapshotLSN,
+		Replicas:    replicas,
+	})
+}
+
+// Stats returns a copy of the serving counters, with Replicas refreshed
+// to the live pin count.
+func (src *Source) Stats() SourceStats {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	st := src.stats
+	st.Replicas = len(src.seen)
+	return st
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -85,6 +86,11 @@ func (cc serverCorpusCache) Store(key corpus.CacheKey, queryName string, m *corp
 	}
 	sk := serviceKey(key)
 	cc.s.cache.Put(sk, out)
+	// Followers only populate the in-memory cache: persisting would
+	// journal a local record and fork the LSN sequence off the leader's.
+	if cc.s.readOnly.Load() {
+		return
+	}
 	// Persisting is best-effort: an unregistered query schema (corpus
 	// queries may be ad hoc) fails artifact validation and is skipped.
 	storeArtifactVia(cc.s.reg, queryName, m.Schema, sk, out, m.Hub)
@@ -108,6 +114,13 @@ type corpusRequest struct {
 	// composed-mapping reuse.
 	Exhaustive bool `json:"exhaustive,omitempty"`
 	NoReuse    bool `json:"noReuse,omitempty"`
+	// Shard/Shards restrict scoring to one partition of the corpus —
+	// the per-replica leg of a scatter-gather query (zero: unsharded).
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Local forces local execution even on a node with a router: set by
+	// the router on its fan-out legs so they cannot recurse.
+	Local bool `json:"local,omitempty"`
 }
 
 // corpusTopK validates a corpus request against the registry and runs the
@@ -127,10 +140,16 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 	if req.K < 0 || req.Candidates < 0 {
 		return nil, fmt.Errorf("k and candidates must be positive")
 	}
+	if req.Shards < 0 || req.Shard < 0 || (req.Shards > 0 && req.Shard >= req.Shards) {
+		return nil, fmt.Errorf("shard %d out of range for %d shards", req.Shard, req.Shards)
+	}
 	cfg := corpus.Config{
 		Candidates: req.Candidates,
 		TopK:       req.K,
 		Threshold:  threshold,
+		Shard:      req.Shard,
+		Shards:     req.Shards,
+		Workers:    s.cfg.CorpusWorkers,
 		// The corpus pipeline keys its external cache entries by this
 		// string only; decorating it with the sparse budget keeps corpus
 		// and pairwise outcomes sharing one entry space per scoring
@@ -146,11 +165,41 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 	if cfg.TopK == 0 {
 		cfg.TopK = s.cfg.CorpusTopK
 	}
+	// A node with a router scatters the query across the replica set
+	// (each leg comes back here on its replica with Local set and a
+	// shard assignment); shard-local and explicitly local requests score
+	// on this node.
+	if s.router != nil && req.Shards == 0 && !req.Local {
+		return s.routeTopK(ctx, req, preset, threshold, cfg)
+	}
 	res, err := s.corpusPipe.TopK(ctx, s.engines[preset], e.Schema, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.corpusStats.add(res.Stats)
+	return res, nil
+}
+
+// routeTopK fans one corpus query out through the scatter-gather
+// router, with the server-resolved parameters pinned onto every leg so
+// all replicas score under identical configuration.
+func (s *Server) routeTopK(ctx context.Context, req corpusRequest, preset string, threshold float64, cfg corpus.Config) (*corpus.Result, error) {
+	params := url.Values{
+		"schema":     {req.Query},
+		"preset":     {preset},
+		"threshold":  {strconv.FormatFloat(threshold, 'g', -1, 64)},
+		"candidates": {strconv.Itoa(cfg.Candidates)},
+	}
+	if req.Exhaustive {
+		params.Set("exhaustive", "1")
+	}
+	if req.NoReuse {
+		params.Set("noreuse", "1")
+	}
+	res, err := s.router.TopK(ctx, cfg.TopK, params)
+	if err != nil {
+		return nil, fmt.Errorf("scatter-gather: %w", err)
+	}
 	return res, nil
 }
 
@@ -183,7 +232,7 @@ func (s *Server) handleCorpusTopK(w http.ResponseWriter, r *http.Request) {
 	for _, p := range []struct {
 		name string
 		dst  *bool
-	}{{"exhaustive", &req.Exhaustive}, {"noreuse", &req.NoReuse}} {
+	}{{"exhaustive", &req.Exhaustive}, {"noreuse", &req.NoReuse}, {"local", &req.Local}} {
 		if v := q.Get(p.name); v != "" {
 			b, err := strconv.ParseBool(v)
 			if err != nil {
@@ -200,6 +249,21 @@ func (s *Server) handleCorpusTopK(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get(p.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, "invalid %s %q", p.name, v)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	// shard is zero-based (shard=0 of shards=3 is valid), unlike k and
+	// candidates above.
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"shard", &req.Shard}, {"shards", &req.Shards}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
 				writeError(w, http.StatusBadRequest, "invalid %s %q", p.name, v)
 				return
 			}

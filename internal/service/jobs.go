@@ -218,6 +218,9 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 		}, nil
 
 	case KindMigrate:
+		if s.readOnly.Load() {
+			return nil, fmt.Errorf("migrate jobs mutate the registry; submit to the leader %s", s.cfg.PeerURL)
+		}
 		if req.A == "" {
 			return nil, fmt.Errorf("migrate job needs the upgraded schema name in a")
 		}

@@ -9,11 +9,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/core"
 	"harmony/internal/corpus"
 	"harmony/internal/registry"
+	"harmony/internal/repl"
 	"harmony/internal/schema"
 	"harmony/internal/search"
 	"harmony/internal/store"
@@ -48,6 +50,18 @@ type Server struct {
 	// in-memory servers). With a store, mutations are durable per-op and
 	// saveLoop is replaced by snapshotLoop's background compaction.
 	st *store.Store
+
+	// readOnly marks follower mode: mutating endpoints 403 and point at
+	// the leader, and no local journaled writes happen outside the
+	// replication stream (artifact persistence included — a single local
+	// commit would fork the follower's LSN sequence from the leader's).
+	// Promotion flips it off.
+	readOnly atomic.Bool
+	// replMu guards follower teardown during promotion.
+	replMu   sync.Mutex
+	source   *repl.Source
+	follower *repl.Follower
+	router   *repl.Router
 
 	// persistMu guards persistErr, the legacy save loop's last failure;
 	// /healthz reports degraded while it is set. Store-mode errors are
@@ -86,6 +100,15 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 	var st *store.Store
 	switch {
 	case cfg.StoreDir != "":
+		if cfg.Role == RoleFollower {
+			// A fresh follower seeds its empty store directory with a
+			// leader snapshot before opening, so recovery starts at the
+			// leader's LSN instead of replaying the whole history one
+			// record at a time. Best-effort: with the leader down (or the
+			// directory already populated) the normal open proceeds and
+			// the tail loop catches up — via a 410 re-bootstrap if needed.
+			bootstrapFollowerDir(cfg, logf)
+		}
 		st, err = store.Open(store.Options{
 			Dir:           cfg.StoreDir,
 			Fsync:         store.FsyncPolicy(cfg.Fsync),
@@ -140,6 +163,10 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		s.saveStop = make(chan struct{})
 		s.saveDone = make(chan struct{})
 		go s.saveLoop()
+	}
+	if err := s.initRepl(); err != nil {
+		s.Close()
+		return nil, err
 	}
 	return s, nil
 }
@@ -206,6 +233,12 @@ func (s *Server) snapshotLoop() {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.replMu.Lock()
+		if s.follower != nil {
+			s.follower.Stop()
+			s.follower = nil
+		}
+		s.replMu.Unlock()
 		s.queue.Close()
 		if s.saveStop != nil {
 			close(s.saveStop)
@@ -231,16 +264,19 @@ func (s *Server) Close() error {
 // modes), for tests and embedding.
 func (s *Server) Store() *store.Store { return s.st }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. On follower nodes the mutating schema
+// endpoints answer 403 with the leader's URL; read endpoints (gets,
+// search, corpus top-k, cached and computed matches) serve locally from
+// the replicated state.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/schemas", s.handleAddSchema)
+	mux.HandleFunc("POST /v1/schemas", s.writable(s.handleAddSchema))
 	mux.HandleFunc("GET /v1/schemas", s.handleListSchemas)
 	mux.HandleFunc("GET /v1/schemas/{name}", s.handleGetSchema)
-	mux.HandleFunc("PUT /v1/schemas/{name}", s.handlePutSchema)
-	mux.HandleFunc("DELETE /v1/schemas/{name}", s.handleDeleteSchema)
+	mux.HandleFunc("PUT /v1/schemas/{name}", s.writable(s.handlePutSchema))
+	mux.HandleFunc("DELETE /v1/schemas/{name}", s.writable(s.handleDeleteSchema))
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/corpus/match", s.handleCorpusMatch)
 	mux.HandleFunc("GET /v1/corpus/topk", s.handleCorpusTopK)
@@ -249,6 +285,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	if s.source != nil {
+		mux.HandleFunc("GET "+repl.PathSnapshot, s.source.HandleSnapshot)
+		mux.HandleFunc("GET "+repl.PathWAL, s.source.HandleWAL)
+		mux.HandleFunc("GET "+repl.PathStatus, s.source.HandleStatus)
+	}
+	mux.HandleFunc("POST /repl/v1/promote", s.handlePromote)
 	return http.MaxBytesHandler(mux, maxBodyBytes)
 }
 
@@ -341,7 +383,10 @@ func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold fl
 	out, cached, err := s.cache.GetOrCompute(key, func() (*MatchOutcome, error) {
 		return computeOutcome(s.engines[preset], ea.Schema, eb.Schema, threshold), nil
 	})
-	if err == nil && !cached {
+	// Followers compute and cache freely but never persist: an artifact
+	// write would journal a local record and fork this node's LSN
+	// sequence from the leader's replicated stream.
+	if err == nil && !cached && !s.readOnly.Load() {
 		storeArtifact(s.reg, ea.Schema.Name, eb.Schema.Name, key, out)
 	}
 	return out, cached, err
@@ -370,14 +415,22 @@ func (s *Server) persistenceError() error {
 
 // handleHealth reports degraded — with the error — when the last
 // persistence attempt (WAL append, snapshot, or legacy periodic save)
-// failed. The process still serves from memory, so this stays HTTP 200:
-// restarting the pod would not fix a full disk, but an alert on the
-// status can page someone who can.
+// failed, or when a follower's replication stream is down or lagging
+// past cfg.LagThreshold. The process still serves from memory, so this
+// stays HTTP 200: restarting the pod would not fix a full disk, but an
+// alert on the status can page someone who can.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok"}
 	if err := s.persistenceError(); err != nil {
 		resp.Status = "degraded"
 		resp.Error = err.Error()
+	}
+	if err := s.replicationError(); err != nil {
+		resp.Status = "degraded"
+		if resp.Error != "" {
+			resp.Error += "; "
+		}
+		resp.Error += err.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -397,6 +450,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ss := s.st.Stats()
 		st.Store = &ss
 	}
+	st.Repl = s.replStats()
 	writeJSON(w, http.StatusOK, st)
 }
 

@@ -25,9 +25,11 @@ package service
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/repl"
 	"harmony/internal/search"
 	"harmony/internal/store"
 )
@@ -89,7 +91,38 @@ type Config struct {
 	// interactive matches are unaffected; large uncached matches score
 	// only retrieved candidate pairs.
 	SparseBudget int
+	// Role selects the replication role: "" or RoleLeader for a writable
+	// node (with a store it also serves the /repl/v1 API), RoleFollower
+	// for a read-only mirror that tails PeerURL's WAL. Followers answer
+	// reads (search, corpus top-k, cached matches) and 403 mutations,
+	// pointing clients at the leader.
+	Role string
+	// PeerURL is the leader's base URL (required in follower mode).
+	PeerURL string
+	// ReplicaID names this node to the leader; it keys the leader-side
+	// segment pin for this follower's catch-up cursor (default: the
+	// hostname).
+	ReplicaID string
+	// Replicas are replica base URLs (leader + followers) for
+	// scatter-gather corpus fan-out. When set, corpus top-k queries that
+	// are not themselves shard-local are partitioned across the set and
+	// merged exactly.
+	Replicas []string
+	// LagThreshold is the follower lag, in WAL records, beyond which
+	// /healthz reports degraded (default 1024).
+	LagThreshold uint64
+	// CorpusWorkers bounds each corpus query's scoring worker pool
+	// (default: GOMAXPROCS, via the corpus package). Replicated
+	// deployments typically set it to cores/replica-count so one fanned
+	// query does not oversubscribe every node.
+	CorpusWorkers int
 }
+
+// Replication roles for Config.Role.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Preset == "" {
@@ -134,6 +167,28 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SparseBudget == 0 {
 		c.SparseBudget = core.DefaultSparseBudget
 	}
+	switch c.Role {
+	case "", RoleLeader:
+		if c.Role == RoleLeader && c.PeerURL != "" {
+			return c, fmt.Errorf("service: leader role does not take a peer URL")
+		}
+	case RoleFollower:
+		if c.PeerURL == "" {
+			return c, fmt.Errorf("service: follower role needs a peer URL")
+		}
+	default:
+		return c, fmt.Errorf("service: unknown role %q (want %q or %q)", c.Role, RoleLeader, RoleFollower)
+	}
+	if c.ReplicaID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "replica"
+		}
+		c.ReplicaID = host
+	}
+	if c.LagThreshold == 0 {
+		c.LagThreshold = 1024
+	}
 	return c, nil
 }
 
@@ -150,4 +205,16 @@ type Stats struct {
 	// Store is the durable storage engine's snapshot (nil in legacy
 	// DBPath mode and for in-memory servers).
 	Store *store.Stats `json:"store,omitempty"`
+	// Repl is the replication block (nil on unreplicated nodes).
+	Repl *ReplStats `json:"repl,omitempty"`
+}
+
+// ReplStats is the replication section of /v1/stats: the node's role
+// plus whichever components it runs — the follower tail, the leader's
+// serving source, the scatter-gather router.
+type ReplStats struct {
+	Role     string              `json:"role"`
+	Follower *repl.FollowerStats `json:"follower,omitempty"`
+	Source   *repl.SourceStats   `json:"source,omitempty"`
+	Router   *repl.RouterStats   `json:"router,omitempty"`
 }

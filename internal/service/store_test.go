@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -100,6 +102,102 @@ func TestServerStoreSurvivesKill9(t *testing.T) {
 	}
 	if st := srv2.Store().Stats(); st.Replayed == 0 {
 		t.Fatalf("recovery replayed nothing: %+v", st)
+	}
+}
+
+// TestKill9UnderConcurrentCorpusTraffic crashes the server while a mixed
+// read workload (/v1/match + /v1/corpus/topk) is in full flight and
+// accepted mappings are being committed concurrently. The crash clone is
+// taken mid-traffic, so the WAL tail may hold torn or half-journaled
+// artifact writes from the background load — recovery must truncate
+// those away while keeping every accepted mapping acked before the copy.
+func TestKill9UnderConcurrentCorpusTraffic(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{StoreDir: dir, Fsync: "commit", Workers: 2})
+
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("feed%02d", i)
+		postSchema(t, ts.URL, testSchema(names[i], "record_id", "customer_name", fmt.Sprintf("field_%02d", i)))
+	}
+
+	// Background load: hammer the read endpoints. Both persist fresh
+	// outcomes as proposed artifacts, so this is concurrent WAL traffic,
+	// not just reads. Errors are ignored — the load exists to race the
+	// crash copy, not to assert anything.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := names[(g+i)%len(names)], names[(g+i+1+i%3)%len(names)]
+				body, _ := json.Marshal(matchRequest{A: a, B: b})
+				if resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body)); err == nil {
+					resp.Body.Close()
+				}
+				if resp, err := http.Get(ts.URL + "/v1/corpus/topk?schema=" + a + "&k=3"); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+
+	// Foreground: commit accepted mappings one by one. Fsync=commit means
+	// each returned ID is an acknowledged, durable artifact.
+	addAccepted := func(i int) string {
+		t.Helper()
+		id, err := srv.Registry().AddMatch(registry.MatchArtifact{
+			SchemaA: names[i%len(names)], SchemaB: names[(i+1)%len(names)], Context: registry.ContextIntegration,
+			Pairs: []registry.AssertedMatch{{
+				PathA: "record/customer_name", PathB: "record/customer_name",
+				Score: 0.9, Status: registry.StatusAccepted, ValidatedBy: fmt.Sprintf("engineer-%d", i),
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	var acked []string
+	for i := 0; i < 6; i++ {
+		acked = append(acked, addAccepted(i))
+	}
+
+	// kill -9 mid-traffic: clone the directory while the load goroutines
+	// are still appending to the WAL.
+	clone := crashCopy(t, dir)
+
+	// Mappings acked after the copy may or may not be in the clone; they
+	// are deliberately not asserted.
+	for i := 6; i < 9; i++ {
+		addAccepted(i)
+	}
+	close(stop)
+	wg.Wait()
+
+	srv2, err := New(Config{StoreDir: clone, Fsync: "commit", Preset: "name-only", Threshold: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	for _, id := range acked {
+		ma, ok := srv2.Registry().Match(id)
+		if !ok {
+			t.Fatalf("accepted mapping %s acked before the crash copy was lost", id)
+		}
+		if len(ma.AcceptedPairs()) == 0 {
+			t.Fatalf("accepted pairs lost from %s", id)
+		}
+	}
+	if got := srv2.Registry().Len(); got != len(names) {
+		t.Fatalf("recovered %d schemata, want %d", got, len(names))
 	}
 }
 

@@ -108,6 +108,14 @@ type Stats struct {
 	LastLSN              uint64 `json:"lastLSN"`
 	SnapshotLSN          uint64 `json:"snapshotLSN"`
 	RecordsSinceSnapshot uint64 `json:"recordsSinceSnapshot"`
+	// DurableLSN is the highest LSN known to be on stable storage; under
+	// fsync-per-commit it tracks LastLSN, under interval/off it trails.
+	DurableLSN uint64 `json:"durableLSN"`
+	// Pins counts connected replication cursors retaining WAL segments;
+	// PinnedLSN is the oldest such cursor (compaction keeps records past
+	// it until the follower catches up or its pin expires).
+	Pins      int    `json:"pins,omitempty"`
+	PinnedLSN uint64 `json:"pinnedLSN,omitempty"`
 	// Commits / OpsCommitted / AppendedBytes / Syncs count journal work
 	// since Open.
 	Commits       uint64 `json:"commits"`
@@ -144,6 +152,7 @@ type Store struct {
 	unlock func() // single-writer directory lock release
 
 	mu           sync.Mutex
+	pins         map[string]uint64 // replication cursors retaining segments
 	snapshotLSN  uint64
 	commits      uint64
 	ops          uint64
@@ -347,6 +356,12 @@ func (s *Store) Snapshot() error {
 	if snaps, err := listSnapshots(s.opts.Dir); err == nil && len(snaps) > 0 {
 		floor = snaps[len(snaps)-1]
 	}
+	// A connected follower's catch-up cursor pins the floor further: the
+	// records it has not pulled yet must survive compaction, or the
+	// follower would be forced into a full snapshot re-bootstrap.
+	if pinned, ok := s.pinnedFloor(); ok && pinned < floor {
+		floor = pinned
+	}
 	if _, err := s.wal.TruncateThrough(floor); err != nil {
 		s.opts.Logf("store: compaction: %v", err)
 	}
@@ -381,6 +396,7 @@ func (s *Store) Stats() Stats {
 		Dir:               s.opts.Dir,
 		Fsync:             string(s.opts.Fsync),
 		LastLSN:           s.wal.LastLSN(),
+		DurableLSN:        s.wal.DurableLSN(),
 		SnapshotLSN:       s.snapshotLSN,
 		Commits:           s.commits,
 		OpsCommitted:      s.ops,
@@ -391,6 +407,12 @@ func (s *Store) Stats() Stats {
 		Replayed:          s.replayed,
 		RecoveredTornTail: s.tornTail,
 		Migrated:          s.migrated,
+		Pins:              len(s.pins),
+	}
+	for _, lsn := range s.pins {
+		if st.PinnedLSN == 0 || lsn < st.PinnedLSN {
+			st.PinnedLSN = lsn
+		}
 	}
 	s.wal.mu.Lock()
 	st.AppendedBytes = s.wal.appendedBytes

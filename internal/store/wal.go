@@ -107,8 +107,16 @@ type wal struct {
 	f       *os.File // active segment (nil until first append after open)
 	size    int64
 	lastLSN uint64
-	dirty   bool // unsynced appends (interval / off policies)
-	closed  bool
+	// syncedLSN is the durable log position: the highest LSN known to
+	// have reached stable storage (followers and operators read it as
+	// Stats.DurableLSN). Under FsyncOff it only advances on explicit
+	// syncs (rotation, Close).
+	syncedLSN uint64
+	// notify is closed and replaced on every successful append — the
+	// broadcast the replication source's long-poll waits on.
+	notify chan struct{}
+	dirty  bool // unsynced appends (interval / off policies)
+	closed bool
 	// wedged marks a log whose tail could not be repaired after a failed
 	// write: appending past the partial record would make replay discard
 	// everything after it, so further appends fail instead.
@@ -125,7 +133,10 @@ type wal struct {
 // torn tail, if any, was truncated by replay) or a fresh segment created
 // lazily on first append.
 func openWAL(dir string, policy FsyncPolicy, segmentBytes int64, lastLSN uint64) (*wal, error) {
-	w := &wal{dir: dir, policy: policy, segmentBytes: segmentBytes, lastLSN: lastLSN}
+	// Everything replay saw is on disk already, so the durable position
+	// starts at the log head.
+	w := &wal{dir: dir, policy: policy, segmentBytes: segmentBytes,
+		lastLSN: lastLSN, syncedLSN: lastLSN, notify: make(chan struct{})}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -197,10 +208,30 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 		w.syncs++
+		w.syncedLSN = lsn
 	} else {
 		w.dirty = true
 	}
+	close(w.notify)
+	w.notify = make(chan struct{})
 	return lsn, nil
+}
+
+// AppendC returns a channel closed by the next successful append — the
+// replication source's long-poll broadcast. Callers grab the channel
+// BEFORE checking for new records, so an append racing the check is never
+// missed.
+func (w *wal) AppendC() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.notify
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (w *wal) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedLSN
 }
 
 // rotateLocked closes the active segment (syncing it, whatever the
@@ -213,6 +244,8 @@ func (w *wal) rotateLocked(firstLSN uint64) error {
 			return err
 		}
 		w.syncs++
+		w.syncedLSN = w.lastLSN
+		w.dirty = false
 		if err := w.f.Close(); err != nil {
 			return err
 		}
@@ -242,6 +275,7 @@ func (w *wal) Sync() error {
 	}
 	w.dirty = false
 	w.syncs++
+	w.syncedLSN = w.lastLSN
 	return nil
 }
 
@@ -305,11 +339,45 @@ func (w *wal) Close() error {
 		return nil
 	}
 	err := w.f.Sync()
+	if err == nil {
+		w.syncedLSN = w.lastLSN
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	w.f = nil
 	return err
+}
+
+// ResetTo discards the entire log and restarts it at lsn: the follower's
+// re-bootstrap path after the leader compacted past its cursor. Every
+// segment is deleted first, so a crash mid-reset leaves either the old
+// state (old snapshot + no segments is recoverable) or the new baseline —
+// never a segment whose names disagree with the new LSN sequence.
+func (w *wal) ResetTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: reset on closed WAL")
+	}
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f, w.size = nil, 0
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, first := range segs {
+		if err := os.Remove(filepath.Join(w.dir, segmentName(first))); err != nil {
+			return err
+		}
+	}
+	w.lastLSN, w.syncedLSN = lsn, lsn
+	w.dirty, w.wedged = false, false
+	return syncDir(w.dir)
 }
 
 // replayResult reports what replaySegments found.
