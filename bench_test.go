@@ -20,6 +20,7 @@ import (
 	"harmony/internal/core"
 	"harmony/internal/corpus"
 	"harmony/internal/export"
+	"harmony/internal/obs"
 	"harmony/internal/partition"
 	"harmony/internal/registry"
 	"harmony/internal/schema"
@@ -64,6 +65,22 @@ func caseFixture(b *testing.B) *struct {
 // BenchmarkE1FullMatch regenerates E1: the fully automated 1378x784 match
 // (paper: 10.2 s). One op = one complete match including preprocessing.
 func BenchmarkE1FullMatch(b *testing.B) {
+	sa, sb, _ := synth.CaseStudy(42)
+	eng := core.PresetHarmony()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Match(sa, sb)
+	}
+	b.ReportMetric(float64(sa.Len()*sb.Len()), "pairs/op")
+}
+
+// BenchmarkE1FullMatchUninstrumented is E16's control: the same match
+// with the obs metric mutators compiled in but globally disabled. The
+// delta against BenchmarkE1FullMatch is the full observability overhead
+// on the hot path (EXPERIMENTS.md pins it under 2%).
+func BenchmarkE1FullMatchUninstrumented(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
 	sa, sb, _ := synth.CaseStudy(42)
 	eng := core.PresetHarmony()
 	b.ResetTimer()

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-run E1,E2,...] [-quick]
+//	experiments [-seed N] [-run E1,E2,...] [-quick] [-trace]
 //
 // -quick shrinks the heavyweight experiments (E1, E6, E9) for smoke runs.
+// -trace runs a single E1 case-study match under an obs trace and prints
+// the span tree instead of the experiment table.
 package main
 
 import (
@@ -37,7 +39,13 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	quick := flag.Bool("quick", false, "shrink heavyweight experiments")
+	trace := flag.Bool("trace", false, "run one E1 case-study match under a trace and print its span tree")
 	flag.Parse()
+
+	if *trace {
+		runTraceDemo(config{seed: *seed, quick: *quick})
+		return
+	}
 
 	experiments := []experiment{
 		{"E1", "full automated match wall-time (paper: 10.2 s for 1378x784)", runE1},

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/obs"
+	"harmony/internal/synth"
+)
+
+// runTraceDemo (-trace) runs one E1 case-study match under an obs trace
+// and prints the resulting span tree — a quick way to see where the
+// wall-time of a full automated match goes without attaching a profiler.
+func runTraceDemo(cfg config) {
+	sa, sb, _ := synth.CaseStudy(cfg.seed)
+	tr, root := obs.StartTrace("", "experiments.E1")
+	root.SetAttr("sourceElements", sa.Len())
+	root.SetAttr("targetElements", sb.Len())
+
+	sp := root.StartChild("match")
+	t0 := time.Now()
+	res := core.PresetHarmony().Match(sa, sb)
+	sp.SetAttr("pairs", sa.Len()*sb.Len())
+	sp.End()
+
+	sel := root.StartChild("select")
+	picked := core.SelectGreedyOneToOne(res.Matrix, caseStudyThreshold)
+	sel.SetAttr("threshold", caseStudyThreshold)
+	sel.SetAttr("correspondences", len(picked))
+	sel.End()
+
+	root.SetAttr("elapsedMillis", time.Since(t0).Milliseconds())
+	root.End()
+
+	fmt.Printf("trace %s (one full case-study match, seed %d):\n\n", tr.ID, cfg.seed)
+	fmt.Print(tr.Tree())
+}

@@ -54,6 +54,12 @@
 //	-promote URL         one-shot admin mode: ask the follower at URL to
 //	                     catch up, stop tailing and become a writable leader
 //	                     (POST /repl/v1/promote), print the result and exit
+//	-log-format FORMAT   structured log encoding: text (default) or json
+//	-log-level LEVEL     minimum log level: debug, info (default), warn, error
+//	-slow-request D      log requests slower than D at WARN with their trace
+//	                     ID (default 1s; 0 disables)
+//	-pprof-addr ADDR     serve net/http/pprof on a dedicated listener
+//	                     (e.g. localhost:6060; empty = disabled)
 //
 // Endpoints:
 //
@@ -77,6 +83,10 @@
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/search          free-text schema/fragment search
 //	GET    /v1/stats           cache, queue, corpus, index and store counters
+//	GET    /metrics            Prometheus text exposition of all harmony_*
+//	                           series (engine, cache, queue, store, repl,
+//	                           corpus)
+//	GET    /v1/traces          recent request/job traces as span trees
 //	GET    /healthz            liveness probe; reports status "degraded" with
 //	                           the error when the last WAL append / snapshot /
 //	                           legacy save failed, or when a follower's
@@ -96,14 +106,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/service"
 )
 
@@ -150,13 +162,41 @@ func main() {
 	lagThreshold := flag.Uint64("lag-threshold", 1024, "follower lag (WAL records) beyond which /healthz degrades")
 	corpusWorkers := flag.Int("corpus-workers", 0, "per-query corpus scoring worker bound (0 = GOMAXPROCS)")
 	promote := flag.String("promote", "", "one-shot: promote the follower at this base URL and exit")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this at WARN (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this dedicated address (empty = disabled)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmonyd: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	logf := obs.Logf(logger)
 
 	if *promote != "" {
 		if err := promoteFollower(*promote); err != nil {
-			log.Fatalf("harmonyd: promote %s: %v", *promote, err)
+			logger.Error("promote failed", "url", *promote, "error", err)
+			os.Exit(1)
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logf("harmonyd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
 	}
 
 	var replicaSet []string
@@ -169,6 +209,10 @@ func main() {
 	budget := *sparseBudget
 	if budget <= 0 {
 		budget = -1 // service.Config: negative disables, zero means default
+	}
+	slowReq := *slowRequest
+	if slowReq <= 0 {
+		slowReq = -1 // service.Config: negative disables, zero means default
 	}
 	srv, err := service.New(service.Config{
 		Preset:           *preset,
@@ -191,9 +235,12 @@ func main() {
 		Replicas:         replicaSet,
 		LagThreshold:     *lagThreshold,
 		CorpusWorkers:    *corpusWorkers,
-	}, log.Printf)
+		SlowRequest:      slowReq,
+		Logger:           logger,
+	}, logf)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 
 	httpSrv := &http.Server{
@@ -204,8 +251,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("harmonyd: serving on %s (preset=%s threshold=%.2f workers=%d cache=%d)",
-			*addr, *preset, *threshold, *workers, *cacheSize)
+		logger.Info("harmonyd serving",
+			"addr", *addr, "preset", *preset, "threshold", *threshold,
+			"workers", *workers, "cache", *cacheSize)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -213,20 +261,20 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("harmonyd: %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("harmonyd: serve: %v", err)
+			logger.Error("serve failed", "error", err)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("harmonyd: http shutdown: %v", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("harmonyd: close: %v", err)
+		logger.Error("close failed", "error", err)
 	}
-	log.Printf("harmonyd: stopped")
+	logger.Info("stopped")
 }

@@ -1,0 +1,77 @@
+// Command metricscheck scrapes a Prometheus /metrics endpoint, validates
+// that the body parses as text exposition format, and asserts a minimum
+// number of harmony_* metric families whose names follow the repo's
+// naming convention. CI boots harmonyd and runs this as a smoke test.
+//
+// Usage:
+//
+//	metricscheck [-url URL] [-min N]
+//
+// Exits non-zero when the scrape fails, the body does not parse, any
+// harmony_* family name violates ^harmony_[a-z0-9_]+$, or fewer than
+// -min harmony_* families are present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"time"
+
+	"harmony/internal/obs"
+)
+
+var namePattern = regexp.MustCompile(`^harmony_[a-z0-9_]+$`)
+
+func run(url string, minFamilies int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("unexpected Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	families, err := obs.ValidateExposition(body)
+	if err != nil {
+		return fmt.Errorf("exposition parse: %w", err)
+	}
+	var harmony []string
+	for _, name := range families {
+		if !strings.HasPrefix(name, "harmony_") {
+			continue
+		}
+		if !namePattern.MatchString(name) {
+			return fmt.Errorf("family %q violates ^harmony_[a-z0-9_]+$", name)
+		}
+		harmony = append(harmony, name)
+	}
+	if len(harmony) < minFamilies {
+		return fmt.Errorf("only %d harmony_* families (want >= %d): %s",
+			len(harmony), minFamilies, strings.Join(harmony, " "))
+	}
+	fmt.Printf("metricscheck: ok — %d families, %d harmony_*\n", len(families), len(harmony))
+	return nil
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8071/metrics", "metrics endpoint to scrape")
+	minFamilies := flag.Int("min", 25, "minimum number of harmony_* metric families")
+	flag.Parse()
+	if err := run(*url, *minFamilies); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"harmony/internal/schema"
 )
@@ -126,7 +127,9 @@ type Result struct {
 // the MATCH(S1, S2) operator of the literature; on the paper's workload
 // (1378×784 elements ≈ 10^6 pairs) it runs in seconds.
 func (e *Engine) Match(src, dst *schema.Schema) *Result {
+	t0 := time.Now()
 	sv, dv := Preprocess(src, dst)
+	phasePreprocess.Observe(time.Since(t0).Seconds())
 	return e.MatchViews(sv, dv)
 }
 
@@ -137,17 +140,25 @@ func (e *Engine) Match(src, dst *schema.Schema) *Result {
 // concept-at-a-time workflow, which re-matches sub-trees).
 func (e *Engine) MatchViews(sv, dv *SchemaView) *Result {
 	var m ScoreMatrix
+	t0 := time.Now()
 	if e.sparseActive(sv.Len(), dv.Len()) {
 		sm := NewSparseMatrix(sv.Len(), dv.Len(), sparseCandidates(sv, dv, e.sparseBudget))
 		e.scoreSparse(sv, dv, sm)
 		m = sm
+		matchesSparse.Inc()
 	} else {
 		dm := NewMatrix(sv.Len(), dv.Len())
 		e.score(sv, dv, dm, nil)
 		m = dm
+		matchesDense.Inc()
 	}
-	for r := 0; r < e.propagationRounds; r++ {
-		m = e.propagate(sv, dv, m)
+	phaseVote.Observe(time.Since(t0).Seconds())
+	if e.propagationRounds > 0 {
+		t0 = time.Now()
+		for r := 0; r < e.propagationRounds; r++ {
+			m = e.propagate(sv, dv, m)
+		}
+		phasePropagate.Observe(time.Since(t0).Seconds())
 	}
 	return &Result{Src: sv, Dst: dv, Matrix: m}
 }

@@ -1,0 +1,25 @@
+package core
+
+import "harmony/internal/obs"
+
+// Engine instrumentation lives on the process-wide registry so phase
+// timings render on /metrics no matter which server (or test harness)
+// constructed the engine. Cells are bound once here — the hot path only
+// pays an atomic add per phase.
+var (
+	matchPhaseSeconds = obs.Default().HistogramVec(
+		"harmony_engine_match_phase_seconds",
+		"Engine match wall time split by phase.",
+		obs.DefBuckets, "phase")
+	phasePreprocess = matchPhaseSeconds.WithLabelValues("preprocess")
+	phaseVote       = matchPhaseSeconds.WithLabelValues("vote")
+	phasePropagate  = matchPhaseSeconds.WithLabelValues("propagate")
+	phaseSelect     = matchPhaseSeconds.WithLabelValues("select")
+
+	matchesTotal = obs.Default().CounterVec(
+		"harmony_engine_matches_total",
+		"Completed MatchViews runs by scoring mode.",
+		"mode")
+	matchesDense  = matchesTotal.WithLabelValues("dense")
+	matchesSparse = matchesTotal.WithLabelValues("sparse")
+)

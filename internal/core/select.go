@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Selection policies turn a scored match matrix into a set of asserted
 // correspondences. The paper's engineers used simple thresholding with
@@ -19,6 +22,7 @@ func SelectThreshold(m ScoreMatrix, threshold float64) []Correspondence {
 // target element appears at most once. This is the classic stable-greedy
 // heuristic: the result is also a stable matching when scores are distinct.
 func SelectGreedyOneToOne(m ScoreMatrix, threshold float64) []Correspondence {
+	defer func(t0 time.Time) { phaseSelect.Observe(time.Since(t0).Seconds()) }(time.Now())
 	cands := m.Above(threshold)
 	usedSrc := make(map[int]bool)
 	usedDst := make(map[int]bool)

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that body is well-formed Prometheus text
+// exposition format 0.0.4: every non-comment line is `name{labels} value`
+// with a parseable float, every sample belongs to a family announced by a
+// preceding # TYPE line, and HELP/TYPE lines are well-formed. Returns the
+// set of family names seen, in order of first appearance.
+func ValidateExposition(body []byte) ([]string, error) {
+	typed := make(map[string]string)
+	var names []string
+	for i, line := range strings.Split(string(body), "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", ln, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", ln, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+				names = append(names, fields[2])
+			}
+			continue
+		}
+		name, rest, err := splitSampleName(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(strings.TrimSpace(rest), "+"), 64); err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value in %q", ln, line)
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE", ln, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no metric families found")
+	}
+	return names, nil
+}
+
+// splitSampleName splits a sample line into metric name and the value
+// part, skipping a label block whose quoted values may contain spaces
+// and escaped quotes.
+func splitSampleName(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace == -1 || (sp != -1 && sp < brace) {
+		if sp == -1 {
+			return "", "", fmt.Errorf("sample without value: %q", line)
+		}
+		if !metricName.MatchString(line[:sp]) {
+			return "", "", fmt.Errorf("invalid metric name %q", line[:sp])
+		}
+		return line[:sp], line[sp+1:], nil
+	}
+	name = line[:brace]
+	if !metricName.MatchString(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	inQuotes, escaped := false, false
+	for i := brace + 1; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuotes:
+			escaped = true
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == '}' && !inQuotes:
+			if i+1 >= len(line) || line[i+1] != ' ' {
+				return "", "", fmt.Errorf("no value after label block: %q", line)
+			}
+			return name, line[i+2:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block: %q", line)
+}

@@ -1,0 +1,457 @@
+// Package obs is Harmony's zero-dependency observability kit: a
+// Prometheus-text-format metrics registry (counters, gauges, fixed-bucket
+// histograms, with label support and scrape-time callback families), a
+// lightweight Trace/Span API with context and HTTP-header propagation, a
+// bounded ring of recent traces, and slog helpers for structured logging.
+//
+// Two registries coexist by convention: Default() carries process-wide
+// instrumentation owned by library packages (engine phase timings, WAL
+// latencies), while servers create their own Registry for per-instance
+// families (HTTP, cache, queue, replication). The /metrics handler renders
+// both; family names are disjoint by naming discipline.
+//
+// Every hot-path mutator checks the package-level enabled flag, so the
+// instrumentation overhead can be measured against a no-op baseline
+// (EXPERIMENTS.md E16) without rebuilding.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every metric mutation. On by default; SetEnabled(false)
+// turns Inc/Add/Set/Observe into near-no-ops for overhead measurement.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric collection on or off process-wide. Registration
+// and rendering still work while disabled; the cells just stop moving.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// DefBuckets are the default histogram buckets for second-valued
+// observations, spanning 100µs..10s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CountBuckets are default buckets for count-valued observations
+// (candidates per query, records per batch).
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// metricName is the Prometheus metric/label name grammar.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Sample is one labeled value produced by a callback family at scrape
+// time. Labels are positional against the family's label names.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// family is one named metric family: either a set of materialized cells
+// keyed by label values, or a scrape-time sampler callback.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64
+
+	mu    sync.Mutex
+	order []string
+	cells map[string]any // *Counter | *Gauge | *Histogram
+	vals  map[string][]string
+
+	sampler func() []Sample
+}
+
+// Registry holds metric families in registration order. The zero value is
+// not usable; construct with NewRegistry or use Default.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry library packages register
+// into at init time.
+func Default() *Registry { return defaultRegistry }
+
+// register validates and installs a family; duplicate or malformed names
+// are programmer errors and panic.
+func (r *Registry) register(f *family) *family {
+	if !metricName.MatchString(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !metricName.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", f.name))
+	}
+	f.cells = make(map[string]any)
+	f.vals = make(map[string][]string)
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: typeCounter})
+	return f.counterCell(nil)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(&family{name: name, help: help, typ: typeCounter, labels: labels})}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: typeGauge})
+	return f.gaugeCell(nil)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(&family{name: name, help: help, typ: typeGauge, labels: labels})}
+}
+
+// Histogram registers and returns an unlabeled fixed-bucket histogram.
+// Buckets must be sorted ascending; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: typeHistogram, buckets: buckets})
+	return f.histogramCell(nil)
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(&family{
+		name: name, help: help, typ: typeHistogram, buckets: buckets, labels: labels,
+	})}
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time — the bridge from existing stats structs to /metrics without
+// parallel bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: typeCounter,
+		sampler: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// GaugeFunc registers a gauge read by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: typeGauge,
+		sampler: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// GaugeVecFunc registers a labeled gauge family whose full sample set is
+// produced by fn at scrape time — for families whose label space is
+// dynamic, like per-follower replication lag.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, typ: typeGauge, labels: labels, sampler: fn})
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	return out
+}
+
+// --- cells ----------------------------------------------------------------
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a float metric that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if !enabled.Load() {
+		return
+	}
+	addFloatBits(&g.bits, d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (plus an implicit
+// +Inf) and tracks their sum.
+type Histogram struct {
+	uppers  []float64
+	buckets []atomic.Uint64 // per-bucket (non-cumulative); len(uppers)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	return &Histogram{uppers: uppers, buckets: make([]atomic.Uint64, len(uppers)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.uppers, v)].Add(1)
+	h.count.Add(1)
+	addFloatBits(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// addFloatBits atomically adds d to a float64 stored as bits.
+func addFloatBits(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// --- vec lookup -----------------------------------------------------------
+
+func labelKey(vals []string) string { return strings.Join(vals, "\xff") }
+
+func (f *family) checkVals(vals []string) {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+}
+
+func (f *family) counterCell(vals []string) *Counter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if c, ok := f.cells[k]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	f.cells[k], f.vals[k] = c, vals
+	f.order = append(f.order, k)
+	return c
+}
+
+func (f *family) gaugeCell(vals []string) *Gauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if g, ok := f.cells[k]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{}
+	f.cells[k], f.vals[k] = g, vals
+	f.order = append(f.order, k)
+	return g
+}
+
+func (f *family) histogramCell(vals []string) *Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if h, ok := f.cells[k]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(f.buckets)
+	f.cells[k], f.vals[k] = h, vals
+	f.order = append(f.order, k)
+	return h
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// WithLabelValues returns (creating if needed) the cell for the given
+// label values. Bind hot-path cells once, not per event.
+func (v *CounterVec) WithLabelValues(vals ...string) *Counter {
+	v.f.checkVals(vals)
+	return v.f.counterCell(vals)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// WithLabelValues returns (creating if needed) the cell for the values.
+func (v *GaugeVec) WithLabelValues(vals ...string) *Gauge {
+	v.f.checkVals(vals)
+	return v.f.gaugeCell(vals)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// WithLabelValues returns (creating if needed) the cell for the values.
+func (v *HistogramVec) WithLabelValues(vals ...string) *Histogram {
+	v.f.checkVals(vals)
+	return v.f.histogramCell(vals)
+}
+
+// --- rendering ------------------------------------------------------------
+
+// WritePrometheus renders every family in text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+	if f.sampler != nil {
+		for _, s := range f.sampler() {
+			if len(s.Labels) != len(f.labels) {
+				continue // malformed sampler output; drop rather than corrupt the exposition
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, s.Labels, "", ""), formatValue(s.Value))
+		}
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	cells := make([]any, len(keys))
+	vals := make([][]string, len(keys))
+	for i, k := range keys {
+		cells[i], vals[i] = f.cells[k], f.vals[k]
+	}
+	f.mu.Unlock()
+	for i := range keys {
+		switch c := cells[i].(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(f.labels, vals[i], "", ""), c.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, vals[i], "", ""), formatValue(c.Value()))
+		case *Histogram:
+			var cum uint64
+			for j, upper := range c.uppers {
+				cum += c.buckets[j].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					renderLabels(f.labels, vals[i], "le", formatValue(upper)), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+				renderLabels(f.labels, vals[i], "le", "+Inf"), c.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, vals[i], "", ""), formatValue(c.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(f.labels, vals[i], "", ""), c.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels formats a {k="v",...} block, appending one extra pair
+// (the histogram le) when extraKey is non-empty. Empty label sets render
+// as nothing.
+func renderLabels(names, vals []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(vals[i]))
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "requests")
+	g := r.Gauge("t_depth", "queue depth")
+	h := r.Histogram("t_latency_seconds", "latency", []float64{0.1, 1, 10})
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 55.55 {
+		t.Fatalf("histogram sum = %v, want 55.55", h.Sum())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		"t_requests_total 5",
+		"t_depth 1.5",
+		`t_latency_seconds_bucket{le="0.1"} 1`,
+		`t_latency_seconds_bucket{le="1"} 2`,
+		`t_latency_seconds_bucket{le="10"} 3`,
+		`t_latency_seconds_bucket{le="+Inf"} 4`,
+		"t_latency_seconds_sum 55.55",
+		"t_latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("own exposition does not validate: %v", err)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_http_total", "by route", "route", "code")
+	v.WithLabelValues("/v1/match", "200").Add(2)
+	v.WithLabelValues("/v1/match", "400").Inc()
+	if v.WithLabelValues("/v1/match", "200") != v.WithLabelValues("/v1/match", "200") {
+		t.Fatal("same labels must return the same cell")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `t_http_total{route="/v1/match",code="200"} 2`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if _, err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("t_weird", "escapes", "name")
+	v.WithLabelValues("a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Fatalf("escaped labels break the parser: %v\n%s", err, b.String())
+	}
+}
+
+func TestFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.GaugeFunc("t_live", "sampled", func() float64 { return n })
+	r.CounterFunc("t_events_total", "sampled", func() float64 { return 42 })
+	r.GaugeVecFunc("t_lag", "per replica", []string{"replica"}, func() []Sample {
+		return []Sample{{Labels: []string{"f1"}, Value: 3}, {Labels: []string{"f2"}, Value: 0}}
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"t_live 7", "t_events_total 42", `t_lag{replica="f1"} 3`, `t_lag{replica="f2"} 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("t_dup", "y")
+}
+
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_toggled_total", "x")
+	h := r.Histogram("t_toggled_seconds", "x", DefBuckets)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(1)
+	SetEnabled(true)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics moved: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled counter did not move")
+	}
+}
+
+func TestConcurrentHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_conc_seconds", "x", DefBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestTraceTreeAndContext(t *testing.T) {
+	tr, root := StartTrace("", "match")
+	if root.TraceID() == "" {
+		t.Fatal("empty trace id")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	got, ok := SpanFromContext(ctx)
+	if !ok || got != root {
+		t.Fatal("span not round-tripped through context")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("fanout")
+			c.SetAttr("shard", "s")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	v := tr.View()
+	if len(v.Root.Children) != 4 {
+		t.Fatalf("children = %d, want 4", len(v.Root.Children))
+	}
+	tree := tr.Tree()
+	if !strings.Contains(tree, "match ") || strings.Count(tree, "fanout ") != 4 {
+		t.Fatalf("unexpected tree:\n%s", tree)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	rec := NewRecorder(2)
+	for _, name := range []string{"a", "b", "c"} {
+		tr, root := StartTrace("", name)
+		root.End()
+		rec.Record(tr)
+	}
+	got := rec.Traces()
+	if len(got) != 2 || got[0].Root.Name != "c" || got[1].Root.Name != "b" {
+		t.Fatalf("ring = %+v, want newest-first [c b]", got)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"harmony_x 1\n", // no TYPE
+		"# TYPE harmony_x counter\nharmony_x notanum\n",   // bad value
+		"# TYPE harmony_x counter\nharmony_x{a=\"b\" 1\n", // unterminated labels
+	} {
+		if _, err := ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("accepted garbage %q", bad)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	l, err := NewLogger(&b, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken: %s", out)
+	}
+	if _, err := NewLogger(&b, "xml", "info"); err == nil {
+		t.Fatal("accepted bogus format")
+	}
+	Logf(l)("formatted %d", 7) // info level: filtered, but must not panic
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a trace ID across process boundaries: the HTTP
+// middleware reads it from inbound requests, and scatter-gather fan-out
+// legs inject it into outbound ones.
+const TraceHeader = "X-Harmony-Trace"
+
+// NewTraceID returns a fresh 16-hex-char trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable on every supported platform;
+		// a constant ID keeps tracing functional rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Trace is one tree of spans sharing a trace ID. Its lifetime is: create
+// with StartTrace, grow via Span.StartChild from any goroutine, End the
+// root, then hand it to a Recorder.
+type Trace struct {
+	ID   string
+	Root *Span
+}
+
+// Span is one timed operation inside a trace. Start/End use the
+// monotonic clock; children may be created concurrently.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	duration time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// StartTrace begins a trace. An empty id generates a fresh one, so
+// callers can pass a propagated header value straight through.
+func StartTrace(id, rootName string) (*Trace, *Span) {
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Trace{ID: id}
+	t.Root = &Span{trace: t, name: rootName, start: time.Now()}
+	return t, t.Root
+}
+
+// TraceID returns the ID of the trace this span belongs to.
+func (s *Span) TraceID() string { return s.trace.ID }
+
+// Name returns the span's operation name.
+func (s *Span) Name() string { return s.name }
+
+// StartChild begins a sub-span. Safe to call from concurrent goroutines
+// (one per scatter-gather leg); each child must be ended by its owner.
+func (s *Span) StartChild(name string) *Span {
+	c := &Span{trace: s.trace, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key=value annotation to the span.
+func (s *Span) SetAttr(key string, value any) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = fmt.Sprint(value)
+	s.mu.Unlock()
+}
+
+// End stops the span's clock. Idempotent; the first call wins.
+func (s *Span) End() {
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.duration = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the measured duration (elapsed-so-far if not ended).
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp for downstream instrumentation.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext extracts the active span, if any.
+func SpanFromContext(ctx context.Context) (*Span, bool) {
+	sp, ok := ctx.Value(ctxKey{}).(*Span)
+	return sp, ok
+}
+
+// SpanView is the JSON-serializable form of a span, used by /v1/traces.
+type SpanView struct {
+	Name           string            `json:"name"`
+	Start          time.Time         `json:"start"`
+	DurationMillis float64           `json:"durationMillis"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+	Children       []SpanView        `json:"children,omitempty"`
+}
+
+// TraceView is the JSON-serializable form of a whole trace.
+type TraceView struct {
+	ID   string   `json:"id"`
+	Root SpanView `json:"root"`
+}
+
+// View snapshots the span tree. Call after the tree has quiesced; spans
+// still running report elapsed-so-far durations.
+func (s *Span) View() SpanView {
+	s.mu.Lock()
+	v := SpanView{
+		Name:           s.name,
+		Start:          s.start,
+		DurationMillis: float64(s.duration) / float64(time.Millisecond),
+	}
+	if !s.ended {
+		v.DurationMillis = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		v.Attrs = make(map[string]string, len(s.attrs))
+		for k, val := range s.attrs {
+			v.Attrs[k] = val
+		}
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		v.Children = append(v.Children, c.View())
+	}
+	return v
+}
+
+// View snapshots the trace.
+func (t *Trace) View() TraceView { return TraceView{ID: t.ID, Root: t.Root.View()} }
+
+// JSON renders the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) { return json.MarshalIndent(t.View(), "", "  ") }
+
+// Tree renders the trace as indented text, one span per line:
+//
+//	match 152.3ms
+//	  preprocess 41.0ms
+//	  vote 98.7ms mode=dense
+func (t *Trace) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", t.ID)
+	writeTree(&b, t.Root.View(), 0)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, v SpanView, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %.1fms", v.Name, v.DurationMillis)
+	if len(v.Attrs) > 0 {
+		keys := make([]string, 0, len(v.Attrs))
+		for k := range v.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, v.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range v.Children {
+		writeTree(b, c, depth+1)
+	}
+}
+
+// Recorder keeps a bounded ring of recently completed traces, newest
+// first. Record snapshots the trace immediately, so later mutation of the
+// span tree does not race with readers.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []TraceView
+	next int
+	full bool
+}
+
+// NewRecorder returns a recorder holding up to size traces (min 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{ring: make([]TraceView, size)}
+}
+
+// Record stores a snapshot of t, evicting the oldest entry when full.
+func (r *Recorder) Record(t *Trace) {
+	v := t.View()
+	r.mu.Lock()
+	r.ring[r.next] = v
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns recorded traces, newest first.
+func (r *Recorder) Traces() []TraceView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	out := make([]TraceView, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[idx])
+	}
+	return out
+}

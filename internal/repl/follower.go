@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/registry"
 	"harmony/internal/store"
 )
@@ -51,6 +52,9 @@ type Options struct {
 	// Client overrides the HTTP client (its Timeout should exceed
 	// PollWait or long-polls will be cut short).
 	Client *http.Client
+	// Recorder, when set, receives a trace per applied WAL batch so
+	// replication work shows up under /v1/traces on the follower.
+	Recorder *obs.Recorder
 }
 
 // FollowerStats is a follower's replication position, served under
@@ -316,6 +320,19 @@ func (f *Follower) apply(resp *WALResponse) error {
 	f.mu.Lock()
 	applied := f.applied
 	f.mu.Unlock()
+	var sp *obs.Span
+	if f.opts.Recorder != nil && len(resp.Records) > 0 {
+		var tr *obs.Trace
+		tr, sp = obs.StartTrace("", "repl.apply")
+		sp.SetAttr("peer", f.opts.Peer)
+		sp.SetAttr("records", len(resp.Records))
+		sp.SetAttr("fromLSN", applied+1)
+		sp.SetAttr("toLSN", resp.Records[len(resp.Records)-1].LSN)
+		defer func() {
+			sp.End()
+			f.opts.Recorder.Record(tr)
+		}()
+	}
 	for _, rec := range resp.Records {
 		if err := verifyRecord(rec, applied); err != nil {
 			return err

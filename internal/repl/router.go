@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"harmony/internal/corpus"
+	"harmony/internal/obs"
 )
 
 // RouterStats counts scatter-gather activity, served under /v1/stats.
@@ -79,6 +80,14 @@ func (rt *Router) TopK(ctx context.Context, k int, params url.Values) (*corpus.R
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			ctx := ctx
+			if parent, ok := obs.SpanFromContext(ctx); ok {
+				leg := parent.StartChild("fanout")
+				leg.SetAttr("shard", shard)
+				leg.SetAttr("replica", rt.replicas[shard%n])
+				defer leg.End()
+				ctx = obs.ContextWithSpan(ctx, leg)
+			}
 			q := url.Values{}
 			for key, vs := range params {
 				q[key] = vs
@@ -142,6 +151,11 @@ func (rt *Router) ask(ctx context.Context, replica string, q url.Values) (*corpu
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/v1/corpus/topk?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
+	}
+	if sp, ok := obs.SpanFromContext(ctx); ok {
+		// Propagate the trace across the process boundary: the replica's
+		// middleware adopts this ID, so one trace spans every leg.
+		req.Header.Set(obs.TraceHeader, sp.TraceID())
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {

@@ -45,8 +45,34 @@ type Source struct {
 	PinTTL time.Duration
 
 	mu    sync.Mutex
-	seen  map[string]time.Time // replica id -> last contact
+	seen  map[string]cursor // replica id -> last contact + catch-up cursor
 	stats SourceStats
+}
+
+// cursor is what the leader knows about one follower: when it last
+// called, and the LSN its pull cursor had reached. The LSN delta against
+// the log head is the leader-side replication-lag gauge.
+type cursor struct {
+	at  time.Time
+	lsn uint64
+}
+
+// ReplicaCursor is one follower's leader-side view, for lag metrics.
+type ReplicaCursor struct {
+	Replica     string
+	LSN         uint64
+	LastContact time.Time
+}
+
+// Cursors returns the live follower cursors, one per pinned replica.
+func (src *Source) Cursors() []ReplicaCursor {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	out := make([]ReplicaCursor, 0, len(src.seen))
+	for id, c := range src.seen {
+		out = append(out, ReplicaCursor{Replica: id, LSN: c.lsn, LastContact: c.at})
+	}
+	return out
 }
 
 // NewSource wraps a store for serving. logf may be nil.
@@ -54,7 +80,7 @@ func NewSource(st *store.Store, logf func(string, ...any)) *Source {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Source{st: st, logf: logf, PinTTL: defaultPinTTL, seen: make(map[string]time.Time)}
+	return &Source{st: st, logf: logf, PinTTL: defaultPinTTL, seen: make(map[string]cursor)}
 }
 
 // touch records contact from a replica, pins its cursor so compaction
@@ -66,9 +92,9 @@ func (src *Source) touch(replica string, lsn uint64) {
 	}
 	now := time.Now()
 	src.mu.Lock()
-	src.seen[replica] = now
-	for id, last := range src.seen {
-		if now.Sub(last) > src.PinTTL {
+	src.seen[replica] = cursor{at: now, lsn: lsn}
+	for id, c := range src.seen {
+		if now.Sub(c.at) > src.PinTTL {
 			delete(src.seen, id)
 			src.st.Unpin(id)
 			src.logf("repl: released pin of quiet replica %q", id)

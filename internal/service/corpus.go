@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"harmony/internal/corpus"
+	"harmony/internal/obs"
 	"harmony/internal/registry"
 )
 
@@ -172,11 +173,28 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 	if s.router != nil && req.Shards == 0 && !req.Local {
 		return s.routeTopK(ctx, req, preset, threshold, cfg)
 	}
+	var sp *obs.Span
+	if parent, ok := obs.SpanFromContext(ctx); ok {
+		sp = parent.StartChild("corpus.topk")
+		sp.SetAttr("query", req.Query)
+		sp.SetAttr("shard", req.Shard)
+		defer sp.End()
+	}
 	res, err := s.corpusPipe.TopK(ctx, s.engines[preset], e.Schema, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.corpusStats.add(res.Stats)
+	if s.corpusBlockSec != nil {
+		shard := strconv.Itoa(req.Shard)
+		s.corpusBlockSec.WithLabelValues(shard).Observe(float64(res.Stats.BlockMillis) / 1000)
+		s.corpusScoreSec.WithLabelValues(shard).Observe(float64(res.Stats.ScoreMillis) / 1000)
+		s.corpusCands.WithLabelValues(shard).Observe(float64(res.Stats.Candidates))
+	}
+	if sp != nil {
+		sp.SetAttr("candidates", res.Stats.Candidates)
+		sp.SetAttr("engineRuns", res.Stats.EngineRuns)
+	}
 	return res, nil
 }
 

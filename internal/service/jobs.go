@@ -104,7 +104,7 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, cached, err := s.matchCached(ea, eb, preset, threshold)
+			out, cached, err := s.matchCached(ctx, ea, eb, preset, threshold)
 			if err != nil {
 				return nil, err
 			}

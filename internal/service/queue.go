@@ -85,6 +85,15 @@ type Queue struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 	now     func() time.Time
+	// observer, when set, receives every job's terminal state with its
+	// queue-wait and run durations — the metrics hook.
+	observer func(kind string, state JobState, wait, run time.Duration)
+}
+
+// SetObserver installs the per-job completion hook. Call before traffic;
+// not synchronized against running jobs.
+func (q *Queue) SetObserver(fn func(kind string, state JobState, wait, run time.Duration)) {
+	q.observer = fn
 }
 
 // NewQueue starts a queue with the given worker-pool size and backlog
@@ -191,9 +200,15 @@ func (q *Queue) run(j *queueJob) {
 		j.snap.Result = result
 		q.stats.Completed++
 	}
+	kind, state := j.snap.Kind, j.snap.State
+	wait := j.snap.Started.Sub(j.snap.Submitted)
+	run := j.snap.Finished.Sub(j.snap.Started)
 	q.mu.Unlock()
 	j.cancel() // release the context's resources
 	close(j.done)
+	if q.observer != nil {
+		q.observer(kind, state, wait, run)
+	}
 }
 
 // Cancel cancels a job. A queued job is marked cancelled immediately and

@@ -64,6 +64,7 @@ func (s *Server) initRepl() error {
 		Store:     s.st,
 		Registry:  s.reg,
 		Logf:      s.logf,
+		Recorder:  s.recorder,
 	})
 	if err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -93,6 +94,7 @@ func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.readOnly.Load() {
+			s.redirects.Add(1)
 			if s.cfg.PeerURL != "" {
 				w.Header().Set("Location", s.cfg.PeerURL+r.URL.Path)
 			}
@@ -135,7 +137,7 @@ func (s *Server) replStats() *ReplStats {
 	if f == nil && s.source == nil && s.router == nil && s.cfg.Role == "" {
 		return nil
 	}
-	rs := &ReplStats{Role: s.Role()}
+	rs := &ReplStats{Role: s.Role(), RedirectsTotal: s.redirects.Load()}
 	if f != nil {
 		fs := f.Stats()
 		rs.Follower = &fs

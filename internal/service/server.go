@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"harmony/internal/core"
 	"harmony/internal/corpus"
+	"harmony/internal/obs"
 	"harmony/internal/registry"
 	"harmony/internal/repl"
 	"harmony/internal/schema"
@@ -68,6 +70,21 @@ type Server struct {
 	// tracked by the store itself.
 	persistMu  sync.Mutex
 	persistErr error
+
+	// obs is the server-scoped metrics registry (/metrics also renders
+	// the process-wide obs.Default()); recorder keeps the recent-trace
+	// ring behind /v1/traces. The pre-bound vec cells below are the
+	// hot-path instruments.
+	obs            *obs.Registry
+	recorder       *obs.Recorder
+	redirects      atomic.Uint64
+	httpDur        *obs.HistogramVec
+	httpTotal      *obs.CounterVec
+	jobWait        *obs.HistogramVec
+	jobRun         *obs.HistogramVec
+	corpusBlockSec *obs.HistogramVec
+	corpusScoreSec *obs.HistogramVec
+	corpusCands    *obs.HistogramVec
 
 	saveStop  chan struct{}
 	saveDone  chan struct{}
@@ -150,6 +167,9 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		logf:    logf,
 		st:      st,
 	}
+	// The trace recorder exists before initRepl so the follower's apply
+	// loop can record replication batches from its first poll.
+	s.recorder = obs.NewRecorder(cfg.TraceRing)
 	s.corpusPipe = corpus.NewPipeline(reg, serverCorpusCache{s})
 	if n := WarmStart(s.cache, reg); n > 0 {
 		logf("service: warm-started match cache with %d stored results", n)
@@ -168,6 +188,7 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		s.Close()
 		return nil, err
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -271,7 +292,9 @@ func (s *Server) Store() *store.Store { return s.st }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("POST /v1/schemas", s.writable(s.handleAddSchema))
 	mux.HandleFunc("GET /v1/schemas", s.handleListSchemas)
 	mux.HandleFunc("GET /v1/schemas/{name}", s.handleGetSchema)
@@ -291,7 +314,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET "+repl.PathStatus, s.source.HandleStatus)
 	}
 	mux.HandleFunc("POST /repl/v1/promote", s.handlePromote)
-	return http.MaxBytesHandler(mux, maxBodyBytes)
+	return http.MaxBytesHandler(s.instrument(mux), maxBodyBytes)
 }
 
 // --- shared helpers -------------------------------------------------------
@@ -373,7 +396,7 @@ func (s *Server) cachePreset(preset string) string {
 // matchCached serves one pairwise match through the fingerprint-keyed
 // cache. On a fresh computation the outcome is also persisted to the
 // registry as a match artifact, feeding the next process's warm-start.
-func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold float64) (*MatchOutcome, bool, error) {
+func (s *Server) matchCached(ctx context.Context, ea, eb *registry.Entry, preset string, threshold float64) (*MatchOutcome, bool, error) {
 	key := CacheKey{
 		FingerprintA: ea.Fingerprint,
 		FingerprintB: eb.Fingerprint,
@@ -381,6 +404,13 @@ func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold fl
 		Threshold:    threshold,
 	}
 	out, cached, err := s.cache.GetOrCompute(key, func() (*MatchOutcome, error) {
+		var compute *obs.Span
+		if sp, ok := obs.SpanFromContext(ctx); ok {
+			compute = sp.StartChild("match.compute")
+			compute.SetAttr("a", ea.Schema.Name)
+			compute.SetAttr("b", eb.Schema.Name)
+			defer compute.End()
+		}
 		return computeOutcome(s.engines[preset], ea.Schema, eb.Schema, threshold), nil
 	})
 	// Followers compute and cache freely but never persist: an artifact
@@ -398,8 +428,11 @@ func (s *Server) matchCached(ea, eb *registry.Entry, preset string, threshold fl
 // "degraded"; degraded carries the last persistence failure so an
 // operator (or probe) sees *why* instead of digging through logs.
 type healthResponse struct {
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
+	Status        string  `json:"status"`
+	Error         string  `json:"error,omitempty"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // persistenceError returns the most recent save/append failure (nil when
@@ -420,7 +453,13 @@ func (s *Server) persistenceError() error {
 // stays HTTP 200: restarting the pod would not fix a full disk, but an
 // alert on the status can page someone who can.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok"}
+	version, goVersion := buildVersion()
+	resp := healthResponse{
+		Status:        "ok",
+		Version:       version,
+		GoVersion:     goVersion,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
 	if err := s.persistenceError(); err != nil {
 		resp.Status = "degraded"
 		resp.Error = err.Error()
@@ -593,7 +632,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	out, cached, err := s.matchCached(ea, eb, preset, threshold)
+	out, cached, err := s.matchCached(r.Context(), ea, eb, preset, threshold)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -614,6 +653,25 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// The job runs on a worker under its own trace, carrying the
+	// submitting request's trace ID across the async boundary so one ID
+	// follows the work from POST to completion.
+	traceID := ""
+	if sp, ok := obs.SpanFromContext(r.Context()); ok {
+		traceID = sp.TraceID()
+	}
+	kind := req.Kind
+	inner := fn
+	fn = func(ctx context.Context) (any, error) {
+		tr, sp := obs.StartTrace(traceID, "job "+kind)
+		res, err := inner(obs.ContextWithSpan(ctx, sp))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		s.recorder.Record(tr)
+		return res, err
 	}
 	id, err := s.queue.Submit(req.Kind, fn)
 	if err != nil {

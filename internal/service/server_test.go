@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -93,7 +94,7 @@ func postSchema(t *testing.T, baseURL string, s *schema.Schema) schemaSummary {
 func TestServerEndToEnd(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
 
-	var health map[string]string
+	var health map[string]any
 	do(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
 	if health["status"] != "ok" {
 		t.Fatalf("health %v", health)
@@ -242,7 +243,7 @@ func TestServerWarmStart(t *testing.T) {
 	}
 	ea, _ := srv1.Registry().Schema("orders")
 	eb, _ := srv1.Registry().Schema("invoices")
-	out1, cached, err := srv1.matchCached(ea, eb, "name-only", 0.5)
+	out1, cached, err := srv1.matchCached(context.Background(), ea, eb, "name-only", 0.5)
 	if err != nil || cached {
 		t.Fatalf("first compute: cached=%v err=%v", cached, err)
 	}
@@ -260,7 +261,7 @@ func TestServerWarmStart(t *testing.T) {
 	}
 	ea, _ = srv2.Registry().Schema("orders")
 	eb, _ = srv2.Registry().Schema("invoices")
-	out2, cached, err := srv2.matchCached(ea, eb, "name-only", 0.5)
+	out2, cached, err := srv2.matchCached(context.Background(), ea, eb, "name-only", 0.5)
 	if err != nil || !cached {
 		t.Fatalf("after restart: cached=%v err=%v", cached, err)
 	}
@@ -273,7 +274,7 @@ func TestServerWarmStart(t *testing.T) {
 		}
 	}
 	// A different threshold is a different key: computed fresh.
-	if _, cached, _ := srv2.matchCached(ea, eb, "name-only", 0.6); cached {
+	if _, cached, _ := srv2.matchCached(context.Background(), ea, eb, "name-only", 0.6); cached {
 		t.Fatal("different threshold should not hit the warm-started key")
 	}
 }
@@ -317,7 +318,7 @@ func TestWarmStartSkipsStaleFingerprints(t *testing.T) {
 	}
 	ea, _ := reg.Schema("a")
 	eb, _ := reg.Schema("b")
-	if _, _, err := srv1.matchCached(ea, eb, "name-only", 0.5); err != nil {
+	if _, _, err := srv1.matchCached(context.Background(), ea, eb, "name-only", 0.5); err != nil {
 		t.Fatal(err)
 	}
 	// The schema content changes after the match was stored.

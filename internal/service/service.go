@@ -25,6 +25,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -116,6 +117,15 @@ type Config struct {
 	// deployments typically set it to cores/replica-count so one fanned
 	// query does not oversubscribe every node.
 	CorpusWorkers int
+	// SlowRequest is the latency threshold beyond which a request is
+	// logged through slog at Warn level (default 1s; negative disables).
+	SlowRequest time.Duration
+	// TraceRing bounds the in-memory ring of recent traces served at
+	// GET /v1/traces (default 256).
+	TraceRing int
+	// Logger receives structured operational records (slow-request
+	// warnings). Nil falls back to slog.Default().
+	Logger *slog.Logger
 }
 
 // Replication roles for Config.Role.
@@ -189,6 +199,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LagThreshold == 0 {
 		c.LagThreshold = 1024
 	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c, nil
 }
 
@@ -217,4 +236,7 @@ type ReplStats struct {
 	Follower *repl.FollowerStats `json:"follower,omitempty"`
 	Source   *repl.SourceStats   `json:"source,omitempty"`
 	Router   *repl.RouterStats   `json:"router,omitempty"`
+	// RedirectsTotal counts mutations this node refused as a read-only
+	// follower (403 + Location pointing at the leader).
+	RedirectsTotal uint64 `json:"redirectsTotal"`
 }

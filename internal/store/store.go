@@ -331,6 +331,7 @@ func (s *Store) Snapshot() error {
 	if already {
 		return nil
 	}
+	t0 := time.Now()
 	data, err := view.Encode()
 	if err != nil {
 		s.setErr(err)
@@ -365,6 +366,7 @@ func (s *Store) Snapshot() error {
 	if _, err := s.wal.TruncateThrough(floor); err != nil {
 		s.opts.Logf("store: compaction: %v", err)
 	}
+	snapshotSeconds.Observe(time.Since(t0).Seconds())
 	s.opts.Logf("store: snapshot at lsn %d (%d bytes)", lsn, len(data))
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // The write-ahead log is a sequence of segments, each a flat file of
@@ -181,6 +182,7 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 		}
 	}
 	buf := frame(payload)
+	t0 := time.Now()
 	if _, err := w.f.Write(buf); err != nil {
 		// A partial write would sit mid-log and make replay truncate away
 		// every later record; cut the file back so the log stays
@@ -192,11 +194,14 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 		}
 		return 0, err
 	}
+	walAppendSeconds.Observe(time.Since(t0).Seconds())
 	w.size += int64(len(buf))
 	w.lastLSN = lsn
 	w.appends++
 	w.appendedBytes += uint64(len(buf))
+	walAppendedBytes.Add(uint64(len(buf)))
 	if w.policy == FsyncPerCommit {
+		t0 = time.Now()
 		if err := w.f.Sync(); err != nil {
 			// After a failed fsync the on-disk fate of this record is
 			// unknown (the kernel may have dropped the dirty page).
@@ -207,6 +212,7 @@ func (w *wal) Append(payload []byte) (uint64, error) {
 			w.wedged = true
 			return 0, err
 		}
+		walFsyncSeconds.Observe(time.Since(t0).Seconds())
 		w.syncs++
 		w.syncedLSN = lsn
 	} else {
