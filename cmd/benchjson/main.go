@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON map, so CI can archive benchmark numbers as an
+// artifact and diff them across commits instead of eyeballing logs.
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -o BENCH.json
+//
+// The output maps each benchmark name (GOMAXPROCS suffix stripped) to
+// its measured numbers:
+//
+//	{
+//	  "BenchmarkE1FullMatch": {"ns_per_op": 294078085, "allocs_per_op": 98381, "bytes_per_op": 14424910},
+//	  ...
+//	}
+//
+// Custom ReportMetric values (e.g. "pairs/op") are carried through under
+// their metric name with '/' replaced by '_per_'. Benchmarks that appear
+// several times (e.g. -count > 1) keep the LAST measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := parseBenchLine(line); m != nil {
+			results[m.name] = m.metrics
+		}
+		// Echo the raw output so the tool can sit inside a pipe without
+		// hiding failures from the CI log.
+		fmt.Println(line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+type benchResult struct {
+	name    string
+	metrics map[string]float64
+}
+
+// parseBenchLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   5   294078085 ns/op   14424910 B/op   98381 allocs/op   1080352 pairs/op
+//
+// returning nil for non-benchmark lines.
+func parseBenchLine(line string) *benchResult {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix if it is numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return nil // second field must be the iteration count
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil
+		}
+		metrics[metricKey(fields[i+1])] = val
+	}
+	if len(metrics) == 0 {
+		return nil
+	}
+	return &benchResult{name: name, metrics: metrics}
+}
+
+// metricKey normalizes a go-test unit ("ns/op", "B/op", "allocs/op",
+// "pairs/op") into a JSON-friendly key.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.ReplaceAll(unit, "/", "_per_")
+}

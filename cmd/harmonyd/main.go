@@ -150,6 +150,8 @@ func main() {
 	workers := flag.Int("workers", 2, "job worker-pool size")
 	backlog := flag.Int("backlog", 64, "job submission backlog bound")
 	cacheSize := flag.Int("cache", 256, "match cache capacity (entries)")
+	profileCache := flag.Int("profile-cache", 0,
+		"compiled-profile cache capacity in schemas (0 = default, negative disables)")
 	saveInterval := flag.Duration("save-interval", 30*time.Second, "periodic persistence cadence")
 	corpusCandidates := flag.Int("corpus-candidates", 32, "default blocking budget of corpus queries")
 	corpusTopK := flag.Int("corpus-topk", 5, "default result count of corpus queries")
@@ -220,6 +222,7 @@ func main() {
 		Workers:          *workers,
 		Backlog:          *backlog,
 		CacheSize:        *cacheSize,
+		ProfileCache:     *profileCache,
 		DBPath:           *db,
 		SaveInterval:     *saveInterval,
 		StoreDir:         *storeDir,

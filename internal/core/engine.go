@@ -20,6 +20,16 @@ type Engine struct {
 	merger  Merger
 	workers int
 
+	// ctxVoters caches, per voter slot, the contextVoter fast path (nil
+	// for voters that don't implement it); resolved once at construction
+	// so the inner pair loop pays no type assertions.
+	ctxVoters []contextVoter
+
+	// profiles, when set, caches compiled schema profiles by fingerprint
+	// so repeated matches over the same schema content skip linguistic
+	// preprocessing entirely.
+	profiles *ProfileCache
+
 	// propagationRounds > 0 enables structural score propagation after
 	// merging: leaf pair scores are blended with their parents' pair score
 	// and container pair scores with their children's alignment, spreading
@@ -84,12 +94,27 @@ func WithSparseCutoff(pairs int) Option {
 	}
 }
 
+// WithProfileCache attaches a compiled-profile cache: Match and Profile
+// resolve schemas through it instead of recompiling. A single cache is
+// typically shared by every engine preset serving one registry.
+func WithProfileCache(pc *ProfileCache) Option {
+	return func(e *Engine) {
+		e.profiles = pc
+	}
+}
+
 // NewEngine builds an engine from weighted voters and a merger.
 func NewEngine(voters []WeightedVoter, merger Merger, opts ...Option) *Engine {
 	e := &Engine{
 		voters:  voters,
 		merger:  merger,
 		workers: runtime.GOMAXPROCS(0),
+	}
+	e.ctxVoters = make([]contextVoter, len(voters))
+	for i, wv := range voters {
+		if cv, ok := wv.Voter.(contextVoter); ok {
+			e.ctxVoters[i] = cv
+		}
 	}
 	for _, o := range opts {
 		o(e)
@@ -123,14 +148,44 @@ type Result struct {
 	Matrix ScoreMatrix
 }
 
-// Match preprocesses both schemata and scores every element pair. This is
-// the MATCH(S1, S2) operator of the literature; on the paper's workload
-// (1378×784 elements ≈ 10^6 pairs) it runs in seconds.
+// Match resolves both schemata to compiled profiles (through the
+// profile cache when one is attached), materializes the pair views and
+// scores every element pair. This is the MATCH(S1, S2) operator of the
+// literature; with a warm profile cache only the pair-dependent work
+// (joint IDF + voting) runs.
 func (e *Engine) Match(src, dst *schema.Schema) *Result {
+	return e.MatchProfiles(e.Profile(src), e.Profile(dst))
+}
+
+// Profile returns the compiled profile of s: from the engine's profile
+// cache when one is attached (compiling on miss), otherwise compiled
+// fresh.
+func (e *Engine) Profile(s *schema.Schema) *CompiledProfile {
+	if e.profiles != nil {
+		return e.profiles.Profile(s)
+	}
 	t0 := time.Now()
-	sv, dv := Preprocess(src, dst)
+	p := CompileSchema(s)
+	phaseCompile.Observe(time.Since(t0).Seconds())
+	return p
+}
+
+// MatchProfiles scores every element pair of two compiled profiles.
+// Callers that hold profiles (the corpus top-k loop compiles its query
+// schema exactly once and reuses it per candidate) skip straight to the
+// pair-dependent work.
+func (e *Engine) MatchProfiles(pa, pb *CompiledProfile) *Result {
+	t0 := time.Now()
+	if e.profiles != nil {
+		// The pair cache keeps the materialized views and the dense shape
+		// tables, so a warm repeat match runs straight into voting.
+		sv, dv, t := e.profiles.pairViews(pa, pb)
+		phasePreprocess.Observe(time.Since(t0).Seconds())
+		return e.matchViews(sv, dv, t)
+	}
+	sv, dv := PairProfiles(pa, pb)
 	phasePreprocess.Observe(time.Since(t0).Seconds())
-	return e.MatchViews(sv, dv)
+	return e.matchViews(sv, dv, nil)
 }
 
 // MatchViews scores element pairs of two preprocessed schemata: every
@@ -139,16 +194,24 @@ func (e *Engine) Match(src, dst *schema.Schema) *Result {
 // preprocessing across repeated matches (for example the
 // concept-at-a-time workflow, which re-matches sub-trees).
 func (e *Engine) MatchViews(sv, dv *SchemaView) *Result {
+	return e.matchViews(sv, dv, nil)
+}
+
+// matchViews is MatchViews with optional pair-scoped shape tables (from
+// the profile cache's pair entries) threaded into the scoring scratch.
+func (e *Engine) matchViews(sv, dv *SchemaView, t *pairTables) *Result {
 	var m ScoreMatrix
 	t0 := time.Now()
 	if e.sparseActive(sv.Len(), dv.Len()) {
 		sm := NewSparseMatrix(sv.Len(), dv.Len(), sparseCandidates(sv, dv, e.sparseBudget))
-		e.scoreSparse(sv, dv, sm)
+		e.scoreSparseTables(sv, dv, sm, t)
 		m = sm
 		matchesSparse.Inc()
 	} else {
-		dm := NewMatrix(sv.Len(), dv.Len())
-		e.score(sv, dv, dm, nil)
+		// Dense scoring writes every cell, so the (possibly pooled) buffer
+		// needs no zeroing.
+		dm := newMatrixNoZero(sv.Len(), dv.Len())
+		e.scoreRows(sv, dv, dm, nil, t)
 		m = dm
 		matchesDense.Inc()
 	}
@@ -156,11 +219,35 @@ func (e *Engine) MatchViews(sv, dv *SchemaView) *Result {
 	if e.propagationRounds > 0 {
 		t0 = time.Now()
 		for r := 0; r < e.propagationRounds; r++ {
-			m = e.propagate(sv, dv, m)
+			next := e.propagate(sv, dv, m)
+			if next != m {
+				// The pre-round matrix was created locally and is now fully
+				// superseded; recycle dense buffers.
+				if dm, ok := m.(*Matrix); ok {
+					dm.Release()
+				}
+				m = next
+			}
 		}
 		phasePropagate.Observe(time.Since(t0).Seconds())
 	}
 	return &Result{Src: sv, Dst: dv, Matrix: m}
+}
+
+// Release returns the result's dense matrix buffer (if any) to the
+// process-wide pool. Call it only when nothing retains the matrix or
+// slices handed out by Matrix.Row — selection methods (Above,
+// BestPerSource, ...) copy scores out, so results whose correspondences
+// have been extracted are safe to release. Sparse matrices are not
+// pooled; releasing a sparse-backed result is a no-op.
+func (r *Result) Release() {
+	if r == nil || r.Matrix == nil {
+		return
+	}
+	if dm, ok := r.Matrix.(*Matrix); ok {
+		dm.Release()
+	}
+	r.Matrix = nil
 }
 
 // sparseActive reports whether a rows×cols match runs sparse: sparse mode
@@ -250,24 +337,74 @@ func (e *Engine) MatchScoped(sv, dv *SchemaView, elements []*schema.Element) *Re
 	return &Result{Src: sv, Dst: dv, Matrix: sm}
 }
 
+// pairScratch is per-worker scoring scratch. With pair tables attached
+// (profile-cache path) the name and path metrics are direct array
+// reads. Without tables, the hybrid name-similarity memo map keyed by
+// token-sequence shape pairs (see shapeOf) fills the same role across a
+// single engine run: shapes intern exact token sequences process-wide,
+// so the memoized metric is a pure function of the key, and scratches
+// are pooled WITHOUT clearing — a warm pool carries memo hits across
+// matches. Size is bounded at put-back. (Path votes are cheap enough
+// that memoizing them through a hash map costs about as much as
+// recomputing; only the dense table is worth it.)
+type pairScratch struct {
+	hybrid map[uint64]float64 // name-shape pair -> hybrid name similarity
+	tables *pairTables        // pair-scoped dense tables; nil without a profile cache
+}
+
+// maxMemoEntries bounds the memo table (~2^19 entries ≈ 8 MB);
+// inserts stop at the cap and oversized tables are dropped at put-back.
+const maxMemoEntries = 1 << 19
+
+func pairKey(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &pairScratch{
+		hybrid: make(map[uint64]float64, 1024),
+	}
+}}
+
+func putScratch(sc *pairScratch) {
+	if len(sc.hybrid) >= maxMemoEntries {
+		sc.hybrid = make(map[uint64]float64, 1024)
+	}
+	sc.tables = nil
+	scratchPool.Put(sc)
+}
+
+// voteAll runs every voter on one pair into votes, dispatching through
+// the contextVoter fast path where available.
+func (e *Engine) voteAll(srcView, dstView *ElementView, votes []Vote, sc *pairScratch) {
+	for k := range e.voters {
+		if cv := e.ctxVoters[k]; cv != nil {
+			votes[k] = cv.voteCtx(srcView, dstView, sc)
+		} else {
+			votes[k] = e.voters[k].Voter.Vote(srcView, dstView)
+		}
+	}
+}
+
 // score fills the matrix for the given source rows (all rows when rows is
 // nil), fanning the row loop out over the engine's workers.
 func (e *Engine) score(sv, dv *SchemaView, m *Matrix, rows []int) {
+	e.scoreRows(sv, dv, m, rows, nil)
+}
+
+func (e *Engine) scoreRows(sv, dv *SchemaView, m *Matrix, rows []int, t *pairTables) {
 	if rows == nil {
 		rows = make([]int, sv.Len())
 		for i := range rows {
 			rows[i] = i
 		}
 	}
-	e.forEachRowChunk(len(rows), func(lo, hi int, votes []Vote, weights []float64) {
+	e.forEachRowChunkTables(len(rows), t, func(lo, hi int, votes []Vote, weights []float64, sc *pairScratch) {
 		for _, i := range rows[lo:hi] {
 			srcView := sv.View(i)
 			row := m.Row(i)
 			for j := 0; j < dv.Len(); j++ {
-				dstView := dv.View(j)
-				for k, wv := range e.voters {
-					votes[k] = wv.Voter.Vote(srcView, dstView)
-				}
+				e.voteAll(srcView, dv.View(j), votes, sc)
 				row[j] = e.merger.Merge(votes, weights)
 			}
 		}
@@ -276,9 +413,14 @@ func (e *Engine) score(sv, dv *SchemaView, m *Matrix, rows []int) {
 
 // forEachRowChunk splits the index range [0, n) into one contiguous chunk
 // per engine worker and runs fn concurrently, handing each worker its own
-// votes/weights scratch buffers. Both the dense and the sparse scorers
-// fan out through here so the chunking and clamping logic exists once.
-func (e *Engine) forEachRowChunk(n int, fn func(lo, hi int, votes []Vote, weights []float64)) {
+// votes/weights buffers and a pooled pairScratch. Both the dense and the
+// sparse scorers fan out through here so the chunking and clamping logic
+// exists once.
+func (e *Engine) forEachRowChunk(n int, fn func(lo, hi int, votes []Vote, weights []float64, sc *pairScratch)) {
+	e.forEachRowChunkTables(n, nil, fn)
+}
+
+func (e *Engine) forEachRowChunkTables(n int, t *pairTables, fn func(lo, hi int, votes []Vote, weights []float64, sc *pairScratch)) {
 	workers := e.workers
 	if workers < 1 {
 		workers = 1
@@ -308,7 +450,10 @@ func (e *Engine) forEachRowChunk(n int, fn func(lo, hi int, votes []Vote, weight
 			for i, wv := range e.voters {
 				weights[i] = wv.Weight
 			}
-			fn(lo, hi, votes, weights)
+			sc := scratchPool.Get().(*pairScratch)
+			sc.tables = t
+			fn(lo, hi, votes, weights, sc)
+			putScratch(sc)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -328,6 +473,7 @@ func (e *Engine) propagate(sv, dv *SchemaView, m ScoreMatrix) ScoreMatrix {
 		return m
 	}
 	next := m.Clone()
+	var used []bool // childrenAgreement scratch, reused across pairs
 	for i := 0; i < sv.Len(); i++ {
 		a := sv.View(i).El
 		if a.IsLeaf() {
@@ -351,7 +497,10 @@ func (e *Engine) propagate(sv, dv *SchemaView, m ScoreMatrix) ScoreMatrix {
 			if b.IsLeaf() {
 				return true
 			}
-			agg := childrenAgreement(a, b, m)
+			if n := len(b.Children); cap(used) < n {
+				used = make([]bool, n)
+			}
+			agg := childrenAgreement(a, b, m, used[:len(b.Children)])
 			next.Set(i, j, clampScore((1-alpha)*s+alpha*agg))
 			return true
 		})
@@ -362,12 +511,15 @@ func (e *Engine) propagate(sv, dv *SchemaView, m ScoreMatrix) ScoreMatrix {
 // childrenAgreement computes the greedy one-to-one alignment quality of two
 // containers' children under the current matrix scores, normalized over the
 // smaller child set.
-func childrenAgreement(a, b *schema.Element, m ScoreMatrix) float64 {
+// used is caller-provided scratch of len(b.Children); it is reset here.
+func childrenAgreement(a, b *schema.Element, m ScoreMatrix, used []bool) float64 {
 	ca, cb := a.Children, b.Children
 	if len(ca) == 0 || len(cb) == 0 {
 		return 0
 	}
-	used := make([]bool, len(cb))
+	for i := range used {
+		used[i] = false
+	}
 	var total float64
 	for _, x := range ca {
 		best, bestJ := 0.0, -1

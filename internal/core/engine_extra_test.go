@@ -73,28 +73,28 @@ func TestPropagationKeepsScoresBounded(t *testing.T) {
 	}
 }
 
-func TestPreprocessCachesParentAndChildTokens(t *testing.T) {
+func TestPreprocessCachesParentAndChildViews(t *testing.T) {
 	a := personSchemaA()
 	sv, _ := Preprocess(a, personSchemaB())
 	root := a.ByPath("Person")
 	leaf := a.ByPath("Person/LAST_NAME")
 	rv := sv.View(root.ID)
 	lv := sv.View(leaf.ID)
-	if rv.ParentTokens != nil {
-		t.Error("root should have no parent tokens")
+	if rv.Parent() != nil {
+		t.Error("root should have no parent view")
 	}
-	if len(rv.ChildTokens) != len(root.Children) {
-		t.Errorf("child tokens = %d, want %d", len(rv.ChildTokens), len(root.Children))
+	if len(rv.Children()) != len(root.Children) {
+		t.Errorf("child views = %d, want %d", len(rv.Children()), len(root.Children))
 	}
-	if lv.ParentTokens == nil {
-		t.Error("leaf missing parent tokens")
+	if lv.Parent() == nil {
+		t.Error("leaf missing parent view")
 	}
-	// cached slices must alias the child's own tokens
+	// cached child views must carry the child's own tokens
 	found := false
 	for ci, c := range root.Children {
 		if c == leaf {
-			if len(rv.ChildTokens[ci]) != len(lv.NameTokens) {
-				t.Error("child tokens differ from child's own view")
+			if len(rv.Children()[ci].NameTokens) != len(lv.NameTokens) {
+				t.Error("child view tokens differ from child's own view")
 			}
 			found = true
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ScoreMatrix is the contract every match-matrix representation satisfies:
@@ -69,9 +70,43 @@ type Matrix struct {
 
 var _ ScoreMatrix = (*Matrix)(nil)
 
+// matrixPool recycles dense matrix buffers across matches and jobs. On
+// the paper's workload a single dense matrix is ~8 MB; pooling turns
+// the per-match allocate+zero into a buffer reuse for every caller that
+// Releases its results.
+var matrixPool sync.Pool
+
 // NewMatrix returns a zeroed rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
-	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	m := newMatrixNoZero(rows, cols)
+	clear(m.data)
+	return m
+}
+
+// newMatrixNoZero returns a rows×cols matrix whose cells may hold stale
+// scores from a recycled buffer. Callers must write every cell (the
+// dense scorer does) or use NewMatrix.
+func newMatrixNoZero(rows, cols int) *Matrix {
+	n := rows * cols
+	if v := matrixPool.Get(); v != nil {
+		m := v.(*Matrix)
+		if cap(m.data) >= n {
+			m.rows, m.cols, m.data = rows, cols, m.data[:n]
+			return m
+		}
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, n)}
+}
+
+// Release returns the matrix buffer to the pool. The caller must not
+// touch the matrix — or any slice previously returned by Row — after
+// releasing it. Release is opt-in: callers that let results go to the
+// garbage collector remain correct, just slower.
+func (m *Matrix) Release() {
+	if m == nil || m.data == nil {
+		return
+	}
+	matrixPool.Put(m)
 }
 
 // Rows returns the number of source elements.
@@ -104,7 +139,7 @@ func (m *Matrix) ForRow(src int, f func(dst int, score float64) bool) {
 
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() ScoreMatrix {
-	c := NewMatrix(m.rows, m.cols)
+	c := newMatrixNoZero(m.rows, m.cols)
 	copy(c.data, m.data)
 	return c
 }

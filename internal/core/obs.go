@@ -12,6 +12,7 @@ var (
 		"Engine match wall time split by phase.",
 		obs.DefBuckets, "phase")
 	phasePreprocess = matchPhaseSeconds.WithLabelValues("preprocess")
+	phaseCompile    = matchPhaseSeconds.WithLabelValues("compile")
 	phaseVote       = matchPhaseSeconds.WithLabelValues("vote")
 	phasePropagate  = matchPhaseSeconds.WithLabelValues("propagate")
 	phaseSelect     = matchPhaseSeconds.WithLabelValues("select")
@@ -22,4 +23,13 @@ var (
 		"mode")
 	matchesDense  = matchesTotal.WithLabelValues("dense")
 	matchesSparse = matchesTotal.WithLabelValues("sparse")
+
+	profileCacheTotal = obs.Default().CounterVec(
+		"harmony_engine_profile_cache_total",
+		"Compiled-profile cache operations by outcome.",
+		"outcome")
+	profileCacheHit        = profileCacheTotal.WithLabelValues("hit")
+	profileCacheMiss       = profileCacheTotal.WithLabelValues("miss")
+	profileCacheEvict      = profileCacheTotal.WithLabelValues("evict")
+	profileCacheInvalidate = profileCacheTotal.WithLabelValues("invalidate")
 )

@@ -1,0 +1,63 @@
+package core
+
+// pairTables are the dense, pair-scoped similarity tables the scoring
+// loop reads instead of recomputing (or hash-looking-up) shape-pure
+// metrics per element pair. Both tables are indexed by the profiles'
+// local shape indices (ElementView.nameLocal / pathLocal):
+//
+//   - nameSim[aLocal*nsB + bLocal] is hybridNameSimFlat for the shape
+//     pair — consumed by the name voter and by the structure voter's
+//     leaf-leaf parent comparison. Distinct name shapes are typically
+//     a small fraction of the element count (names repeat), so this
+//     table is small and cache-resident.
+//   - pathVote[aLocal*npB + bLocal] is the full path vote. Paths are
+//     nearly unique per element, so this table is row×col-sized; its
+//     value is that across repeated matches of the same pair (the
+//     daemon's serving regime) every per-pair path metric becomes one
+//     array read.
+//
+// Tables are immutable once built and shared by concurrent matches;
+// they are built eagerly — each distinct shape pair is computed exactly
+// once, which is never more work than one dense scoring pass would do.
+type pairTables struct {
+	nameSim  []float64
+	nsB      int32
+	pathVote []Vote
+	npB      int32
+}
+
+// buildPairTables fills both tables from the profiles' shape
+// representatives. Metrics over views are pure functions of the shape
+// pair (shapes intern exact token-ID sequences), so a representative
+// element yields bit-identical values to any other element with the
+// same shape.
+func buildPairTables(pa, pb *CompiledProfile) *pairTables {
+	nsA, nsB := len(pa.nameRep), len(pb.nameRep)
+	npA, npB := len(pa.pathRep), len(pb.pathRep)
+	t := &pairTables{
+		nameSim:  make([]float64, nsA*nsB),
+		nsB:      int32(nsB),
+		pathVote: make([]Vote, npA*npB),
+		npB:      int32(npB),
+	}
+	for i := 0; i < nsA; i++ {
+		a := &pa.tmpl[pa.nameRep[i]]
+		row := t.nameSim[i*nsB : (i+1)*nsB]
+		for j := 0; j < nsB; j++ {
+			row[j] = hybridNameSimFlat(a, &pb.tmpl[pb.nameRep[j]])
+		}
+	}
+	for i := 0; i < npA; i++ {
+		a := &pa.tmpl[pa.pathRep[i]]
+		row := t.pathVote[i*npB : (i+1)*npB]
+		for j := 0; j < npB; j++ {
+			b := &pb.tmpl[pb.pathRep[j]]
+			if len(a.pathIDs) == 0 || len(b.pathIDs) == 0 {
+				row[j] = Abstain
+				continue
+			}
+			row[j] = pathVote(a, b)
+		}
+	}
+	return t
+}

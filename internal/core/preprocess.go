@@ -6,9 +6,12 @@ import (
 )
 
 // ElementView is the preprocessed form of one schema element: the token
-// streams and vectors every voter consumes. Views are computed once per
-// schema per match (the "linguistic preprocessing" stage) so that the inner
-// pair loop never re-tokenizes.
+// streams, interned-ID sets and vectors every voter consumes. Views are
+// produced by schema compilation (CompileSchema + PairProfiles) — the
+// pair-independent fields are compiled once per schema content and
+// reused across matches; only DocVector is materialized per pairing.
+// Hand-built views (outside tests of the abstention paths) are not
+// supported: the voters read the compiled ID/rune/trigram fields.
 type ElementView struct {
 	El *schema.Element
 	// NameTokens are the normalized (tokenized, abbreviation-expanded,
@@ -16,14 +19,9 @@ type ElementView struct {
 	NameTokens []string
 	// JoinedName is NameTokens concatenated, for character-level metrics.
 	JoinedName string
-	// PathTokens are the normalized tokens of the full path, ancestors
-	// included.
-	PathTokens []string
 	// DocVector is the TF-IDF vector of the element documentation in the
 	// shared corpus of the two schemata being matched.
 	DocVector text.Vector
-	// DocTokens is the normalized documentation token stream.
-	DocTokens []string
 	// HasDoc reports whether the element carries real documentation; the
 	// documentation voter abstains on pairs where either side has none
 	// (the vector's name-token fallback is not independent evidence).
@@ -31,13 +29,37 @@ type ElementView struct {
 	// RawAcronym is the element name lower-cased with delimiters removed,
 	// used for acronym detection (e.g. "dtg").
 	RawAcronym string
-	// ParentTokens are the parent element's normalized name tokens (nil
-	// for top-level elements); cached for the structure voter.
-	ParentTokens []string
-	// ChildTokens are the normalized name tokens of each child, in order;
-	// cached for the structure voter's container alignment.
-	ChildTokens [][]string
+	// DocTokenCount is the length of the documentation token stream
+	// (duplicates included); the documentation voter's evidence mass.
+	DocTokenCount int
+
+	// Compiled flat forms, produced by compileFrom. The ID/mask pairs
+	// are distinct tokens in first-occurrence order; shapes intern the
+	// full token sequences for cross-match memoization.
+	nameIDs   []uint32
+	nameMasks []uint32
+	pathIDs   []uint32
+	pathMasks []uint32
+	nameRunes []rune
+	trigrams  []uint64
+	acronym   string // Acronym(NameTokens), for the acronym voter
+	nameShape int32
+	pathShape int32
+	// nameLocal / pathLocal are the profile-local dense indices of the
+	// shapes above — row/column coordinates into per-pair similarity
+	// tables (see pairTables). Only meaningful for compiled views.
+	nameLocal int32
+	pathLocal int32
+	parent    *ElementView   // template view of the parent (nil at roots)
+	children  []*ElementView // template views of the children, in order
 }
+
+// Parent returns the parent element's compiled view, or nil for
+// top-level elements.
+func (v *ElementView) Parent() *ElementView { return v.parent }
+
+// Children returns the child elements' compiled views in order.
+func (v *ElementView) Children() []*ElementView { return v.children }
 
 // SchemaView is the preprocessed form of a whole schema.
 type SchemaView struct {
@@ -52,72 +74,17 @@ func (sv *SchemaView) Len() int { return len(sv.Views) }
 func (sv *SchemaView) View(id int) *ElementView { return &sv.Views[id] }
 
 // Preprocess runs linguistic preprocessing over both schemata of a match
-// task and returns their views. The TF-IDF corpus is built over the union
-// of both schemata's documentation so that IDF weights reflect the whole
+// task and returns their views. The TF-IDF corpus covers the union of
+// both schemata's documentation so that IDF weights reflect the whole
 // task, plus each element's name tokens appended to its documentation —
 // elements without documentation still get a usable vector.
+//
+// This is now a thin composition of the compiled-profile layer: each
+// schema compiles independently (cacheable by fingerprint — see
+// Engine.Profile) and PairProfiles materializes the pair-dependent
+// TF-IDF vectors.
 func Preprocess(src, dst *schema.Schema) (*SchemaView, *SchemaView) {
-	srcDocs := docTokens(src)
-	dstDocs := docTokens(dst)
-	all := make([][]string, 0, len(srcDocs)+len(dstDocs))
-	all = append(all, srcDocs...)
-	all = append(all, dstDocs...)
-	corpus := text.NewCorpus(all)
-	return buildView(src, srcDocs, corpus), buildView(dst, dstDocs, corpus)
-}
-
-// docTokens returns, for each element, its normalized documentation tokens
-// with name tokens appended.
-func docTokens(s *schema.Schema) [][]string {
-	out := make([][]string, s.Len())
-	for i, e := range s.Elements() {
-		toks := text.NormalizeDoc(e.Doc)
-		toks = append(toks, text.NormalizeName(e.Name)...)
-		out[i] = toks
-	}
-	return out
-}
-
-func buildView(s *schema.Schema, docs [][]string, corpus *text.Corpus) *SchemaView {
-	sv := &SchemaView{Schema: s, Views: make([]ElementView, s.Len())}
-	for i, e := range s.Elements() {
-		nameToks := text.NormalizeName(e.Name)
-		v := ElementView{
-			El:         e,
-			NameTokens: nameToks,
-			JoinedName: join(nameToks),
-			DocTokens:  docs[i],
-			DocVector:  corpus.Vector(docs[i]),
-			HasDoc:     e.Doc != "",
-			RawAcronym: join(text.NormalizeTokens(text.Tokenize(e.Name), text.NormalizeOptions{DropNumeric: true})),
-		}
-		// Path tokens: ancestors' name tokens then own.
-		if e.Parent != nil {
-			anc := e.Ancestors()
-			for j := len(anc) - 1; j >= 0; j-- {
-				v.PathTokens = append(v.PathTokens, text.NormalizeName(anc[j].Name)...)
-			}
-			v.PathTokens = append(v.PathTokens, nameToks...)
-		} else {
-			v.PathTokens = nameToks
-		}
-		sv.Views[i] = v
-	}
-	// Second pass: wire cached parent and child token slices, sharing the
-	// token slices already computed above.
-	for i, e := range s.Elements() {
-		v := &sv.Views[i]
-		if e.Parent != nil {
-			v.ParentTokens = sv.Views[e.Parent.ID].NameTokens
-		}
-		if len(e.Children) > 0 {
-			v.ChildTokens = make([][]string, len(e.Children))
-			for ci, c := range e.Children {
-				v.ChildTokens[ci] = sv.Views[c.ID].NameTokens
-			}
-		}
-	}
-	return sv
+	return PairProfiles(CompileSchema(src), CompileSchema(dst))
 }
 
 func join(tokens []string) string {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+// TestProfileCacheBitwiseEquality is the central correctness claim of
+// the compiled-profile cache: matching through the cache — including
+// the warm pair-table fast path that replaces per-pair metric compute
+// with dense table reads — must produce bit-identical scores to a
+// cache-less match. Shapes intern exact token-ID sequences, so every
+// table cell is the same float the direct compute would produce.
+func TestProfileCacheBitwiseEquality(t *testing.T) {
+	sa, _ := synth.Custom("A", schema.FormatRelational, synth.StyleRelational, 4, 9, 6, 2)
+	sb, _ := synth.Custom("B", schema.FormatXML, synth.StyleXML, 4, 9, 6, 5)
+
+	plain := PresetHarmony()
+	cached := PresetHarmony().WithOptions(WithProfileCache(NewProfileCache(8)))
+
+	want := plain.Match(sa, sb)
+	// Three passes: cold (compile), warm views (lazy tables not yet
+	// built), warm tables (flat kernel). All must agree bitwise.
+	for pass := 0; pass < 3; pass++ {
+		got := cached.Match(sa, sb)
+		for i := 0; i < sa.Len(); i++ {
+			for j := 0; j < sb.Len(); j++ {
+				if got.Matrix.At(i, j) != want.Matrix.At(i, j) {
+					t.Fatalf("pass %d: score (%d,%d) = %v through cache, %v without",
+						pass, i, j, got.Matrix.At(i, j), want.Matrix.At(i, j))
+				}
+			}
+		}
+		got.Release()
+	}
+	want.Release()
+}
+
+// TestProfileEncodeDecodeRoundTrip verifies that a profile decoded from
+// its store-artifact blob scores identically to a freshly compiled one.
+func TestProfileEncodeDecodeRoundTrip(t *testing.T) {
+	sa, _ := synth.Custom("A", schema.FormatRelational, synth.StyleRelational, 3, 8, 6, 1)
+	sb, _ := synth.Custom("B", schema.FormatXML, synth.StyleXML, 3, 8, 6, 3)
+
+	pa := CompileSchema(sa)
+	decoded, err := DecodeProfile(sa, pa.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := PresetHarmony()
+	want := eng.MatchProfiles(pa, CompileSchema(sb))
+	got := eng.MatchProfiles(decoded, CompileSchema(sb))
+	for i := 0; i < sa.Len(); i++ {
+		for j := 0; j < sb.Len(); j++ {
+			if got.Matrix.At(i, j) != want.Matrix.At(i, j) {
+				t.Fatalf("score (%d,%d) = %v from decoded profile, %v from compiled",
+					i, j, got.Matrix.At(i, j), want.Matrix.At(i, j))
+			}
+		}
+	}
+	want.Release()
+	got.Release()
+}
+
+func TestDecodeProfileRejectsMismatches(t *testing.T) {
+	sa, _ := synth.Custom("A", schema.FormatRelational, synth.StyleRelational, 3, 8, 6, 1)
+	sb, _ := synth.Custom("B", schema.FormatXML, synth.StyleXML, 3, 8, 6, 3)
+	blob := CompileSchema(sa).Encode()
+
+	if _, err := DecodeProfile(sb, blob); err == nil {
+		t.Error("decode against a different schema should fail the fingerprint check")
+	}
+	if _, err := DecodeProfile(sa, []byte(`{"v":99}`)); err == nil {
+		t.Error("decode of an unknown blob version should fail")
+	}
+	if _, err := DecodeProfile(sa, []byte(`not json`)); err == nil {
+		t.Error("decode of a corrupt blob should fail")
+	}
+	mangled := strings.Replace(string(blob), `"v":1`, `"v":2`, 1)
+	if _, err := DecodeProfile(sa, []byte(mangled)); err == nil {
+		t.Error("decode of a future blob version should fail")
+	}
+}
+
+func TestProfileCacheLRUEvictionAndInvalidation(t *testing.T) {
+	pc := NewProfileCache(2)
+	mk := func(name string, seed int) *schema.Schema {
+		s, _ := synth.Custom(name, schema.FormatRelational, synth.StyleRelational, 2, 5, 4, seed)
+		return s
+	}
+	s1, s2, s3 := mk("S1", 1), mk("S2", 2), mk("S3", 3)
+
+	p1 := pc.Profile(s1)
+	pc.Profile(s2)
+	if got := pc.Profile(s1); got != p1 {
+		t.Error("second Profile call should return the cached pointer")
+	}
+	// s1 was just touched, so inserting s3 must evict s2 (LRU).
+	pc.Profile(s3)
+	if _, ok := pc.Get(s2.Fingerprint()); ok {
+		t.Error("s2 should have been evicted as least recently used")
+	}
+	if _, ok := pc.Get(s1.Fingerprint()); !ok {
+		t.Error("s1 should have survived the eviction")
+	}
+
+	if !pc.InvalidateFingerprint(s1.Fingerprint()) {
+		t.Error("invalidating a cached fingerprint should report true")
+	}
+	if pc.InvalidateFingerprint(s1.Fingerprint()) {
+		t.Error("invalidating a missing fingerprint should report false")
+	}
+	if _, ok := pc.Get(s1.Fingerprint()); ok {
+		t.Error("invalidated profile still served")
+	}
+
+	st := pc.Stats()
+	if st.Evictions == 0 || st.Invalidations != 1 || st.Capacity != 2 {
+		t.Errorf("stats = %+v, want >=1 eviction, 1 invalidation, capacity 2", st)
+	}
+}
+
+// TestProfileCacheInvalidationSweepsPairEntries verifies that retiring
+// a fingerprint also drops cached pair views/tables referencing it on
+// either side — a stale pair entry would otherwise keep serving scores
+// computed from retired schema content.
+func TestProfileCacheInvalidationSweepsPairEntries(t *testing.T) {
+	sa, _ := synth.Custom("A", schema.FormatRelational, synth.StyleRelational, 3, 8, 6, 2)
+	sb, _ := synth.Custom("B", schema.FormatXML, synth.StyleXML, 3, 8, 6, 4)
+	pc := NewProfileCache(8)
+	eng := PresetHarmony().WithOptions(WithProfileCache(pc))
+
+	// Two matches: the second builds the lazy pair tables.
+	eng.Match(sa, sb).Release()
+	eng.Match(sa, sb).Release()
+	if len(pc.pairItems) != 1 {
+		t.Fatalf("pair cache holds %d entries, want 1", len(pc.pairItems))
+	}
+	ent := pc.pairLL.Front().Value.(*pairEntry)
+	if ent.tables == nil {
+		t.Fatal("second match should have built the pair tables")
+	}
+
+	pc.InvalidateFingerprint(sb.Fingerprint())
+	if len(pc.pairItems) != 0 {
+		t.Fatalf("pair entries survived invalidation of one side: %d left", len(pc.pairItems))
+	}
+}
+
+// TestPairTablesMatchDirectCompute checks every cell of both shape
+// tables against the uncached metric functions.
+func TestPairTablesMatchDirectCompute(t *testing.T) {
+	sa, _ := synth.Custom("A", schema.FormatRelational, synth.StyleRelational, 3, 8, 6, 2)
+	sb, _ := synth.Custom("B", schema.FormatXML, synth.StyleXML, 3, 8, 6, 4)
+	pa, pb := CompileSchema(sa), CompileSchema(sb)
+	tbl := buildPairTables(pa, pb)
+
+	for i, ra := range pa.nameRep {
+		for j, rb := range pb.nameRep {
+			want := hybridNameSimFlat(&pa.tmpl[ra], &pb.tmpl[rb])
+			if got := tbl.nameSim[i*int(tbl.nsB)+j]; got != want {
+				t.Fatalf("nameSim[%d,%d] = %v, direct compute %v", i, j, got, want)
+			}
+		}
+	}
+	for i, ra := range pa.pathRep {
+		for j, rb := range pb.pathRep {
+			a, b := &pa.tmpl[ra], &pb.tmpl[rb]
+			want := Abstain
+			if len(a.pathIDs) > 0 && len(b.pathIDs) > 0 {
+				want = pathVote(a, b)
+			}
+			if got := tbl.pathVote[i*int(tbl.npB)+j]; got != want {
+				t.Fatalf("pathVote[%d,%d] = %+v, direct compute %+v", i, j, got, want)
+			}
+		}
+	}
+}

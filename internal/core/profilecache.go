@@ -1,0 +1,280 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"harmony/internal/schema"
+)
+
+// DefaultProfileCacheSize is the default capacity of a ProfileCache in
+// compiled profiles (not bytes): sized for a working set of a few
+// hundred corpus schemas while keeping worst-case memory modest.
+const DefaultProfileCacheSize = 128
+
+// ProfileCache is a fingerprint-keyed LRU cache of compiled schema
+// profiles, shared by every engine (dense, sparse, corpus, evolve) that
+// serves the same registry. Entries are immutable CompiledProfiles, so
+// a cached profile can be handed to any number of concurrent matches.
+//
+// The cache sits next to the service layer's match-result cache in the
+// invalidation path: when schema evolution retires a fingerprint, both
+// caches drop it in the same sweep, so a PUT /v1/schemas rematch always
+// recompiles against current content.
+//
+// An optional persist hook receives the encoded blob of every profile
+// compiled through the cache (not warm-loaded via Put), letting the
+// store keep profiles as artifacts that survive restarts.
+type ProfileCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, invalidations uint64
+
+	persist func(fp string, blob []byte)
+
+	// Pair-level LRU: materialized SchemaViews plus dense shape tables
+	// for recently matched profile pairs. Pair entries are derived
+	// entirely from the two immutable profiles, so they are safe to
+	// share across concurrent matches; they are swept whenever either
+	// side's fingerprint is invalidated. The capacity is small — pair
+	// state is O(rows×cols) — and tuned for a daemon re-serving a
+	// handful of hot schema pairs.
+	pairLL    *list.List
+	pairItems map[string]*list.Element
+	pairCap   int
+}
+
+// defaultPairCacheSize bounds the per-pair view/table cache. Each entry
+// can run to tens of MB for case-study-sized schemas, so the cap stays
+// deliberately small.
+const defaultPairCacheSize = 8
+
+type pairEntry struct {
+	key      string
+	fpA, fpB string
+	sv, dv   *SchemaView
+	tables   *pairTables
+}
+
+type profileCacheEntry struct {
+	fp string
+	p  *CompiledProfile
+}
+
+// NewProfileCache returns a cache holding up to capacity compiled
+// profiles (DefaultProfileCacheSize when capacity <= 0).
+func NewProfileCache(capacity int) *ProfileCache {
+	if capacity <= 0 {
+		capacity = DefaultProfileCacheSize
+	}
+	return &ProfileCache{
+		capacity:  capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element, capacity),
+		pairLL:    list.New(),
+		pairItems: make(map[string]*list.Element, defaultPairCacheSize),
+		pairCap:   defaultPairCacheSize,
+	}
+}
+
+// pairViews returns the materialized views — and, for pairs matched
+// more than once, the dense shape tables — for a profile pair. The
+// first encounter caches the views only and returns nil tables: a
+// one-shot pair (corpus sweeps, ad-hoc matches) must not pay the table
+// build, which is a near-full scoring pass of eager work. A repeat hit
+// builds the tables once and keeps them, so the daemon's re-served hot
+// pairs get the flat kernel from their second match on. Builds run
+// outside the lock; racing builders keep the incumbent (identical —
+// everything derives from the two immutable profiles).
+func (c *ProfileCache) pairViews(pa, pb *CompiledProfile) (*SchemaView, *SchemaView, *pairTables) {
+	key := pa.fp + "|" + pb.fp
+	c.mu.Lock()
+	if el, ok := c.pairItems[key]; ok {
+		c.pairLL.MoveToFront(el)
+		ent := el.Value.(*pairEntry)
+		if t := ent.tables; t != nil {
+			c.mu.Unlock()
+			return ent.sv, ent.dv, t
+		}
+		c.mu.Unlock()
+		t := buildPairTables(pa, pb)
+		c.mu.Lock()
+		if ent.tables == nil {
+			ent.tables = t
+		} else {
+			t = ent.tables // lost a build race; keep the incumbent
+		}
+		c.mu.Unlock()
+		return ent.sv, ent.dv, t
+	}
+	c.mu.Unlock()
+
+	sv, dv := PairProfiles(pa, pb)
+
+	c.mu.Lock()
+	if el, ok := c.pairItems[key]; ok {
+		// Lost a materialize race; keep the incumbent.
+		c.pairLL.MoveToFront(el)
+		ent := el.Value.(*pairEntry)
+		c.mu.Unlock()
+		return ent.sv, ent.dv, ent.tables
+	}
+	c.pairItems[key] = c.pairLL.PushFront(&pairEntry{
+		key: key, fpA: pa.fp, fpB: pb.fp, sv: sv, dv: dv,
+	})
+	for c.pairLL.Len() > c.pairCap {
+		back := c.pairLL.Back()
+		ent := back.Value.(*pairEntry)
+		c.pairLL.Remove(back)
+		delete(c.pairItems, ent.key)
+	}
+	c.mu.Unlock()
+	return sv, dv, nil
+}
+
+// SetPersist installs the artifact hook called (outside the cache lock)
+// with the encoded blob of every profile compiled on a cache miss.
+func (c *ProfileCache) SetPersist(fn func(fp string, blob []byte)) {
+	c.mu.Lock()
+	c.persist = fn
+	c.mu.Unlock()
+}
+
+// Profile returns the compiled profile for s, compiling on miss. The
+// compile runs outside the lock — two concurrent misses on the same
+// fingerprint may both compile, and the loser's (identical) result is
+// discarded; profiles are content-addressed so this is only duplicated
+// work, never inconsistency.
+func (c *ProfileCache) Profile(s *schema.Schema) *CompiledProfile {
+	fp := s.Fingerprint()
+	if p, ok := c.lookup(fp); ok {
+		return p
+	}
+	profileCacheMiss.Inc()
+	t0 := time.Now()
+	p := CompileSchema(s)
+	phaseCompile.Observe(time.Since(t0).Seconds())
+	c.add(fp, p, true)
+	return p
+}
+
+// Get returns the cached profile for a fingerprint without compiling.
+func (c *ProfileCache) Get(fp string) (*CompiledProfile, bool) {
+	if p, ok := c.lookup(fp); ok {
+		return p, true
+	}
+	profileCacheMiss.Inc()
+	return nil, false
+}
+
+// Put warm-loads a profile (typically decoded from a store artifact)
+// without firing the persist hook.
+func (c *ProfileCache) Put(fp string, p *CompiledProfile) {
+	c.add(fp, p, false)
+}
+
+func (c *ProfileCache) lookup(fp string) (*CompiledProfile, bool) {
+	c.mu.Lock()
+	el, ok := c.items[fp]
+	if ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	profileCacheHit.Inc()
+	return el.Value.(*profileCacheEntry).p, true
+}
+
+func (c *ProfileCache) add(fp string, p *CompiledProfile, persist bool) {
+	c.mu.Lock()
+	if el, ok := c.items[fp]; ok {
+		// Lost a compile race; keep the incumbent (identical content).
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&profileCacheEntry{fp: fp, p: p})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		ent := back.Value.(*profileCacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.fp)
+		c.evictions++
+		profileCacheEvict.Inc()
+	}
+	hook := c.persist
+	c.mu.Unlock()
+	if persist && hook != nil {
+		hook(fp, p.Encode())
+	}
+}
+
+// InvalidateFingerprint drops the profile compiled from the given
+// schema content, reporting whether an entry existed. Called from the
+// schema-evolution path alongside the match-cache sweep.
+func (c *ProfileCache) InvalidateFingerprint(fp string) bool {
+	c.mu.Lock()
+	el, ok := c.items[fp]
+	if ok {
+		c.ll.Remove(el)
+		delete(c.items, fp)
+		c.invalidations++
+	}
+	// Sweep pair entries derived from the retired content, on either
+	// side — stale pair views must never outlive their profile.
+	var next *list.Element
+	for pe := c.pairLL.Front(); pe != nil; pe = next {
+		next = pe.Next()
+		ent := pe.Value.(*pairEntry)
+		if ent.fpA == fp || ent.fpB == fp {
+			c.pairLL.Remove(pe)
+			delete(c.pairItems, ent.key)
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		profileCacheInvalidate.Inc()
+	}
+	return ok
+}
+
+// Len returns the number of cached profiles.
+func (c *ProfileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// ProfileCacheStats is a point-in-time snapshot of cache effectiveness,
+// exposed on the service stats endpoint.
+type ProfileCacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ProfileCache) Stats() ProfileCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ProfileCacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Size:          c.ll.Len(),
+		Capacity:      c.capacity,
+	}
+}

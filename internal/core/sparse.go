@@ -315,7 +315,7 @@ func elementKeys(v *ElementView, dst []string, query bool) []string {
 		acrKey, rawKey = keyRaw, keyAcronym
 	}
 	if len(v.NameTokens) >= 2 {
-		dst = append(dst, acrKey+text.Acronym(v.NameTokens))
+		dst = append(dst, acrKey+v.acronym)
 	}
 	if n := len(v.RawAcronym); n >= 2 && n <= 8 {
 		dst = append(dst, rawKey+v.RawAcronym)
@@ -528,7 +528,7 @@ func sparseCandidatesScoped(sv, dv *SchemaView, budget int, scope []bool) [][]in
 // scores) to the source child's candidate set. Children outside a scoped
 // run's row scope are skipped.
 func alignChildren(av, bv *ElementView, sets []map[int32]struct{}, scope []bool) {
-	greedyAlignChildren(av.ChildTokens, bv.ChildTokens, func(ci, cj int, _ float64) {
+	greedyAlignChildren(av, bv, func(ci, cj int, _ float64) {
 		x := av.El.Children[ci].ID
 		if scope != nil && !scope[x] {
 			return
@@ -545,14 +545,15 @@ func alignChildren(av, bv *ElementView, sets []map[int32]struct{}, scope []bool)
 // scoreSparse fills a sparse matrix: the voters run only on the stored
 // candidate cells, fanned out over the engine's workers by row.
 func (e *Engine) scoreSparse(sv, dv *SchemaView, m *SparseMatrix) {
-	e.forEachRowChunk(m.rows, func(lo, hi int, votes []Vote, weights []float64) {
+	e.scoreSparseTables(sv, dv, m, nil)
+}
+
+func (e *Engine) scoreSparseTables(sv, dv *SchemaView, m *SparseMatrix, t *pairTables) {
+	e.forEachRowChunkTables(m.rows, t, func(lo, hi int, votes []Vote, weights []float64, sc *pairScratch) {
 		for i := lo; i < hi; i++ {
 			srcView := sv.View(i)
 			for x := m.rowStart[i]; x < m.rowStart[i+1]; x++ {
-				dstView := dv.View(int(m.colIdx[x]))
-				for k, wv := range e.voters {
-					votes[k] = wv.Voter.Vote(srcView, dstView)
-				}
+				e.voteAll(srcView, dv.View(int(m.colIdx[x])), votes, sc)
 				m.scores[x] = e.merger.Merge(votes, weights)
 			}
 		}

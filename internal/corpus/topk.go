@@ -23,6 +23,10 @@ func (p *Pipeline) TopK(ctx context.Context, eng *core.Engine, q *schema.Schema,
 	eng = cfg.engineFor(eng)
 	res := &Result{Query: q.Name}
 	qfp := q.Fingerprint()
+	// Compile the query schema once for the whole query: every candidate
+	// scoring below reuses the profile instead of re-deriving the query's
+	// views and TF-IDF statistics per candidate.
+	qprof := eng.Profile(q)
 
 	cands := p.block(q, qfp, cfg, &res.Stats)
 	// Descending bound order makes early exit effective: once the k-th
@@ -69,7 +73,7 @@ func (p *Pipeline) TopK(ctx context.Context, eng *core.Engine, q *schema.Schema,
 					coll.earlyExit((len(cands) - 1 - i) / workers)
 					return
 				}
-				m := p.scoreCandidate(eng, q, qfp, c, cfg, rctx, coll)
+				m := p.scoreCandidate(eng, q, qprof, qfp, c, cfg, rctx, coll)
 				coll.offer(m)
 			}
 		}(w)
@@ -86,7 +90,7 @@ func (p *Pipeline) TopK(ctx context.Context, eng *core.Engine, q *schema.Schema,
 // scoreCandidate produces the SchemaMatch for one candidate: external
 // cache, composed (reused) mapping with partial-engine fallback, or a
 // full engine run — in that order of preference.
-func (p *Pipeline) scoreCandidate(eng *core.Engine, q *schema.Schema, qfp string, c candidate, cfg Config, rctx *reuseContext, coll *collector) *SchemaMatch {
+func (p *Pipeline) scoreCandidate(eng *core.Engine, q *schema.Schema, qprof *core.CompiledProfile, qfp string, c candidate, cfg Config, rctx *reuseContext, coll *collector) *SchemaMatch {
 	m := &SchemaMatch{Schema: c.entry.Schema.Name, BlockScore: c.bm25}
 	key := CacheKey{
 		FingerprintA: qfp,
@@ -112,7 +116,7 @@ func (p *Pipeline) scoreCandidate(eng *core.Engine, q *schema.Schema, qfp string
 			m.Reused = true
 			m.Hub = comp.hub
 			if uncovered := uncoveredElements(q, comp.pairs); len(uncovered) > 0 {
-				m.Pairs = append(m.Pairs, p.matchRemainder(eng, q, c.entry.Schema, uncovered, comp.pairs, cfg)...)
+				m.Pairs = append(m.Pairs, p.matchRemainder(eng, qprof, c.entry.Schema, uncovered, comp.pairs, cfg)...)
 				coll.count(func(st *Stats) { st.EngineRuns++ })
 			}
 			sortPairs(m.Pairs)
@@ -123,8 +127,9 @@ func (p *Pipeline) scoreCandidate(eng *core.Engine, q *schema.Schema, qfp string
 		}
 	}
 
-	res := eng.Match(q, c.entry.Schema)
+	res := eng.MatchProfiles(qprof, eng.Profile(c.entry.Schema))
 	m.Pairs = selectionPairs(res, cfg.Threshold)
+	res.Release()
 	m.Score = aggregateScore(m.Pairs, q, c.entry.Schema)
 	coll.count(func(st *Stats) { st.EngineRuns++ })
 	p.publish(key, q.Name, m, cfg)
@@ -140,9 +145,11 @@ func (p *Pipeline) publish(key CacheKey, queryName string, m *SchemaMatch, cfg C
 
 // matchRemainder engine-scores only the query elements a composed mapping
 // left uncovered, excluding candidate paths the composition already
-// claimed (the mapping stays one-to-one).
-func (p *Pipeline) matchRemainder(eng *core.Engine, q, cand *schema.Schema, uncovered []*schema.Element, composed []Pair, cfg Config) []Pair {
-	sv, dv := core.Preprocess(q, cand)
+// claimed (the mapping stays one-to-one). The query side reuses the
+// per-query compiled profile; only the candidate side resolves through
+// the engine's profile cache.
+func (p *Pipeline) matchRemainder(eng *core.Engine, qprof *core.CompiledProfile, cand *schema.Schema, uncovered []*schema.Element, composed []Pair, cfg Config) []Pair {
+	sv, dv := core.PairProfiles(qprof, eng.Profile(cand))
 	res := eng.MatchElements(sv, dv, uncovered)
 	usedB := make(map[string]bool, len(composed))
 	for _, pr := range composed {
@@ -160,6 +167,7 @@ func (p *Pipeline) matchRemainder(eng *core.Engine, q, cand *schema.Schema, unco
 			Score: c.Score,
 		})
 	}
+	res.Release()
 	return out
 }
 

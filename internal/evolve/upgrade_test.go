@@ -150,7 +150,13 @@ func TestIncrementalBeatsFullRematch(t *testing.T) {
 	speedup := float64(full) / float64(incremental)
 	t.Logf("full=%v incremental=%v speedup=%.1fx (churn %.1f%%, dirty %d of %d)",
 		full, incremental, speedup, 100*d.Churn(), len(rep.DirtyPaths), a2.Len())
-	if speedup < 5 {
+	// Floor recalibrated from 5x after the compiled-profile flat kernel
+	// (ISSUE 8): the full rematch now reuses compiled profiles and a
+	// flattened scoring loop, so the diff/migrate/scoped-rematch fixed
+	// costs cap the ratio near 3x even though both absolute times fell.
+	// The churn-proportional dirty count is asserted above; this guards
+	// that incremental stays decisively cheaper than full.
+	if speedup < 2.5 {
 		t.Fatalf("incremental only %.1fx faster than full rematch (full=%v inc=%v)", speedup, full, incremental)
 	}
 

@@ -134,6 +134,7 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 						I: i, J: j,
 						Pairs: core.SelectGreedyOneToOne(res.Matrix, threshold),
 					})
+					res.Release()
 				}
 			}
 			v, err := partition.Build(schemas, pairs)
@@ -175,6 +176,7 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 						}
 						res := eng.Match(schemas[i], schemas[j])
 						ov := partition.FromResult(res, threshold, true).OverlapCoefficient()
+						res.Release()
 						d.Set(i, j, 1-ov)
 					}
 				}
@@ -344,5 +346,6 @@ func computeOutcome(eng *core.Engine, a, b *schema.Schema, threshold float64) *M
 		})
 	}
 	out.ComputeMillis = outcomeElapsed(time.Since(start))
+	res.Release()
 	return out
 }

@@ -36,8 +36,13 @@ type Server struct {
 	cache   *Cache
 	queue   *Queue
 	engines map[string]*core.Engine
-	start   time.Time
-	logf    func(format string, args ...any)
+	// profiles is the compiled-profile cache shared by every preset
+	// engine (nil when cfg.ProfileCache < 0). It is invalidated in the
+	// same sweep as the match cache on schema evolution, and — with a
+	// store — persisted as profile artifacts that warm-load on restart.
+	profiles *core.ProfileCache
+	start    time.Time
+	logf     func(format string, args ...any)
 
 	corpusPipe  *corpus.Pipeline
 	corpusStats corpusCounters
@@ -149,23 +154,42 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 				reg.Len(), reg.MatchCount(), cfg.DBPath)
 		}
 	}
+	var profiles *core.ProfileCache
+	if cfg.ProfileCache > 0 {
+		profiles = core.NewProfileCache(cfg.ProfileCache)
+		if st != nil {
+			// Persist every freshly compiled profile as a store artifact.
+			// Profiles are derived, non-journaled side files, so this is
+			// safe on followers too: nothing touches the WAL or the LSN
+			// sequence. Failures only cost the next restart a recompile.
+			profiles.SetPersist(func(fp string, blob []byte) {
+				if err := st.SaveProfile(fp, blob); err != nil {
+					logf("service: profile artifact %s: %v", fp, err)
+				}
+			})
+		}
+	}
 	engines := make(map[string]*core.Engine, len(core.Presets()))
 	for name, mk := range core.Presets() {
 		eng := mk()
 		if cfg.SparseBudget > 0 {
 			eng = eng.WithOptions(core.WithSparse(cfg.SparseBudget))
 		}
+		if profiles != nil {
+			eng = eng.WithOptions(core.WithProfileCache(profiles))
+		}
 		engines[name] = eng
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   NewCache(cfg.CacheSize),
-		queue:   NewQueue(cfg.Workers, cfg.Backlog),
-		engines: engines,
-		start:   time.Now(),
-		logf:    logf,
-		st:      st,
+		cfg:      cfg,
+		reg:      reg,
+		cache:    NewCache(cfg.CacheSize),
+		queue:    NewQueue(cfg.Workers, cfg.Backlog),
+		engines:  engines,
+		profiles: profiles,
+		start:    time.Now(),
+		logf:     logf,
+		st:       st,
 	}
 	// The trace recorder exists before initRepl so the follower's apply
 	// loop can record replication batches from its first poll.
@@ -173,6 +197,9 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 	s.corpusPipe = corpus.NewPipeline(reg, serverCorpusCache{s})
 	if n := WarmStart(s.cache, reg); n > 0 {
 		logf("service: warm-started match cache with %d stored results", n)
+	}
+	if n := warmProfiles(profiles, reg, st, logf); n > 0 {
+		logf("service: warm-loaded %d compiled profiles from store artifacts", n)
 	}
 	switch {
 	case s.st != nil:
@@ -192,8 +219,49 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 	return s, nil
 }
 
+// warmProfiles seeds the compiled-profile cache from persisted store
+// artifacts, so the first matches after a restart skip schema
+// compilation entirely. Artifacts for fingerprints no longer registered
+// (the schema evolved or was deleted while the daemon was down) are
+// removed; artifacts that fail validation are dropped and recompiled on
+// demand. Returns the number of profiles loaded.
+func warmProfiles(profiles *core.ProfileCache, reg *registry.Registry, st *store.Store, logf func(string, ...any)) int {
+	if profiles == nil || st == nil {
+		return 0
+	}
+	byFP := make(map[string]*schema.Schema)
+	for _, e := range reg.Schemas() {
+		byFP[e.Fingerprint] = e.Schema
+	}
+	loaded := 0
+	for _, fp := range st.ProfileFingerprints() {
+		sc, registered := byFP[fp]
+		if !registered {
+			st.DeleteProfile(fp)
+			continue
+		}
+		blob, ok := st.LoadProfile(fp)
+		if !ok {
+			continue
+		}
+		p, err := core.DecodeProfile(sc, blob)
+		if err != nil {
+			logf("service: dropping invalid profile artifact %s: %v", fp, err)
+			st.DeleteProfile(fp)
+			continue
+		}
+		profiles.Put(fp, p)
+		loaded++
+	}
+	return loaded
+}
+
 // Registry exposes the backing repository (for tests and embedding).
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Profiles exposes the compiled-profile cache (nil when disabled), for
+// tests and embedding.
+func (s *Server) Profiles() *core.ProfileCache { return s.profiles }
 
 // Cache exposes the match cache (for tests and embedding).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -484,6 +552,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Corpus:        s.corpusStats.snapshot(),
 		Evolve:        s.evolveStats.snapshot(),
 		Index:         s.reg.IndexStats(),
+	}
+	if s.profiles != nil {
+		ps := s.profiles.Stats()
+		st.Profiles = &ps
 	}
 	if s.st != nil {
 		ss := s.st.Stats()

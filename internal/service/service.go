@@ -54,6 +54,12 @@ type Config struct {
 	Backlog int
 	// CacheSize is the match cache capacity in entries (default 256).
 	CacheSize int
+	// ProfileCache is the compiled-profile cache capacity in schemas
+	// (default core.DefaultProfileCacheSize; negative disables the cache
+	// and every match recompiles its schemas). All preset engines share
+	// one cache, and it is invalidated alongside the match cache on
+	// schema evolution.
+	ProfileCache int
 	// DBPath, when non-empty, is the legacy registry persistence file. It
 	// is loaded at startup when present and saved periodically and on
 	// Close. With StoreDir also set, DBPath is only the one-shot migration
@@ -156,6 +162,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
 	}
+	if c.ProfileCache == 0 {
+		c.ProfileCache = core.DefaultProfileCacheSize
+	}
 	if c.SaveInterval <= 0 {
 		c.SaveInterval = 30 * time.Second
 	}
@@ -221,6 +230,9 @@ type Stats struct {
 	Corpus        CorpusStats  `json:"corpus"`
 	Evolve        EvolveStats  `json:"evolve"`
 	Index         search.Stats `json:"index"`
+	// Profiles is the compiled-profile cache snapshot (nil when the
+	// cache is disabled via Config.ProfileCache < 0).
+	Profiles *core.ProfileCacheStats `json:"profiles,omitempty"`
 	// Store is the durable storage engine's snapshot (nil in legacy
 	// DBPath mode and for in-memory servers).
 	Store *store.Stats `json:"store,omitempty"`

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Compiled-profile artifacts: the service layer persists each schema's
+// compiled linguistic profile (tokenization, stemming, TF-IDF
+// statistics) keyed by fingerprint, so a daemon restart — or the first
+// corpus query after one — warm-loads profiles instead of re-deriving
+// them from every schema's text.
+//
+// Profiles are derived data, reproducible from schema content at any
+// time, so they deliberately live OUTSIDE the WAL: they are plain side
+// files under <dir>/profiles/, written atomically (tmp + rename), never
+// journaled and never replicated. A follower compiles or persists its
+// own; a crash between schema commit and profile write merely costs one
+// recompile. Keeping them off the log means the replication LSN stream
+// and snapshot identity are untouched by cache churn.
+
+// profilesDirName is the store subdirectory holding profile artifacts.
+const profilesDirName = "profiles"
+
+// validProfileFingerprint guards the fingerprint-to-filename mapping:
+// fingerprints are lowercase hex (schema.Fingerprint emits 32 chars),
+// so nothing path-hostile can reach the filesystem.
+func validProfileFingerprint(fp string) bool {
+	if len(fp) == 0 || len(fp) > 128 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) profilePath(fp string) string {
+	return filepath.Join(s.opts.Dir, profilesDirName, fp+".json")
+}
+
+// SaveProfile atomically writes one compiled-profile blob. Errors are
+// returned, not fatal: a failed artifact write only loses warm-start
+// work.
+func (s *Store) SaveProfile(fp string, blob []byte) error {
+	if !validProfileFingerprint(fp) {
+		return fmt.Errorf("store: invalid profile fingerprint %q", fp)
+	}
+	dir := filepath.Join(s.opts.Dir, profilesDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: profiles dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-profile-*")
+	if err != nil {
+		return fmt.Errorf("store: profile tmp: %w", err)
+	}
+	if _, err = tmp.Write(blob); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: profile write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.profilePath(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: profile rename: %w", err)
+	}
+	return nil
+}
+
+// LoadProfile reads one profile blob; ok is false when no artifact
+// exists for the fingerprint.
+func (s *Store) LoadProfile(fp string) ([]byte, bool) {
+	if !validProfileFingerprint(fp) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.profilePath(fp))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// DeleteProfile removes a fingerprint's artifact (no-op when absent).
+// Schema evolution calls it alongside the in-memory cache sweep so a
+// retired fingerprint cannot be warm-loaded after restart.
+func (s *Store) DeleteProfile(fp string) {
+	if !validProfileFingerprint(fp) {
+		return
+	}
+	os.Remove(s.profilePath(fp))
+}
+
+// ProfileFingerprints lists the fingerprints with stored artifacts, for
+// warm-start enumeration.
+func (s *Store) ProfileFingerprints() []string {
+	entries, err := os.ReadDir(filepath.Join(s.opts.Dir, profilesDirName))
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		fp, ok := strings.CutSuffix(name, ".json")
+		if !ok || !validProfileFingerprint(fp) {
+			continue
+		}
+		out = append(out, fp)
+	}
+	return out
+}

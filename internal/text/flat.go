@@ -1,0 +1,194 @@
+package text
+
+import "sort"
+
+// This file holds allocation-free counterparts of the metrics in
+// metrics.go, operating on data precompiled into schema profiles:
+// interned token IDs + synonym masks instead of strings, rune slices
+// instead of strings, and packed trigram multisets instead of n-gram
+// maps. Each function is an exact drop-in for its string-based twin —
+// the compiled-profile tests assert bitwise-equal scores — so any
+// change here must be mirrored by a proof of equivalence, not just a
+// passing quality gate.
+
+// SynonymOverlapIDs is SynonymAwareOverlap over interned tokens. Both
+// argument pairs must be distinct-token lists in first-occurrence order
+// (as produced by compilation), with masks[i] the synonym bitmask of
+// ids[i]. Greedy one-to-one alignment, matched / min(|A|,|B|).
+func SynonymOverlapIDs(aIDs []uint32, aMasks []uint32, bIDs []uint32, bMasks []uint32) float64 {
+	la, lb := len(aIDs), len(bIDs)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	var usedArr [64]bool
+	var used []bool
+	if lb <= len(usedArr) {
+		used = usedArr[:lb]
+	} else {
+		used = make([]bool, lb)
+	}
+	matched := 0
+	for i := 0; i < la; i++ {
+		id, mask := aIDs[i], aMasks[i]
+		for j := 0; j < lb; j++ {
+			if used[j] {
+				continue
+			}
+			if id == bIDs[j] || mask&bMasks[j] != 0 {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	m := la
+	if lb < m {
+		m = lb
+	}
+	return float64(matched) / float64(m)
+}
+
+// JaccardIDs is TokenJaccard over distinct interned-token lists:
+// |A∩B| / |A∪B|. Inputs must already be deduplicated.
+func JaccardIDs(a, b []uint32) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	inter := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				inter++
+				break
+			}
+		}
+	}
+	return float64(inter) / float64(la+lb-inter)
+}
+
+// JaroWinklerRunes is JaroWinkler on pre-decoded rune slices. It
+// allocates nothing for names up to 64 runes (the common case for
+// joined element names).
+func JaroWinklerRunes(ra, rb []rune) float64 {
+	j := jaroRunes(ra, rb)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+func jaroRunes(ra, rb []rune) float64 {
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	var aArr, bArr [64]bool
+	var aMatch, bMatch []bool
+	if la <= len(aArr) {
+		aMatch = aArr[:la]
+	} else {
+		aMatch = make([]bool, la)
+	}
+	if lb <= len(bArr) {
+		bMatch = bArr[:lb]
+	} else {
+		bMatch = make([]bool, lb)
+	}
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// TrigramsPacked packs every character trigram of r into a uint64
+// (3 runes × 21 bits — collision-free since runes are < 2^21) and
+// returns the sorted multiset. Compiled once per element, compared
+// millions of times via DiceSortedPacked.
+func TrigramsPacked(r []rune) []uint64 {
+	if len(r) < 3 {
+		return nil
+	}
+	out := make([]uint64, 0, len(r)-2)
+	for i := 0; i+3 <= len(r); i++ {
+		out = append(out, uint64(r[i])<<42|uint64(r[i+1])<<21|uint64(r[i+2]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiceSortedPacked is the multiset Dice coefficient over two sorted
+// packed-trigram slices: 2·|common| / (|A|+|B|). The two-pointer walk
+// over sorted multisets computes the same sum-of-min-counts the map
+// intersection in NGramDice does. Callers handle the equal-string and
+// too-short edge cases, matching NGramDice's fallbacks.
+func DiceSortedPacked(a, b []uint64) float64 {
+	common := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 2 * float64(common) / float64(len(a)+len(b))
+}

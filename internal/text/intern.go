@@ -1,0 +1,68 @@
+package text
+
+import "sync"
+
+// Token interning gives every distinct normalized token a process-wide
+// dense uint32 ID plus a synonym-group bitmask, so the match kernel can
+// compare tokens by integer equality and a single AND instead of string
+// comparisons and synonym-index map lookups. The table is append-only:
+// IDs are never reassigned, which is what lets compiled schema profiles
+// keep raw IDs across their whole lifetime.
+type internTable struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	masks []uint32 // indexed by ID
+}
+
+var interns = internTable{ids: make(map[string]uint32, 1024)}
+
+// InternMasked returns the process-wide ID of a normalized token together
+// with its synonym-group bitmask: bit i is set when the token belongs to
+// synonym group i. Two interned tokens are Synonymous exactly when their
+// IDs are equal or their masks intersect.
+func InternMasked(tok string) (id, mask uint32) {
+	interns.mu.RLock()
+	id, ok := interns.ids[tok]
+	if ok {
+		mask = interns.masks[id]
+	}
+	interns.mu.RUnlock()
+	if ok {
+		return id, mask
+	}
+	interns.mu.Lock()
+	defer interns.mu.Unlock()
+	if id, ok = interns.ids[tok]; ok {
+		return id, interns.masks[id]
+	}
+	id = uint32(len(interns.masks))
+	mask = synonymMaskOf(tok)
+	interns.ids[tok] = id
+	interns.masks = append(interns.masks, mask)
+	return id, mask
+}
+
+// Intern returns the process-wide ID of a normalized token.
+func Intern(tok string) uint32 {
+	id, _ := InternMasked(tok)
+	return id
+}
+
+// InternedCount returns the number of distinct tokens interned so far.
+func InternedCount() int {
+	interns.mu.RLock()
+	defer interns.mu.RUnlock()
+	return len(interns.masks)
+}
+
+// synonymMaskOf folds a token's synonym-group memberships into a bitmask.
+// The group count is bounded by the width of the mask (see the guard in
+// intern_test.go); tokens outside every group get mask 0, reproducing
+// Synonymous' requirement that both tokens appear in the index.
+func synonymMaskOf(tok string) uint32 {
+	var m uint32
+	for _, gi := range synonymIndex[tok] {
+		m |= 1 << uint(gi)
+	}
+	return m
+}

@@ -48,10 +48,23 @@ func (c *Corpus) IDF(tok string) float64 {
 }
 
 // Vector is a sparse TF-IDF vector with unit L2 norm (unless empty).
-// Entries are sorted by term for linear-time dot products.
+// Entries are sorted by term for linear-time dot products. Vectors
+// built from a compiled profile additionally carry pair-local integer
+// term ids (assigned in ascending term order) so Cosine can merge by
+// integer comparison instead of string comparison.
 type Vector struct {
 	terms   []string
+	ids     []int32
 	weights []float64
+}
+
+// MakeVector assembles a Vector from precomputed parallel slices. terms
+// must be in ascending order and weights already unit-normalized; ids,
+// when non-nil, must be monotonically increasing and consistent with
+// the term order (compiled profiles guarantee this by assigning joint
+// ids in sorted-term order). The slices are retained, not copied.
+func MakeVector(terms []string, ids []int32, weights []float64) Vector {
+	return Vector{terms: terms, ids: ids, weights: weights}
 }
 
 // Len returns the number of non-zero entries.
@@ -107,6 +120,31 @@ func (v Vector) ForEach(f func(term string, weight float64)) {
 func Cosine(a, b Vector) float64 {
 	if a.IsZero() || b.IsZero() {
 		return 0
+	}
+	if a.ids != nil && b.ids != nil {
+		// Integer-id merge: ids are assigned in ascending term order from a
+		// shared pair vocabulary, so this walk visits entries — and
+		// accumulates the dot product — in exactly the same order as the
+		// string merge below, keeping results bit-identical.
+		var dot float64
+		i, j := 0, 0
+		for i < len(a.ids) && j < len(b.ids) {
+			ai, bj := a.ids[i], b.ids[j]
+			switch {
+			case ai == bj:
+				dot += a.weights[i] * b.weights[j]
+				i++
+				j++
+			case ai < bj:
+				i++
+			default:
+				j++
+			}
+		}
+		if dot > 1 {
+			dot = 1
+		}
+		return dot
 	}
 	var dot float64
 	i, j := 0, 0

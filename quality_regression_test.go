@@ -146,7 +146,14 @@ func TestRegressionSparseVsDense(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full case-study matches in -short mode")
 	}
-	const minSparseSpeedup = 3.0
+	// The floor was 3.0x before the compiled-profile flat kernel (ISSUE
+	// 8): flattening per-pair scoring sped up dense mode more than
+	// sparse (sparse pays retrieval and candidate assembly on top of
+	// scoring), compressing the wall-clock ratio to ~2.8x while both
+	// absolute times dropped severalfold. 2.0x keeps the gate
+	// enforceable without flaking; the pairs-scored fraction and the
+	// F-measure parity below are the structural guarantees.
+	const minSparseSpeedup = 2.0
 
 	sa, sb, truth, dres, denseWall := denseCaseStudy()
 	sparse := core.PresetHarmony().WithOptions(core.WithSparse(core.DefaultSparseBudget))
