@@ -15,6 +15,19 @@
 // Custom ReportMetric values (e.g. "pairs/op") are carried through under
 // their metric name with '/' replaced by '_per_'. Benchmarks that appear
 // several times (e.g. -count > 1) keep the LAST measurement.
+//
+// Compare mode diffs the fresh run against a committed baseline and turns
+// benchjson into a CI regression gate:
+//
+//	go test -bench=. ... | benchjson -o BENCH_9.json \
+//	    -baseline BENCH_8.json -max-regress 0.25 \
+//	    -keys BenchmarkE1FullMatch,BenchmarkCorpusTopK
+//
+// Every benchmark present in both runs is reported with its ns/op and
+// allocs/op delta; the named key benchmarks (all shared ones when -keys
+// is empty) additionally FAIL the run (exit 1) when their ns/op exceeds
+// the baseline by more than -max-regress. Key benchmarks missing from
+// either side fail too — a silently dropped benchmark is not a pass.
 package main
 
 import (
@@ -23,12 +36,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to diff against (enables compare mode)")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional ns/op regression for key benchmarks")
+	keys := flag.String("keys", "", "comma-separated benchmarks gated by -max-regress (default: all shared)")
 	flag.Parse()
 
 	results := make(map[string]map[string]float64)
@@ -60,13 +77,109 @@ func main() {
 	blob = append(blob, '\n')
 	if *out == "" {
 		os.Stdout.Write(blob)
-		return
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		if !compare(results, *baseline, *maxRegress, splitKeys(*keys)) {
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// splitKeys parses the -keys flag into benchmark names.
+func splitKeys(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// compare diffs the fresh results against the baseline file, prints a
+// delta report for every shared benchmark, and reports whether the gated
+// key benchmarks stayed within the regression budget. Key benchmarks
+// absent from either side count as failures.
+func compare(results map[string]map[string]float64, baselineFile string, maxRegress float64, keys []string) bool {
+	blob, err := os.ReadFile(baselineFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	base := make(map[string]map[string]float64)
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", baselineFile, err)
+		return false
+	}
+
+	if len(keys) == 0 {
+		for name := range results {
+			if _, ok := base[name]; ok {
+				keys = append(keys, name)
+			}
+		}
+	}
+	sort.Strings(keys)
+	gated := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		gated[k] = true
+	}
+
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(os.Stderr, "benchjson: comparing %d benchmarks against %s (max ns/op regression %.0f%% on %d gated)\n",
+		len(names), baselineFile, maxRegress*100, len(keys))
+	var failures []string
+	for _, name := range names {
+		oldNs, newNs := base[name]["ns_per_op"], results[name]["ns_per_op"]
+		if oldNs <= 0 || newNs <= 0 {
+			continue
+		}
+		delta := newNs/oldNs - 1
+		status := "ok"
+		if gated[name] && delta > maxRegress {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %+.1f%% (%.0f -> %.0f, budget %+.0f%%)",
+				name, delta*100, oldNs, newNs, maxRegress*100))
+		} else if !gated[name] {
+			status = "info"
+		}
+		line := fmt.Sprintf("  %-4s %-44s ns/op %+7.1f%%", status, name, delta*100)
+		if oldAllocs, newAllocs := base[name]["allocs_per_op"], results[name]["allocs_per_op"]; oldAllocs > 0 {
+			line += fmt.Sprintf("  allocs/op %+7.1f%%", (newAllocs/oldAllocs-1)*100)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	for _, k := range keys {
+		if _, ok := results[k]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from this run", k))
+		} else if _, ok := base[k]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from baseline %s", k, baselineFile))
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		return false
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: no gated regressions")
+	return true
 }
 
 type benchResult struct {

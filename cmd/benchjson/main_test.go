@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	m := parseBenchLine("BenchmarkCorpusTopK-8   \t 30  37742126 ns/op  2865001 B/op  32559 allocs/op")
+	if m == nil {
+		t.Fatal("benchmark line not parsed")
+	}
+	if m.name != "BenchmarkCorpusTopK" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", m.name)
+	}
+	want := map[string]float64{"ns_per_op": 37742126, "bytes_per_op": 2865001, "allocs_per_op": 32559}
+	for k, v := range want {
+		if m.metrics[k] != v {
+			t.Errorf("%s = %v, want %v", k, m.metrics[k], v)
+		}
+	}
+	for _, line := range []string{
+		"ok  \tharmony\t1.379s",
+		"PASS",
+		"goos: linux",
+		"--- BENCH: BenchmarkX",
+	} {
+		if parseBenchLine(line) != nil {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, m map[string]map[string]float64) string {
+	t.Helper()
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	base := writeBaseline(t, map[string]map[string]float64{
+		"BenchmarkFast":  {"ns_per_op": 1000, "allocs_per_op": 10},
+		"BenchmarkSlow":  {"ns_per_op": 1000},
+		"BenchmarkGone":  {"ns_per_op": 500},
+		"BenchmarkNoisy": {"ns_per_op": 1000},
+	})
+	results := map[string]map[string]float64{
+		"BenchmarkFast":  {"ns_per_op": 900, "allocs_per_op": 12},
+		"BenchmarkSlow":  {"ns_per_op": 1500},
+		"BenchmarkNoisy": {"ns_per_op": 1500},
+		"BenchmarkNew":   {"ns_per_op": 100},
+	}
+
+	// Gated set includes the 50%-regressed benchmark: fail.
+	if compare(results, base, 0.25, []string{"BenchmarkFast", "BenchmarkSlow"}) {
+		t.Error("50% regression on gated benchmark passed a 25% budget")
+	}
+	// Gated set excludes it (BenchmarkNoisy regressed too but is not a
+	// key benchmark): pass.
+	if !compare(results, base, 0.25, []string{"BenchmarkFast"}) {
+		t.Error("improvement on the only gated benchmark failed the gate")
+	}
+	// Within budget: pass.
+	if !compare(results, base, 0.60, []string{"BenchmarkFast", "BenchmarkSlow"}) {
+		t.Error("50% regression failed a 60% budget")
+	}
+	// Empty key set gates every shared benchmark: fail on the regressions.
+	if compare(results, base, 0.25, nil) {
+		t.Error("empty key set did not gate the regressed benchmarks")
+	}
+	// A gated benchmark missing from the run is a failure, not a pass.
+	if compare(results, base, 0.25, []string{"BenchmarkGone"}) {
+		t.Error("gated benchmark missing from the fresh run passed")
+	}
+	// A gated benchmark missing from the baseline is a failure too.
+	if compare(results, base, 0.25, []string{"BenchmarkNew"}) {
+		t.Error("gated benchmark missing from the baseline passed")
+	}
+}
+
+func TestCompareBadBaseline(t *testing.T) {
+	results := map[string]map[string]float64{"BenchmarkX": {"ns_per_op": 1}}
+	if compare(results, filepath.Join(t.TempDir(), "missing.json"), 0.25, nil) {
+		t.Error("missing baseline file passed")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if compare(results, path, 0.25, nil) {
+		t.Error("unparseable baseline passed")
+	}
+}

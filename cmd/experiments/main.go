@@ -63,6 +63,7 @@ func main() {
 		{"E13", "incremental artifact migration vs full rematch on a version bump", runE13},
 		{"E14", "per-op WAL durability vs full snapshot per mutation", runE14},
 		{"E15", "replica read-scaling: scatter-gather corpus serving over a 3-replica cluster", runE15},
+		{"E18", "block-max search vs exhaustive TAAT on a 10k-schema corpus", runE18},
 	}
 
 	want := map[string]bool{}

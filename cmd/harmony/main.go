@@ -32,6 +32,8 @@
 //	-dir DIR       directory of schema files forming the corpus
 //	-k N           ranked matches to return (default 5)
 //	-candidates N  blocking budget (default 32)
+//	-block-budget N blocking index document-scoring budget (default 0 =
+//	               exact retrieval; a budget bounds blocking tail latency)
 //	-preset NAME   matcher preset (default harmony)
 //	-threshold F   confidence filter (default 0.4)
 //	-exhaustive    score every schema (disables blocking; slow baseline)
@@ -144,6 +146,8 @@ func runCorpus(args []string) {
 	dir := fs.String("dir", "", "directory of schema files forming the corpus")
 	k := fs.Int("k", 5, "ranked matches to return")
 	candidates := fs.Int("candidates", 32, "blocking candidate budget")
+	blockBudget := fs.Int("block-budget", 0,
+		"blocking index document-scoring budget (0 = exact retrieval)")
 	preset := fs.String("preset", "harmony", "matcher preset")
 	threshold := fs.Float64("threshold", harmony.DefaultThreshold, "confidence filter")
 	exhaustive := fs.Bool("exhaustive", false, "score every schema (disables blocking)")
@@ -196,6 +200,7 @@ func runCorpus(args []string) {
 	res, err := m.TopKAgainst(context.Background(), harmony.NewCorpusPipeline(reg, nil), q, harmony.CorpusConfig{
 		Candidates:   *candidates,
 		TopK:         *k,
+		BlockBudget:  *blockBudget,
 		Exhaustive:   *exhaustive,
 		SparseBudget: budget,
 	})

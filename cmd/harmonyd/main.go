@@ -33,6 +33,13 @@
 //	-save-interval D     periodic persistence cadence (default 30s)
 //	-corpus-candidates N default blocking budget of corpus queries (default 32)
 //	-corpus-topk N       default result count of corpus queries (default 5)
+//	-corpus-block-budget N default document-scoring budget of the blocking
+//	                     index retrieval: the block-max search stops after
+//	                     exactly scoring N documents and reports the
+//	                     truncation in stats (default 0 = exact)
+//	-index-tail-merge N  search index tail size that triggers the background
+//	                     merge into the flat compressed segment (default 0 =
+//	                     built-in heuristic: max(512, flatDocs/8))
 //	-sparse-budget N     per-source candidate budget of sparse candidate-pair
 //	                     scoring for large matches (default 64; 0 disables
 //	                     sparse mode, every pair is scored densely)
@@ -155,6 +162,10 @@ func main() {
 	saveInterval := flag.Duration("save-interval", 30*time.Second, "periodic persistence cadence")
 	corpusCandidates := flag.Int("corpus-candidates", 32, "default blocking budget of corpus queries")
 	corpusTopK := flag.Int("corpus-topk", 5, "default result count of corpus queries")
+	corpusBlockBudget := flag.Int("corpus-block-budget", 0,
+		"default document-scoring budget of the blocking index retrieval (0 = exact)")
+	indexTailMerge := flag.Int("index-tail-merge", 0,
+		"search index tail size that triggers a background segment merge (0 = built-in default)")
 	sparseBudget := flag.Int("sparse-budget", service.DefaultSparseBudget,
 		"per-source candidate budget for sparse scoring of large matches (0 disables)")
 	role := flag.String("role", "", "replication role: leader, follower or empty (unreplicated)")
@@ -217,29 +228,31 @@ func main() {
 		slowReq = -1 // service.Config: negative disables, zero means default
 	}
 	srv, err := service.New(service.Config{
-		Preset:           *preset,
-		Threshold:        *threshold,
-		Workers:          *workers,
-		Backlog:          *backlog,
-		CacheSize:        *cacheSize,
-		ProfileCache:     *profileCache,
-		DBPath:           *db,
-		SaveInterval:     *saveInterval,
-		StoreDir:         *storeDir,
-		Fsync:            *fsync,
-		SnapshotInterval: *snapshotInterval,
-		SnapshotEvery:    *snapshotEvery,
-		CorpusCandidates: *corpusCandidates,
-		CorpusTopK:       *corpusTopK,
-		SparseBudget:     budget,
-		Role:             *role,
-		PeerURL:          *peer,
-		ReplicaID:        *replicaID,
-		Replicas:         replicaSet,
-		LagThreshold:     *lagThreshold,
-		CorpusWorkers:    *corpusWorkers,
-		SlowRequest:      slowReq,
-		Logger:           logger,
+		Preset:            *preset,
+		Threshold:         *threshold,
+		Workers:           *workers,
+		Backlog:           *backlog,
+		CacheSize:         *cacheSize,
+		ProfileCache:      *profileCache,
+		DBPath:            *db,
+		SaveInterval:      *saveInterval,
+		StoreDir:          *storeDir,
+		Fsync:             *fsync,
+		SnapshotInterval:  *snapshotInterval,
+		SnapshotEvery:     *snapshotEvery,
+		CorpusCandidates:  *corpusCandidates,
+		CorpusTopK:        *corpusTopK,
+		CorpusBlockBudget: *corpusBlockBudget,
+		IndexTailMerge:    *indexTailMerge,
+		SparseBudget:      budget,
+		Role:              *role,
+		PeerURL:           *peer,
+		ReplicaID:         *replicaID,
+		Replicas:          replicaSet,
+		LagThreshold:      *lagThreshold,
+		CorpusWorkers:     *corpusWorkers,
+		SlowRequest:       slowReq,
+		Logger:            logger,
 	}, logf)
 	if err != nil {
 		logger.Error("startup failed", "error", err)

@@ -122,6 +122,13 @@ func NewEngine(voters []WeightedVoter, merger Merger, opts ...Option) *Engine {
 	return e
 }
 
+// HasProfileCache reports whether a compiled-profile cache is attached,
+// so callers that batch many matches (the corpus pipeline) can supply a
+// fallback cache for bare engines instead of recompiling per pair.
+func (e *Engine) HasProfileCache() bool {
+	return e.profiles != nil
+}
+
 // WithOptions returns a copy of the engine with further options applied.
 // The copy shares the (immutable) voter set and merger, so deriving a
 // sparse or differently-parallel engine from a preset is cheap.
@@ -203,10 +210,16 @@ func (e *Engine) matchViews(sv, dv *SchemaView, t *pairTables) *Result {
 	var m ScoreMatrix
 	t0 := time.Now()
 	if e.sparseActive(sv.Len(), dv.Len()) {
-		sm := NewSparseMatrix(sv.Len(), dv.Len(), sparseCandidates(sv, dv, e.sparseBudget))
+		cands := sparseCandidates(sv, dv, e.sparseBudget)
+		sm := NewSparseMatrix(sv.Len(), dv.Len(), cands)
 		e.scoreSparseTables(sv, dv, sm, t)
 		m = sm
 		matchesSparse.Inc()
+		var scored int
+		for _, row := range cands {
+			scored += len(row)
+		}
+		pairsScoredSparse.Add(uint64(scored))
 	} else {
 		// Dense scoring writes every cell, so the (possibly pooled) buffer
 		// needs no zeroing.
@@ -214,6 +227,7 @@ func (e *Engine) matchViews(sv, dv *SchemaView, t *pairTables) *Result {
 		e.scoreRows(sv, dv, dm, nil, t)
 		m = dm
 		matchesDense.Inc()
+		pairsScoredDense.Add(uint64(sv.Len() * dv.Len()))
 	}
 	phaseVote.Observe(time.Since(t0).Seconds())
 	if e.propagationRounds > 0 {

@@ -24,6 +24,17 @@ var (
 	matchesDense  = matchesTotal.WithLabelValues("dense")
 	matchesSparse = matchesTotal.WithLabelValues("sparse")
 
+	// pairsScoredTotal counts element pairs put through the voter stack.
+	// It is added to ONCE per match with the batch size — never inside the
+	// per-pair scoring loops — so the counter costs one atomic add per
+	// match regardless of matrix size.
+	pairsScoredTotal = obs.Default().CounterVec(
+		"harmony_engine_pairs_scored_total",
+		"Element pairs scored by the voter stack, by scoring mode.",
+		"mode")
+	pairsScoredDense  = pairsScoredTotal.WithLabelValues("dense")
+	pairsScoredSparse = pairsScoredTotal.WithLabelValues("sparse")
+
 	profileCacheTotal = obs.Default().CounterVec(
 		"harmony_engine_profile_cache_total",
 		"Compiled-profile cache operations by outcome.",

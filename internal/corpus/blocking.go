@@ -99,7 +99,9 @@ func (p *Pipeline) block(q *schema.Schema, qfp string, cfg Config, st *Stats) []
 			st.CorpusSize--
 		}
 	}
-	hits := p.reg.SearchSchema(q, cfg.Candidates*blockOverscan)
+	hits, qinfo := p.reg.SearchSchemaInfo(q, cfg.Candidates*blockOverscan, cfg.BlockBudget)
+	st.BlockDocsScored = qinfo.DocsScored
+	st.BlockTerminated = qinfo.Terminated
 	for _, h := range hits {
 		if h.Schema == q.Name {
 			continue

@@ -55,6 +55,13 @@ type Config struct {
 	// overlap coefficient with the query falls below it are pruned before
 	// scoring (default 0.05).
 	MinOverlap float64
+	// BlockBudget caps how many documents the blocking index scores
+	// exactly before terminating the retrieval early (0 = exact). The
+	// block-max index prunes most of the corpus without scoring it, so a
+	// budget in the low thousands changes nothing on typical queries but
+	// bounds tail latency on adversarial ones; Stats.BlockTerminated
+	// reports when it bit.
+	BlockBudget int
 	// Workers bounds the scoring worker pool (default GOMAXPROCS).
 	Workers int
 	// BoundSlack scales the token-overlap coefficient into the cheap
@@ -193,6 +200,13 @@ type Stats struct {
 	Reused int `json:"reused"`
 	// CacheHits counts candidates served from the external cache.
 	CacheHits int `json:"cacheHits"`
+	// BlockDocsScored is the number of documents the blocking index
+	// scored exactly (the rest of the corpus was pruned by block-max
+	// bounds without being scored).
+	BlockDocsScored int `json:"blockDocsScored"`
+	// BlockTerminated reports that Config.BlockBudget stopped the
+	// blocking retrieval before it proved the exact top candidates.
+	BlockTerminated bool `json:"blockTerminated,omitempty"`
 	// BlockMillis and ScoreMillis split the wall time between stages.
 	BlockMillis int64 `json:"blockMillis"`
 	ScoreMillis int64 `json:"scoreMillis"`
@@ -241,6 +255,27 @@ type Pipeline struct {
 
 	mu       sync.Mutex
 	profiles map[string]*tokenProfile // fingerprint -> counted token profile
+
+	// fallbackProfiles backs engineWithProfiles for engines that arrive
+	// without a compiled-profile cache; built lazily on first use.
+	fallbackOnce     sync.Once
+	fallbackProfiles *core.ProfileCache
+}
+
+// engineWithProfiles ensures candidate scoring never recompiles schema
+// profiles from scratch on every query: engines that arrive without a
+// compiled-profile cache (CLI one-shots, tests, benchmarks) are handed a
+// pipeline-owned fallback so repeated queries over the same registry
+// reuse compiled candidate profiles, matching the daemon's serving
+// regime. Engines that already carry a cache are used as-is.
+func (p *Pipeline) engineWithProfiles(eng *core.Engine) *core.Engine {
+	if eng.HasProfileCache() {
+		return eng
+	}
+	p.fallbackOnce.Do(func() {
+		p.fallbackProfiles = core.NewProfileCache(0)
+	})
+	return eng.WithOptions(core.WithProfileCache(p.fallbackProfiles))
 }
 
 // tokenProfile is a schema's counted token profile: occurrence counts per

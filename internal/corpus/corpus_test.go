@@ -72,6 +72,49 @@ func TestTopKRanksOwnDomainFirst(t *testing.T) {
 	}
 }
 
+// TestBlockBudgetTerminatesBlocking pins the budget wiring: a tiny
+// BlockBudget truncates the blocking retrieval, the stats report it, and
+// the pipeline still returns ranked matches from whatever candidates the
+// truncated retrieval surfaced. An unbudgeted run reports exact blocking.
+func TestBlockBudgetTerminatesBlocking(t *testing.T) {
+	schemas, _, _ := synth.Collection(31, 4, 8)
+	reg := buildRegistry(t, schemas)
+	p := NewPipeline(reg, nil)
+	eng := core.PresetCOMA()
+
+	exact, err := p.TopK(context.Background(), eng, schemas[0], Config{Candidates: 8, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.BlockTerminated {
+		t.Fatalf("unbudgeted query reported blocking termination: %+v", exact.Stats)
+	}
+	if exact.Stats.BlockDocsScored == 0 {
+		t.Fatalf("no blocking docs scored: %+v", exact.Stats)
+	}
+
+	budget := exact.Stats.BlockDocsScored / 4
+	if budget < 1 {
+		budget = 1
+	}
+	res, err := p.TopK(context.Background(), eng, schemas[0], Config{
+		Candidates: 8, TopK: 3, BlockBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.BlockTerminated {
+		t.Fatalf("budget %d (vs %d exact) did not terminate blocking: %+v",
+			budget, exact.Stats.BlockDocsScored, res.Stats)
+	}
+	if res.Stats.BlockDocsScored > budget {
+		t.Fatalf("budget overrun: %d > %d", res.Stats.BlockDocsScored, budget)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("budgeted corpus query returned nothing")
+	}
+}
+
 // TestBlockedBeatsExhaustive is the subsystem's acceptance measurement:
 // on a 200-schema corpus the blocked pipeline must be at least 5x faster
 // than exhaustive matching in wall-clock while agreeing with the

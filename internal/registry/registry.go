@@ -579,6 +579,19 @@ func (r *Registry) SearchSchema(q *schema.Schema, k int) []search.Result {
 	return r.index.SearchSchema(q, k)
 }
 
+// SearchSchemaInfo is SearchSchema with per-query execution info and an
+// optional document-scoring budget (0 = exact): the corpus blocker's
+// budget-driven early termination rides on it.
+func (r *Registry) SearchSchemaInfo(q *schema.Schema, k, docBudget int) ([]search.Result, search.QueryInfo) {
+	return r.index.SearchSchemaInfo(q, k, docBudget)
+}
+
+// TuneIndex adjusts the search index's tail-merge threshold (0 restores
+// the default) — a deployment knob, not a per-query one.
+func (r *Registry) TuneIndex(tailMerge int) {
+	r.index.Tune(tailMerge)
+}
+
 // SearchFragments ranks top-level sub-trees of registered schemata.
 func (r *Registry) SearchFragments(query string, k int) []search.Result {
 	return r.index.SearchFragments(query, k)

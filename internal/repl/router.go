@@ -130,6 +130,8 @@ func (rt *Router) TopK(ctx context.Context, k int, params url.Values) (*corpus.R
 		merged.Stats.EarlyExits += res.Stats.EarlyExits
 		merged.Stats.Reused += res.Stats.Reused
 		merged.Stats.CacheHits += res.Stats.CacheHits
+		merged.Stats.BlockDocsScored += res.Stats.BlockDocsScored
+		merged.Stats.BlockTerminated = merged.Stats.BlockTerminated || res.Stats.BlockTerminated
 		// The shards ran concurrently: wall time is the slowest shard,
 		// not the sum.
 		if res.Stats.BlockMillis > merged.Stats.BlockMillis {

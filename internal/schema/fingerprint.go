@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"hash"
 )
 
 // Fingerprint returns a stable, content-addressed hash of the schema's
@@ -20,34 +19,39 @@ import (
 // computed yesterday against a schema's content is valid today as long as
 // the content has not changed.
 func (s *Schema) Fingerprint() string {
-	h := sha256.New()
+	// The identity records are serialized into one buffer and hashed with a
+	// single Sum256: fingerprinting sits on cache-lookup hot paths (profile
+	// cache, corpus candidate scoring), where per-element hash.Write calls
+	// cost an allocation per framed string.
+	buf := make([]byte, 0, 64*len(s.elements))
 	for _, r := range s.roots {
-		fingerprintElement(h, r)
+		buf = fingerprintElement(buf, r)
 	}
-	sum := h.Sum(nil)
+	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:16])
 }
 
-// fingerprintElement writes one element's identity record followed by its
+// fingerprintElement appends one element's identity record followed by its
 // subtree. Records are framed (length-prefixed strings, fixed-width depth)
 // so that no concatenation of fields is ambiguous, and the pre-order depth
 // sequence uniquely determines the tree shape.
-func fingerprintElement(h hash.Hash, e *Element) {
+func fingerprintElement(buf []byte, e *Element) []byte {
 	var fixed [8]byte
 	binary.LittleEndian.PutUint32(fixed[0:4], uint32(e.depth))
 	fixed[4] = byte(e.Kind)
 	fixed[5] = byte(e.Type)
-	h.Write(fixed[:6])
-	writeFramed(h, e.Name)
-	writeFramed(h, e.Doc)
+	buf = append(buf, fixed[:6]...)
+	buf = appendFramed(buf, e.Name)
+	buf = appendFramed(buf, e.Doc)
 	for _, c := range e.Children {
-		fingerprintElement(h, c)
+		buf = fingerprintElement(buf, c)
 	}
+	return buf
 }
 
-func writeFramed(h hash.Hash, s string) {
+func appendFramed(buf []byte, s string) []byte {
 	var n [4]byte
 	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
-	h.Write(n[:])
-	h.Write([]byte(s))
+	buf = append(buf, n[:]...)
+	return append(buf, s...)
 }

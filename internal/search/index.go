@@ -8,13 +8,24 @@
 // fragments".
 //
 // Ranking is BM25 over the same normalized token profiles the matcher and
-// the clustering layer use. The index is safe for concurrent use.
+// the clustering layer use. At MDR scale (tens of thousands of schemata)
+// the index is a two-tier engine: an immutable flat segment — terms
+// interned to dense IDs, delta-encoded posting arenas, per-block
+// max-tf/min-length skip metadata — plus a small mutable tail absorbing
+// incremental ingest. Queries score document-at-a-time with MaxScore and
+// block-max pruning, returning provably the same top k (scores and
+// deterministic order) as exhaustive accumulation while never
+// decompressing dominated blocks. A background merge folds the tail into
+// a new flat segment and reclaims dead documents, replacing the old
+// rewrite-everything compaction heuristic. The index is safe for
+// concurrent use.
 package search
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
+	"time"
 
 	"harmony/internal/schema"
 	"harmony/internal/text"
@@ -37,177 +48,372 @@ type Result struct {
 	Score float64
 }
 
-// document is one indexed unit: a whole schema or one top-level sub-tree.
-type document struct {
-	schemaName string
-	fragment   string
-	length     int
-	alive      bool
+// QueryInfo describes what one search actually did — the observability
+// the corpus blocker's budget tuning needs.
+type QueryInfo struct {
+	// Terms is the number of query terms that matched at least one live
+	// document.
+	Terms int `json:"terms"`
+	// DocsScored counts documents scored exactly (tail + surviving flat
+	// candidates).
+	DocsScored int `json:"docsScored"`
+	// BlocksDecoded and BlocksSkipped split the flat segment's posting
+	// blocks touched by the query into decompressed vs pruned-on-metadata.
+	BlocksDecoded int `json:"blocksDecoded"`
+	BlocksSkipped int `json:"blocksSkipped"`
+	// Terminated reports the scoring budget stopped the query before the
+	// exact top k was guaranteed.
+	Terminated bool `json:"terminated,omitempty"`
 }
 
-type posting struct {
-	doc int
-	tf  int
+// tailPosting is one tail posting: an index into the space's tail slice
+// plus the term frequency.
+type tailPosting struct {
+	doc int32
+	tf  int32
 }
 
-// Index is an inverted index over schema token profiles. The zero value is
-// not usable; call NewIndex.
-//
-// Removal marks documents dead rather than rewriting posting lists; dead
-// entries are reclaimed by compaction, which runs automatically once dead
-// documents reach a quarter of the live count (so a long-running daemon
-// churning or version-bumping schemata does not leak postings) and can be
-// forced with Compact.
-type Index struct {
-	mu         sync.RWMutex
-	docs       []document
-	postings   map[string][]posting
-	fragDocs   []document
-	fragPost   map[string][]posting
-	byName     map[string][]int // schema name -> doc IDs (schema + fragments share the name)
-	totalLen   int
-	totalFrag  int
-	aliveDocs  int
-	aliveFrags int
+// space is one posting space (whole schemata, or fragments): a flat
+// segment plus the mutable tail. All fields are guarded by Index.mu.
+type space struct {
+	frag     bool
+	flat     *segment
+	tail     []*docHandle
+	tailPost map[uint32][]tailPosting
+	// alive/totalLen cover both tiers (live documents only).
+	alive    int
+	totalLen int64
+	deadTail int
+	// merging marks a background merge in flight; mergeDone closes when
+	// it lands.
+	merging   bool
+	mergeDone chan struct{}
 }
 
-// compactMinDead is the dead-document floor below which automatic
-// compaction is not worth the rebuild.
+func newSpace(frag bool) space {
+	return space{frag: frag, tailPost: make(map[uint32][]tailPosting)}
+}
+
+// add appends a handle to the tail. Caller holds the index lock.
+func (sp *space) add(h *docHandle) {
+	doc := int32(len(sp.tail))
+	sp.tail = append(sp.tail, h)
+	for i, t := range h.terms {
+		sp.tailPost[t] = append(sp.tailPost[t], tailPosting{doc: doc, tf: h.tfs[i]})
+	}
+	sp.alive++
+	sp.totalLen += int64(h.length)
+}
+
+// remove marks a handle dead in whichever tier holds it. Caller holds the
+// index lock.
+func (sp *space) remove(h *docHandle) {
+	if h.dead {
+		return
+	}
+	h.dead = true
+	sp.alive--
+	sp.totalLen -= int64(h.length)
+	if h.inFlat {
+		sp.flat.markDead(h)
+	} else {
+		sp.deadTail++
+	}
+}
+
+// flatDocs returns the flat segment's total document count (live + dead).
+func (sp *space) flatDocs() int {
+	if sp.flat == nil {
+		return 0
+	}
+	return len(sp.flat.docs)
+}
+
+func (sp *space) flatDead() int {
+	if sp.flat == nil {
+		return 0
+	}
+	return sp.flat.deadCnt
+}
+
+// mergeFloor is the smallest tail that triggers a background merge.
+const mergeFloor = 512
+
+// compactMinDead is the dead-document floor below which reclaiming is not
+// worth a segment rebuild (unchanged from the old rewrite heuristic).
 const compactMinDead = 64
+
+// needsMerge reports whether the space should fold its tail into a new
+// flat segment. The tail threshold scales with the flat size (max(floor,
+// flat/8)) so merge work stays O(n log n) amortized as the corpus grows,
+// and dead documents are bounded by max(compactMinDead, alive/4) — the
+// same leak bound the old rewrite heuristic enforced, now off the request
+// path.
+func (sp *space) needsMerge(floor int) bool {
+	if floor <= 0 {
+		floor = mergeFloor
+	}
+	tailTrigger := sp.flatDocs() / 8
+	if tailTrigger < floor {
+		tailTrigger = floor
+	}
+	if len(sp.tail) >= tailTrigger {
+		return true
+	}
+	dead := sp.flatDead() + sp.deadTail
+	return dead >= compactMinDead && dead*4 >= sp.alive
+}
+
+// freeze snapshots the live handles (flat + tail prefix) for a merge and
+// marks the space merging. Caller holds the index lock.
+func (sp *space) freeze() (snap []*docHandle, tailEnd int) {
+	n := 0
+	if sp.flat != nil {
+		n = len(sp.flat.docs)
+	}
+	snap = make([]*docHandle, 0, n+len(sp.tail))
+	if sp.flat != nil {
+		for _, h := range sp.flat.docs {
+			if !h.dead {
+				snap = append(snap, h)
+			}
+		}
+	}
+	tailEnd = len(sp.tail)
+	for _, h := range sp.tail[:tailEnd] {
+		if !h.dead {
+			snap = append(snap, h)
+		}
+	}
+	sp.merging = true
+	sp.mergeDone = make(chan struct{})
+	return snap, tailEnd
+}
+
+// install publishes a freshly built segment: deaths that raced the build
+// are re-applied, the consumed tail prefix is retired and the tail
+// posting map rebuilt over the remainder. Caller holds the index lock.
+func (sp *space) install(seg *segment, tailEnd int) {
+	for i, h := range seg.docs {
+		h.flatID = int32(i)
+		if h.dead {
+			seg.markDead(h)
+		} else {
+			h.inFlat = true
+		}
+	}
+	rest := sp.tail[tailEnd:]
+	sp.tail = make([]*docHandle, len(rest))
+	copy(sp.tail, rest)
+	sp.tailPost = make(map[uint32][]tailPosting, len(sp.tailPost)/4+16)
+	sp.deadTail = 0
+	for doc, h := range sp.tail {
+		if h.dead {
+			sp.deadTail++
+			continue
+		}
+		for i, t := range h.terms {
+			sp.tailPost[t] = append(sp.tailPost[t], tailPosting{doc: int32(doc), tf: h.tfs[i]})
+		}
+	}
+	sp.flat = seg
+	sp.merging = false
+	close(sp.mergeDone)
+}
+
+// Index is a two-tier inverted index over schema token profiles. The zero
+// value is not usable; call NewIndex.
+type Index struct {
+	mu      sync.RWMutex
+	schemas space
+	frags   space
+	// byName maps a schema name to its documents in both spaces.
+	byName map[string]*nameDocs
+	// tailMerge overrides the merge floor (0 = default); see Tune.
+	tailMerge int
+
+	// Lifetime counters, read via IndexStats.
+	merges         int
+	lastMergeNanos int64
+	searches       uint64
+	blocksDecoded  uint64
+	blocksSkipped  uint64
+	docsScored     uint64
+}
+
+type nameDocs struct {
+	doc   *docHandle
+	frags []*docHandle
+}
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		postings: make(map[string][]posting),
-		fragPost: make(map[string][]posting),
-		byName:   make(map[string][]int),
+		schemas: newSpace(false),
+		frags:   newSpace(true),
+		byName:  make(map[string]*nameDocs),
 	}
+}
+
+// Tune overrides the tail-merge floor: a space merges its tail into the
+// flat segment once the tail reaches max(tailMerge, flatDocs/8)
+// documents. 0 restores the default (512). Smaller floors keep more of
+// the corpus in the block-max tier at the cost of more frequent merges.
+func (ix *Index) Tune(tailMerge int) {
+	ix.mu.Lock()
+	ix.tailMerge = tailMerge
+	ix.mu.Unlock()
+}
+
+// profileHandle compiles tokens into a document handle: interned IDs,
+// sorted unique, with term frequencies.
+func profileHandle(name, fragment string, tokens []string) *docHandle {
+	ids := text.InternAll(make([]uint32, 0, len(tokens)), tokens)
+	h := &docHandle{name: name, fragment: fragment, length: int32(len(tokens))}
+	if len(ids) == 0 {
+		return h
+	}
+	// Sort and run-length count into the forward profile.
+	sortUint32(ids)
+	h.terms = make([]uint32, 0, len(ids))
+	h.tfs = make([]int32, 0, len(ids))
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[i] {
+			j++
+		}
+		h.terms = append(h.terms, ids[i])
+		h.tfs = append(h.tfs, int32(j-i))
+		i = j
+	}
+	return h
 }
 
 // Add indexes a schema: one whole-schema document plus one fragment
 // document per top-level element. Re-adding a name replaces the previous
 // version.
 func (ix *Index) Add(s *schema.Schema) {
+	// Tokenize and intern outside the lock: profile compilation is the
+	// expensive part of ingest and needs no index state.
+	doc := profileHandle(s.Name, "", schemaProfile(s))
+	roots := s.Roots()
+	fdocs := make([]*docHandle, 0, len(roots))
+	for _, root := range roots {
+		fdocs = append(fdocs, profileHandle(s.Name, root.Path(), subtreeProfile(root)))
+	}
+
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	ix.removeLocked(s.Name)
-
-	profile := schemaProfile(s)
-	doc := len(ix.docs)
-	ix.docs = append(ix.docs, document{schemaName: s.Name, length: len(profile), alive: true})
-	ix.aliveDocs++
-	ix.totalLen += len(profile)
-	for tok, tf := range termFreq(profile) {
-		ix.postings[tok] = append(ix.postings[tok], posting{doc: doc, tf: tf})
+	ix.schemas.add(doc)
+	for _, fd := range fdocs {
+		ix.frags.add(fd)
 	}
-	ix.byName[s.Name] = append(ix.byName[s.Name], doc)
-
-	for _, root := range s.Roots() {
-		ftoks := subtreeProfile(root)
-		fdoc := len(ix.fragDocs)
-		ix.fragDocs = append(ix.fragDocs, document{
-			schemaName: s.Name, fragment: root.Path(), length: len(ftoks), alive: true,
-		})
-		ix.aliveFrags++
-		ix.totalFrag += len(ftoks)
-		for tok, tf := range termFreq(ftoks) {
-			ix.fragPost[tok] = append(ix.fragPost[tok], posting{doc: fdoc, tf: tf})
-		}
-	}
+	ix.byName[s.Name] = &nameDocs{doc: doc, frags: fdocs}
+	ix.maybeMergeLocked(&ix.schemas)
+	ix.maybeMergeLocked(&ix.frags)
+	ix.mu.Unlock()
 }
 
 // Remove drops a schema (and its fragments) from the index. Removing an
 // unknown name is a no-op.
 func (ix *Index) Remove(name string) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	ix.removeLocked(name)
+	ix.maybeMergeLocked(&ix.schemas)
+	ix.maybeMergeLocked(&ix.frags)
+	ix.mu.Unlock()
 }
 
 func (ix *Index) removeLocked(name string) {
-	for _, doc := range ix.byName[name] {
-		if ix.docs[doc].alive {
-			ix.docs[doc].alive = false
-			ix.aliveDocs--
-			ix.totalLen -= ix.docs[doc].length
-		}
+	nd, ok := ix.byName[name]
+	if !ok {
+		return
+	}
+	ix.schemas.remove(nd.doc)
+	for _, fd := range nd.frags {
+		ix.frags.remove(fd)
 	}
 	delete(ix.byName, name)
-	for i := range ix.fragDocs {
-		if ix.fragDocs[i].schemaName == name && ix.fragDocs[i].alive {
-			ix.fragDocs[i].alive = false
-			ix.aliveFrags--
-			ix.totalFrag -= ix.fragDocs[i].length
-		}
-	}
-	// Auto-compact once enough dead documents pile up. The dead count is
-	// compared against a *fraction* of the live count, not the whole of it:
-	// on a large index (thousands of live schemata) requiring dead > alive
-	// would let one schema replaced over and over — the version-bump
-	// workload — accumulate stale postings for thousands of replacements
-	// before any reclamation. Dead docs are bounded to
-	// max(compactMinDead-1, alive/4), amortizing the rebuild to O(1) per
-	// removal.
-	if dead := len(ix.docs) + len(ix.fragDocs) - ix.aliveDocs - ix.aliveFrags; dead >= compactMinDead &&
-		dead*4 >= ix.aliveDocs+ix.aliveFrags {
-		ix.compactLocked()
-	}
 }
 
-// Compact reclaims the space held by dead (removed or replaced) documents:
-// posting lists are rewritten over the live documents only. Removal marks
-// documents dead lazily, so without compaction a daemon that churns
-// schemata grows its posting lists without bound. Compaction also runs
-// automatically once dead documents reach a quarter of the live count.
-func (ix *Index) Compact() {
+// maybeMergeLocked kicks off a background merge when the space needs one
+// and none is in flight. Caller holds the write lock.
+func (ix *Index) maybeMergeLocked(sp *space) {
+	if sp.merging || !sp.needsMerge(ix.tailMerge) {
+		return
+	}
+	snap, tailEnd := sp.freeze()
+	go ix.runMerge(sp, snap, tailEnd)
+}
+
+// runMerge builds the segment off the request path and installs it.
+func (ix *Index) runMerge(sp *space, snap []*docHandle, tailEnd int) {
+	t0 := time.Now()
+	seg := buildSegment(snap)
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.compactLocked()
+	sp.install(seg, tailEnd)
+	ix.merges++
+	ix.lastMergeNanos = time.Since(t0).Nanoseconds()
+	// The tail may have outgrown the threshold again while the merge ran.
+	ix.maybeMergeLocked(sp)
+	ix.mu.Unlock()
+	obsMergeDone(time.Since(t0))
 }
 
-func (ix *Index) compactLocked() {
-	ix.docs, ix.postings, ix.byName = compactSpace(ix.docs, ix.postings, true)
-	ix.fragDocs, ix.fragPost, _ = compactSpace(ix.fragDocs, ix.fragPost, false)
-}
-
-// compactSpace rebuilds one posting space (documents + inverted lists)
-// keeping only live documents. When wantNames is true it also rebuilds the
-// name → doc-ID map (the schema space; fragments are looked up by scan).
-func compactSpace(docs []document, postings map[string][]posting, wantNames bool) ([]document, map[string][]posting, map[string][]int) {
-	remap := make([]int, len(docs))
-	newDocs := make([]document, 0, len(docs))
-	for i, d := range docs {
-		if !d.alive {
-			remap[i] = -1
+// Compact forces both spaces into fully merged form and waits for it: all
+// live documents in the flat segment, empty tail, no dead documents. Used
+// by tests and administrative callers; routine reclamation happens in the
+// background automatically.
+func (ix *Index) Compact() {
+	for {
+		ix.mu.Lock()
+		if ix.schemas.merging || ix.frags.merging {
+			ch1, ch2 := ix.schemas.mergeDone, ix.frags.mergeDone
+			ix.mu.Unlock()
+			if ch1 != nil {
+				<-ch1
+			}
+			if ch2 != nil {
+				<-ch2
+			}
 			continue
 		}
-		remap[i] = len(newDocs)
-		newDocs = append(newDocs, d)
-	}
-	newPost := make(map[string][]posting, len(postings))
-	for tok, plist := range postings {
-		kept := plist[:0]
-		for _, p := range plist {
-			if remap[p.doc] >= 0 {
-				kept = append(kept, posting{doc: remap[p.doc], tf: p.tf})
+		for _, sp := range []*space{&ix.schemas, &ix.frags} {
+			if len(sp.tail) == 0 && sp.flatDead() == 0 {
+				continue
 			}
+			snap, tailEnd := sp.freeze()
+			t0 := time.Now()
+			sp.install(buildSegment(snap), tailEnd)
+			ix.merges++
+			ix.lastMergeNanos = time.Since(t0).Nanoseconds()
+			obsMergeDone(time.Since(t0))
 		}
-		if len(kept) > 0 {
-			newPost[tok] = append([]posting(nil), kept...)
-		}
+		ix.mu.Unlock()
+		return
 	}
-	var byName map[string][]int
-	if wantNames {
-		byName = make(map[string][]int, len(newDocs))
-		for i, d := range newDocs {
-			byName[d.schemaName] = append(byName[d.schemaName], i)
-		}
-	}
-	return newDocs, newPost, byName
 }
 
-// Stats describes the index's document and posting occupancy, including
-// the dead entries awaiting compaction.
+// quiesce waits for in-flight merges to land (test hook).
+func (ix *Index) quiesce() {
+	for {
+		ix.mu.RLock()
+		ch1, ch2 := ix.schemas.mergeDone, ix.frags.mergeDone
+		busy := ix.schemas.merging || ix.frags.merging
+		ix.mu.RUnlock()
+		if !busy {
+			return
+		}
+		if ch1 != nil {
+			<-ch1
+		}
+		if ch2 != nil {
+			<-ch2
+		}
+	}
+}
+
+// Stats describes the index's two-tier occupancy and lifetime activity.
 type Stats struct {
 	Schemas       int `json:"schemas"`
 	DeadSchemas   int `json:"deadSchemas"`
@@ -215,6 +421,25 @@ type Stats struct {
 	DeadFragments int `json:"deadFragments"`
 	Terms         int `json:"terms"`
 	Postings      int `json:"postings"`
+	// Two-tier occupancy: documents resident in the flat segments vs the
+	// mutable tails (live + dead).
+	FlatSchemas   int `json:"flatSchemas"`
+	TailSchemas   int `json:"tailSchemas"`
+	FlatFragments int `json:"flatFragments"`
+	TailFragments int `json:"tailFragments"`
+	// ArenaBytes is the compressed posting arena footprint.
+	ArenaBytes int `json:"arenaBytes"`
+	// Merges counts segment builds since start; LastMergeMillis is the
+	// most recent build's wall time.
+	Merges          int   `json:"merges"`
+	LastMergeMillis int64 `json:"lastMergeMillis"`
+	// Searches and the block/doc counters accumulate over the index's
+	// lifetime; BlocksSkipped are posting blocks pruned on metadata
+	// without decompression.
+	Searches      uint64 `json:"searches"`
+	BlocksDecoded uint64 `json:"blocksDecoded"`
+	BlocksSkipped uint64 `json:"blocksSkipped"`
+	DocsScored    uint64 `json:"docsScored"`
 }
 
 // IndexStats returns a snapshot of the index occupancy.
@@ -222,17 +447,31 @@ func (ix *Index) IndexStats() Stats {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	st := Stats{
-		Schemas:       ix.aliveDocs,
-		DeadSchemas:   len(ix.docs) - ix.aliveDocs,
-		Fragments:     ix.aliveFrags,
-		DeadFragments: len(ix.fragDocs) - ix.aliveFrags,
-		Terms:         len(ix.postings) + len(ix.fragPost),
+		Schemas:         ix.schemas.alive,
+		DeadSchemas:     ix.schemas.flatDead() + ix.schemas.deadTail,
+		Fragments:       ix.frags.alive,
+		DeadFragments:   ix.frags.flatDead() + ix.frags.deadTail,
+		FlatSchemas:     ix.schemas.flatDocs(),
+		TailSchemas:     len(ix.schemas.tail),
+		FlatFragments:   ix.frags.flatDocs(),
+		TailFragments:   len(ix.frags.tail),
+		Merges:          ix.merges,
+		LastMergeMillis: ix.lastMergeNanos / 1e6,
+		Searches:        ix.searches,
+		BlocksDecoded:   ix.blocksDecoded,
+		BlocksSkipped:   ix.blocksSkipped,
+		DocsScored:      ix.docsScored,
 	}
-	for _, p := range ix.postings {
-		st.Postings += len(p)
-	}
-	for _, p := range ix.fragPost {
-		st.Postings += len(p)
+	for _, sp := range []*space{&ix.schemas, &ix.frags} {
+		if sp.flat != nil {
+			st.Terms += len(sp.flat.terms)
+			st.Postings += sp.flat.postings
+			st.ArenaBytes += len(sp.flat.arena)
+		}
+		st.Terms += len(sp.tailPost)
+		for _, pl := range sp.tailPost {
+			st.Postings += len(pl)
+		}
 	}
 	return st
 }
@@ -241,7 +480,7 @@ func (ix *Index) IndexStats() Stats {
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.aliveDocs
+	return ix.schemas.alive
 }
 
 // SearchText ranks schemata against a free-text query ("blood test" — the
@@ -258,75 +497,55 @@ func (ix *Index) SearchSchema(q *schema.Schema, k int) []Result {
 
 // SearchTokens ranks schemata against pre-normalized query tokens.
 func (ix *Index) SearchTokens(tokens []string, k int) []Result {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return bm25(tokens, ix.docs, ix.postings, ix.aliveDocs, ix.totalLen, k, false)
+	res, _ := ix.searchSpace(&ix.schemas, tokens, k, 0, false)
+	return res
+}
+
+// SearchSchemaInfo is SearchSchema with a document-scoring budget and
+// execution stats: the corpus blocker's entry point. docBudget > 0 stops
+// scoring after that many exactly scored documents (the surviving top k
+// is then best-effort); 0 means exact.
+func (ix *Index) SearchSchemaInfo(q *schema.Schema, k, docBudget int) ([]Result, QueryInfo) {
+	return ix.searchSpace(&ix.schemas, schemaProfile(q), k, docBudget, false)
+}
+
+// SearchTokensExhaustive scores with full-corpus term-at-a-time
+// accumulation — the pre-block-max reference path. It returns exactly the
+// same results as SearchTokens; tests and experiments use it as the
+// correctness oracle and speed baseline.
+func (ix *Index) SearchTokensExhaustive(tokens []string, k int) []Result {
+	res, _ := ix.searchSpace(&ix.schemas, tokens, k, 0, true)
+	return res
+}
+
+// SearchSchemaExhaustive is SearchSchema through the exhaustive
+// reference path — same tokens, same results, no pruning. Experiments
+// use it as the speed baseline for the block-max engine.
+func (ix *Index) SearchSchemaExhaustive(q *schema.Schema, k int) []Result {
+	res, _ := ix.searchSpace(&ix.schemas, schemaProfile(q), k, 0, true)
+	return res
 }
 
 // SearchFragments ranks top-level sub-trees (tables, complex types)
 // against a free-text query, returning schema + fragment path.
 func (ix *Index) SearchFragments(query string, k int) []Result {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return bm25(text.NormalizeDoc(query), ix.fragDocs, ix.fragPost, ix.aliveFrags, ix.totalFrag, k, true)
+	res, _ := ix.searchSpace(&ix.frags, text.NormalizeDoc(query), k, 0, false)
+	return res
 }
 
-// bm25 scores the query against one posting space.
-func bm25(tokens []string, docs []document, postings map[string][]posting, alive, totalLen, k int, frag bool) []Result {
-	if alive == 0 || len(tokens) == 0 {
-		return nil
-	}
-	avgLen := float64(totalLen) / float64(alive)
-	if avgLen == 0 {
-		avgLen = 1
-	}
-	scores := make(map[int]float64)
-	for tok, qtf := range termFreq(tokens) {
-		plist := postings[tok]
-		df := 0
-		for _, p := range plist {
-			if docs[p.doc].alive {
-				df++
-			}
-		}
-		if df == 0 {
-			continue
-		}
-		idf := bm25IDF(alive, df)
-		for _, p := range plist {
-			d := docs[p.doc]
-			if !d.alive {
-				continue
-			}
-			tf := float64(p.tf)
-			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(d.length)/avgLen))
-			// query term frequency saturates quickly: repeated query
-			// tokens shouldn't dominate schema-as-query searches.
-			qw := 1 + 0.2*float64(qtf-1)
-			scores[p.doc] += idf * norm * qw
-		}
-	}
-	out := make([]Result, 0, len(scores))
-	for doc, s := range scores {
-		r := Result{Schema: docs[doc].schemaName, Score: s}
-		if frag {
-			r.Fragment = docs[doc].fragment
-		}
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Schema != out[j].Schema {
-			return out[i].Schema < out[j].Schema
-		}
-		return out[i].Fragment < out[j].Fragment
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
+func (ix *Index) searchSpace(sp *space, tokens []string, k, docBudget int, exhaustive bool) ([]Result, QueryInfo) {
+	var info QueryInfo
+	ix.mu.RLock()
+	res := sp.search(tokens, k, docBudget, exhaustive, &info)
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	ix.searches++
+	ix.blocksDecoded += uint64(info.BlocksDecoded)
+	ix.blocksSkipped += uint64(info.BlocksSkipped)
+	ix.docsScored += uint64(info.DocsScored)
+	ix.mu.Unlock()
+	obsSearchDone(&info)
+	return res, info
 }
 
 func bm25IDF(n, df int) float64 {
@@ -334,12 +553,25 @@ func bm25IDF(n, df int) float64 {
 	return math.Log1p((float64(n) - float64(df) + 0.5) / (float64(df) + 0.5))
 }
 
-func termFreq(tokens []string) map[string]int {
-	tf := make(map[string]int, len(tokens))
-	for _, t := range tokens {
-		tf[t]++
+// sortUint32 sorts in place (tight loop-friendly wrapper).
+func sortUint32(a []uint32) {
+	if len(a) < 2 {
+		return
 	}
-	return tf
+	// Insertion sort below the threshold where pdqsort's overhead shows.
+	if len(a) <= 24 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	slices.Sort(a)
 }
 
 // schemaProfile returns the schema's full normalized token profile.

@@ -210,6 +210,7 @@ func TestAutoCompactionBoundsPostings(t *testing.T) {
 			ix.Add(s)
 		}
 	}
+	ix.quiesce() // let in-flight background merges land before asserting
 	st := ix.IndexStats()
 	dead := st.DeadSchemas + st.DeadFragments
 	live := st.Schemas + st.Fragments
@@ -237,6 +238,7 @@ func TestReplaceOnLargeIndexBoundsDeadDocs(t *testing.T) {
 	for i := 0; i < 3*compactMinDead; i++ {
 		ix.Add(churned) // replace in place: marks the old version dead
 	}
+	ix.quiesce() // let in-flight background merges land before asserting
 	st := ix.IndexStats()
 	dead := st.DeadSchemas + st.DeadFragments
 	live := st.Schemas + st.Fragments

@@ -1,0 +1,60 @@
+package search
+
+import (
+	"time"
+
+	"harmony/internal/obs"
+)
+
+// Index instrumentation lives on the process-wide registry, matching the
+// engine's convention. Search queries pay a handful of batched atomic
+// adds per query — never per posting — and merges record their wall time
+// off the request path.
+var (
+	searchQueriesTotal = obs.Default().Counter(
+		"harmony_search_queries_total",
+		"Search index queries served.")
+	searchDocsScoredTotal = obs.Default().Counter(
+		"harmony_search_docs_scored_total",
+		"Documents scored exactly across all search queries.")
+	searchBlocksTotal = obs.Default().CounterVec(
+		"harmony_search_blocks_total",
+		"Flat-segment posting blocks touched by queries, by outcome.",
+		"outcome")
+	searchBlocksDecoded   = searchBlocksTotal.WithLabelValues("decoded")
+	searchBlocksSkipped   = searchBlocksTotal.WithLabelValues("skipped")
+	searchTerminatedTotal = obs.Default().Counter(
+		"harmony_search_terminated_total",
+		"Queries stopped early by a document-scoring budget.")
+
+	searchMergesTotal = obs.Default().Counter(
+		"harmony_search_merges_total",
+		"Flat-segment merges completed (background and forced).")
+	searchMergeSeconds = obs.Default().Histogram(
+		"harmony_search_merge_seconds",
+		"Flat-segment merge (tail fold + rebuild) wall time.",
+		obs.DefBuckets)
+)
+
+// obsSearchDone records one query's execution stats as batched adds.
+func obsSearchDone(info *QueryInfo) {
+	if !obs.Enabled() {
+		return
+	}
+	searchQueriesTotal.Inc()
+	searchDocsScoredTotal.Add(uint64(info.DocsScored))
+	searchBlocksDecoded.Add(uint64(info.BlocksDecoded))
+	searchBlocksSkipped.Add(uint64(info.BlocksSkipped))
+	if info.Terminated {
+		searchTerminatedTotal.Inc()
+	}
+}
+
+// obsMergeDone records one completed segment merge.
+func obsMergeDone(d time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	searchMergesTotal.Inc()
+	searchMergeSeconds.Observe(d.Seconds())
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package search
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under it because instrumentation overhead distorts the
+// relative cost of the paths being compared.
+const raceEnabled = true

@@ -1,0 +1,323 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/schema"
+	"harmony/internal/synth"
+)
+
+// The 10k-schema fixture is the MDR-scale corpus the tentpole is proved
+// on: 16 domains x 625 variants. Built once per test binary — generation
+// plus indexing is a few seconds and every benchmark shares it.
+var scale10k struct {
+	once    sync.Once
+	schemas []*schema.Schema
+	ix      *Index
+
+	pr8Once sync.Once
+	pr8     *pr8Index
+}
+
+func fixture10k(tb testing.TB) ([]*schema.Schema, *Index) {
+	scale10k.once.Do(func() {
+		schemas, _, _ := synth.Collection(42, 16, 625)
+		ix := NewIndex()
+		for _, s := range schemas {
+			ix.Add(s)
+		}
+		ix.Compact()
+		scale10k.schemas = schemas
+		scale10k.ix = ix
+	})
+	if scale10k.ix == nil {
+		tb.Fatal("10k fixture failed to build")
+	}
+	return scale10k.schemas, scale10k.ix
+}
+
+// BenchmarkSearch10K measures query-by-schema over the 10k corpus on the
+// block-max path — the acceptance benchmark for the two-tier index. The
+// query profile is pre-tokenized (the corpus pipeline memoizes profiles,
+// so steady-state retrieval pays only the index).
+func BenchmarkSearch10K(b *testing.B) {
+	schemas, ix := fixture10k(b)
+	profiles := benchProfiles(schemas)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.SearchTokens(profiles[i%len(profiles)], 10)
+	}
+}
+
+// BenchmarkSearch10KExhaustive is the same workload on the full-corpus
+// term-at-a-time reference scorer — the PR 8 algorithm on the new posting
+// layout, and the baseline the >=5x acceptance gate compares against.
+func BenchmarkSearch10KExhaustive(b *testing.B) {
+	schemas, ix := fixture10k(b)
+	profiles := benchProfiles(schemas)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.SearchTokensExhaustive(profiles[i%len(profiles)], 10)
+	}
+}
+
+// pr8Index is a faithful reimplementation of the retrieval path this PR
+// replaces: one string-keyed posting map per space, a per-query document
+// frequency scan over each posting list, and map-accumulated BM25 with a
+// full sort of every scoring document. It is the wall-clock baseline the
+// >=5x acceptance gate measures against.
+type pr8Index struct {
+	docs     []pr8Doc
+	postings map[string][]pr8Posting
+	totalLen int
+}
+
+type pr8Doc struct {
+	name   string
+	length int
+	alive  bool
+}
+
+type pr8Posting struct {
+	doc int
+	tf  int
+}
+
+func newPR8Index(schemas []*schema.Schema) *pr8Index {
+	px := &pr8Index{postings: make(map[string][]pr8Posting)}
+	for _, s := range schemas {
+		profile := schemaProfile(s)
+		doc := len(px.docs)
+		px.docs = append(px.docs, pr8Doc{name: s.Name, length: len(profile), alive: true})
+		px.totalLen += len(profile)
+		tf := make(map[string]int, len(profile))
+		for _, tok := range profile {
+			tf[tok]++
+		}
+		for tok, n := range tf {
+			px.postings[tok] = append(px.postings[tok], pr8Posting{doc: doc, tf: n})
+		}
+	}
+	return px
+}
+
+func (px *pr8Index) search(tokens []string, k int) []Result {
+	alive := len(px.docs)
+	if alive == 0 || len(tokens) == 0 {
+		return nil
+	}
+	avgLen := float64(px.totalLen) / float64(alive)
+	qtf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		qtf[t]++
+	}
+	scores := make(map[int]float64)
+	for tok, qn := range qtf {
+		plist := px.postings[tok]
+		df := 0
+		for _, p := range plist {
+			if px.docs[p.doc].alive {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := bm25IDF(alive, df)
+		for _, p := range plist {
+			d := px.docs[p.doc]
+			if !d.alive {
+				continue
+			}
+			tf := float64(p.tf)
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*float64(d.length)/avgLen))
+			qw := 1 + 0.2*float64(qn-1)
+			scores[p.doc] += idf * norm * qw
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, Result{Schema: px.docs[doc].name, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Schema < out[j].Schema
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func fixturePR8(tb testing.TB) *pr8Index {
+	schemas, _ := fixture10k(tb)
+	scale10k.pr8Once.Do(func() {
+		scale10k.pr8 = newPR8Index(schemas)
+	})
+	return scale10k.pr8
+}
+
+// BenchmarkSearch10KPR8 is the same workload on the PR 8 baseline index.
+func BenchmarkSearch10KPR8(b *testing.B) {
+	schemas, _ := fixture10k(b)
+	px := fixturePR8(b)
+	profiles := benchProfiles(schemas)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		px.search(profiles[i%len(profiles)], 10)
+	}
+}
+
+// benchProfiles pre-tokenizes a spread of query schemas.
+func benchProfiles(schemas []*schema.Schema) [][]string {
+	profiles := make([][]string, 64)
+	for i := range profiles {
+		profiles[i] = schemaProfile(schemas[(i*157)%len(schemas)])
+	}
+	return profiles
+}
+
+// BenchmarkSearch10KText measures short free-text queries (the paper's
+// "blood test" CIO query) over the 10k corpus.
+func BenchmarkSearch10KText(b *testing.B) {
+	_, ix := fixture10k(b)
+	queries := []string{
+		"blood test result",
+		"unit status identifier maintenance",
+		"patient admission record",
+		"vehicle work order",
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.SearchText(queries[i%len(queries)], 10)
+	}
+}
+
+// TestSearch10KSpeedupAndExactness is the acceptance gate: over the 10k
+// corpus the block-max scorer must return bit-identical top-k to the
+// exhaustive reference and be at least 5x faster on query-by-schema
+// wall-clock than the PR 8 index it replaces (string-keyed posting map,
+// map-accumulated BM25). Run with -short to skip (CI's race lane does).
+func TestSearch10KSpeedupAndExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k corpus fixture is too heavy for -short")
+	}
+	schemas, ix := fixture10k(t)
+	px := fixturePR8(t)
+
+	// Exactness across a spread of query schemas and ks.
+	for i := 0; i < 40; i++ {
+		q := schemas[(i*257)%len(schemas)]
+		k := 1 + (i*7)%25
+		profile := schemaProfile(q)
+		fast := ix.SearchTokens(profile, k)
+		slow := ix.SearchTokensExhaustive(profile, k)
+		requireIdentical(t, q.Name, fast, slow)
+	}
+
+	// The PR 8 baseline folds contributions in map-iteration order, so its
+	// scores differ from the canonical fold by rounding ulps — require
+	// agreement to a relative 1e-9 rank by rank.
+	for i := 0; i < 8; i++ {
+		profile := schemaProfile(schemas[(i*401)%len(schemas)])
+		fast := ix.SearchTokens(profile, 10)
+		old := px.search(profile, 10)
+		if len(fast) != len(old) {
+			t.Fatalf("query %d: %d results vs PR 8's %d", i, len(fast), len(old))
+		}
+		for r := range fast {
+			if math.Abs(fast[r].Score-old[r].Score) > 1e-9*math.Max(1, math.Abs(old[r].Score)) {
+				t.Fatalf("query %d rank %d: score %v vs PR 8's %v (%s vs %s)",
+					i, r, fast[r].Score, old[r].Score, fast[r].Schema, old[r].Schema)
+			}
+		}
+	}
+
+	// Wall-clock: the same pre-tokenized query set through all three paths.
+	// Tokenizing the query schema costs the same on every side (and the
+	// corpus pipeline memoizes it), so the gate measures the index.
+	const queries = 30
+	profiles := make([][]string, queries)
+	for i := range profiles {
+		profiles[i] = schemaProfile(schemas[(i*101)%len(schemas)])
+	}
+	// Min of three passes per path: the minimum is the least-noise
+	// estimate of intrinsic cost — single-shot timings on a shared
+	// machine swing 20%+ from GC pauses and scheduler preemption, which
+	// is noise, not index behavior.
+	measure := func(fn func(profile []string)) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for _, profile := range profiles {
+				fn(profile)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	runFast := func(p []string) { ix.SearchTokens(p, 10) }
+	measure(runFast) // warm
+	fast := measure(runFast)
+	exh := measure(func(p []string) { ix.SearchTokensExhaustive(p, 10) })
+	pr8 := measure(func(p []string) { px.search(p, 10) })
+	speedup := float64(pr8) / float64(fast)
+	t.Logf("10k corpus per %d queries: block-max %v, exhaustive-on-flat %v, PR 8 baseline %v (%.1fx vs PR 8, %.1fx vs exhaustive)",
+		queries, fast, exh, pr8, speedup, float64(exh)/float64(fast))
+	if raceEnabled {
+		t.Log("race detector enabled: skipping the wall-clock gate (instrumentation skews relative timing)")
+	} else if speedup < 5 {
+		t.Errorf("block-max speedup %.2fx < 5x over the PR 8 index (fast=%v pr8=%v)", speedup, fast, pr8)
+	}
+
+	// The pruning must actually skip block decodes, not just happen to win.
+	_, info := ix.SearchSchemaInfo(schemas[0], 10, 0)
+	if info.BlocksSkipped == 0 {
+		t.Errorf("no blocks skipped on a 10k-corpus query: %+v", info)
+	}
+	if info.DocsScored == 0 || info.Terms == 0 {
+		t.Errorf("implausible query info: %+v", info)
+	}
+}
+
+// TestSearchBudgetTerminates pins the budget contract: a tiny docBudget
+// stops scoring early and reports it, and budget 0 stays exact.
+func TestSearchBudgetTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k corpus fixture is too heavy for -short")
+	}
+	schemas, ix := fixture10k(t)
+	res, info := ix.SearchSchemaInfo(schemas[0], 5, 0)
+	if info.Terminated {
+		t.Fatalf("unbudgeted query reported termination: %+v", info)
+	}
+	if len(res) != 5 {
+		t.Fatalf("expected 5 results, got %d", len(res))
+	}
+	budget := info.DocsScored / 10
+	if budget < 1 {
+		budget = 1
+	}
+	bres, binfo := ix.SearchSchemaInfo(schemas[0], 5, budget)
+	if !binfo.Terminated {
+		t.Fatalf("budget %d (vs %d scored unbudgeted) did not terminate: %+v", budget, info.DocsScored, binfo)
+	}
+	if binfo.DocsScored > budget {
+		t.Fatalf("budget overrun: scored %d > budget %d", binfo.DocsScored, budget)
+	}
+	if len(bres) == 0 {
+		t.Fatal("budgeted query returned nothing")
+	}
+}

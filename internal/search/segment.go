@@ -1,0 +1,371 @@
+package search
+
+import (
+	"math"
+	"slices"
+)
+
+// The flat segment is the index's immutable tier: posting lists for every
+// term laid out in one delta-encoded byte arena, chopped into fixed-size
+// blocks that carry the metadata (last doc ID, max term frequency, min
+// document length) the block-max scorer needs to skip dominated blocks
+// without decompressing them. Segments are built off the request path by
+// merging the previous segment with the mutable tail; once published a
+// segment's postings never change — only the per-document dead flags and
+// the dead-document df overlay (both guarded by the index lock) evolve.
+
+// blockSize is the number of postings per block. 128 keeps block decode
+// cheap (one cache-resident scan) while the per-block metadata stays
+// under 2% of the arena size.
+const blockSize = 128
+
+// docHandle is one indexed document's identity and forward profile. The
+// handle is the stable identity of a document across its whole lifetime:
+// it starts in a space's tail, is compiled into a flat segment by merge,
+// and is marked dead in place on removal. Everything except dead is
+// immutable after creation, which is what lets the background merge read
+// handles without holding the index lock.
+type docHandle struct {
+	name     string
+	fragment string
+	length   int32
+	// terms/tfs are the document's forward profile: sorted unique term IDs
+	// with occurrence counts. Merge rebuilds posting lists from these, and
+	// removal uses them to maintain the per-term dead-df overlay.
+	terms []uint32
+	tfs   []int32
+	// dead marks removal; guarded by the index mutex.
+	dead bool
+	// inFlat reports whether the handle currently lives in its space's
+	// flat segment (true) or tail (false); guarded by the index mutex.
+	inFlat bool
+	// flatID is the handle's docID in its space's current flat segment,
+	// stamped by install; guarded by the index mutex, meaningful only
+	// while inFlat.
+	flatID int32
+}
+
+// blockMeta is the skip metadata of one posting block.
+type blockMeta struct {
+	off     uint32 // arena byte offset of the block's first posting
+	lastDoc uint32 // docID of the last posting in the block
+	count   uint16 // postings in the block
+	maxTF   uint32 // largest term frequency in the block
+	minLen  int32  // smallest document length among the block's postings
+}
+
+// termMeta is one term's entry in the segment dictionary.
+type termMeta struct {
+	id     uint32
+	df     int32 // document frequency at build time (all live then)
+	blockO int32 // first block index into segment.blocks
+	blockN int32 // number of blocks
+}
+
+// segment is an immutable compiled posting space.
+type segment struct {
+	docs []*docHandle // docID -> handle (docIDs dense, build order)
+	// lens mirrors docs[i].length densely: the scoring loops touch it for
+	// every posting, and reading it from a flat array instead of chasing
+	// the handle pointer keeps the accumulation loop cache-resident.
+	lens   []int32
+	terms  []termMeta // sorted by term ID
+	blocks []blockMeta
+	arena  []byte
+	// dead mirrors docs[i].dead densely. The candidate-probe loop checks
+	// liveness for thousands of documents per query; a flat bool array
+	// keeps that check out of the handle pointer chase. Mutated under the
+	// index mutex (markDead), read during scoring.
+	dead []bool
+	// fwdTerms/fwdTFs hold every document's forward profile flattened
+	// into two contiguous arenas, fwdOff[doc]..fwdOff[doc+1] delimiting
+	// each document's slice. The probe merge-join and the survivor
+	// rescoring fold walk these instead of the per-handle slices — same
+	// values, contiguous memory.
+	fwdTerms []uint32
+	fwdTFs   []int32
+	fwdOff   []int32 // len(docs)+1
+	// deadDF counts dead postings per term so live document frequency
+	// (df - deadDF) stays exact between merges. Guarded by the index
+	// mutex: mutated on Remove, read during scoring.
+	deadDF   map[uint32]int32
+	deadCnt  int
+	postings int   // total postings encoded (stats)
+	maxLen   int32 // largest document length (bounds the per-length memo)
+}
+
+// findTerm locates a term in the dictionary, returning nil when absent.
+func (seg *segment) findTerm(id uint32) *termMeta {
+	lo, hi := 0, len(seg.terms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seg.terms[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(seg.terms) && seg.terms[lo].id == id {
+		return &seg.terms[lo]
+	}
+	return nil
+}
+
+// liveDF returns the term's live document frequency.
+func (seg *segment) liveDF(tm *termMeta) int32 {
+	if tm == nil {
+		return 0
+	}
+	return tm.df - seg.deadDF[tm.id]
+}
+
+// markDead records a handle's death inside the segment: the dead-df
+// overlay keeps per-term live document frequencies exact. Caller holds
+// the index lock.
+func (seg *segment) markDead(h *docHandle) {
+	seg.dead[h.flatID] = true
+	seg.deadCnt++
+	for _, t := range h.terms {
+		seg.deadDF[t]++
+	}
+}
+
+// buildSegment compiles live handles into a flat segment. It reads only
+// the handles' immutable fields, so the caller may run it without holding
+// the index lock (the background merge does).
+func buildSegment(handles []*docHandle) *segment {
+	seg := &segment{
+		docs:   handles,
+		lens:   make([]int32, len(handles)),
+		dead:   make([]bool, len(handles)),
+		deadDF: make(map[uint32]int32),
+	}
+	for i, h := range handles {
+		seg.lens[i] = h.length
+		if h.length > seg.maxLen {
+			seg.maxLen = h.length
+		}
+	}
+	// Pass 1: document frequencies and the sorted term dictionary.
+	df := make(map[uint32]int32, 1024)
+	total := 0
+	for _, h := range handles {
+		for _, t := range h.terms {
+			df[t]++
+		}
+		total += len(h.terms)
+	}
+	seg.postings = total
+	// Flatten the forward profiles into the contiguous arenas.
+	seg.fwdOff = make([]int32, len(handles)+1)
+	seg.fwdTerms = make([]uint32, total)
+	seg.fwdTFs = make([]int32, total)
+	off := int32(0)
+	for i, h := range handles {
+		seg.fwdOff[i] = off
+		copy(seg.fwdTerms[off:], h.terms)
+		copy(seg.fwdTFs[off:], h.tfs)
+		off += int32(len(h.terms))
+	}
+	seg.fwdOff[len(handles)] = off
+	ids := make([]uint32, 0, len(df))
+	for t := range df {
+		ids = append(ids, t)
+	}
+	slices.Sort(ids)
+	seg.terms = make([]termMeta, len(ids))
+	slot := make(map[uint32]int32, len(ids))
+	for i, t := range ids {
+		seg.terms[i] = termMeta{id: t, df: df[t]}
+		slot[t] = int32(i)
+	}
+	// Pass 2: bucket postings per term. Documents are visited in docID
+	// order, so each term's bucket comes out docID-ascending for free.
+	offs := make([]int32, len(ids)+1)
+	for i := range seg.terms {
+		offs[i+1] = offs[i] + seg.terms[i].df
+	}
+	type tmpPosting struct {
+		doc uint32
+		tf  uint32
+	}
+	bucket := make([]tmpPosting, total)
+	cursor := make([]int32, len(ids))
+	copy(cursor, offs[:len(ids)])
+	for docID, h := range handles {
+		for k, t := range h.terms {
+			s := slot[t]
+			bucket[cursor[s]] = tmpPosting{doc: uint32(docID), tf: uint32(h.tfs[k])}
+			cursor[s]++
+		}
+	}
+	// Pass 3: encode each term's postings into the arena in blocks.
+	arena := make([]byte, 0, total*2)
+	var blocks []blockMeta
+	for i := range seg.terms {
+		tm := &seg.terms[i]
+		plist := bucket[offs[i]:offs[i+1]]
+		tm.blockO = int32(len(blocks))
+		for len(plist) > 0 {
+			n := len(plist)
+			if n > blockSize {
+				n = blockSize
+			}
+			blk := blockMeta{
+				off:     uint32(len(arena)),
+				lastDoc: plist[n-1].doc,
+				count:   uint16(n),
+				minLen:  math.MaxInt32,
+			}
+			prev := uint32(0)
+			for j := 0; j < n; j++ {
+				p := plist[j]
+				// First posting of a block is encoded as an absolute doc
+				// ID so blocks decode independently (seek never touches a
+				// preceding block).
+				if j == 0 {
+					arena = putUvarint(arena, uint64(p.doc))
+				} else {
+					arena = putUvarint(arena, uint64(p.doc-prev))
+				}
+				prev = p.doc
+				arena = putUvarint(arena, uint64(p.tf))
+				if p.tf > blk.maxTF {
+					blk.maxTF = p.tf
+				}
+				if l := seg.docs[p.doc].length; l < blk.minLen {
+					blk.minLen = l
+				}
+			}
+			blocks = append(blocks, blk)
+			plist = plist[n:]
+		}
+		tm.blockN = int32(len(blocks)) - tm.blockO
+	}
+	seg.arena = arena
+	seg.blocks = blocks
+	return seg
+}
+
+// putUvarint appends v in LEB128 form.
+func putUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// uvarint decodes one LEB128 value, returning it and the next offset.
+// The arena is trusted (we wrote it), so there is no truncation check.
+func uvarint(b []byte, off int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for {
+		c := b[off]
+		off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, off
+		}
+		shift += 7
+	}
+}
+
+// exhaustedDoc is the sentinel cursor position of a drained iterator.
+const exhaustedDoc = math.MaxUint32
+
+// postingIter walks one term's posting list block by block, decoding a
+// block only when the scorer actually needs a posting from it.
+type postingIter struct {
+	seg    *segment
+	blocks []blockMeta // the term's block slice
+	bi     int         // current block (into blocks)
+	docs   [blockSize]uint32
+	tfs    [blockSize]uint32
+	n      int // postings decoded in the current block
+	pos    int // cursor within the decoded block
+	cur    uint32
+	curTF  uint32
+	// decoded reports whether the current block has been decompressed;
+	// seek skips whole blocks on metadata alone.
+	decoded bool
+	// scored counts decoded blocks for the skip stats.
+	blocksDecoded int
+}
+
+// initIter points the iterator at a term's first posting without decoding
+// anything. Callers must call next() or seek() before reading cur.
+func (it *postingIter) init(seg *segment, tm *termMeta) {
+	it.seg = seg
+	it.blocks = seg.blocks[tm.blockO : tm.blockO+tm.blockN]
+	it.bi = 0
+	it.decoded = false
+	it.blocksDecoded = 0
+	it.pos = -1
+	it.cur = 0
+	if len(it.blocks) == 0 {
+		it.cur = exhaustedDoc
+	}
+}
+
+// decodeBlock decompresses the current block into the iterator's scratch.
+func (it *postingIter) decodeBlock() {
+	blk := &it.blocks[it.bi]
+	off := int(blk.off)
+	n := int(blk.count)
+	var prev uint64
+	for j := 0; j < n; j++ {
+		var d, tf uint64
+		d, off = uvarint(it.seg.arena, off)
+		tf, off = uvarint(it.seg.arena, off)
+		if j == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		it.docs[j] = uint32(prev)
+		it.tfs[j] = uint32(tf)
+	}
+	it.n = n
+	it.decoded = true
+	it.blocksDecoded++
+}
+
+// nextBlock decodes the next undecoded block and returns its postings as
+// parallel docID/tf slices (valid until the following decode). Term-at-a-
+// time accumulation walks blocks through this instead of next() — one call
+// per 128 postings instead of one per posting.
+func (it *postingIter) nextBlock() (docs, tfs []uint32, ok bool) {
+	if it.decoded {
+		it.bi++
+	}
+	if it.bi >= len(it.blocks) {
+		it.cur = exhaustedDoc
+		return nil, nil, false
+	}
+	it.decodeBlock()
+	return it.docs[:it.n], it.tfs[:it.n], true
+}
+
+// next advances to the following posting.
+func (it *postingIter) next() {
+	if it.cur == exhaustedDoc {
+		return
+	}
+	if !it.decoded {
+		it.decodeBlock()
+	}
+	it.pos++
+	for it.pos >= it.n {
+		it.bi++
+		if it.bi >= len(it.blocks) {
+			it.cur = exhaustedDoc
+			return
+		}
+		it.decodeBlock()
+		it.pos = 0
+	}
+	it.cur = it.docs[it.pos]
+	it.curTF = it.tfs[it.pos]
+}

@@ -108,6 +108,10 @@ type corpusRequest struct {
 	K int `json:"k,omitempty"`
 	// Candidates overrides the blocking budget (flag -corpus-candidates).
 	Candidates int `json:"candidates,omitempty"`
+	// BlockBudget overrides the blocking index's document-scoring budget
+	// (flag -corpus-block-budget; 0 = server default, exact when that is
+	// also zero).
+	BlockBudget int `json:"blockBudget,omitempty"`
 	// Preset and Threshold override the match defaults when non-zero.
 	Preset    string  `json:"preset,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
@@ -138,19 +142,20 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 	if !ok {
 		return nil, fmt.Errorf("schema %q not registered", req.Query)
 	}
-	if req.K < 0 || req.Candidates < 0 {
-		return nil, fmt.Errorf("k and candidates must be positive")
+	if req.K < 0 || req.Candidates < 0 || req.BlockBudget < 0 {
+		return nil, fmt.Errorf("k, candidates and blockBudget must be positive")
 	}
 	if req.Shards < 0 || req.Shard < 0 || (req.Shards > 0 && req.Shard >= req.Shards) {
 		return nil, fmt.Errorf("shard %d out of range for %d shards", req.Shard, req.Shards)
 	}
 	cfg := corpus.Config{
-		Candidates: req.Candidates,
-		TopK:       req.K,
-		Threshold:  threshold,
-		Shard:      req.Shard,
-		Shards:     req.Shards,
-		Workers:    s.cfg.CorpusWorkers,
+		Candidates:  req.Candidates,
+		TopK:        req.K,
+		BlockBudget: req.BlockBudget,
+		Threshold:   threshold,
+		Shard:       req.Shard,
+		Shards:      req.Shards,
+		Workers:     s.cfg.CorpusWorkers,
 		// The corpus pipeline keys its external cache entries by this
 		// string only; decorating it with the sparse budget keeps corpus
 		// and pairwise outcomes sharing one entry space per scoring
@@ -165,6 +170,9 @@ func (s *Server) corpusTopK(ctx context.Context, req corpusRequest) (*corpus.Res
 	}
 	if cfg.TopK == 0 {
 		cfg.TopK = s.cfg.CorpusTopK
+	}
+	if cfg.BlockBudget == 0 {
+		cfg.BlockBudget = s.cfg.CorpusBlockBudget
 	}
 	// A node with a router scatters the query across the replica set
 	// (each leg comes back here on its replica with Local set and a
@@ -207,6 +215,9 @@ func (s *Server) routeTopK(ctx context.Context, req corpusRequest, preset string
 		"preset":     {preset},
 		"threshold":  {strconv.FormatFloat(threshold, 'g', -1, 64)},
 		"candidates": {strconv.Itoa(cfg.Candidates)},
+	}
+	if cfg.BlockBudget > 0 {
+		params.Set("blockbudget", strconv.Itoa(cfg.BlockBudget))
 	}
 	if req.Exhaustive {
 		params.Set("exhaustive", "1")
@@ -263,7 +274,7 @@ func (s *Server) handleCorpusTopK(w http.ResponseWriter, r *http.Request) {
 	for _, p := range []struct {
 		name string
 		dst  *int
-	}{{"k", &req.K}, {"candidates", &req.Candidates}} {
+	}{{"k", &req.K}, {"candidates", &req.Candidates}, {"blockbudget", &req.BlockBudget}} {
 		if v := q.Get(p.name); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {

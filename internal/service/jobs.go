@@ -51,6 +51,9 @@ type JobRequest struct {
 	Query string `json:"query,omitempty"`
 	// Candidates overrides the blocking budget of a corpus job.
 	Candidates int `json:"candidates,omitempty"`
+	// BlockBudget overrides the blocking index's document-scoring budget
+	// of a corpus job (0 = server default).
+	BlockBudget int `json:"blockBudget,omitempty"`
 	// Exhaustive makes a corpus job score every registered schema instead
 	// of blocking first (the ground-truth mode; expensive).
 	Exhaustive bool `json:"exhaustive,omitempty"`
@@ -207,13 +210,14 @@ func (s *Server) buildJob(req JobRequest) (JobFunc, error) {
 			return nil, fmt.Errorf("schema %q not registered", req.Query)
 		}
 		creq := corpusRequest{
-			Query:      req.Query,
-			K:          req.K,
-			Candidates: req.Candidates,
-			Preset:     req.Preset,
-			Threshold:  req.Threshold,
-			Exhaustive: req.Exhaustive,
-			NoReuse:    req.NoReuse,
+			Query:       req.Query,
+			K:           req.K,
+			Candidates:  req.Candidates,
+			BlockBudget: req.BlockBudget,
+			Preset:      req.Preset,
+			Threshold:   req.Threshold,
+			Exhaustive:  req.Exhaustive,
+			NoReuse:     req.NoReuse,
 		}
 		return func(ctx context.Context) (any, error) {
 			return s.corpusTopK(ctx, creq)

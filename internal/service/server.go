@@ -119,6 +119,9 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	reg := registry.New()
+	if cfg.IndexTailMerge > 0 {
+		reg.TuneIndex(cfg.IndexTailMerge)
+	}
 	var st *store.Store
 	switch {
 	case cfg.StoreDir != "":

@@ -91,6 +91,14 @@ type Config struct {
 	// CorpusTopK is the default result count of corpus queries that do
 	// not set one (default 5).
 	CorpusTopK int
+	// CorpusBlockBudget is the default document-scoring budget of the
+	// blocking index retrieval (0 = exact; see corpus.Config.BlockBudget).
+	CorpusBlockBudget int
+	// IndexTailMerge overrides the search index's tail-merge threshold
+	// (0 keeps the index default): how many incrementally added schemata
+	// accumulate in the mutable tail before a background merge folds them
+	// into the flat compressed segment.
+	IndexTailMerge int
 	// SparseBudget is the per-source candidate budget of sparse
 	// candidate-pair scoring in the match engines (0 picks
 	// core.DefaultSparseBudget, negative disables sparse scoring).

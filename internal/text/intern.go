@@ -48,6 +48,43 @@ func Intern(tok string) uint32 {
 	return id
 }
 
+// LookupInterned returns the ID of a token that has already been interned,
+// without inserting it. Readers that only want to *match* against interned
+// data (the search index scoring free-text queries) use this so throwaway
+// query tokens do not grow the process-wide table.
+func LookupInterned(tok string) (uint32, bool) {
+	interns.mu.RLock()
+	id, ok := interns.ids[tok]
+	interns.mu.RUnlock()
+	return id, ok
+}
+
+// InternAll interns a batch of tokens, appending their IDs to dst. The
+// common all-hit case pays one read-lock round trip for the whole batch
+// instead of one per token; only tokens missing from the table fall back
+// to the write path.
+func InternAll(dst []uint32, toks []string) []uint32 {
+	interns.mu.RLock()
+	miss := -1
+	for i, t := range toks {
+		id, ok := interns.ids[t]
+		if !ok {
+			miss = i
+			break
+		}
+		dst = append(dst, id)
+	}
+	interns.mu.RUnlock()
+	if miss < 0 {
+		return dst
+	}
+	for _, t := range toks[miss:] {
+		id, _ := InternMasked(t)
+		dst = append(dst, id)
+	}
+	return dst
+}
+
 // InternedCount returns the number of distinct tokens interned so far.
 func InternedCount() int {
 	interns.mu.RLock()
