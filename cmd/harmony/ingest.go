@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// runIngest is the ingest subcommand: stream a directory of schema files
+// (or a ready-made .ndjson file) into a harmonyd daemon through the
+// streaming bulk endpoint, printing each batch acknowledgment as it
+// arrives. Directory mode parses every supported schema file (.ddl /
+// .sql / .xsd / .xml / .json) and serializes it to one NDJSON line;
+// .ndjson input streams as-is.
+func runIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8071", "harmonyd base URL")
+	steward := fs.String("steward", "", "steward recorded on every ingested schema")
+	tags := fs.String("tags", "", "comma-separated tags applied to every schema")
+	batch := fs.Int("batch", 0, "lines per acked batch (0 = server default)")
+	quiet := fs.Bool("quiet", false, "print only the final summary line")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: harmony ingest [flags] <dir|file.ndjson>\n")
+		fs.PrintDefaults()
+	}
+	exitOn(fs.Parse(args))
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	input := fs.Arg(0)
+
+	q := url.Values{}
+	if *steward != "" {
+		q.Set("steward", *steward)
+	}
+	if *tags != "" {
+		q.Set("tags", *tags)
+	}
+	if *batch > 0 {
+		q.Set("batch", fmt.Sprint(*batch))
+	}
+	endpoint := strings.TrimRight(*addr, "/") + "/v1/schemas/bulk"
+	if len(q) > 0 {
+		endpoint += "?" + q.Encode()
+	}
+
+	body, err := ingestBody(input)
+	exitOn(err)
+	defer body.Close()
+
+	resp, err := http.Post(endpoint, "application/x-ndjson", body)
+	exitOn(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		exitOn(fmt.Errorf("server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg))))
+	}
+
+	// Echo the ack stream; the final line is the summary.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var last string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		last = line
+		if !*quiet {
+			fmt.Println(line)
+		}
+	}
+	exitOn(sc.Err())
+	if *quiet && last != "" {
+		fmt.Println(last)
+	}
+	var summary struct {
+		Done  bool   `json:"done"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &summary); err == nil && !summary.Done {
+		exitOn(fmt.Errorf("ingest failed: %s", summary.Error))
+	}
+}
+
+// ingestBody turns the input path into the NDJSON request stream. A
+// .ndjson file streams directly; a directory is converted on the fly
+// through a pipe so large corpora never buffer fully in memory.
+func ingestBody(input string) (io.ReadCloser, error) {
+	info, err := os.Stat(input)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		if ext := strings.ToLower(filepath.Ext(input)); ext != ".ndjson" {
+			return nil, fmt.Errorf("file input must be .ndjson (got %q); pass a directory for schema files", ext)
+		}
+		return os.Open(input)
+	}
+	entries, err := os.ReadDir(input)
+	if err != nil {
+		return nil, err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			switch strings.ToLower(filepath.Ext(e.Name())) {
+			case ".ddl", ".sql", ".xsd", ".xml", ".json":
+			default:
+				continue
+			}
+			s, err := loadSchema(filepath.Join(input, e.Name()))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "harmony: skipping %s: %v\n", e.Name(), err)
+				continue
+			}
+			if err := enc.Encode(s); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	return pr, nil
+}

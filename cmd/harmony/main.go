@@ -9,6 +9,7 @@
 //	harmony diff -old v1.ddl -new v2.ddl [flags]
 //	harmony evolve -db registry.json -schema v2.ddl [flags]
 //	harmony evolve -store-dir store/ -schema v2.ddl [flags]
+//	harmony ingest -addr http://localhost:8071 <dir|file.ndjson> [flags]
 //
 // Schema format is inferred from the extension: .ddl/.sql relational,
 // .xsd/.xml XML Schema, .json interchange.
@@ -53,6 +54,13 @@
 // renamed/moved elements are re-pathed with migrated-from provenance —
 // and only the dirty elements are re-matched against the artifact
 // counterparts. Flags: see harmony diff -h / harmony evolve -h.
+//
+// The ingest subcommand streams a directory of schema files (or a
+// prepared .ndjson file, one interchange-format schema per line) into a
+// running harmonyd through POST /v1/schemas/bulk, printing each batch
+// acknowledgment — written by the server only after the batch's WAL
+// commit — as it arrives. Flags: -addr, -steward, -tags, -batch, -quiet;
+// see harmony ingest -h.
 package main
 
 import (
@@ -78,6 +86,9 @@ func main() {
 			return
 		case "evolve":
 			runEvolve(os.Args[2:])
+			return
+		case "ingest":
+			runIngest(os.Args[2:])
 			return
 		}
 	}

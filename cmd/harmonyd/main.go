@@ -29,6 +29,11 @@
 //	-threshold F         default confidence filter (default 0.4)
 //	-workers N           job worker-pool size (default 2)
 //	-backlog N           job submission backlog bound (default 64)
+//	-queue-depth N       job backlog cap: submissions beyond it are load-shed
+//	                     with 429 + a Retry-After drain estimate (0 = use
+//	                     -backlog)
+//	-ingest-workers N    bulk-ingest prepare parallelism — parse and profile
+//	                     compilation workers per stream (default GOMAXPROCS)
 //	-cache N             match cache capacity in entries (default 256)
 //	-save-interval D     periodic persistence cadence (default 30s)
 //	-corpus-candidates N default blocking budget of corpus queries (default 32)
@@ -71,6 +76,10 @@
 // Endpoints:
 //
 //	POST   /v1/schemas         register a schema (JSON interchange format)
+//	POST   /v1/schemas/bulk    streaming NDJSON bulk ingest: one schema per
+//	                           line, admitted in parallel-prepared batches,
+//	                           one ack line per batch after its WAL commit
+//	                           (ack ⇒ durable under -fsync commit)
 //	GET    /v1/schemas         catalog listing with fingerprints
 //	GET    /v1/schemas/{name}  one schema, full JSON
 //	PUT    /v1/schemas/{name}  register the next version: diff against the
@@ -156,6 +165,10 @@ func main() {
 	threshold := flag.Float64("threshold", 0.4, "default confidence filter")
 	workers := flag.Int("workers", 2, "job worker-pool size")
 	backlog := flag.Int("backlog", 64, "job submission backlog bound")
+	queueDepth := flag.Int("queue-depth", 0,
+		"job backlog cap: submissions beyond it answer 429 with Retry-After (0 = use -backlog)")
+	ingestWorkers := flag.Int("ingest-workers", 0,
+		"bulk-ingest prepare parallelism: parse + profile compilation workers per stream (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 256, "match cache capacity (entries)")
 	profileCache := flag.Int("profile-cache", 0,
 		"compiled-profile cache capacity in schemas (0 = default, negative disables)")
@@ -227,11 +240,16 @@ func main() {
 	if slowReq <= 0 {
 		slowReq = -1 // service.Config: negative disables, zero means default
 	}
+	jobBacklog := *backlog
+	if *queueDepth > 0 {
+		jobBacklog = *queueDepth
+	}
 	srv, err := service.New(service.Config{
 		Preset:            *preset,
 		Threshold:         *threshold,
 		Workers:           *workers,
-		Backlog:           *backlog,
+		Backlog:           jobBacklog,
+		IngestWorkers:     *ingestWorkers,
 		CacheSize:         *cacheSize,
 		ProfileCache:      *profileCache,
 		DBPath:            *db,

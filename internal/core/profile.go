@@ -77,19 +77,20 @@ type elemLex struct {
 }
 
 // CompileSchema runs linguistic preprocessing over one schema and
-// returns its compiled profile. Element names are tokenized exactly
-// once: the normalized name tokens and the raw acronym form are both
-// derived from a single Tokenize pass.
+// returns its compiled profile. Name lexing goes through text.LexName,
+// which memoizes both the normalized token stream and the raw acronym
+// form — across a corpus the same element names recur constantly, so
+// most elements compile without touching the tokenizer or stemmer.
 func CompileSchema(s *schema.Schema) *CompiledProfile {
 	lex := make([]elemLex, s.Len())
 	for i, e := range s.Elements() {
-		rawToks := text.Tokenize(e.Name)
-		name := text.NormalizeTokens(rawToks, text.DefaultNormalize)
-		raw := join(text.NormalizeTokens(rawToks, text.NormalizeOptions{DropNumeric: true}))
+		name, raw := text.LexName(e.Name)
 		doc := text.NormalizeDoc(e.Doc)
-		doc = append(doc, name...)
-		tf := make(map[string]int32, len(doc))
+		tf := make(map[string]int32, len(doc)+len(name))
 		for _, t := range doc {
+			tf[t]++
+		}
+		for _, t := range name {
 			tf[t]++
 		}
 		terms := make([]string, 0, len(tf))
@@ -101,7 +102,7 @@ func CompileSchema(s *schema.Schema) *CompiledProfile {
 		for k, t := range terms {
 			tfs[k] = tf[t]
 		}
-		lex[i] = elemLex{name: name, raw: raw, docTerms: terms, docTF: tfs, docCount: len(doc)}
+		lex[i] = elemLex{name: name, raw: raw, docTerms: terms, docTF: tfs, docCount: len(doc) + len(name)}
 	}
 	return compileFrom(s, lex)
 }

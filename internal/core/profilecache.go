@@ -23,7 +23,7 @@ const DefaultProfileCacheSize = 128
 // caches drop it in the same sweep, so a PUT /v1/schemas rematch always
 // recompiles against current content.
 //
-// An optional persist hook receives the encoded blob of every profile
+// An optional persist hook receives every profile
 // compiled through the cache (not warm-loaded via Put), letting the
 // store keep profiles as artifacts that survive restarts.
 type ProfileCache struct {
@@ -34,7 +34,7 @@ type ProfileCache struct {
 
 	hits, misses, evictions, invalidations uint64
 
-	persist func(fp string, blob []byte)
+	persist func(fp string, p *CompiledProfile)
 
 	// Pair-level LRU: materialized SchemaViews plus dense shape tables
 	// for recently matched profile pairs. Pair entries are derived
@@ -137,8 +137,11 @@ func (c *ProfileCache) pairViews(pa, pb *CompiledProfile) (*SchemaView, *SchemaV
 }
 
 // SetPersist installs the artifact hook called (outside the cache lock)
-// with the encoded blob of every profile compiled on a cache miss.
-func (c *ProfileCache) SetPersist(fn func(fp string, blob []byte)) {
+// with every profile compiled on a cache miss. The hook receives the
+// profile itself, not an encoded blob — encoding costs tens of
+// microseconds per schema, so persisters that write asynchronously can
+// defer it off the compile path.
+func (c *ProfileCache) SetPersist(fn func(fp string, p *CompiledProfile)) {
 	c.mu.Lock()
 	c.persist = fn
 	c.mu.Unlock()
@@ -214,7 +217,7 @@ func (c *ProfileCache) add(fp string, p *CompiledProfile, persist bool) {
 	hook := c.persist
 	c.mu.Unlock()
 	if persist && hook != nil {
-		hook(fp, p.Encode())
+		hook(fp, p)
 	}
 }
 

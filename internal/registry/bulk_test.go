@@ -1,0 +1,209 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"time"
+
+	"harmony/internal/schema"
+)
+
+// TestAddPreparedBatch admits a prepared batch and checks the three
+// bulk-ingest invariants: every schema lands, the whole batch is one
+// journal record (one fsync's worth of ops), and replaying that record
+// reconstructs the identical registry.
+func TestAddPreparedBatch(t *testing.T) {
+	j := &memJournal{}
+	r := New()
+	r.SetJournal(j)
+
+	const n = 8
+	batch := make([]*PreparedSchema, n)
+	for i := range batch {
+		ps, err := r.PrepareSchema(testSchema(fmt.Sprintf("bulk%02d", i), "id", "name"), "alice", "bulk")
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = ps
+	}
+	added, errs := r.AddPrepared(batch)
+	if added != n {
+		t.Fatalf("added %d, want %d", added, n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("schema %d: %v", i, err)
+		}
+	}
+	if len(j.records) != 1 {
+		t.Fatalf("batch committed %d journal records, want 1", len(j.records))
+	}
+	if got := len(j.records[0]); got != n {
+		t.Fatalf("journal record has %d ops, want %d", got, n)
+	}
+	if r.Len() != n {
+		t.Fatalf("registry has %d schemata, want %d", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := r.Schema(fmt.Sprintf("bulk%02d", i))
+		if !ok || e.Steward != "alice" || e.Version != 1 || e.Fingerprint == "" {
+			t.Fatalf("entry bulk%02d incomplete: %+v (ok=%v)", i, e, ok)
+		}
+	}
+
+	replayed := New()
+	for _, rec := range j.records {
+		if err := replayed.Apply(rec); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	want, _ := r.SnapshotView(nil).Encode()
+	got, _ := replayed.SnapshotView(nil).Encode()
+	if !bytes.Equal(want, got) {
+		t.Fatal("replayed batch state differs from original")
+	}
+}
+
+// TestAddPreparedRejectsDuplicates: a duplicate inside the batch and a
+// duplicate against an already-registered schema each reject that slot
+// only — the rest of the batch is admitted and journaled.
+func TestAddPreparedRejectsDuplicates(t *testing.T) {
+	j := &memJournal{}
+	r := New()
+	r.SetJournal(j)
+	if err := r.AddSchema(testSchema("existing", "x"), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	prep := func(name string) *PreparedSchema {
+		t.Helper()
+		ps, err := r.PrepareSchema(testSchema(name, "a"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	batch := []*PreparedSchema{
+		prep("fresh1"),
+		prep("existing"), // dup vs registered
+		prep("fresh2"),
+		prep("fresh2"), // dup within batch (first wins)
+		nil,            // nil slot
+	}
+	added, errs := r.AddPrepared(batch)
+	if added != 2 {
+		t.Fatalf("added %d, want 2", added)
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("slot %d unexpectedly rejected: %v", i, errs[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "already registered") {
+			t.Fatalf("slot %d: want duplicate rejection, got %v", i, errs[i])
+		}
+	}
+	if errs[4] == nil {
+		t.Fatal("nil slot accepted")
+	}
+	if r.Len() != 3 { // existing + fresh1 + fresh2
+		t.Fatalf("registry has %d schemata, want 3", r.Len())
+	}
+	// The journal record covers exactly the admitted subset.
+	last := j.records[len(j.records)-1]
+	if len(last) != 2 {
+		t.Fatalf("journal record has %d ops, want 2 (admitted subset only)", len(last))
+	}
+}
+
+// TestAddPreparedJournalFailure: when the batch's single commit fails,
+// every admitted schema's error slot reports ErrNotJournaled (the state
+// is live in memory but not durable) and rejected slots keep their own
+// rejection.
+func TestAddPreparedJournalFailure(t *testing.T) {
+	j := &memJournal{}
+	r := New()
+	r.SetJournal(j)
+	if err := r.AddSchema(testSchema("taken", "x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	j.err = fmt.Errorf("disk full")
+
+	var batch []*PreparedSchema
+	for _, name := range []string{"a", "taken", "b"} {
+		ps, err := r.PrepareSchema(testSchema(name, "c"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, ps)
+	}
+	added, errs := r.AddPrepared(batch)
+	if added != 2 {
+		t.Fatalf("added %d, want 2", added)
+	}
+	for _, i := range []int{0, 2} {
+		if !errors.Is(errs[i], ErrNotJournaled) {
+			t.Fatalf("slot %d: want ErrNotJournaled, got %v", i, errs[i])
+		}
+	}
+	if errors.Is(errs[1], ErrNotJournaled) || errs[1] == nil {
+		t.Fatalf("slot 1: want plain duplicate rejection, got %v", errs[1])
+	}
+}
+
+// TestAddSchemasMatchesSequential: the batch convenience must produce a
+// registry indistinguishable from one built by sequential AddSchema
+// calls — same encoded state, same search results.
+func TestAddSchemasMatchesSequential(t *testing.T) {
+	mk := func(i int) *schema.Schema {
+		return testSchema(fmt.Sprintf("s%02d", i), "id", fmt.Sprintf("col%d", i))
+	}
+	// Pin both registries to one clock: Registered timestamps are part of
+	// the encoded state being compared.
+	epoch := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return epoch }
+	seq := New()
+	seq.now = clock
+	for i := 0; i < 12; i++ {
+		if err := seq.AddSchema(mk(i), "bob", "t1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := New()
+	bulk.now = clock
+	ss := make([]*schema.Schema, 12)
+	for i := range ss {
+		ss[i] = mk(i)
+	}
+	added, errs := bulk.AddSchemas(ss, "bob", "t1")
+	if added != 12 {
+		t.Fatalf("added %d, want 12", added)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("schema %d: %v", i, err)
+		}
+	}
+	bulk.FlushIndex()
+
+	want, _ := seq.SnapshotView(nil).Encode()
+	got, _ := bulk.SnapshotView(nil).Encode()
+	if !bytes.Equal(want, got) {
+		t.Fatal("bulk registry state differs from sequential")
+	}
+	ws := seq.SearchText("col7 id", 5)
+	gs := bulk.SearchText("col7 id", 5)
+	if len(ws) != len(gs) {
+		t.Fatalf("search: %d results sequential vs %d bulk", len(ws), len(gs))
+	}
+	for i := range ws {
+		if ws[i].Schema != gs[i].Schema || ws[i].Score != gs[i].Score {
+			t.Fatalf("search result %d diverges: %+v vs %+v", i, ws[i], gs[i])
+		}
+	}
+}

@@ -77,6 +77,20 @@ type Journal interface {
 	Commit(ops []Op) error
 }
 
+// AsyncJournal is optionally implemented by journals that separate
+// accepting a commit from making it durable. CommitAsync must establish
+// the record's position in the log immediately — it is called with the
+// registry write lock held, so log order equals apply order — and return
+// a wait function that blocks until the record is durable (per the
+// journal's fsync policy). Mutators call wait AFTER releasing the write
+// lock: the fsync leaves the registry's critical section, and concurrent
+// commits waiting together is what lets a group-committing WAL coalesce
+// them into one fsync.
+type AsyncJournal interface {
+	Journal
+	CommitAsync(ops []Op) func() error
+}
+
 // BatchLocker is optionally implemented by journals that must exclude
 // state snapshots while a multi-op batch is open: between a batch's first
 // mutation and its Commit, a snapshot would capture state whose ops are
@@ -95,22 +109,30 @@ func (r *Registry) SetJournal(j Journal) {
 	r.journal = j
 }
 
-// emitLocked hands one op to the journal; callers hold the write lock.
-// During a batch the op is buffered instead and committed as part of the
-// batch's single record. A Commit error is returned so the mutator can
-// surface it: the in-memory mutation has already happened, but the
-// caller must not be told a durable write succeeded when it did not —
-// under fsync-per-commit, "returned without error" is the durability
-// contract.
-func (r *Registry) emitLocked(op Op) error {
-	if r.journal == nil {
+// emitLocked hands ops to the journal; callers hold the write lock and
+// call the returned wait (when non-nil) AFTER releasing it. During a
+// batch the ops are buffered instead and committed as part of the batch's
+// single record. An async journal establishes log position under the lock
+// and defers the durability wait to outside it; a plain journal commits
+// synchronously here. The wait's error is surfaced by the mutator: the
+// in-memory mutation has already happened, but the caller must not be
+// told a durable write succeeded when it did not — under
+// fsync-per-commit, "returned without error" is the durability contract.
+func (r *Registry) emitLocked(ops ...Op) (wait func() error) {
+	if r.journal == nil || len(ops) == 0 {
 		return nil
 	}
 	if r.batching {
-		r.pending = append(r.pending, op)
+		r.pending = append(r.pending, ops...)
 		return nil
 	}
-	return r.journal.Commit([]Op{op})
+	if aj, ok := r.journal.(AsyncJournal); ok {
+		return aj.CommitAsync(ops)
+	}
+	if err := r.journal.Commit(ops); err != nil {
+		return func() error { return err }
+	}
+	return nil
 }
 
 // Batch runs fn and commits every op it emits as one atomic journal
@@ -143,22 +165,30 @@ func (r *Registry) Batch(fn func() error) (err error) {
 	// The flush is deferred so a panic inside fn cannot leave the
 	// registry buffering ops forever: whatever fn applied in memory is
 	// committed before the panic propagates, and batching is always
-	// reset. The commit happens while the write lock is still held —
+	// reset. The commit is ENQUEUED while the write lock is still held —
 	// like every single-op emit — so no concurrent mutation can slip a
 	// lower LSN in between clearing `batching` and appending the batch
-	// record, which would reorder the log against memory.
+	// record, which would reorder the log against memory; an async
+	// journal's durability wait then runs outside the lock.
 	defer func() {
 		r.mu.Lock()
 		r.batching = false
 		ops := r.pending
 		r.pending = nil
-		var cerr error
+		var wait func() error
 		if len(ops) > 0 {
-			cerr = j.Commit(ops)
+			if aj, ok := j.(AsyncJournal); ok {
+				wait = aj.CommitAsync(ops)
+			} else {
+				cerr := j.Commit(ops)
+				wait = func() error { return cerr }
+			}
 		}
 		r.mu.Unlock()
-		if cerr != nil && err == nil {
-			err = cerr
+		if wait != nil {
+			if cerr := wait(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	}()
 	return fn()
@@ -263,14 +293,11 @@ func opEntry(s *schema.Schema, op *Op) *Entry {
 	}
 }
 
-// schemaOp shapes a registered entry into its journal op. The schema is
-// marshaled here, under the write lock — the payload is O(one schema), the
-// delta being persisted, not O(corpus).
-func schemaOp(kind OpKind, e *Entry) (Op, error) {
-	raw, err := json.Marshal(e.Schema)
-	if err != nil {
-		return Op{}, err
-	}
+// schemaOp shapes a registered entry into its journal op. raw is the
+// schema's JSON payload, marshaled by the caller — outside the write lock
+// on the hot paths; the payload is O(one schema), the delta being
+// persisted, not O(corpus).
+func schemaOp(kind OpKind, raw json.RawMessage, e *Entry) Op {
 	return Op{
 		Kind:       kind,
 		Schema:     raw,
@@ -278,5 +305,5 @@ func schemaOp(kind OpKind, e *Entry) (Op, error) {
 		Tags:       e.Tags,
 		Registered: e.Registered,
 		Version:    e.Version,
-	}, nil
+	}
 }

@@ -1,0 +1,155 @@
+package registry
+
+import (
+	"encoding/json"
+	"unicode/utf8"
+)
+
+// Hand-rolled op-batch serialization for the WAL hot path.
+//
+// json.Marshal(ops) re-compacts every Schema RawMessage through
+// encoding/json's scanner — for a bulk ingest batch that means
+// re-validating kilobytes of schema JSON the registry just parsed,
+// and it was the largest single cost inside the admission lock's
+// shadow. MarshalOps appends the raw payload verbatim instead.
+//
+// The output is not byte-identical to encoding/json (no HTML escaping,
+// raw payloads keep their original whitespace) but decodes to the same
+// ops: replay reads the batch with json.Unmarshal, which neither cares
+// about unescaped '<' nor about intra-payload whitespace. Ops the fast
+// path does not understand — match artifacts, out-of-range timestamps,
+// non-UTF-8 strings — fall back to encoding/json individually.
+
+// MarshalOps serializes an op batch to one JSON array, the WAL record
+// payload. It produces output json.Unmarshal decodes identically to
+// encoding/json's, at a fraction of the cost for schema ops.
+func MarshalOps(ops []Op) ([]byte, error) {
+	size := 2
+	for i := range ops {
+		size += len(ops[i].Schema) + len(ops[i].Steward) + len(ops[i].Name) + 96
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, '[')
+	for i := range ops {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if b, ok := ops[i].appendFast(buf); ok {
+			buf = b
+			continue
+		}
+		js, err := json.Marshal(&ops[i])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, js...)
+	}
+	buf = append(buf, ']')
+	return buf, nil
+}
+
+// appendFast appends the op as a JSON object, or reports !ok when the
+// op needs the encoding/json fallback.
+func (op *Op) appendFast(buf []byte) ([]byte, bool) {
+	if op.Artifact != nil {
+		return buf, false // artifacts carry nested structs; not worth hand-rolling
+	}
+	if !utf8.ValidString(op.Steward) || !utf8.ValidString(op.Name) {
+		return buf, false // std would rewrite to U+FFFD
+	}
+	for _, t := range op.Tags {
+		if !utf8.ValidString(t) {
+			return buf, false
+		}
+	}
+	if !op.Registered.IsZero() {
+		if y := op.Registered.Year(); y < 0 || y >= 10000 {
+			return buf, false // time.Time.MarshalJSON errors here
+		}
+	}
+	buf = append(buf, `{"kind":`...)
+	buf = appendJSONString(buf, string(op.Kind))
+	if len(op.Schema) > 0 {
+		// The raw payload goes in verbatim: PrepareSchemaRaw's contract
+		// is that it parsed successfully, so it is valid JSON.
+		buf = append(buf, `,"schema":`...)
+		buf = append(buf, op.Schema...)
+	}
+	if op.Steward != "" {
+		buf = append(buf, `,"steward":`...)
+		buf = appendJSONString(buf, op.Steward)
+	}
+	if len(op.Tags) > 0 {
+		buf = append(buf, `,"tags":[`...)
+		for i, t := range op.Tags {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, t)
+		}
+		buf = append(buf, ']')
+	}
+	if !op.Registered.IsZero() {
+		buf = append(buf, `,"registered":"`...)
+		buf = op.Registered.AppendFormat(buf, `2006-01-02T15:04:05.999999999Z07:00`)
+		buf = append(buf, '"')
+	}
+	if op.Version != 0 {
+		buf = append(buf, `,"version":`...)
+		buf = appendInt(buf, op.Version)
+	}
+	if op.Name != "" {
+		buf = append(buf, `,"name":`...)
+		buf = appendJSONString(buf, op.Name)
+	}
+	return append(buf, '}'), true
+}
+
+// appendJSONString appends s as a JSON string literal. No HTML escaping
+// (the WAL is not a web context); control characters use \u00XX, which
+// decodes identically to encoding/json's output.
+func appendJSONString(buf []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			buf = append(buf, '\\', c)
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}

@@ -1,0 +1,80 @@
+package registry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMarshalOpsDifferential pins the fast op serializer's contract:
+// whatever it emits, json.Unmarshal must decode to the same ops that
+// decoding encoding/json's own output yields.
+func TestMarshalOpsDifferential(t *testing.T) {
+	reg := time.Date(2026, 8, 8, 12, 34, 56, 789000000, time.UTC)
+	cases := [][]Op{
+		{},
+		{{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"s","elements":[]}`), Steward: "team-a", Registered: reg, Version: 1}},
+		{{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"s"}`), Tags: []string{"x", "y z", `q"uote`}, Registered: reg, Version: 1}},
+		{{Kind: OpSchemaDelete, Name: "victim"}},
+		{{Kind: OpSchemaVersion, Schema: json.RawMessage(` {"name":"padded"} `), Steward: "a\\b\n\t\x01", Registered: reg, Version: 7}},
+		{
+			{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"a"}`), Registered: reg, Version: 1},
+			{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"b"}`), Registered: reg.In(time.FixedZone("X", 3600)), Version: 1},
+			{Kind: OpSchemaDelete, Name: "a"},
+		},
+		// Artifact op: exercises the per-op fallback inside a batch.
+		{
+			{Kind: OpMatchAdd, Artifact: &MatchArtifact{ID: "m3", SchemaA: "a", SchemaB: "b"}},
+			{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"c"}`), Registered: reg, Version: 1},
+		},
+		// Non-UTF-8 steward: fallback path, std rewrites to U+FFFD.
+		{{Kind: OpSchemaAdd, Schema: json.RawMessage(`{"name":"s"}`), Steward: "bad\xffbyte", Registered: reg, Version: 1}},
+	}
+	for ci, ops := range cases {
+		fast, err := MarshalOps(ops)
+		if err != nil {
+			t.Fatalf("case %d: MarshalOps: %v", ci, err)
+		}
+		std, err := json.Marshal(ops)
+		if err != nil {
+			t.Fatalf("case %d: json.Marshal: %v", ci, err)
+		}
+		var fromFast, fromStd []Op
+		if err := json.Unmarshal(fast, &fromFast); err != nil {
+			t.Fatalf("case %d: fast output does not decode: %v\n%s", ci, err, fast)
+		}
+		if err := json.Unmarshal(std, &fromStd); err != nil {
+			t.Fatalf("case %d: std output does not decode: %v", ci, err)
+		}
+		if len(fromFast) != len(fromStd) {
+			t.Fatalf("case %d: length diverges: %d vs %d", ci, len(fromFast), len(fromStd))
+		}
+		for i := range fromFast {
+			f, s := fromFast[i], fromStd[i]
+			// RawMessage bytes may legitimately differ (fast keeps the
+			// original whitespace, std compacts); compare their decoded
+			// values instead.
+			var fs, ss any
+			if len(f.Schema) > 0 {
+				if err := json.Unmarshal(f.Schema, &fs); err != nil {
+					t.Fatalf("case %d op %d: fast schema payload invalid: %v", ci, i, err)
+				}
+			}
+			if len(s.Schema) > 0 {
+				_ = json.Unmarshal(s.Schema, &ss)
+			}
+			if !reflect.DeepEqual(fs, ss) {
+				t.Fatalf("case %d op %d: schema payload diverges:\nfast: %s\nstd:  %s", ci, i, f.Schema, s.Schema)
+			}
+			f.Schema, s.Schema = nil, nil
+			if !f.Registered.Equal(s.Registered) {
+				t.Fatalf("case %d op %d: registered diverges: %v vs %v", ci, i, f.Registered, s.Registered)
+			}
+			f.Registered, s.Registered = time.Time{}, time.Time{}
+			if !reflect.DeepEqual(f, s) {
+				t.Fatalf("case %d op %d: op diverges:\nfast: %+v\nstd:  %+v", ci, i, f, s)
+			}
+		}
+	}
+}

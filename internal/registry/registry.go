@@ -17,6 +17,7 @@
 package registry
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -162,39 +163,227 @@ func New() *Registry {
 	}
 }
 
+// preparedContent is the expensive, lock-free part of registering one
+// schema: stats, fingerprint and (when a journal is attached) the
+// serialized journal payload.
+type preparedContent struct {
+	stats schema.Stats
+	fp    string
+	raw   json.RawMessage
+}
+
+// prepareContent computes a schema's stats, fingerprint and journal
+// payload without holding the write lock — these are pure functions of
+// the schema, so the critical section shrinks to map inserts and an O(1)
+// journal enqueue.
+func (r *Registry) prepareContent(s *schema.Schema) (preparedContent, error) {
+	pc := preparedContent{stats: s.ComputeStats(), fp: s.Fingerprint()}
+	r.mu.RLock()
+	journaled := r.journal != nil
+	r.mu.RUnlock()
+	if journaled {
+		raw, err := json.Marshal(s)
+		if err != nil {
+			return pc, err
+		}
+		pc.raw = raw
+	}
+	return pc, nil
+}
+
+// ensureRawLocked covers the rare race where a journal was attached
+// between prepareContent and the write lock: the payload is marshaled
+// under the lock, as it historically was.
+func (r *Registry) ensureRawLocked(pc *preparedContent, s *schema.Schema) error {
+	if r.journal == nil || pc.raw != nil {
+		return nil
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	pc.raw = raw
+	return nil
+}
+
 // AddSchema registers a schema under its name with catalog metadata. It
 // fails if the name is already registered (use ReplaceSchema to update).
 func (r *Registry) AddSchema(s *schema.Schema, steward string, tags ...string) error {
 	if s == nil || s.Name == "" {
 		return fmt.Errorf("registry: schema must be non-nil and named")
 	}
+	pc, err := r.prepareContent(s)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	pd := search.Prepare(s)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.entries[s.Name]; dup {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: schema %q already registered", s.Name)
+	}
+	if err := r.ensureRawLocked(&pc, s); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("registry: %w", err)
 	}
 	e := &Entry{
 		Schema:      s,
 		Steward:     steward,
 		Tags:        append([]string(nil), tags...),
 		Registered:  r.now(),
-		Stats:       s.ComputeStats(),
-		Fingerprint: s.Fingerprint(),
+		Stats:       pc.stats,
+		Fingerprint: pc.fp,
 		Version:     1,
 	}
-	var op Op
+	r.entries[s.Name] = e
+	r.index.AddDoc(pd)
+	var wait func() error
 	if r.journal != nil {
-		var err error
-		if op, err = schemaOp(OpSchemaAdd, e); err != nil {
-			return fmt.Errorf("registry: %w", err)
+		wait = r.emitLocked(schemaOp(OpSchemaAdd, pc.raw, e))
+	}
+	r.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("registry: schema %q registered in memory but %w: %w", s.Name, ErrNotJournaled, err)
 		}
 	}
-	r.entries[s.Name] = e
-	r.index.Add(s)
-	if err := r.emitLocked(op); err != nil {
-		return fmt.Errorf("registry: schema %q registered in memory but %w: %w", s.Name, ErrNotJournaled, err)
-	}
 	return nil
+}
+
+// PreparedSchema is one schema's admission-ready form: the parsed schema
+// plus everything expensive about registering it (stats, fingerprint,
+// journal payload, compiled index documents), computed outside the
+// registry lock by PrepareSchema. A PreparedSchema is single-use — its
+// index documents may be added to exactly one index, exactly once.
+type PreparedSchema struct {
+	Schema  *schema.Schema
+	Steward string
+	Tags    []string
+
+	pc preparedContent
+	pd *search.PreparedDoc
+}
+
+// PrepareSchema runs the lock-free half of AddSchema for one schema. Bulk
+// ingest workers call it in parallel; AddPrepared then admits a whole
+// batch under one lock acquisition and one journal record.
+func (r *Registry) PrepareSchema(s *schema.Schema, steward string, tags ...string) (*PreparedSchema, error) {
+	return r.prepareSchema(s, nil, steward, tags)
+}
+
+// PrepareSchemaRaw is PrepareSchema for callers that already hold the
+// schema's serialized JSON — a bulk ingest line is exactly the journal
+// payload, so re-marshaling it is pure waste. raw must parse back to s;
+// it becomes the journal record's payload verbatim.
+func (r *Registry) PrepareSchemaRaw(s *schema.Schema, raw json.RawMessage, steward string, tags ...string) (*PreparedSchema, error) {
+	return r.prepareSchema(s, raw, steward, tags)
+}
+
+func (r *Registry) prepareSchema(s *schema.Schema, raw json.RawMessage, steward string, tags []string) (*PreparedSchema, error) {
+	if s == nil || s.Name == "" {
+		return nil, fmt.Errorf("registry: schema must be non-nil and named")
+	}
+	var pc preparedContent
+	var err error
+	if raw != nil {
+		pc = preparedContent{stats: s.ComputeStats(), fp: s.Fingerprint(), raw: raw}
+	} else if pc, err = r.prepareContent(s); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	return &PreparedSchema{
+		Schema:  s,
+		Steward: steward,
+		Tags:    append([]string(nil), tags...),
+		pc:      pc,
+		pd:      search.Prepare(s),
+	}, nil
+}
+
+// AddPrepared admits a batch of prepared schemata under one lock
+// acquisition and one journal record. Per-schema validation failures
+// (duplicate name, duplicate within the batch) reject that schema only;
+// errs[i] reports schema i's outcome and added counts the admissions.
+// Index merge checks are deferred — a bulk stream calls FlushIndex once
+// at the end instead of paying a merge decision per batch. The journal
+// record covers exactly the admitted subset; like every mutator, a
+// journaling failure leaves the batch live in memory and is reported
+// wrapped in ErrNotJournaled (on every admitted schema's errs slot).
+func (r *Registry) AddPrepared(batch []*PreparedSchema) (added int, errs []error) {
+	errs = make([]error, len(batch))
+	ops := make([]Op, 0, len(batch))
+	admitted := make([]int, 0, len(batch))
+	docs := make([]*search.PreparedDoc, 0, len(batch))
+	r.mu.Lock()
+	for i, ps := range batch {
+		if ps == nil {
+			errs[i] = fmt.Errorf("registry: nil prepared schema")
+			continue
+		}
+		name := ps.Schema.Name
+		if _, dup := r.entries[name]; dup {
+			errs[i] = fmt.Errorf("registry: schema %q already registered", name)
+			continue
+		}
+		if err := r.ensureRawLocked(&ps.pc, ps.Schema); err != nil {
+			errs[i] = fmt.Errorf("registry: %w", err)
+			continue
+		}
+		e := &Entry{
+			Schema:      ps.Schema,
+			Steward:     ps.Steward,
+			Tags:        ps.Tags,
+			Registered:  r.now(),
+			Stats:       ps.pc.stats,
+			Fingerprint: ps.pc.fp,
+			Version:     1,
+		}
+		r.entries[name] = e
+		docs = append(docs, ps.pd)
+		if r.journal != nil {
+			ops = append(ops, schemaOp(OpSchemaAdd, ps.pc.raw, e))
+		}
+		admitted = append(admitted, i)
+	}
+	r.index.AddPrepared(docs)
+	wait := r.emitLocked(ops...)
+	r.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			for _, i := range admitted {
+				errs[i] = fmt.Errorf("registry: schema %q registered in memory but %w: %w",
+					batch[i].Schema.Name, ErrNotJournaled, err)
+			}
+			return len(admitted), errs
+		}
+	}
+	return len(admitted), errs
+}
+
+// AddSchemas registers a batch of schemata with shared metadata:
+// preparation (stats, fingerprints, journal payloads, index documents)
+// runs outside the lock, then the whole batch is admitted through
+// AddPrepared. Sequential convenience over the same path bulk ingest
+// drives concurrently.
+func (r *Registry) AddSchemas(ss []*schema.Schema, steward string, tags ...string) (added int, errs []error) {
+	batch := make([]*PreparedSchema, len(ss))
+	prepErr := make([]error, len(ss))
+	for i, s := range ss {
+		batch[i], prepErr[i] = r.PrepareSchema(s, steward, tags...)
+	}
+	added, errs = r.AddPrepared(batch)
+	for i, err := range prepErr {
+		if err != nil {
+			errs[i] = err
+		}
+	}
+	return added, errs
+}
+
+// FlushIndex runs the search-index merge checks that batch admission
+// (AddPrepared) defers, kicking off a background merge if either posting
+// space is past its threshold. Call once when a bulk stream ends.
+func (r *Registry) FlushIndex() {
+	r.index.MaybeMerge()
 }
 
 // VersionBump reports one AddVersion outcome: the superseded entry (nil
@@ -216,9 +405,29 @@ func (r *Registry) AddVersion(s *schema.Schema, steward string, tags ...string) 
 	if s == nil || s.Name == "" {
 		return nil, fmt.Errorf("registry: schema must be non-nil and named")
 	}
+	pc, err := r.prepareContent(s)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	pd := search.Prepare(s)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.addVersionLocked(s, steward, tags)
+	bump, wait, err := r.addVersionLocked(s, steward, tags, pc, pd)
+	r.mu.Unlock()
+	return finishVersion(s, bump, wait, err)
+}
+
+// finishVersion runs a version bump's deferred durability wait (outside
+// the write lock) and shapes the result.
+func finishVersion(s *schema.Schema, bump *VersionBump, wait func() error, err error) (*VersionBump, error) {
+	if err != nil {
+		return bump, err
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return bump, fmt.Errorf("registry: schema %q version-bumped in memory but %w: %w", s.Name, ErrNotJournaled, werr)
+		}
+	}
+	return bump, nil
 }
 
 // AddVersionIf is AddVersion under optimistic concurrency: the bump
@@ -231,21 +440,36 @@ func (r *Registry) AddVersionIf(s *schema.Schema, expect, steward string, tags .
 	if s == nil || s.Name == "" {
 		return nil, fmt.Errorf("registry: schema must be non-nil and named")
 	}
+	// Prepared before the lock (and wasted on a conflict — the cheap
+	// outcome); the fingerprint check itself still runs under the lock.
+	pc, err := r.prepareContent(s)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	pd := search.Prepare(s)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	prev := r.entries[s.Name]
 	if prev == nil {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("registry: schema %q no longer registered", s.Name)
 	}
 	if prev.Fingerprint != expect {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("registry: schema %q changed concurrently (fingerprint %s, expected %s)",
 			s.Name, prev.Fingerprint, expect)
 	}
-	return r.addVersionLocked(s, steward, tags)
+	bump, wait, err := r.addVersionLocked(s, steward, tags, pc, pd)
+	r.mu.Unlock()
+	return finishVersion(s, bump, wait, err)
 }
 
-// addVersionLocked implements the version bump; callers hold the lock.
-func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []string) (*VersionBump, error) {
+// addVersionLocked implements the version bump; callers hold the lock,
+// pass in the lock-free preparation, and run the returned wait (the
+// journal durability acknowledgment) after releasing it.
+func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []string, pc preparedContent, pd *search.PreparedDoc) (*VersionBump, func() error, error) {
+	if err := r.ensureRawLocked(&pc, s); err != nil {
+		return nil, nil, fmt.Errorf("registry: %w", err)
+	}
 	prev := r.entries[s.Name]
 	version := 1
 	if prev != nil {
@@ -256,16 +480,9 @@ func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []str
 		Steward:     steward,
 		Tags:        append([]string(nil), tags...),
 		Registered:  r.now(),
-		Stats:       s.ComputeStats(),
-		Fingerprint: s.Fingerprint(),
+		Stats:       pc.stats,
+		Fingerprint: pc.fp,
 		Version:     version,
-	}
-	var op Op
-	if r.journal != nil {
-		var err error
-		if op, err = schemaOp(OpSchemaVersion, curr); err != nil {
-			return nil, fmt.Errorf("registry: %w", err)
-		}
 	}
 	if prev != nil {
 		chain := append(r.history[s.Name], prev)
@@ -275,12 +492,13 @@ func (r *Registry) addVersionLocked(s *schema.Schema, steward string, tags []str
 		r.history[s.Name] = chain
 	}
 	r.entries[s.Name] = curr
-	r.index.Add(s)
+	r.index.AddDoc(pd)
 	bump := &VersionBump{Prev: prev, Curr: curr}
-	if err := r.emitLocked(op); err != nil {
-		return bump, fmt.Errorf("registry: schema %q version-bumped in memory but %w: %w", s.Name, ErrNotJournaled, err)
+	var wait func() error
+	if r.journal != nil {
+		wait = r.emitLocked(schemaOp(OpSchemaVersion, pc.raw, curr))
 	}
-	return bump, nil
+	return bump, wait, nil
 }
 
 // ReplaceSchema updates a registered schema in place, keeping its match
@@ -326,11 +544,15 @@ func (r *Registry) SchemaVersion(name string, version int) (*Entry, bool) {
 // log (the schema would resurrect on crash recovery).
 func (r *Registry) RemoveSchema(name string) (int, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, existed := r.entries[name]
 	removed := r.removeSchemaLocked(name)
+	var wait func() error
 	if existed {
-		if err := r.emitLocked(Op{Kind: OpSchemaDelete, Name: name}); err != nil {
+		wait = r.emitLocked(Op{Kind: OpSchemaDelete, Name: name})
+	}
+	r.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
 			return removed, fmt.Errorf("registry: schema %q removed in memory but %w: %w", name, ErrNotJournaled, err)
 		}
 	}
@@ -385,23 +607,27 @@ func (r *Registry) Len() int {
 // assigns and returns the artifact ID.
 func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	ea, ok := r.entries[ma.SchemaA]
 	if !ok {
+		r.mu.Unlock()
 		return "", fmt.Errorf("registry: schema %q not registered", ma.SchemaA)
 	}
 	eb, ok := r.entries[ma.SchemaB]
 	if !ok {
+		r.mu.Unlock()
 		return "", fmt.Errorf("registry: schema %q not registered", ma.SchemaB)
 	}
 	for _, p := range ma.Pairs {
 		if ea.Schema.ByPath(p.PathA) == nil {
+			r.mu.Unlock()
 			return "", fmt.Errorf("registry: path %q not in schema %q", p.PathA, ma.SchemaA)
 		}
 		if eb.Schema.ByPath(p.PathB) == nil {
+			r.mu.Unlock()
 			return "", fmt.Errorf("registry: path %q not in schema %q", p.PathB, ma.SchemaB)
 		}
 		if p.Score <= -1 || p.Score >= 1 {
+			r.mu.Unlock()
 			return "", fmt.Errorf("registry: score %f out of range for %q~%q", p.Score, p.PathA, p.PathB)
 		}
 	}
@@ -415,8 +641,12 @@ func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
 	ma.ID = fmt.Sprintf("match-%06d", r.nextID)
 	stored := ma
 	r.matches[stored.ID] = &stored
-	if err := r.emitLocked(Op{Kind: OpMatchAdd, Artifact: &stored}); err != nil {
-		return stored.ID, fmt.Errorf("registry: artifact %s stored in memory but %w: %w", stored.ID, ErrNotJournaled, err)
+	wait := r.emitLocked(Op{Kind: OpMatchAdd, Artifact: &stored})
+	r.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return stored.ID, fmt.Errorf("registry: artifact %s stored in memory but %w: %w", stored.ID, ErrNotJournaled, err)
+		}
 	}
 	return stored.ID, nil
 }
@@ -427,7 +657,26 @@ func (r *Registry) AddMatch(ma MatchArtifact) (string, error) {
 // referenced path present in the *current* versions, scores in range.
 func (r *Registry) UpdateMatch(id string, ma MatchArtifact) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.validateMatchLocked(id, &ma); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	ma.ID = id
+	stored := ma
+	r.matches[id] = &stored
+	wait := r.emitLocked(Op{Kind: OpMatchUpdate, Artifact: &stored})
+	r.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("registry: artifact %s updated in memory but %w: %w", id, ErrNotJournaled, err)
+		}
+	}
+	return nil
+}
+
+// validateMatchLocked checks an artifact replacement against the current
+// schema versions; callers hold the write lock.
+func (r *Registry) validateMatchLocked(id string, ma *MatchArtifact) error {
 	if _, ok := r.matches[id]; !ok {
 		return fmt.Errorf("registry: no artifact %q", id)
 	}
@@ -449,12 +698,6 @@ func (r *Registry) UpdateMatch(id string, ma MatchArtifact) error {
 		if p.Score <= -1 || p.Score >= 1 {
 			return fmt.Errorf("registry: score %f out of range for %q~%q", p.Score, p.PathA, p.PathB)
 		}
-	}
-	ma.ID = id
-	stored := ma
-	r.matches[id] = &stored
-	if err := r.emitLocked(Op{Kind: OpMatchUpdate, Artifact: &stored}); err != nil {
-		return fmt.Errorf("registry: artifact %s updated in memory but %w: %w", id, ErrNotJournaled, err)
 	}
 	return nil
 }

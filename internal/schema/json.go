@@ -50,22 +50,44 @@ func toJSONElement(e *Element) jsonElement {
 // ParseJSON deserializes a schema from the JSON interchange format produced
 // by MarshalJSON. The element order of the original schema is preserved in
 // pre-order, so IDs are stable across a round trip.
+//
+// Well-formed documents decode through a hand-rolled scanner (bulk ingest
+// parses one schema per line, and the reflective decode dominated that
+// path); anything the scanner finds unusual — or malformed — re-parses
+// through encoding/json, which produces the canonical result or error.
 func ParseJSON(data []byte) (*Schema, error) {
+	if s, ok := parseSchemaFast(data); ok {
+		return s, nil
+	}
 	var js jsonSchema
 	if err := json.Unmarshal(data, &js); err != nil {
 		return nil, fmt.Errorf("schema json: %w", err)
 	}
+	return schemaFromJSON(&js)
+}
+
+// schemaFromJSON builds the Schema from its decoded interchange form.
+func schemaFromJSON(js *jsonSchema) (*Schema, error) {
 	if js.Name == "" {
 		return nil, fmt.Errorf("schema json: missing name")
 	}
 	s := New(js.Name, FormatFromString(js.Format))
 	s.Doc = js.Doc
+	s.Grow(countJSONElements(js.Elements))
 	for i := range js.Elements {
 		if err := addJSONElement(s, nil, &js.Elements[i]); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+func countJSONElements(els []jsonElement) int {
+	n := len(els)
+	for i := range els {
+		n += countJSONElements(els[i].Children)
+	}
+	return n
 }
 
 func addJSONElement(s *Schema, parent *Element, je *jsonElement) error {

@@ -60,11 +60,29 @@ type Schema struct {
 	elements []*Element
 	roots    []*Element
 	byPath   map[string]*Element
+	arena    []Element // backing store for pre-sized builds (see Grow)
 }
 
 // New returns an empty schema with the given name and format.
 func New(name string, format Format) *Schema {
 	return &Schema{Name: name, Format: format, byPath: make(map[string]*Element)}
+}
+
+// Grow pre-sizes the schema's internal structures for n upcoming
+// AddElement calls: the element slice and path map are allocated at
+// their final size, and the elements themselves come from one arena
+// allocation instead of n individual ones. Callers that know the element
+// count up front (deserialization, synthesis) call it once right after
+// New; growing past n falls back to ordinary allocation.
+func (s *Schema) Grow(n int) {
+	if n <= len(s.elements) {
+		return
+	}
+	s.arena = make([]Element, n-len(s.elements))
+	if len(s.elements) == 0 {
+		s.elements = make([]*Element, 0, n)
+		s.byPath = make(map[string]*Element, n)
+	}
 }
 
 // Len returns the total number of elements (containers and leaves).
@@ -100,7 +118,14 @@ func (s *Schema) AddRoot(name string, kind Kind) *Element {
 // computed path collides with an existing element, the path is
 // disambiguated with the element ID; the element is still added.
 func (s *Schema) AddElement(parent *Element, name string, kind Kind, typ DataType) *Element {
-	e := &Element{
+	var e *Element
+	if len(s.arena) > 0 {
+		e = &s.arena[0]
+		s.arena = s.arena[1:]
+	} else {
+		e = new(Element)
+	}
+	*e = Element{
 		ID:     len(s.elements),
 		Name:   name,
 		Kind:   kind,

@@ -265,11 +265,11 @@ func (ix *Index) Tune(tailMerge int) {
 	ix.mu.Unlock()
 }
 
-// profileHandle compiles tokens into a document handle: interned IDs,
-// sorted unique, with term frequencies.
-func profileHandle(name, fragment string, tokens []string) *docHandle {
-	ids := text.InternAll(make([]uint32, 0, len(tokens)), tokens)
-	h := &docHandle{name: name, fragment: fragment, length: int32(len(tokens))}
+// handleFromIDs compiles pre-interned token IDs into a document handle:
+// sorted unique, with term frequencies. ids is consumed — it is sorted
+// in place and must not be shared.
+func handleFromIDs(name, fragment string, ids []uint32) *docHandle {
+	h := &docHandle{name: name, fragment: fragment, length: int32(len(ids))}
 	if len(ids) == 0 {
 		return h
 	}
@@ -289,26 +289,174 @@ func profileHandle(name, fragment string, tokens []string) *docHandle {
 	return h
 }
 
+// PreparedDoc is one schema's index documents — the whole-schema handle
+// plus one fragment handle per top-level element — compiled outside any
+// lock by Prepare. Handles are single-use: add a PreparedDoc to exactly
+// one index, exactly once.
+type PreparedDoc struct {
+	name  string
+	doc   *docHandle
+	frags []*docHandle
+}
+
+// Prepare tokenizes and interns a schema's index documents without
+// touching the index. Bulk ingest workers prepare many schemas in
+// parallel and hand them to AddPrepared under one lock acquisition.
+//
+// One walk covers both document levels: each element's interned token
+// IDs (memoized in the text package) are appended to its root's
+// fragment profile, and the whole-schema profile is the concatenation
+// of the fragment profiles. The token multiset per handle is identical
+// to lexing the schema and each subtree separately, so scores match
+// the sequential Add path exactly.
+func Prepare(s *schema.Schema) *PreparedDoc {
+	roots := s.Roots()
+	fdocs := make([]*docHandle, 0, len(roots))
+	var stack []*schema.Element
+	for _, root := range roots {
+		rids := make([]uint32, 0, 4*root.SubtreeSize())
+		// Explicit stack walk: Subtree() allocates a slice per node, and
+		// the handle only needs the token multiset — visit order is
+		// irrelevant because handleFromIDs sorts.
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			rids = append(rids, text.NormalizeNameIDs(e.Name)...)
+			if e.Doc != "" {
+				rids = append(rids, text.NormalizeDocIDs(e.Doc)...)
+			}
+			stack = append(stack, e.Children...)
+		}
+		fdocs = append(fdocs, handleFromIDs(s.Name, root.Path(), rids))
+	}
+	doc := mergeHandles(s.Name, fdocs)
+	return &PreparedDoc{name: s.Name, doc: doc, frags: fdocs}
+}
+
+// mergeHandles builds the whole-schema handle by multiset-merging the
+// fragment handles' already sorted run-length profiles, instead of
+// re-sorting every token occurrence a second time. Handles are
+// read-only once built, so the single-root common case shares the
+// fragment's term arrays outright.
+func mergeHandles(name string, frags []*docHandle) *docHandle {
+	var length int32
+	total := 0
+	for _, f := range frags {
+		length += f.length
+		total += len(f.terms)
+	}
+	h := &docHandle{name: name, length: length}
+	if total == 0 {
+		return h
+	}
+	if len(frags) == 1 {
+		h.terms, h.tfs = frags[0].terms, frags[0].tfs
+		return h
+	}
+	// Pairwise cascade: merge adjacent profiles until one remains —
+	// terms·log₂(k) work instead of a k-wide minimum scan per emitted
+	// term.
+	cur := make([]rlProfile, len(frags))
+	for i, f := range frags {
+		cur[i] = rlProfile{terms: f.terms, tfs: f.tfs}
+	}
+	for len(cur) > 1 {
+		out := cur[:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			out = append(out, mergeRL(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			out = append(out, cur[len(cur)-1])
+		}
+		cur = out
+	}
+	h.terms, h.tfs = cur[0].terms, cur[0].tfs
+	return h
+}
+
+// rlProfile is one sorted run-length term profile mid-merge.
+type rlProfile struct {
+	terms []uint32
+	tfs   []int32
+}
+
+// mergeRL multiset-merges two sorted run-length profiles.
+func mergeRL(a, b rlProfile) rlProfile {
+	terms := make([]uint32, 0, len(a.terms)+len(b.terms))
+	tfs := make([]int32, 0, len(a.terms)+len(b.terms))
+	i, j := 0, 0
+	for i < len(a.terms) && j < len(b.terms) {
+		switch {
+		case a.terms[i] < b.terms[j]:
+			terms, tfs = append(terms, a.terms[i]), append(tfs, a.tfs[i])
+			i++
+		case a.terms[i] > b.terms[j]:
+			terms, tfs = append(terms, b.terms[j]), append(tfs, b.tfs[j])
+			j++
+		default:
+			terms, tfs = append(terms, a.terms[i]), append(tfs, a.tfs[i]+b.tfs[j])
+			i, j = i+1, j+1
+		}
+	}
+	terms = append(terms, a.terms[i:]...)
+	tfs = append(tfs, a.tfs[i:]...)
+	terms = append(terms, b.terms[j:]...)
+	tfs = append(tfs, b.tfs[j:]...)
+	return rlProfile{terms: terms, tfs: tfs}
+}
+
 // Add indexes a schema: one whole-schema document plus one fragment
 // document per top-level element. Re-adding a name replaces the previous
 // version.
 func (ix *Index) Add(s *schema.Schema) {
 	// Tokenize and intern outside the lock: profile compilation is the
 	// expensive part of ingest and needs no index state.
-	doc := profileHandle(s.Name, "", schemaProfile(s))
-	roots := s.Roots()
-	fdocs := make([]*docHandle, 0, len(roots))
-	for _, root := range roots {
-		fdocs = append(fdocs, profileHandle(s.Name, root.Path(), subtreeProfile(root)))
-	}
-
+	pd := Prepare(s)
 	ix.mu.Lock()
-	ix.removeLocked(s.Name)
-	ix.schemas.add(doc)
-	for _, fd := range fdocs {
+	ix.addPreparedLocked(pd)
+	ix.maybeMergeLocked(&ix.schemas)
+	ix.maybeMergeLocked(&ix.frags)
+	ix.mu.Unlock()
+}
+
+// AddDoc indexes one pre-compiled document with the usual merge checks —
+// Add for callers that already ran Prepare outside their own locks.
+func (ix *Index) AddDoc(pd *PreparedDoc) {
+	ix.mu.Lock()
+	ix.addPreparedLocked(pd)
+	ix.maybeMergeLocked(&ix.schemas)
+	ix.maybeMergeLocked(&ix.frags)
+	ix.mu.Unlock()
+}
+
+// AddPrepared indexes pre-compiled documents under one lock acquisition,
+// with merge checks deferred: a bulk ingest stream calls MaybeMerge once
+// when it ends instead of paying a merge decision (and possibly a merge
+// kickoff) per schema mid-stream.
+func (ix *Index) AddPrepared(docs []*PreparedDoc) {
+	ix.mu.Lock()
+	for _, pd := range docs {
+		if pd != nil {
+			ix.addPreparedLocked(pd)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+func (ix *Index) addPreparedLocked(pd *PreparedDoc) {
+	ix.removeLocked(pd.name)
+	ix.schemas.add(pd.doc)
+	for _, fd := range pd.frags {
 		ix.frags.add(fd)
 	}
-	ix.byName[s.Name] = &nameDocs{doc: doc, frags: fdocs}
+	ix.byName[pd.name] = &nameDocs{doc: pd.doc, frags: pd.frags}
+}
+
+// MaybeMerge runs the merge checks AddPrepared deferred, kicking off a
+// background merge for any space past its threshold.
+func (ix *Index) MaybeMerge() {
+	ix.mu.Lock()
 	ix.maybeMergeLocked(&ix.schemas)
 	ix.maybeMergeLocked(&ix.frags)
 	ix.mu.Unlock()
@@ -578,18 +726,6 @@ func sortUint32(a []uint32) {
 func schemaProfile(s *schema.Schema) []string {
 	var toks []string
 	for _, e := range s.Elements() {
-		toks = append(toks, text.NormalizeName(e.Name)...)
-		if e.Doc != "" {
-			toks = append(toks, text.NormalizeDoc(e.Doc)...)
-		}
-	}
-	return toks
-}
-
-// subtreeProfile returns the token profile of one top-level sub-tree.
-func subtreeProfile(root *schema.Element) []string {
-	var toks []string
-	for _, e := range root.Subtree() {
 		toks = append(toks, text.NormalizeName(e.Name)...)
 		if e.Doc != "" {
 			toks = append(toks, text.NormalizeDoc(e.Doc)...)

@@ -1,0 +1,70 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"harmony/internal/synth"
+)
+
+// TestPreparedBatchMatchesSequentialAdds is the bulk-ingest equivalence
+// property: an index built by batch admission of pre-tokenized documents
+// (Prepare outside the lock + AddPrepared + a deferred MaybeMerge) must
+// answer every query identically — same docs, same scores, same order —
+// to one built by plain sequential Add calls.
+func TestPreparedBatchMatchesSequentialAdds(t *testing.T) {
+	schemas, _, _ := synth.Collection(7, 8, 25) // 200 schemas
+
+	seq := NewIndex()
+	for _, s := range schemas {
+		seq.Add(s)
+	}
+
+	batch := NewIndex()
+	const chunk = 32
+	for i := 0; i < len(schemas); i += chunk {
+		end := min(i+chunk, len(schemas))
+		docs := make([]*PreparedDoc, 0, chunk)
+		for _, s := range schemas[i:end] {
+			docs = append(docs, Prepare(s))
+		}
+		batch.AddPrepared(docs)
+	}
+	batch.MaybeMerge()
+
+	if seq.Len() != batch.Len() {
+		t.Fatalf("Len: sequential %d vs batch %d", seq.Len(), batch.Len())
+	}
+	same := func(what string, a, b []Result) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d results sequential vs %d batch", what, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Schema != b[i].Schema || a[i].Fragment != b[i].Fragment || a[i].Score != b[i].Score {
+				t.Fatalf("%s: result %d diverges: sequential %+v vs batch %+v", what, i, a[i], b[i])
+			}
+		}
+	}
+	for qi, q := range schemas[:20] {
+		what := fmt.Sprintf("query %d (%s)", qi, q.Name)
+		same(what+" schema", seq.SearchSchema(q, 10), batch.SearchSchema(q, 10))
+		same(what+" exhaustive", seq.SearchSchemaExhaustive(q, 10), batch.SearchSchemaExhaustive(q, 10))
+	}
+	same("text", seq.SearchText("customer order total", 10), batch.SearchText("customer order total", 10))
+	same("fragments", seq.SearchFragments("customer order", 10), batch.SearchFragments("customer order", 10))
+}
+
+// TestPreparedDocReplaceSemantics checks that admitting a prepared doc
+// under an already-indexed name behaves like Add: replace, not duplicate.
+func TestPreparedDocReplaceSemantics(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(medicalSchema())
+	ix.AddDoc(Prepare(medicalSchema())) // same name: replace, not duplicate
+	if ix.Len() != 1 {
+		t.Fatalf("Len after prepared re-add = %d, want 1", ix.Len())
+	}
+	if got := ix.SearchText("blood test", 10); len(got) != 1 {
+		t.Fatalf("prepared replace left duplicate docs: %v", got)
+	}
+}

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"testing"
+
+	"harmony/internal/synth"
+)
+
+// BenchmarkBulkIngest measures the full streaming pipeline end to end —
+// HTTP in, NDJSON scan, parallel prepare, batched admission, WAL group
+// commit at fsync-per-commit, acks out — over the same 10k-schema
+// fixture the throughput gate uses. The schemas/s metric is the
+// headline number EXPERIMENTS.md E19 tracks.
+func BenchmarkBulkIngest(b *testing.B) {
+	schemas, _, _ := synth.Collection(42, 16, 625)
+	body := ndjsonBody(b, schemas)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, ts := newTestServer(b, Config{StoreDir: b.TempDir(), Fsync: "commit"})
+		b.StartTimer()
+		_, summary := bulkIngest(b, ts.URL, body, "")
+		b.StopTimer()
+		if !summary.Done || summary.Added != len(schemas) || summary.Failed != 0 {
+			b.Fatalf("bulk summary %+v", summary)
+		}
+		ts.Close()
+		srv.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(schemas))*float64(b.N)/b.Elapsed().Seconds(), "schemas/s")
+}

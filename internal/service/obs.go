@@ -121,6 +121,7 @@ func (s *Server) initObs() {
 			func() float64 { return float64(s.st.Stats().Segments) })
 	}
 
+	s.registerIngestMetrics(r)
 	s.registerReplMetrics(r)
 }
 
@@ -204,6 +205,8 @@ func (s *Server) registerReplMetrics(r *obs.Registry) {
 // a static mirror of the route table.)
 func routeLabel(path string) string {
 	switch {
+	case path == "/v1/schemas/bulk":
+		return path
 	case strings.HasPrefix(path, "/v1/schemas/"):
 		return "/v1/schemas/{name}"
 	case strings.HasPrefix(path, "/v1/jobs/"):
@@ -226,6 +229,13 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers behind the middleware can flush per-batch acks and
+// enable full-duplex request/response bodies.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // traced reports whether a request path gets a recorded trace. Scrape

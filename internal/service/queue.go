@@ -74,17 +74,21 @@ type queueJob struct {
 // Queue is an asynchronous job engine: a bounded submission backlog
 // drained by a fixed worker pool. Safe for concurrent use.
 type Queue struct {
-	mu      sync.Mutex
-	jobs    map[string]*queueJob
-	order   []string // submission order, for List
-	work    chan *queueJob
-	wg      sync.WaitGroup
-	closed  bool
-	nextID  int
-	stats   QueueStats
-	baseCtx context.Context
-	stop    context.CancelFunc
-	now     func() time.Time
+	mu     sync.Mutex
+	jobs   map[string]*queueJob
+	order  []string // submission order, for List
+	work   chan *queueJob
+	wg     sync.WaitGroup
+	closed bool
+	nextID int
+	stats  QueueStats
+	// totalRun and finished accumulate run durations of terminal jobs,
+	// feeding the RetryAfter drain estimate.
+	totalRun time.Duration
+	finished uint64
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	now      func() time.Time
 	// observer, when set, receives every job's terminal state with its
 	// queue-wait and run durations — the metrics hook.
 	observer func(kind string, state JobState, wait, run time.Duration)
@@ -203,6 +207,8 @@ func (q *Queue) run(j *queueJob) {
 	kind, state := j.snap.Kind, j.snap.State
 	wait := j.snap.Started.Sub(j.snap.Submitted)
 	run := j.snap.Finished.Sub(j.snap.Started)
+	q.totalRun += run
+	q.finished++
 	q.mu.Unlock()
 	j.cancel() // release the context's resources
 	close(j.done)
@@ -273,6 +279,33 @@ func (q *Queue) Wait(id string) (Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return j.snap, true
+}
+
+// RetryAfter estimates, in whole seconds, how long a client should wait
+// before resubmitting after a backlog rejection: the queued depth divided
+// by the worker pool's observed drain rate (average run time of finished
+// jobs; one second before any job has finished). Clamped to [1, 300] so
+// the Retry-After header is always a sane bound, never zero or unbounded.
+func (q *Queue) RetryAfter() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	avg := time.Second
+	if q.finished > 0 {
+		avg = q.totalRun / time.Duration(q.finished)
+		if avg < 100*time.Millisecond {
+			avg = 100 * time.Millisecond
+		}
+	}
+	depth := q.stats.Queued + q.stats.Running
+	est := avg * time.Duration(depth) / time.Duration(q.stats.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // Stats returns a snapshot of the queue counters.

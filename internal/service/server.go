@@ -47,6 +47,7 @@ type Server struct {
 	corpusPipe  *corpus.Pipeline
 	corpusStats corpusCounters
 	evolveStats evolveCounters
+	ingestStats ingestCounters
 	// upgradeMu serializes schema version bumps: concurrent PUTs of the
 	// same schema would otherwise race diff-vs-bump (the registry's
 	// AddVersionIf turns that race into an error; the mutex turns it into
@@ -90,6 +91,16 @@ type Server struct {
 	corpusBlockSec *obs.HistogramVec
 	corpusScoreSec *obs.HistogramVec
 	corpusCands    *obs.HistogramVec
+
+	ingestBatchSchemas *obs.Histogram
+	ingestStageSec     *obs.HistogramVec
+	ingestStreamSec    *obs.Histogram
+
+	// Background profile machinery: warmer compiles streamed schemas'
+	// profiles off the ingest path, persister writes compiled profiles
+	// to store artifacts off the compile path.
+	warmer    *profileWarmer
+	persister *profilePersister
 
 	saveStop  chan struct{}
 	saveDone  chan struct{}
@@ -158,6 +169,7 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		}
 	}
 	var profiles *core.ProfileCache
+	var persister *profilePersister
 	if cfg.ProfileCache > 0 {
 		profiles = core.NewProfileCache(cfg.ProfileCache)
 		if st != nil {
@@ -165,11 +177,11 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 			// Profiles are derived, non-journaled side files, so this is
 			// safe on followers too: nothing touches the WAL or the LSN
 			// sequence. Failures only cost the next restart a recompile.
-			profiles.SetPersist(func(fp string, blob []byte) {
-				if err := st.SaveProfile(fp, blob); err != nil {
-					logf("service: profile artifact %s: %v", fp, err)
-				}
-			})
+			// Writes run on a background goroutine: encode + temp-file +
+			// rename costs ~¼ms and used to run inline on the compile
+			// path.
+			persister = newProfilePersister(st.SaveProfile, logf)
+			profiles.SetPersist(persister.enqueue)
 		}
 	}
 	engines := make(map[string]*core.Engine, len(core.Presets()))
@@ -193,6 +205,10 @@ func New(cfg Config, logf func(format string, args ...any)) (*Server, error) {
 		start:    time.Now(),
 		logf:     logf,
 		st:       st,
+	}
+	s.persister = persister
+	if profiles != nil {
+		s.warmer = newProfileWarmer(profiles, cfg.IngestWorkers)
 	}
 	// The trace recorder exists before initRepl so the follower's apply
 	// loop can record replication batches from its first poll.
@@ -332,6 +348,12 @@ func (s *Server) Close() error {
 		}
 		s.replMu.Unlock()
 		s.queue.Close()
+		if s.warmer != nil {
+			s.warmer.close()
+		}
+		if s.persister != nil {
+			s.persister.close()
+		}
 		if s.saveStop != nil {
 			close(s.saveStop)
 			<-s.saveDone
@@ -385,7 +407,13 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET "+repl.PathStatus, s.source.HandleStatus)
 	}
 	mux.HandleFunc("POST /repl/v1/promote", s.handlePromote)
-	return http.MaxBytesHandler(s.instrument(mux), maxBodyBytes)
+	// The bulk ingest stream mounts outside the body-size ceiling: its
+	// request body is an unbounded NDJSON stream consumed incrementally,
+	// with each line individually bounded by the scanner.
+	outer := http.NewServeMux()
+	outer.Handle("POST /v1/schemas/bulk", s.instrument(http.HandlerFunc(s.writable(s.handleBulkIngest))))
+	outer.Handle("/", http.MaxBytesHandler(s.instrument(mux), maxBodyBytes))
+	return outer
 }
 
 // --- shared helpers -------------------------------------------------------
@@ -554,6 +582,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queue:         s.queue.Stats(),
 		Corpus:        s.corpusStats.snapshot(),
 		Evolve:        s.evolveStats.snapshot(),
+		Ingest:        s.ingestStats.snapshot(),
 		Index:         s.reg.IndexStats(),
 	}
 	if s.profiles != nil {
@@ -750,6 +779,10 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.queue.Submit(req.Kind, fn)
 	if err != nil {
+		// Load shedding: the backlog bound rejected the job. Retry-After
+		// estimates the drain time from the queue's recent run rate, so
+		// clients back off proportionally instead of hammering.
+		w.Header().Set("Retry-After", strconv.Itoa(s.queue.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}

@@ -27,7 +27,7 @@ func testSchema(name string, cols ...string) *schema.Schema {
 	return s
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Preset == "" {
 		cfg.Preset = "name-only"

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"time"
 
 	"harmony/internal/core"
@@ -99,6 +100,10 @@ type Config struct {
 	// accumulate in the mutable tail before a background merge folds them
 	// into the flat compressed segment.
 	IndexTailMerge int
+	// IngestWorkers is the parallelism of the bulk-ingest prepare stage
+	// (parse, profile compilation, index-document preparation per NDJSON
+	// batch). Default: GOMAXPROCS.
+	IngestWorkers int
 	// SparseBudget is the per-source candidate budget of sparse
 	// candidate-pair scoring in the match engines (0 picks
 	// core.DefaultSparseBudget, negative disables sparse scoring).
@@ -194,6 +199,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SparseBudget == 0 {
 		c.SparseBudget = core.DefaultSparseBudget
 	}
+	if c.IngestWorkers <= 0 {
+		c.IngestWorkers = runtime.GOMAXPROCS(0)
+	}
 	switch c.Role {
 	case "", RoleLeader:
 		if c.Role == RoleLeader && c.PeerURL != "" {
@@ -237,6 +245,7 @@ type Stats struct {
 	Queue         QueueStats   `json:"queue"`
 	Corpus        CorpusStats  `json:"corpus"`
 	Evolve        EvolveStats  `json:"evolve"`
+	Ingest        IngestStats  `json:"ingest"`
 	Index         search.Stats `json:"index"`
 	// Profiles is the compiled-profile cache snapshot (nil when the
 	// cache is disabled via Config.ProfileCache < 0).

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"harmony/internal/core"
+	"harmony/internal/schema"
+)
+
+// Background profile work. Two pieces of profile machinery used to run
+// inline on ingest paths and were, profiled, the two largest per-schema
+// costs after lexing:
+//
+//   - persisting a freshly compiled profile wrote a temp file + rename
+//     synchronously inside ProfileCache.add — a quarter of a millisecond
+//     of syscalls on the compile path;
+//   - bulk ingest compiled every streamed schema's profile inline in its
+//     prepare worker, even though the cache's LRU capacity (default 128)
+//     keeps only the tail of a 10k-schema stream.
+//
+// Both are best-effort warm-start work: a lost profile blob or a cold
+// cache entry costs one recompile on first use, never correctness. So
+// both are queued to background workers with bounded channels that shed
+// load instead of blocking the ingest pipeline.
+
+// profilePersister serializes freshly compiled profiles to store
+// artifacts off the compile path. One writer goroutine encodes and
+// writes; a full queue drops the blob (the profile stays usable in
+// memory and recompiles from the schema after a restart).
+type profilePersister struct {
+	q       chan persistItem
+	done    chan struct{}
+	written atomic.Uint64
+	dropped atomic.Uint64
+	save    func(fp string, blob []byte) error
+	logf    func(format string, args ...any)
+}
+
+type persistItem struct {
+	fp string
+	p  *core.CompiledProfile
+}
+
+// persistQueueDepth bounds in-flight profile writes. Entries hold a
+// pointer to an already-compiled profile, so depth is cheap; the bound
+// exists to cap encode backlog memory, not queue memory.
+const persistQueueDepth = 4096
+
+func newProfilePersister(save func(fp string, blob []byte) error, logf func(format string, args ...any)) *profilePersister {
+	pp := &profilePersister{
+		q:    make(chan persistItem, persistQueueDepth),
+		done: make(chan struct{}),
+		save: save,
+		logf: logf,
+	}
+	go pp.run()
+	return pp
+}
+
+func (pp *profilePersister) run() {
+	defer close(pp.done)
+	for it := range pp.q {
+		if err := pp.save(it.fp, it.p.Encode()); err != nil {
+			pp.logf("service: profile artifact %s: %v", it.fp, err)
+			continue
+		}
+		pp.written.Add(1)
+	}
+}
+
+// enqueue hands one profile to the writer without blocking the caller.
+func (pp *profilePersister) enqueue(fp string, p *core.CompiledProfile) {
+	select {
+	case pp.q <- persistItem{fp: fp, p: p}:
+	default:
+		pp.dropped.Add(1)
+	}
+}
+
+// close drains the queue and stops the writer; pending profiles are
+// still written so a clean shutdown keeps its warm-start artifacts.
+func (pp *profilePersister) close() {
+	close(pp.q)
+	<-pp.done
+}
+
+// profileWarmer compiles streamed schemas' profiles in the background so
+// bulk ingest admission never waits on profile compilation. Compiling
+// through the shared ProfileCache both warms its LRU and fires the
+// persist hook, so every warmed schema also gets a warm-start artifact.
+type profileWarmer struct {
+	q       chan *schema.Schema
+	wg      sync.WaitGroup
+	warmed  atomic.Uint64
+	dropped atomic.Uint64
+	cache   *core.ProfileCache
+}
+
+// warmQueueDepth bounds the warm backlog. Schemas are already resident
+// (the registry holds them), so entries are pointers; a full queue drops
+// the warm and the schema compiles lazily on its first match instead.
+const warmQueueDepth = 16384
+
+func newProfileWarmer(cache *core.ProfileCache, workers int) *profileWarmer {
+	if workers < 1 {
+		workers = 1
+	}
+	pw := &profileWarmer{q: make(chan *schema.Schema, warmQueueDepth), cache: cache}
+	pw.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer pw.wg.Done()
+			for sc := range pw.q {
+				pw.cache.Profile(sc)
+				pw.warmed.Add(1)
+			}
+		}()
+	}
+	return pw
+}
+
+// enqueue schedules one schema's profile compile without blocking.
+func (pw *profileWarmer) enqueue(sc *schema.Schema) {
+	select {
+	case pw.q <- sc:
+	default:
+		pw.dropped.Add(1)
+	}
+}
+
+// close stops the workers after the backlog drains.
+func (pw *profileWarmer) close() {
+	close(pw.q)
+	pw.wg.Wait()
+}

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"harmony/internal/registry"
+)
+
+// enqueueConcurrent drives n concurrent journaled AddSchema commits whose
+// flushes are held back by fmu, so every record is queued behind one
+// blocked group flush before any of them lands. It returns once all n
+// commits have been acknowledged.
+func enqueueConcurrent(t *testing.T, st *Store, n int, name func(i int) string) {
+	t.Helper()
+	reg := st.Registry()
+	base := st.wal.LastLSN()
+
+	st.wal.fmu.Lock()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = reg.AddSchema(testSchema(name(i), "a", "b"), "bulk")
+		}(i)
+	}
+	// Wait for every commit to be enqueued (LSN assignment happens at
+	// enqueue, before the blocked flush), then release the file mutex so
+	// the whole backlog drains in at most two group flushes.
+	for st.wal.LastLSN() < base+uint64(n) {
+		runtime.Gosched()
+	}
+	st.wal.fmu.Unlock()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent add %d: %v", i, err)
+		}
+	}
+}
+
+// TestGroupCommitCoalesces pins down the group-commit mechanism itself:
+// n commits queued behind one in-flight flush must land in at most two
+// flushes (the one that was blocked plus one batch for the backlog), not
+// n — and every one of them must still be individually durable and
+// recoverable.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncPerCommit})
+
+	const n = 32
+	flushes0 := st.wal.GroupFlushes()
+	enqueueConcurrent(t, st, n, func(i int) string { return fmt.Sprintf("gc%02d", i) })
+	flushes := st.wal.GroupFlushes() - flushes0
+
+	if flushes > 2 {
+		t.Fatalf("%d queued commits took %d group flushes, want <= 2", n, flushes)
+	}
+	if got := st.wal.DurableLSN(); got < uint64(n) {
+		t.Fatalf("durable LSN %d after %d acked commits", got, n)
+	}
+	want := encode(t, st.Registry())
+
+	// Every acked commit survives a crash: a copy of the directory taken
+	// after the acks recovers byte-for-byte the same registry.
+	crash := copyDir(t, dir)
+	st2 := mustOpen(t, Options{Dir: crash})
+	if !bytes.Equal(want, encode(t, st2.Registry())) {
+		t.Fatal("recovery after group commit lost an acked record")
+	}
+	st2.Close()
+	st.Close()
+}
+
+// TestGroupCommitDurability runs waves of concurrent commits against a
+// fsync-per-commit store, crash-copying the directory after each wave:
+// every wave's acked state must recover exactly. This is the streaming
+// bulk-ingest durability contract (ack ⇒ durable) at the engine level.
+func TestGroupCommitDurability(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncPerCommit})
+	reg := st.Registry()
+
+	const waves, width = 4, 16
+	for w := 0; w < waves; w++ {
+		var wg sync.WaitGroup
+		errs := make([]error, width)
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = reg.AddSchema(testSchema(fmt.Sprintf("w%dn%02d", w, i), "x", "y"), "bulk")
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("wave %d add %d: %v", w, i, err)
+			}
+		}
+		want := encode(t, reg)
+		crash := copyDir(t, dir)
+		st2 := mustOpen(t, Options{Dir: crash})
+		if !bytes.Equal(want, encode(t, st2.Registry())) {
+			t.Fatalf("wave %d: crash copy lost an acked commit", w)
+		}
+		st2.Close()
+	}
+	if appends := st.wal.LastLSN(); appends != waves*width {
+		t.Fatalf("expected %d appends, got %d", waves*width, appends)
+	}
+	t.Logf("%d commits in %d group flushes", waves*width, st.wal.GroupFlushes())
+	st.Close()
+}
+
+// TestGroupCommitTornTail extends the torn-tail recovery property to
+// batched writes: with the final flush carrying a multi-record batch,
+// truncation at EVERY byte boundary of the batch region must recover
+// exactly the intact record prefix — a torn batch loses only the torn
+// records, never an earlier one, and never yields a non-prefix state.
+func TestGroupCommitTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncPerCommit})
+	reg := st.Registry()
+
+	// A sequential prefix, then one multi-record batched flush.
+	const prefix, batch = 3, 8
+	for i := 0; i < prefix; i++ {
+		if err := reg.AddSchema(testSchema(fmt.Sprintf("seq%d", i), "a"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enqueueConcurrent(t, st, batch, func(i int) string { return fmt.Sprintf("bat%02d", i) })
+	st.Close()
+
+	// Walk the single pristine segment, building the expected state after
+	// each record by replaying ops exactly as recovery does. The batch was
+	// written as one contiguous chunk, but each record is still framed and
+	// checksummed independently — truncation mid-batch keeps the prefix.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want a single segment, got %d (%v)", len(segs), err)
+	}
+	segPath := filepath.Join(dir, segmentName(segs[0]))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := registry.New()
+	states := [][]byte{encode(t, replay)}
+	bounds := []int{0}
+	off := 0
+	for off < len(data) {
+		payload, next, ok := readRecord(data, off)
+		if !ok {
+			t.Fatalf("pristine log corrupt at offset %d", off)
+		}
+		var ops []registry.Op
+		if err := json.Unmarshal(payload, &ops); err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, encode(t, replay))
+		off = next
+		bounds = append(bounds, off)
+	}
+	if len(states) != prefix+batch+1 {
+		t.Fatalf("segment has %d records, want %d", len(states)-1, prefix+batch)
+	}
+
+	// Truncate at every byte of the batched region. The expected state is
+	// the one after the last record boundary at or before the cut.
+	batchStart := bounds[prefix]
+	for cut := batchStart; cut < len(data); cut++ {
+		crash := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(crash, filepath.Base(segPath)), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		intact := 0
+		for intact+1 < len(bounds) && bounds[intact+1] <= cut {
+			intact++
+		}
+		st2 := mustOpen(t, Options{Dir: crash})
+		if got := encode(t, st2.Registry()); !bytes.Equal(got, states[intact]) {
+			t.Fatalf("cut at byte %d: recovered state is not the %d-record prefix", cut, intact)
+		}
+		st2.Close()
+	}
+}
+
+// TestSnapshotAheadOfTornLog exercises the positional-LSN recovery guard:
+// when a crash tears records a snapshot had already covered, the segment
+// files no longer reach the snapshot's LSN, and a reopened log must NOT
+// continue appending to the old active segment — its positional numbering
+// would misnumber every new record. The next append must start a fresh,
+// correctly named segment, and a second recovery must see everything.
+func TestSnapshotAheadOfTornLog(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, Fsync: FsyncPerCommit})
+	reg := st.Registry()
+	const total = 8
+	for i := 0; i < total; i++ {
+		if err := reg.AddSchema(testSchema(fmt.Sprintf("s%d", i), "a"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Snapshot(); err != nil { // snapshot named by LSN 8
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Tear the log back below the snapshot: keep only the first 5 records
+	// of the active segment (clean record boundary — the damage the
+	// snapshot already covers, so recovery state is whole regardless).
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listing segments: %v (n=%d)", err, len(segs))
+	}
+	segPath := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keep = 5
+	off := 0
+	for i := 0; i < keep; i++ {
+		_, next, ok := readRecord(data, off)
+		if !ok {
+			t.Fatalf("record %d unreadable", i)
+		}
+		off = next
+	}
+	if err := os.Truncate(segPath, int64(off)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: the snapshot supplies the full state; the torn log's
+	// highest positional LSN (5) trails the log head (8), so the next
+	// append must open a fresh segment named for LSN 9.
+	st2 := mustOpen(t, Options{Dir: dir})
+	if n := st2.Registry().Len(); n != total {
+		t.Fatalf("snapshot recovery has %d schemata, want %d", n, total)
+	}
+	if err := st2.Registry().AddSchema(testSchema("after-tear", "z"), ""); err != nil {
+		t.Fatal(err)
+	}
+	want := encode(t, st2.Registry())
+	st2.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, segmentName(total+1))); err != nil {
+		t.Fatalf("post-tear append did not start a fresh segment at LSN %d: %v", total+1, err)
+	}
+
+	// The fresh segment replays cleanly on a second recovery.
+	st3 := mustOpen(t, Options{Dir: dir})
+	if !bytes.Equal(want, encode(t, st3.Registry())) {
+		t.Fatal("append after snapshot-ahead-of-log recovery was lost")
+	}
+	st3.Close()
+}
+
+// BenchmarkWALAppendGroupCommit prices a durable mutation under
+// CONCURRENT commit load, per fsync policy — the group-commit complement
+// to BenchmarkWALAppend's sequential loop. Under fsync-per-commit the
+// coalescing ratio (records per flush) is the whole story: N parallel
+// committers should approach one fsync per batch, not one per record.
+func BenchmarkWALAppendGroupCommit(b *testing.B) {
+	for _, policy := range []FsyncPolicy{FsyncOff, FsyncInterval, FsyncPerCommit} {
+		b.Run(string(policy), func(b *testing.B) {
+			st, err := Open(Options{Dir: b.TempDir(), Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			reg := st.Registry()
+			sa, sb := corpus200(b, reg)
+			appends0, flushes0 := st.wal.LastLSN(), st.wal.GroupFlushes()
+			var seq atomic.Uint64
+			// 8 committer goroutines per core: group commit coalesces
+			// across waiting committers, so the benchmark needs more
+			// in-flight commits than cores (on a 1-core CI box,
+			// GOMAXPROCS alone would serialize them).
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					if _, err := reg.AddMatch(benchArtifact(sa, sb, i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			appends := st.wal.LastLSN() - appends0
+			if flushes := st.wal.GroupFlushes() - flushes0; flushes > 0 {
+				b.ReportMetric(float64(appends)/float64(flushes), "records/flush")
+			}
+		})
+	}
+}

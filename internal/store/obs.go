@@ -18,6 +18,10 @@ var (
 	walAppendedBytes = obs.Default().Counter(
 		"harmony_wal_appended_bytes_total",
 		"Bytes appended to the WAL, including record framing.")
+	walGroupCommitRecords = obs.Default().Histogram(
+		"harmony_wal_group_commit_records",
+		"Records coalesced into one WAL group flush (one write + one fsync).",
+		obs.CountBuckets)
 	snapshotSeconds = obs.Default().Histogram(
 		"harmony_store_snapshot_seconds",
 		"Wall time of successful snapshot runs (encode, write, prune, truncate).",

@@ -272,7 +272,7 @@ func Open(opts Options) (*Store, error) {
 		opts.Logf("store: replayed %d WAL records onto snapshot lsn %d", res.replayed, s.snapshotLSN)
 	}
 
-	w, err := openWAL(opts.Dir, opts.Fsync, opts.SegmentBytes, res.lastLSN)
+	w, err := openWAL(opts.Dir, opts.Fsync, opts.SegmentBytes, res.lastLSN, res.diskLSN)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -292,21 +292,41 @@ func (s *Store) Registry() *registry.Registry { return s.reg }
 
 // Commit implements registry.Journal: one atomic WAL record per batch.
 func (s *Store) Commit(ops []registry.Op) error {
-	payload, err := json.Marshal(ops)
+	return s.CommitAsync(ops)()
+}
+
+// CommitAsync implements registry.AsyncJournal: the ops are framed and
+// enqueued to the WAL immediately — in call order, so log order still
+// equals apply order — and the returned wait blocks until the record's
+// group flush reaches stable storage (per the fsync policy). Callers
+// release the registry write lock between enqueue and wait, which is the
+// window where concurrent commits coalesce into one fsync.
+func (s *Store) CommitAsync(ops []registry.Op) func() error {
+	payload, err := registry.MarshalOps(ops)
 	if err != nil {
 		s.setErr(err)
-		return fmt.Errorf("store: commit: %w", err)
+		werr := fmt.Errorf("store: commit: %w", err)
+		return func() error { return werr }
 	}
-	if _, err := s.wal.Append(payload); err != nil {
+	_, wait, err := s.wal.AppendAsync(payload)
+	if err != nil {
 		s.setErr(err)
-		return fmt.Errorf("store: commit: %w", err)
+		werr := fmt.Errorf("store: commit: %w", err)
+		return func() error { return werr }
 	}
-	s.mu.Lock()
-	s.commits++
-	s.ops += uint64(len(ops))
-	s.lastErr = nil
-	s.mu.Unlock()
-	return nil
+	n := uint64(len(ops))
+	return func() error {
+		if err := wait(); err != nil {
+			s.setErr(err)
+			return fmt.Errorf("store: commit: %w", err)
+		}
+		s.mu.Lock()
+		s.commits++
+		s.ops += n
+		s.lastErr = nil
+		s.mu.Unlock()
+		return nil
+	}
 }
 
 // LockBatch / UnlockBatch implement registry.BatchLocker: a snapshot
@@ -330,6 +350,15 @@ func (s *Store) Snapshot() error {
 	s.mu.Unlock()
 	if already {
 		return nil
+	}
+	// The snapshot is named by the log head at view time, which may
+	// include records still queued behind an in-flight group flush. They
+	// must reach the segment files before the snapshot publishes: record
+	// LSNs are positional, so a snapshot claiming records the files never
+	// received would desynchronize replay numbering after a crash.
+	if err := s.wal.WaitWritten(lsn); err != nil {
+		s.setErr(err)
+		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	t0 := time.Now()
 	data, err := view.Encode()

@@ -24,6 +24,13 @@ import (
 // first record, so replay can skip whole segments already covered by a
 // snapshot without reading them, and each record's LSN is its segment's
 // first LSN plus its index. Little-endian framing, CRC32-Castagnoli.
+//
+// Appends are group-committed: Append assigns the record's LSN at enqueue
+// time (log order = arrival order) and a single flusher goroutine batches
+// whatever accumulated during the previous write+fsync into the next one,
+// so N concurrent commits cost one fsync, not N. A caller is only
+// acknowledged after its batch's fsync (under FsyncPerCommit), preserving
+// the returned ⇒ durable contract.
 
 const (
 	walPrefix    = "wal-"
@@ -97,6 +104,22 @@ func readRecord(data []byte, off int) (payload []byte, next int, ok bool) {
 	return payload, off + recordHeader + n, true
 }
 
+// walWaiter carries one queued record's flush outcome back to its
+// appender. done is closed by the flusher after the record's group flush
+// lands (or fails); err is written before the close.
+type walWaiter struct {
+	err  error
+	done chan struct{}
+}
+
+// queuedRecord is one accepted-but-unflushed append: the framed bytes,
+// the LSN assigned at enqueue, and the waiter to acknowledge.
+type queuedRecord struct {
+	buf []byte
+	lsn uint64
+	w   *walWaiter
+}
+
 // wal is the appendable log. Safe for concurrent use; replay happens
 // before construction (see replaySegments).
 type wal struct {
@@ -104,45 +127,72 @@ type wal struct {
 	policy       FsyncPolicy
 	segmentBytes int64
 
-	mu      sync.Mutex
-	f       *os.File // active segment (nil until first append after open)
-	size    int64
+	// fmu guards the active segment (f, size) and all segment file I/O:
+	// the flusher holds it across a group flush, and Sync / Close /
+	// ResetTo / TruncateThrough take it to exclude in-flight writes.
+	// Lock order: fmu before mu — never acquire fmu while holding mu.
+	fmu  sync.Mutex
+	f    *os.File // active segment (nil until first append after open)
+	size int64
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on enqueue, flush completion, close
+	// queue holds records accepted but not yet written; the flusher
+	// drains it in whole batches.
+	queue    []queuedRecord
+	flushing bool
+	// lastLSN is the log head: the highest LSN assigned, including
+	// records still queued behind an in-flight flush.
 	lastLSN uint64
+	// writtenLSN is the highest LSN written to a segment file; snapshots
+	// wait on it (WaitWritten) because record LSNs are positional — a
+	// snapshot claiming an LSN the files do not reach would desynchronize
+	// replay numbering after a crash.
+	writtenLSN uint64
 	// syncedLSN is the durable log position: the highest LSN known to
 	// have reached stable storage (followers and operators read it as
 	// Stats.DurableLSN). Under FsyncOff it only advances on explicit
 	// syncs (rotation, Close).
 	syncedLSN uint64
-	// notify is closed and replaced on every successful append — the
+	// notify is closed and replaced after every successful flush — the
 	// broadcast the replication source's long-poll waits on.
 	notify chan struct{}
 	dirty  bool // unsynced appends (interval / off policies)
 	closed bool
-	// wedged marks a log whose tail could not be repaired after a failed
-	// write: appending past the partial record would make replay discard
-	// everything after it, so further appends fail instead.
+	// wedged marks a log whose tail state is unknown after a failed write
+	// or fsync. Queued records already carry assigned LSNs that cannot be
+	// renumbered, so all pending and future appends fail; a restart
+	// replays what actually landed.
 	wedged bool
+
+	flusherDone chan struct{}
 
 	appends       uint64
 	appendedBytes uint64
 	syncs         uint64
+	groupFlushes  uint64
 }
 
 // openWAL readies the log for appends after recovery. lastLSN is the
-// highest LSN already on disk (snapshot or replayed record); appends
-// continue from there. The active segment is the newest existing one (its
-// torn tail, if any, was truncated by replay) or a fresh segment created
-// lazily on first append.
-func openWAL(dir string, policy FsyncPolicy, segmentBytes int64, lastLSN uint64) (*wal, error) {
+// highest LSN the recovered state covers (snapshot or replayed record);
+// appends continue from there. diskLSN is the highest positional LSN the
+// segment files actually reach: when it trails lastLSN (a snapshot ran
+// ahead of the log — e.g. a crash tore records the snapshot had already
+// covered), the active segment's positional numbering cannot continue at
+// lastLSN+1, so the next append starts a fresh, correctly named segment
+// instead of appending misnumbered records.
+func openWAL(dir string, policy FsyncPolicy, segmentBytes int64, lastLSN, diskLSN uint64) (*wal, error) {
 	// Everything replay saw is on disk already, so the durable position
 	// starts at the log head.
 	w := &wal{dir: dir, policy: policy, segmentBytes: segmentBytes,
-		lastLSN: lastLSN, syncedLSN: lastLSN, notify: make(chan struct{})}
+		lastLSN: lastLSN, writtenLSN: lastLSN, syncedLSN: lastLSN,
+		notify: make(chan struct{}), flusherDone: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(segs) > 0 {
+	if len(segs) > 0 && diskLSN >= lastLSN {
 		path := filepath.Join(dir, segmentName(segs[len(segs)-1]))
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -155,75 +205,222 @@ func openWAL(dir string, policy FsyncPolicy, segmentBytes int64, lastLSN uint64)
 		}
 		w.f, w.size = f, st.Size()
 	}
+	go w.flushLoop()
 	return w, nil
 }
 
 // Append writes one record and returns its LSN, honoring the fsync
-// policy. Rotation to a fresh segment happens before the write once the
-// active segment exceeds segmentBytes, so a record never spans segments.
+// policy: it does not return until the record's group flush has landed.
 func (w *wal) Append(payload []byte) (uint64, error) {
+	lsn, wait, err := w.AppendAsync(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := wait(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendAsync enqueues one record for the next group flush and returns
+// its LSN plus a wait function. The LSN is assigned immediately, under
+// the same mutex every appender serializes through, so log order equals
+// call order; wait blocks until the record's flush completes (write +
+// fsync under FsyncPerCommit) and returns its outcome. Callers may
+// release higher-level locks between AppendAsync and wait — that window
+// is exactly where concurrent commits coalesce into one fsync.
+func (w *wal) AppendAsync(payload []byte) (uint64, func() error, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
-		return 0, fmt.Errorf("store: append on closed WAL")
+		w.mu.Unlock()
+		return 0, nil, fmt.Errorf("store: append on closed WAL")
 	}
 	if w.wedged {
-		return 0, fmt.Errorf("store: WAL wedged by an unrepaired partial write; restart to recover")
+		w.mu.Unlock()
+		return 0, nil, errWedged()
 	}
 	if len(payload) > maxRecordBytes {
 		// Replay rejects anything larger as corruption, so appending it
 		// would plant a time bomb: fail the commit now instead.
-		return 0, fmt.Errorf("store: record %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+		w.mu.Unlock()
+		return 0, nil, fmt.Errorf("store: record %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
 	}
-	lsn := w.lastLSN + 1
-	if w.f == nil || w.size >= w.segmentBytes {
-		if err := w.rotateLocked(lsn); err != nil {
-			return 0, err
-		}
-	}
-	buf := frame(payload)
-	t0 := time.Now()
-	if _, err := w.f.Write(buf); err != nil {
-		// A partial write would sit mid-log and make replay truncate away
-		// every later record; cut the file back so the log stays
-		// well-formed and only this append is lost. If even the repair
-		// fails, wedge the log: acknowledging writes after the garbage
-		// would lose them all at the next replay.
-		if terr := w.f.Truncate(w.size); terr != nil {
-			w.wedged = true
-		}
-		return 0, err
-	}
-	walAppendSeconds.Observe(time.Since(t0).Seconds())
-	w.size += int64(len(buf))
-	w.lastLSN = lsn
-	w.appends++
-	w.appendedBytes += uint64(len(buf))
-	walAppendedBytes.Add(uint64(len(buf)))
-	if w.policy == FsyncPerCommit {
-		t0 = time.Now()
-		if err := w.f.Sync(); err != nil {
-			// After a failed fsync the on-disk fate of this record is
-			// unknown (the kernel may have dropped the dirty page).
-			// Appending more records after it would let a torn-tail
-			// recovery truncate away later, successfully-synced commits —
-			// wedge the log instead; a restart replays what actually
-			// landed.
-			w.wedged = true
-			return 0, err
-		}
-		walFsyncSeconds.Observe(time.Since(t0).Seconds())
-		w.syncs++
-		w.syncedLSN = lsn
-	} else {
-		w.dirty = true
-	}
-	close(w.notify)
-	w.notify = make(chan struct{})
-	return lsn, nil
+	w.lastLSN++
+	lsn := w.lastLSN
+	waiter := &walWaiter{done: make(chan struct{})}
+	w.queue = append(w.queue, queuedRecord{buf: frame(payload), lsn: lsn, w: waiter})
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return lsn, func() error { <-waiter.done; return waiter.err }, nil
 }
 
-// AppendC returns a channel closed by the next successful append — the
+func errWedged() error {
+	return fmt.Errorf("store: WAL wedged by a failed write or fsync; restart to recover")
+}
+
+// flushLoop is the group-commit engine: it drains whole batches of
+// queued records — everything that arrived while the previous batch was
+// being written and fsynced — and flushes each batch with one write and
+// one fsync. It exits once the log is closed and the queue drained.
+func (w *wal) flushLoop() {
+	defer close(w.flusherDone)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.queue
+		w.queue = nil
+		w.flushing = true
+		wedged := w.wedged
+		w.mu.Unlock()
+
+		w.flushBatch(batch, wedged)
+
+		w.mu.Lock()
+		w.flushing = false
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// flushBatch writes one batch to the active segment (rotating at the
+// same size threshold single appends used, so a record never spans
+// segments), fsyncs once under FsyncPerCommit, publishes the new log
+// positions and acknowledges every waiter. Any write or fsync failure
+// wedges the log: later queued records already carry assigned LSNs that
+// cannot be renumbered, and record numbering is positional — writing
+// past a hole would corrupt replay.
+func (w *wal) flushBatch(batch []queuedRecord, wedged bool) {
+	if wedged {
+		finishBatch(batch, errWedged())
+		return
+	}
+	w.fmu.Lock()
+	var (
+		err   error
+		wrote uint64
+	)
+	t0 := time.Now()
+	i := 0
+	for i < len(batch) {
+		if w.f == nil || w.size >= w.segmentBytes {
+			if err = w.rotateFile(batch[i].lsn); err != nil {
+				break
+			}
+		}
+		// Gather the run of records that lands in the active segment: a
+		// record is admitted while the segment is under the threshold
+		// (and may overflow it), exactly as single appends behaved.
+		j, n := i, 0
+		for j < len(batch) {
+			n += len(batch[j].buf)
+			j++
+			if w.size+int64(n) >= w.segmentBytes {
+				break
+			}
+		}
+		chunk := batch[i].buf
+		if j-i > 1 {
+			chunk = make([]byte, 0, n)
+			for _, q := range batch[i:j] {
+				chunk = append(chunk, q.buf...)
+			}
+		}
+		if _, werr := w.f.Write(chunk); werr != nil {
+			// Cut the file back so the log stays well-formed for replay;
+			// the flush still wedges the log below — only the repair of
+			// the file is attempted here.
+			w.f.Truncate(w.size)
+			err = werr
+			break
+		}
+		w.size += int64(n)
+		wrote += uint64(n)
+		i = j
+	}
+	if err == nil {
+		walAppendSeconds.Observe(time.Since(t0).Seconds())
+		if w.policy == FsyncPerCommit {
+			ts := time.Now()
+			if serr := w.f.Sync(); serr != nil {
+				// After a failed fsync the on-disk fate of the batch is
+				// unknown (the kernel may have dropped the dirty pages).
+				err = serr
+			} else {
+				walFsyncSeconds.Observe(time.Since(ts).Seconds())
+			}
+		}
+	}
+
+	last := batch[len(batch)-1].lsn
+	w.mu.Lock()
+	if err != nil {
+		w.wedged = true
+	} else {
+		w.writtenLSN = last
+		w.appends += uint64(len(batch))
+		w.appendedBytes += wrote
+		walAppendedBytes.Add(wrote)
+		walGroupCommitRecords.Observe(float64(len(batch)))
+		w.groupFlushes++
+		if w.policy == FsyncPerCommit {
+			w.syncs++
+			w.syncedLSN = last
+		} else {
+			w.dirty = true
+		}
+		close(w.notify)
+		w.notify = make(chan struct{})
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.fmu.Unlock()
+	finishBatch(batch, err)
+}
+
+// finishBatch delivers one flush outcome to every waiter in the batch.
+func finishBatch(batch []queuedRecord, err error) {
+	for _, q := range batch {
+		q.w.err = err
+		close(q.w.done)
+	}
+}
+
+// rotateFile closes the active segment (syncing it, whatever the
+// policy — a finished segment is immutable and must be durable before
+// its successor starts) and opens a new one whose first record will be
+// firstLSN. Caller holds fmu.
+func (w *wal) rotateFile(firstLSN uint64) error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		w.f = nil
+		w.mu.Lock()
+		w.syncs++
+		// Every record below the new segment's first LSN is written and
+		// now synced; records queued behind this flush are not.
+		w.syncedLSN = firstLSN - 1
+		w.dirty = false
+		w.mu.Unlock()
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(firstLSN)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return syncDir(w.dir)
+}
+
+// AppendC returns a channel closed by the next successful flush — the
 // replication source's long-poll broadcast. Callers grab the channel
 // BEFORE checking for new records, so an append racing the check is never
 // missed.
@@ -240,63 +437,70 @@ func (w *wal) DurableLSN() uint64 {
 	return w.syncedLSN
 }
 
-// rotateLocked closes the active segment (syncing it, whatever the
-// policy — a finished segment is immutable and must be durable before
-// its successor starts) and opens a new one whose first record will be
-// firstLSN.
-func (w *wal) rotateLocked(firstLSN uint64) error {
-	if w.f != nil {
-		if err := w.f.Sync(); err != nil {
-			return err
-		}
-		w.syncs++
-		w.syncedLSN = w.lastLSN
-		w.dirty = false
-		if err := w.f.Close(); err != nil {
-			return err
-		}
-		w.f = nil
-	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(firstLSN)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		return err
-	}
-	w.f, w.size = f, 0
-	return syncDir(w.dir)
-}
-
-// Sync flushes outstanding appends (interval policy's ticker and Close).
-// A failed sync wedges the log like a failed per-commit sync does — the
-// on-disk suffix is in an unknown state, and writing past it risks
-// discarding later durable records at replay.
-func (w *wal) Sync() error {
+// WaitWritten blocks until every record up to lsn has been written to the
+// segment files (not necessarily fsynced). Snapshots call it before
+// publishing a snapshot named by the log head: record LSNs are positional
+// (segment first LSN + index), so a snapshot covering records the files
+// never received would make post-crash appends misnumber themselves.
+func (w *wal) WaitWritten(lsn uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if !w.dirty || w.f == nil {
+	for w.writtenLSN < lsn && !w.wedged && !w.closed {
+		w.cond.Wait()
+	}
+	if w.writtenLSN >= lsn {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	return fmt.Errorf("store: WAL flush stalled before lsn %d (wedged=%v closed=%v)", lsn, w.wedged, w.closed)
+}
+
+// Sync flushes records already written to the active segment (interval
+// policy's ticker and Close). Records still queued behind an in-flight
+// group flush are not covered — their own flush syncs them. A failed
+// sync wedges the log like a failed per-commit sync does.
+func (w *wal) Sync() error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.mu.Lock()
+	if !w.dirty || w.f == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	err := w.f.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
 		w.wedged = true
 		return err
 	}
 	w.dirty = false
 	w.syncs++
-	w.syncedLSN = w.lastLSN
+	w.syncedLSN = w.writtenLSN
 	return nil
 }
 
-// LastLSN returns the LSN of the newest appended record.
+// LastLSN returns the log head: the LSN of the newest accepted record,
+// including records still queued for their group flush.
 func (w *wal) LastLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.lastLSN
 }
 
+// GroupFlushes reports how many group flushes the log has performed; the
+// ratio appends/groupFlushes is the achieved commit coalescing.
+func (w *wal) GroupFlushes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.groupFlushes
+}
+
 // TruncateThrough deletes segments whose records are all covered by a
 // snapshot at lsn. The active segment is never deleted.
 func (w *wal) TruncateThrough(lsn uint64) (removed int, err error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	segs, err := listSegments(w.dir)
 	if err != nil {
 		return 0, err
@@ -322,8 +526,8 @@ func (w *wal) TruncateThrough(lsn uint64) (removed int, err error) {
 
 // Segments reports the live segment count and their total bytes.
 func (w *wal) Segments() (n int, bytes int64) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	segs, err := listSegments(w.dir)
 	if err != nil {
 		return 0, 0
@@ -336,17 +540,25 @@ func (w *wal) Segments() (n int, bytes int64) {
 	return len(segs), bytes
 }
 
-// Close syncs and closes the active segment; further appends fail.
+// Close drains the queue, stops the flusher, syncs and closes the active
+// segment; further appends fail.
 func (w *wal) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.flusherDone
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	if w.f == nil {
 		return nil
 	}
 	err := w.f.Sync()
 	if err == nil {
-		w.syncedLSN = w.lastLSN
+		w.mu.Lock()
+		w.syncedLSN = w.writtenLSN
+		w.dirty = false
+		w.mu.Unlock()
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
@@ -361,11 +573,19 @@ func (w *wal) Close() error {
 // state (old snapshot + no segments is recoverable) or the new baseline —
 // never a segment whose names disagree with the new LSN sequence.
 func (w *wal) ResetTo(lsn uint64) error {
+	// Drain in-flight and queued appends first: resetting under a live
+	// flush would interleave old-numbered records into the new baseline.
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	for len(w.queue) > 0 || w.flushing {
+		w.cond.Wait()
+	}
 	if w.closed {
+		w.mu.Unlock()
 		return fmt.Errorf("store: reset on closed WAL")
 	}
+	w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
 	if w.f != nil {
 		if err := w.f.Close(); err != nil {
 			return err
@@ -381,14 +601,17 @@ func (w *wal) ResetTo(lsn uint64) error {
 			return err
 		}
 	}
-	w.lastLSN, w.syncedLSN = lsn, lsn
+	w.mu.Lock()
+	w.lastLSN, w.writtenLSN, w.syncedLSN = lsn, lsn, lsn
 	w.dirty, w.wedged = false, false
+	w.mu.Unlock()
 	return syncDir(w.dir)
 }
 
 // replayResult reports what replaySegments found.
 type replayResult struct {
-	lastLSN  uint64 // highest LSN seen on disk (≥ fromLSN)
+	lastLSN  uint64 // highest LSN the recovered state covers (≥ fromLSN)
+	diskLSN  uint64 // highest positional LSN present in the segment files
 	replayed int    // records handed to fn
 	tornTail bool   // the final segment ended in a damaged record
 }
@@ -420,6 +643,9 @@ func replaySegments(dir string, fromLSN uint64, fn func(lsn uint64, payload []by
 			if segs[i+1] > 0 && segs[i+1]-1 > res.lastLSN {
 				res.lastLSN = segs[i+1] - 1
 			}
+			if segs[i+1] > 0 && segs[i+1]-1 > res.diskLSN {
+				res.diskLSN = segs[i+1] - 1
+			}
 			continue
 		}
 		path := filepath.Join(dir, segmentName(first))
@@ -450,6 +676,9 @@ func replaySegments(dir string, fromLSN uint64, fn func(lsn uint64, payload []by
 			}
 			if lsn > res.lastLSN {
 				res.lastLSN = lsn
+			}
+			if lsn > res.diskLSN {
+				res.diskLSN = lsn
 			}
 			off = next
 		}

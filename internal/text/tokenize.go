@@ -163,13 +163,16 @@ func NormalizeTokens(tokens []string, opt NormalizeOptions) []string {
 }
 
 // NormalizeName is the one-call form used throughout the engine: tokenize a
-// schema element name and normalize with DefaultNormalize.
+// schema element name and normalize with DefaultNormalize. Results are
+// memoized (names repeat heavily across a corpus) — the returned slice is
+// shared and must be treated as read-only; appending to it is safe.
 func NormalizeName(name string) []string {
-	return NormalizeTokens(Tokenize(name), DefaultNormalize)
+	norm, _ := LexName(name)
+	return norm
 }
 
 // NormalizeDoc tokenizes and normalizes documentation prose with
-// DocNormalize.
+// DocNormalize. Results are memoized like NormalizeName's.
 func NormalizeDoc(doc string) []string {
-	return NormalizeTokens(Tokenize(doc), DocNormalize)
+	return normalizeDocMemo(doc)
 }
